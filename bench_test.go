@@ -1,0 +1,260 @@
+// Benchmark harness for the OPAQUE reproduction.
+//
+// One benchmark per experiment of DESIGN.md §5 / EXPERIMENTS.md (E1–E9): each
+// runs the corresponding experiment at small scale and reports the table it
+// produces (with -v, via b.Log), so `go test -bench=.` regenerates every
+// figure of the reproduction. Micro-benchmarks of the underlying primitives
+// (Dijkstra, SSMD, the obfuscator, the end-to-end pipeline) follow, so the
+// per-operation costs behind the experiment tables are visible too.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Run a single experiment table at full (paper) scale:
+//
+//	go run ./cmd/opaque-bench -exp E5 -scale full
+package opaque
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"opaque/internal/experiments"
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// benchmarkExperiment runs one experiment per iteration and logs its tables.
+func benchmarkExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tables, err := runner.Run(experiments.Small)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, tbl := range tables {
+				b.Log("\n" + tbl.String())
+			}
+		}
+	}
+}
+
+// Experiment benchmarks (one per table of EXPERIMENTS.md).
+
+func BenchmarkE1Baselines(b *testing.B)           { benchmarkExperiment(b, "E1") }
+func BenchmarkE2Breach(b *testing.B)              { benchmarkExperiment(b, "E2") }
+func BenchmarkE3CostModel(b *testing.B)           { benchmarkExperiment(b, "E3") }
+func BenchmarkE4SSMD(b *testing.B)                { benchmarkExperiment(b, "E4") }
+func BenchmarkE5SharedVsIndependent(b *testing.B) { benchmarkExperiment(b, "E5") }
+func BenchmarkE6ObfuscatorOverhead(b *testing.B)  { benchmarkExperiment(b, "E6") }
+func BenchmarkE7Scaling(b *testing.B)             { benchmarkExperiment(b, "E7") }
+func BenchmarkE8Strategies(b *testing.B)          { benchmarkExperiment(b, "E8") }
+func BenchmarkE9Collusion(b *testing.B)           { benchmarkExperiment(b, "E9") }
+func BenchmarkE10Linkage(b *testing.B)            { benchmarkExperiment(b, "E10") }
+func BenchmarkE11ServerLog(b *testing.B)          { benchmarkExperiment(b, "E11") }
+
+// Micro-benchmarks of the primitives behind the experiments.
+
+// benchGraph returns a mid-sized grid and a workload, shared by the
+// micro-benchmarks; sizes are chosen so a single iteration stays in the
+// low-millisecond range.
+func benchGraph(b *testing.B, nodes int) (*Graph, []QueryPair) {
+	b.Helper()
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = nodes
+	cfg.Seed = 201
+	g, err := GenerateNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wl, err := GenerateWorkload(g, WorkloadConfig{Kind: "uniform", Queries: 64, Seed: 202})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, wl
+}
+
+func BenchmarkDijkstraPointToPoint(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	acc := storage.NewMemoryGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := wl[i%len(wl)]
+		if _, _, err := search.Dijkstra(acc, pr.Source, pr.Dest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAStarPointToPoint(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	acc := storage.NewMemoryGraph(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pr := wl[i%len(wl)]
+		if _, _, err := search.AStar(acc, pr.Source, pr.Dest); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSMDByDestinations shows the Section III-B effect directly: cost
+// of one SSMD search as |T| grows with destinations clustered near the true
+// one.
+func BenchmarkSSMDByDestinations(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	acc := storage.NewMemoryGraph(g)
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("T=%d", k), func(b *testing.B) {
+			// Pre-build destination sets.
+			dests := make([][]NodeID, len(wl))
+			for i, pr := range wl {
+				n := g.Node(pr.Dest)
+				near := g.NodesWithin(n.X, n.Y, 8000)
+				set := []NodeID{pr.Dest}
+				for _, id := range near {
+					if id != pr.Dest && len(set) < k {
+						set = append(set, id)
+					}
+				}
+				dests[i] = set
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pr := wl[i%len(wl)]
+				if _, err := search.SSMD(acc, pr.Source, dests[i%len(wl)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObfuscatedQueryEvaluation compares the two server strategies on
+// the same obfuscated queries (|S|=|T|=4).
+func BenchmarkObfuscatedQueryEvaluation(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	obf := obfuscate.MustNew(g, obfuscate.Config{
+		Mode:     obfuscate.Independent,
+		Cluster:  obfuscate.ClusterNone,
+		Selector: obfuscate.MustNewRingBandSelector(0.02*extent, 0.15*extent, 203),
+		Seed:     204,
+	})
+	queries := make([]obfuscate.ObfuscatedQuery, len(wl))
+	for i, pr := range wl {
+		plan, err := obf.Obfuscate([]obfuscate.Request{{User: "bench", Source: pr.Source, Dest: pr.Dest, FS: 4, FT: 4}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		queries[i] = plan.Queries[0]
+	}
+	acc := storage.NewMemoryGraph(g)
+	for _, strat := range []search.Strategy{search.StrategySSMD, search.StrategyPairwise} {
+		b.Run(string(strat), func(b *testing.B) {
+			proc := search.NewProcessor(acc, search.WithStrategy(strat))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q := queries[i%len(queries)]
+				if _, err := proc.Evaluate(q.Sources, q.Dests); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkObfuscation measures the obfuscator-side cost of turning a batch
+// of 32 requests into obfuscated queries, for both variants.
+func BenchmarkObfuscation(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	batch := make([]obfuscate.Request, 32)
+	for i := 0; i < 32; i++ {
+		pr := wl[i%len(wl)]
+		batch[i] = obfuscate.Request{User: obfuscate.UserID(fmt.Sprintf("u%d", i)), Source: pr.Source, Dest: pr.Dest, FS: 4, FT: 4}
+	}
+	for _, mode := range []obfuscate.Mode{obfuscate.Independent, obfuscate.Shared} {
+		b.Run(string(mode), func(b *testing.B) {
+			obf := obfuscate.MustNew(g, obfuscate.Config{
+				Mode:           mode,
+				Cluster:        obfuscate.ClusterSpatialGreedy,
+				Selector:       obfuscate.MustNewRingBandSelector(0.02*extent, 0.15*extent, 205),
+				MaxClusterSize: 8,
+				MaxClusterSpan: 0.3,
+				Seed:           206,
+			})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := obf.Obfuscate(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEndToEndPipeline measures a full client→obfuscator→server→client
+// round trip for a batch of 16 users through the in-process system.
+func BenchmarkEndToEndPipeline(b *testing.B) {
+	g, wl := benchGraph(b, 10000)
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]Request, 16)
+	for i := 0; i < 16; i++ {
+		pr := wl[i%len(wl)]
+		batch[i] = Request{User: obfuscate.UserID(fmt.Sprintf("u%d", i)), Source: pr.Source, Dest: pr.Dest, FS: 3, FT: 3}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sys.ProcessBatch(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkNetworkGeneration measures the synthetic map generators used by
+// every experiment.
+func BenchmarkNetworkGeneration(b *testing.B) {
+	for _, kind := range []gen.NetworkKind{gen.Grid, gen.TigerLike} {
+		b.Run(string(kind), func(b *testing.B) {
+			cfg := DefaultNetworkConfig()
+			cfg.Kind = kind
+			cfg.Nodes = 10000
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i + 1)
+				if _, err := GenerateNetwork(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,66 @@
+// Command netgen generates a synthetic road network and writes it in the
+// roadnet text exchange format, so the three networked OPAQUE roles
+// (opaque-server, opaque-obfuscator) can load the same map from a file.
+//
+// Usage:
+//
+//	netgen -kind tigerlike -nodes 20000 -out network.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netgen: ")
+
+	var (
+		kind   = flag.String("kind", string(gen.Grid), "network kind: grid | geometric | ringradial | tigerlike")
+		nodes  = flag.Int("nodes", 10000, "approximate number of nodes")
+		extent = flag.Float64("extent", 100000, "side length of the covered square region (cost units)")
+		seed   = flag.Uint64("seed", 42, "generation seed")
+		out    = flag.String("out", "", "output file (default: stdout)")
+		stats  = flag.Bool("stats", false, "print graph statistics to stderr")
+	)
+	flag.Parse()
+
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.NetworkKind(*kind)
+	cfg.Nodes = *nodes
+	cfg.Extent = *extent
+	cfg.Seed = *seed
+
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		log.Fatalf("generating network: %v", err)
+	}
+	if *stats {
+		s := g.ComputeStats()
+		fmt.Fprintf(os.Stderr, "nodes=%d arcs=%d components=%d avg-degree=%.2f cost-range=[%.1f, %.1f]\n",
+			s.Nodes, s.Arcs, s.Components, s.AvgDegree, s.MinCost, s.MaxCost)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("creating %s: %v", *out, err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatalf("closing %s: %v", *out, err)
+			}
+		}()
+		w = f
+	}
+	if err := roadnet.WriteText(w, g); err != nil {
+		log.Fatalf("writing network: %v", err)
+	}
+}

@@ -1,0 +1,151 @@
+// Command opaque-audit analyses a directions search server's query log from
+// the operator's (adversary's) perspective: how concentrated the observed
+// endpoints are, which destinations stand out, and how exposed a specific
+// node of interest is. It answers the question the paper's Section II raises
+// — what can a semi-trusted server mine from the queries it accumulates —
+// for both a plain deployment and an OPAQUE one.
+//
+// Analyse a persisted log (JSON lines written by server.DumpLog):
+//
+//	opaque-audit -log queries.jsonl -top 10 -node 4711
+//
+// Or run the self-contained demonstration that builds one workload and
+// compares the logs a direct deployment and an OPAQUE deployment would leave
+// behind:
+//
+//	opaque-audit -demo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"opaque/internal/core"
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/privacy"
+	"opaque/internal/roadnet"
+	"opaque/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opaque-audit: ")
+
+	var (
+		logFile = flag.String("log", "", "query log file (JSON lines, as written by server.DumpLog)")
+		topK    = flag.Int("top", 10, "number of most-frequent destinations to list")
+		nodeID  = flag.Int("node", -1, "report the exposure of this specific destination node")
+		demo    = flag.Bool("demo", false, "ignore -log and run the built-in direct-vs-OPAQUE comparison")
+	)
+	flag.Parse()
+
+	switch {
+	case *demo:
+		runDemo(*topK)
+	case *logFile != "":
+		auditFile(*logFile, *topK, *nodeID)
+	default:
+		log.Fatal("either -log <file> or -demo is required")
+	}
+}
+
+// auditFile analyses one persisted query log.
+func auditFile(path string, topK, nodeID int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("opening log: %v", err)
+	}
+	defer f.Close()
+	entries, err := server.ReadLog(f)
+	if err != nil {
+		log.Fatalf("parsing log: %v", err)
+	}
+	observed := toObserved(entries)
+	printReport(fmt.Sprintf("log %s", path), observed, topK)
+	if nodeID >= 0 {
+		fmt.Printf("exposure of node %d: %.4f of the observed destination mass\n",
+			nodeID, privacy.HotspotExposure(observed, roadnet.NodeID(nodeID)))
+	}
+}
+
+// runDemo builds one hotspot workload and compares what the server log
+// reveals under a direct deployment and an OPAQUE (shared) deployment.
+func runDemo(topK int) {
+	netCfg := gen.DefaultNetworkConfig()
+	netCfg.Kind = gen.TigerLike
+	netCfg.Nodes = 4000
+	netCfg.Seed = 7
+	g, err := gen.Generate(netCfg)
+	if err != nil {
+		log.Fatalf("generating network: %v", err)
+	}
+	clinic := g.NearestNode(0.75*netCfg.Extent, 0.25*netCfg.Extent)
+	wl, err := gen.GenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 120, Seed: 8})
+	if err != nil {
+		log.Fatalf("generating workload: %v", err)
+	}
+	for i := range wl {
+		if i%4 == 0 && wl[i].Source != clinic {
+			wl[i].Dest = clinic
+		}
+	}
+
+	for _, deployment := range []string{"direct", "opaque-shared"} {
+		cfg := core.DefaultConfig()
+		cfg.Obfuscator.Obfuscation.Mode = obfuscate.Shared
+		sys, err := core.NewSystem(g, cfg)
+		if err != nil {
+			log.Fatalf("building system: %v", err)
+		}
+		if deployment == "direct" {
+			dc := sys.DirectClient()
+			for _, p := range wl {
+				if _, err := dc.Query(p.Source, p.Dest); err != nil {
+					log.Fatalf("direct query: %v", err)
+				}
+			}
+		} else {
+			reqs := make([]obfuscate.Request, len(wl))
+			for i, p := range wl {
+				reqs[i] = obfuscate.Request{User: obfuscate.UserID(fmt.Sprintf("u%03d", i)), Source: p.Source, Dest: p.Dest, FS: 4, FT: 4}
+			}
+			for start := 0; start < len(reqs); start += 16 {
+				end := start + 16
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				if _, err := sys.ProcessBatch(reqs[start:end]); err != nil {
+					log.Fatalf("opaque batch: %v", err)
+				}
+			}
+		}
+		observed := toObserved(sys.Server.QueryLog())
+		printReport(deployment, observed, topK)
+		fmt.Printf("clinic (node %d) exposure: %.4f of the observed destination mass\n\n",
+			clinic, privacy.HotspotExposure(observed, clinic))
+	}
+}
+
+func toObserved(entries []server.LogEntry) []privacy.ObservedQuery {
+	out := make([]privacy.ObservedQuery, len(entries))
+	for i, e := range entries {
+		out[i] = privacy.ObservedQuery{Sources: e.Sources, Dests: e.Dests}
+	}
+	return out
+}
+
+func printReport(title string, observed []privacy.ObservedQuery, topK int) {
+	rep := privacy.AnalyzeLog(observed, topK)
+	fmt.Printf("== %s ==\n", title)
+	fmt.Printf("queries logged:            %d\n", rep.Queries)
+	fmt.Printf("distinct sources / dests:  %d / %d\n", rep.DistinctSources, rep.DistinctDests)
+	fmt.Printf("endpoint entropy (bits):   sources %.2f, dests %.2f\n", rep.SourceEntropy, rep.DestEntropy)
+	fmt.Printf("candidate pairs per query: %.2f\n", rep.MeanCandidatesPerQuery)
+	fmt.Printf("top destinations:\n")
+	for _, f := range rep.TopDests {
+		fmt.Printf("  node %-8d %.4f\n", f.Node, f.Share)
+	}
+}

@@ -1,0 +1,84 @@
+// Command opaque-bench regenerates the experiment tables of the reproduction
+// (DESIGN.md §5 / EXPERIMENTS.md): the Figure 2 baseline comparison,
+// Definition 2 breach probabilities, the Lemma 1 cost-model calibration, the
+// SSMD sharing measurement, the independent-vs-shared trade-off, obfuscator
+// overhead, scaling, the fake-endpoint strategy ablation, and the collusion
+// attack.
+//
+// Usage:
+//
+//	opaque-bench                 # run every experiment at small scale
+//	opaque-bench -scale full     # paper-scale parameters (slower)
+//	opaque-bench -exp E5         # run a single experiment
+//	opaque-bench -list           # list experiments
+//	opaque-bench -csv dir/       # also write each table as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"opaque/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opaque-bench: ")
+
+	var (
+		expID  = flag.String("exp", "", "run a single experiment by id (E1..E9); empty runs all")
+		scale  = flag.String("scale", "small", "experiment scale: small | full")
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		csvDir = flag.String("csv", "", "directory to also write per-table CSV files into")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-4s %s\n", r.ID(), r.Description())
+		}
+		return
+	}
+
+	sc := experiments.Scale(strings.ToLower(*scale))
+	if sc != experiments.Small && sc != experiments.Full {
+		log.Fatalf("unknown scale %q (want small or full)", *scale)
+	}
+
+	var runners []experiments.Runner
+	if *expID == "" {
+		runners = experiments.All()
+	} else {
+		r, err := experiments.ByID(*expID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		log.Printf("running %s: %s", r.ID(), r.Description())
+		tables, err := r.Run(sc)
+		if err != nil {
+			log.Fatalf("%s failed: %v", r.ID(), err)
+		}
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				log.Fatalf("rendering %s: %v", t.ID, err)
+			}
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					log.Fatalf("creating %s: %v", *csvDir, err)
+				}
+				name := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
+				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
+					log.Fatalf("writing %s: %v", name, err)
+				}
+			}
+		}
+	}
+}

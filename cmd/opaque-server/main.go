@@ -1,0 +1,87 @@
+// Command opaque-server runs the OPAQUE directions search server: it loads a
+// road network, installs the obfuscated path query processor and answers
+// obfuscated path queries from obfuscators over TCP.
+//
+// Usage:
+//
+//	opaque-server -network network.txt -listen :7001
+//	opaque-server -generate tigerlike -nodes 20000 -listen :7001
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("opaque-server: ")
+
+	var (
+		networkFile = flag.String("network", "", "road network file in roadnet text format")
+		generate    = flag.String("generate", "", "generate a network instead of loading one: grid | geometric | ringradial | tigerlike")
+		nodes       = flag.Int("nodes", 10000, "node count when generating")
+		seed        = flag.Uint64("seed", 42, "generation seed")
+		listen      = flag.String("listen", ":7001", "TCP listen address for obfuscator connections")
+		strategy    = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar")
+		workers     = flag.Int("workers", 1, "concurrent per-source searches per query")
+		paged       = flag.Bool("paged", false, "simulate disk-resident storage with an LRU buffer pool")
+		bufferPages = flag.Int("buffer-pages", 256, "buffer pool capacity in pages (with -paged)")
+		landmarks   = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
+	)
+	flag.Parse()
+
+	g, err := loadOrGenerate(*networkFile, *generate, *nodes, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("road network loaded: %d nodes, %d arcs", g.NumNodes(), g.NumArcs())
+
+	cfg := server.DefaultConfig()
+	cfg.Strategy = search.Strategy(*strategy)
+	cfg.Workers = *workers
+	cfg.Paged = *paged
+	cfg.PageConfig = storage.DefaultConfig()
+	cfg.BufferPages = *bufferPages
+	cfg.Landmarks = *landmarks
+
+	srv, err := server.New(g, cfg)
+	if err != nil {
+		log.Fatalf("building server: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	log.Printf("obfuscated path query processor ready on %s (strategy=%s, paged=%v)", ln.Addr(), cfg.Strategy, cfg.Paged)
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+func loadOrGenerate(networkFile, generate string, nodes int, seed uint64) (*roadnet.Graph, error) {
+	if networkFile != "" {
+		f, err := os.Open(networkFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return roadnet.ReadText(f)
+	}
+	cfg := gen.DefaultNetworkConfig()
+	if generate != "" {
+		cfg.Kind = gen.NetworkKind(generate)
+	}
+	cfg.Nodes = nodes
+	cfg.Seed = seed
+	return gen.Generate(cfg)
+}

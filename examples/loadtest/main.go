@@ -1,0 +1,151 @@
+// Loadtest: drives a networked OPAQUE deployment (server + obfuscator over
+// loopback TCP) with many concurrent clients and reports throughput and
+// latency percentiles, plus the privacy level every request enjoyed. It is
+// the example to start from when sizing an OPAQUE installation.
+//
+//	go run ./examples/loadtest -clients 16 -requests 20 -mode shared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"opaque"
+	"opaque/internal/obfsvc"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		nClients  = flag.Int("clients", 8, "number of concurrent clients")
+		nRequests = flag.Int("requests", 10, "path queries per client")
+		nodes     = flag.Int("nodes", 8000, "road network size")
+		mode      = flag.String("mode", "shared", "obfuscation mode: independent | shared")
+		fs        = flag.Int("fs", 3, "source-set size fS")
+		ft        = flag.Int("ft", 3, "destination-set size fT")
+		window    = flag.Duration("window", 20*time.Millisecond, "obfuscator batching window")
+	)
+	flag.Parse()
+
+	netCfg := opaque.DefaultNetworkConfig()
+	netCfg.Kind = opaque.TigerLikeNetwork
+	netCfg.Nodes = *nodes
+	netCfg.Seed = 4242
+	graph, err := opaque.GenerateNetwork(netCfg)
+	if err != nil {
+		log.Fatalf("generating network: %v", err)
+	}
+
+	// Directions search server.
+	srv, err := opaque.NewServer(graph, opaque.DefaultServerConfig())
+	if err != nil {
+		log.Fatalf("building server: %v", err)
+	}
+	srvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen (server): %v", err)
+	}
+	go func() { _ = srv.Serve(srvLn) }()
+
+	// Trusted obfuscator.
+	serverConn, err := protocol.Dial(srvLn.Addr().String())
+	if err != nil {
+		log.Fatalf("dial server: %v", err)
+	}
+	defer serverConn.Close()
+	obfCfg := opaque.DefaultObfuscatorConfig()
+	obfCfg.BatchWindow = *window
+	obfCfg.Obfuscation.Mode = obfuscate.Mode(*mode)
+	svc, err := opaque.NewObfuscatorService(graph, obfsvc.NewRemoteExecutor(serverConn), obfCfg)
+	if err != nil {
+		log.Fatalf("building obfuscator: %v", err)
+	}
+	obfLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("listen (obfuscator): %v", err)
+	}
+	go func() { _ = svc.Serve(obfLn) }()
+
+	// Workload: one pair list per client.
+	pairs, err := opaque.GenerateWorkload(graph, opaque.WorkloadConfig{
+		Kind: "hotspot", Queries: *nClients * *nRequests, Hotspots: 4, HotspotSpread: 0.05, Seed: 4243,
+	})
+	if err != nil {
+		log.Fatalf("generating workload: %v", err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		failures  int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *nClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := opaque.DialClient(fmt.Sprintf("client-%02d", c), obfLn.Addr().String(), *fs, *ft)
+			if err != nil {
+				log.Printf("client %d: dial failed: %v", c, err)
+				return
+			}
+			defer cl.Close()
+			for r := 0; r < *nRequests; r++ {
+				pr := pairs[c**nRequests+r]
+				t0 := time.Now()
+				res, err := cl.Query(pr.Source, pr.Dest)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil || !res.Found {
+					failures++
+				} else {
+					latencies = append(latencies, lat)
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	total := *nClients * *nRequests
+	fmt.Printf("clients=%d requests/client=%d mode=%s fS=%d fT=%d (breach probability %.4f)\n",
+		*nClients, *nRequests, *mode, *fs, *ft, opaque.BreachProbability(*fs, *ft))
+	fmt.Printf("completed %d/%d queries in %v  (%.1f queries/s)\n",
+		len(latencies), total, elapsed.Round(time.Millisecond), float64(len(latencies))/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	if failures > 0 {
+		fmt.Printf("failures: %d\n", failures)
+	}
+	stats, queries := srv.TotalStats()
+	fmt.Printf("server: %d obfuscated queries, %d nodes settled (%.0f per user query)\n",
+		queries, stats.SettledNodes, float64(stats.SettledNodes)/float64(len(latencies)))
+
+	// Component-level instrumentation: the same registries a production
+	// operator would scrape.
+	fmt.Println("\nserver metrics:")
+	if _, err := srv.Metrics().Snapshot().WriteTo(log.Writer()); err != nil {
+		log.Fatalf("writing server metrics: %v", err)
+	}
+	fmt.Println("obfuscator metrics:")
+	if _, err := svc.Metrics().Snapshot().WriteTo(log.Writer()); err != nil {
+		log.Fatalf("writing obfuscator metrics: %v", err)
+	}
+}

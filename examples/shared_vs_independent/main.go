@@ -1,0 +1,82 @@
+// Shared vs independent: reproduces, at example scale, the trade-off of
+// Section III-C. Sixteen users submit path queries at the same time with
+// fS = fT = 4. We obfuscate the batch twice — once into independent
+// obfuscated path queries and once into shared ones — evaluate both against
+// the same directions search server, and compare the server work, the number
+// of obfuscated queries sent, and the breach probability per user.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opaque"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	netCfg := opaque.DefaultNetworkConfig()
+	netCfg.Kind = opaque.TigerLikeNetwork
+	netCfg.Nodes = 8000
+	netCfg.Seed = 33
+	graph, err := opaque.GenerateNetwork(netCfg)
+	if err != nil {
+		log.Fatalf("generating network: %v", err)
+	}
+
+	// Sixteen concurrent users drawn from a hotspot workload (everyone is
+	// heading to a handful of popular destinations).
+	pairs, err := opaque.GenerateWorkload(graph, opaque.WorkloadConfig{
+		Kind: "hotspot", Queries: 16, Hotspots: 3, HotspotSpread: 0.05, Seed: 34,
+	})
+	if err != nil {
+		log.Fatalf("generating workload: %v", err)
+	}
+	batch := make([]obfuscate.Request, len(pairs))
+	for i, p := range pairs {
+		batch[i] = obfuscate.Request{
+			User:   obfuscate.UserID(fmt.Sprintf("user-%02d", i)),
+			Source: p.Source,
+			Dest:   p.Dest,
+			FS:     4,
+			FT:     4,
+		}
+	}
+
+	for _, mode := range []obfuscate.Mode{obfuscate.Independent, obfuscate.Shared} {
+		cfg := opaque.DefaultConfig()
+		cfg.Obfuscator.Obfuscation.Mode = mode
+		sys, err := opaque.NewSystem(graph, cfg)
+		if err != nil {
+			log.Fatalf("building system: %v", err)
+		}
+
+		plan, err := sys.Obfuscator.Obfuscator().Obfuscate(batch)
+		if err != nil {
+			log.Fatalf("obfuscating: %v", err)
+		}
+		for _, q := range plan.Queries {
+			if _, err := sys.Server.Evaluate(protocol.ServerQuery{Sources: q.Sources, Dests: q.Dests}); err != nil {
+				log.Fatalf("evaluating: %v", err)
+			}
+		}
+		stats, queries := sys.Server.TotalStats()
+		adv := opaque.NewUniformAdversary(graph)
+		totalPairs := plan.TotalCandidatePairs()
+		var meanBreach float64
+		for i, r := range batch {
+			q, _ := plan.QueryFor(i)
+			meanBreach += adv.BreachProbability(q, r)
+		}
+		meanBreach /= float64(len(batch))
+
+		fmt.Printf("%-12s: %2d obfuscated queries, %4d candidate pairs, %7d settled nodes at the server, mean breach probability %.4f\n",
+			mode, queries, totalPairs, stats.SettledNodes, meanBreach)
+	}
+
+	fmt.Println("\nshared mode sends fewer queries and makes the server settle fewer nodes for the same (or better) protection,")
+	fmt.Println("because each user's true endpoints double as decoys for the others — the core idea of Section III-C.")
+}

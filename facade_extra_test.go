@@ -1,0 +1,94 @@
+package opaque
+
+import (
+	"math"
+	"testing"
+)
+
+func TestShortestPathAvoiding(t *testing.T) {
+	// 0 -1- 1 -1- 2 with a costly bypass 0 -5- 2.
+	g := NewGraph(3, 6)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 0)
+	c := g.AddNode(2, 0)
+	if err := g.AddBidirectionalEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectionalEdge(b, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectionalEdge(a, c, 5); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	direct, err := ShortestPath(g, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Cost != 2 {
+		t.Fatalf("unconstrained cost = %v, want 2", direct.Cost)
+	}
+	detour, err := ShortestPathAvoiding(g, a, c, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detour.Cost != 5 {
+		t.Errorf("avoiding node %d should force the cost-5 bypass, got %v", b, detour.Cost)
+	}
+	for _, n := range detour.Nodes {
+		if n == b {
+			t.Error("avoided node appears on the path")
+		}
+	}
+}
+
+func TestSelectorConstructors(t *testing.T) {
+	g := testNetwork(t)
+	if NewUniformSelector(1) == nil {
+		t.Error("NewUniformSelector returned nil")
+	}
+	ring, err := NewRingBandSelector(100, 10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRingBandSelector(10, 5, 2); err == nil {
+		t.Error("invalid ring band accepted")
+	}
+	dens, err := NewDensityAwareSelector(10000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDensityAwareSelector(0, 3); err == nil {
+		t.Error("invalid density radius accepted")
+	}
+	sticky := NewStickySelector(ring, 0)
+	if sticky == nil || dens == nil {
+		t.Fatal("selector constructors returned nil")
+	}
+	// A system wired with the sticky selector still answers correctly.
+	cfg := DefaultConfig()
+	cfg.Obfuscator.Obfuscation.Selector = sticky
+	sys, err := NewSystem(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := sys.NewClient("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := GenerateWorkload(g, WorkloadConfig{Kind: "uniform", Queries: 1, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := client.QueryWithProtection(pairs[0].Source, pairs[0].Dest, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := ShortestPath(g, pairs[0].Source, pairs[0].Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || math.Abs(res.Path.Cost-truth.Cost) > 1e-6 {
+		t.Errorf("sticky-selector system returned cost %v, want %v", res.Path.Cost, truth.Cost)
+	}
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfsvc"
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+type fixture struct {
+	g    *roadnet.Graph
+	srv  *server.Server
+	exec QueryExecutor
+	reqs []obfuscate.Request
+	cost []float64
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.TigerLike
+	cfg.Nodes = 900
+	cfg.Seed = 111
+	g := gen.MustGenerate(cfg)
+	srv := server.MustNew(g, server.DefaultConfig())
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 10, Seed: 112})
+	acc := storage.NewMemoryGraph(g)
+	fx := &fixture{g: g, srv: srv, exec: obfsvc.ExecutorFunc(srv.Evaluate)}
+	for i, p := range wl {
+		fx.reqs = append(fx.reqs, obfuscate.Request{User: obfuscate.UserID(string(rune('a' + i))), Source: p.Source, Dest: p.Dest, FS: 2, FT: 2})
+		d, err := search.DijkstraDistance(acc, p.Source, p.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fx.cost = append(fx.cost, d)
+	}
+	return fx
+}
+
+func TestNoPrivacy(t *testing.T) {
+	fx := newFixture(t)
+	m := NoPrivacy{Exec: fx.exec}
+	for i, req := range fx.reqs {
+		out, err := m.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ExactPath {
+			t.Errorf("request %d: no-privacy mechanism must return the exact path", i)
+		}
+		if math.Abs(out.ResultCost-fx.cost[i]) > 1e-6 {
+			t.Errorf("request %d: result cost %v, true cost %v", i, out.ResultCost, fx.cost[i])
+		}
+		if out.BreachProbability != 1 {
+			t.Errorf("request %d: breach = %v, want 1", i, out.BreachProbability)
+		}
+		if out.CandidatePairs != 1 {
+			t.Errorf("request %d: candidate pairs = %d, want 1", i, out.CandidatePairs)
+		}
+	}
+}
+
+func TestLandmark(t *testing.T) {
+	fx := newFixture(t)
+	minX, minY, maxX, maxY := fx.g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	m := Landmark{Exec: fx.exec, Graph: fx.g, MinShift: 0.05 * extent, MaxShift: 0.15 * extent, Seed: 7}
+	for i, req := range fx.reqs {
+		out, err := m.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.ExactPath {
+			t.Errorf("request %d: landmark mechanism should never return the exact requested path", i)
+		}
+		if out.BreachProbability != 0 {
+			t.Errorf("request %d: landmark breach = %v, want 0 (true pair never sent)", i, out.BreachProbability)
+		}
+	}
+	if _, err := (Landmark{Exec: fx.exec}).Run(fx.reqs[0], fx.cost[0]); err == nil {
+		t.Error("landmark without a graph accepted")
+	}
+}
+
+func TestCloaking(t *testing.T) {
+	fx := newFixture(t)
+	minX, minY, maxX, maxY := fx.g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	m := Cloaking{Exec: fx.exec, Graph: fx.g, CloakRadius: 0.08 * extent, Seed: 9}
+	exact := 0
+	for i, req := range fx.reqs {
+		out, err := m.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.BreachProbability <= 0 || out.BreachProbability > 1 {
+			t.Errorf("request %d: breach %v out of range", i, out.BreachProbability)
+		}
+		if out.ExactPath {
+			exact++
+		}
+	}
+	// With a generous cloaking radius the server's arbitrary pick almost
+	// never coincides with the true endpoints.
+	if exact == len(fx.reqs) {
+		t.Error("cloaking returned the exact path for every request, which defeats the point of the comparison")
+	}
+	if _, err := (Cloaking{Exec: fx.exec}).Run(fx.reqs[0], fx.cost[0]); err == nil {
+		t.Error("cloaking without a graph accepted")
+	}
+}
+
+func TestNaiveDecoys(t *testing.T) {
+	fx := newFixture(t)
+	m := NaiveDecoys{Exec: fx.exec, Graph: fx.g, Decoys: 3, Seed: 10}
+	for i, req := range fx.reqs {
+		out, err := m.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ExactPath {
+			t.Errorf("request %d: decoy mechanism must still return the exact path", i)
+		}
+		if out.CandidatePairs != 4 {
+			t.Errorf("request %d: candidate pairs = %d, want 4 (1 true + 3 decoys)", i, out.CandidatePairs)
+		}
+		if math.Abs(out.BreachProbability-0.25) > 1e-9 {
+			t.Errorf("request %d: breach = %v, want 0.25", i, out.BreachProbability)
+		}
+	}
+	if _, err := (NaiveDecoys{Exec: fx.exec, Decoys: 2}).Run(fx.reqs[0], fx.cost[0]); err == nil {
+		t.Error("decoys without a graph accepted")
+	}
+}
+
+func TestNaiveDecoysCostExceedsNoPrivacy(t *testing.T) {
+	fx := newFixture(t)
+	nop := NoPrivacy{Exec: fx.exec}
+	dec := NaiveDecoys{Exec: fx.exec, Graph: fx.g, Decoys: 3, Seed: 11}
+	var nopSettled, decSettled int
+	for i, req := range fx.reqs {
+		a, err := nop.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := dec.Run(req, fx.cost[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		nopSettled += a.ServerSettledNodes
+		decSettled += b.ServerSettledNodes
+	}
+	if decSettled <= nopSettled {
+		t.Errorf("decoy mechanism settled %d nodes, no-privacy %d — decoys must cost more", decSettled, nopSettled)
+	}
+}
+
+func TestMechanismNames(t *testing.T) {
+	names := map[string]Mechanism{
+		"none":         NoPrivacy{},
+		"landmark":     Landmark{},
+		"cloaking":     Cloaking{},
+		"naive-decoys": NaiveDecoys{},
+	}
+	for want, m := range names {
+		if got := m.Name(); got != want {
+			t.Errorf("Name() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"opaque/internal/client"
+	"opaque/internal/gen"
+	"opaque/internal/obfsvc"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+	"opaque/internal/search"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+// TestNetworkedDeploymentEndToEnd stands up the full three-role deployment
+// over loopback TCP — directions search server, trusted obfuscator, multiple
+// concurrent clients — and checks that every client receives its exact
+// shortest path while the server only ever observes obfuscated queries. It is
+// the integration test behind examples/networked and the cmd/ binaries.
+func TestNetworkedDeploymentEndToEnd(t *testing.T) {
+	g := testGraph(t)
+
+	// Directions search server on a loopback listener.
+	srv := server.MustNew(g, server.DefaultConfig())
+	srvLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srvLn.Close()
+	go func() { _ = srv.Serve(srvLn) }()
+
+	// Obfuscator connected to the server over TCP.
+	serverConn, err := protocol.Dial(srvLn.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serverConn.Close()
+	obfCfg := obfsvc.DefaultConfig()
+	obfCfg.BatchWindow = 0
+	obfCfg.Obfuscation.Mode = obfuscate.Independent
+	obfCfg.Obfuscation.Selector = testConfig(g, obfuscate.Independent).Obfuscator.Obfuscation.Selector
+	svc, err := obfsvc.New(g, obfsvc.NewRemoteExecutor(serverConn), obfCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obfLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obfLn.Close()
+	go func() { _ = svc.Serve(obfLn) }()
+
+	// Several concurrent clients, each with its own TCP connection.
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 6, Seed: 137})
+	acc := storage.NewMemoryGraph(g)
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(wl))
+	for i, pr := range wl {
+		wg.Add(1)
+		go func(i int, pr gen.QueryPair) {
+			defer wg.Done()
+			c, err := client.Dial(fmt.Sprintf("user-%d", i), obfLn.Addr().String(), client.WithProtection(2, 3))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			res, err := c.Query(pr.Source, pr.Dest)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if !res.Found {
+				errCh <- fmt.Errorf("no path for %d->%d", pr.Source, pr.Dest)
+				return
+			}
+			truth, _, err := search.Dijkstra(acc, pr.Source, pr.Dest)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if math.Abs(truth.Cost-res.Path.Cost) > 1e-6 {
+				errCh <- fmt.Errorf("query %d: got cost %v, want %v", i, res.Path.Cost, truth.Cost)
+			}
+		}(i, pr)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	// Privacy check at the server: every logged query satisfies the 2x3
+	// protection the clients requested.
+	log := srv.QueryLog()
+	if len(log) != len(wl) {
+		t.Fatalf("server logged %d queries, want %d", len(log), len(wl))
+	}
+	for _, entry := range log {
+		if len(entry.Sources) < 2 || len(entry.Dests) < 3 {
+			t.Errorf("server saw an under-protected query |S|=%d |T|=%d", len(entry.Sources), len(entry.Dests))
+		}
+	}
+	// Both components recorded their instrumentation.
+	if srv.Metrics().Counter("queries_processed") != int64(len(wl)) {
+		t.Errorf("server metrics recorded %d queries, want %d", srv.Metrics().Counter("queries_processed"), len(wl))
+	}
+	if svc.Metrics().Counter("requests") != int64(len(wl)) {
+		t.Errorf("obfuscator metrics recorded %d requests, want %d", svc.Metrics().Counter("requests"), len(wl))
+	}
+}

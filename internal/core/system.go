@@ -1,0 +1,199 @@
+// Package core composes the three OPAQUE roles — clients, the trusted
+// obfuscator, and the directions search server — into a runnable system
+// (Figure 5 of the paper). It provides the in-process deployment used by
+// examples, tests and experiments, and adapters that let the full OPAQUE
+// pipeline be compared head-to-head with the baseline mechanisms.
+package core
+
+import (
+	"fmt"
+
+	"opaque/internal/baseline"
+	"opaque/internal/client"
+	"opaque/internal/gen"
+	"opaque/internal/obfsvc"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/server"
+)
+
+// Config assembles the configuration of every component of an in-process
+// OPAQUE system.
+type Config struct {
+	Server     server.Config
+	Obfuscator obfsvc.Config
+}
+
+// DefaultConfig returns a shared-mode OPAQUE system over an in-memory server.
+func DefaultConfig() Config {
+	cfg := Config{
+		Server:     server.DefaultConfig(),
+		Obfuscator: obfsvc.DefaultConfig(),
+	}
+	// In-process experiments submit synchronous batches; no need for a
+	// wall-clock batching window by default.
+	cfg.Obfuscator.BatchWindow = 0
+	return cfg
+}
+
+// System is a fully wired in-process OPAQUE deployment.
+type System struct {
+	Graph      *roadnet.Graph
+	Server     *server.Server
+	Obfuscator *obfsvc.Service
+	cfg        Config
+}
+
+// NewSystem wires a system over graph g. The obfuscator uses the same graph
+// as its simple road map; a deployment with a coarser obfuscator map can use
+// NewSystemWithMaps.
+func NewSystem(g *roadnet.Graph, cfg Config) (*System, error) {
+	return NewSystemWithMaps(g, g, cfg)
+}
+
+// NewSystemWithMaps wires a system where the server and the obfuscator hold
+// different road maps (the paper notes the obfuscator's map is a simple one
+// without live traffic).
+func NewSystemWithMaps(serverMap, obfuscatorMap *roadnet.Graph, cfg Config) (*System, error) {
+	srv, err := server.New(serverMap, cfg.Server)
+	if err != nil {
+		return nil, fmt.Errorf("core: building server: %w", err)
+	}
+	exec := obfsvc.ExecutorFunc(srv.Evaluate)
+	svc, err := obfsvc.New(obfuscatorMap, exec, cfg.Obfuscator)
+	if err != nil {
+		return nil, fmt.Errorf("core: building obfuscator service: %w", err)
+	}
+	return &System{Graph: serverMap, Server: srv, Obfuscator: svc, cfg: cfg}, nil
+}
+
+// MustNewSystem is NewSystem but panics on error.
+func MustNewSystem(g *roadnet.Graph, cfg Config) *System {
+	s, err := NewSystem(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewClient returns a client for the given user wired to the system's
+// obfuscator.
+func (s *System) NewClient(user string, opts ...client.Option) (*client.Client, error) {
+	return client.NewLocal(user, s.Obfuscator, opts...)
+}
+
+// DirectClient returns a no-privacy client that queries the server directly.
+func (s *System) DirectClient() *client.DirectClient {
+	return client.MustNewDirect(obfsvc.ExecutorFunc(s.Server.Evaluate))
+}
+
+// ProcessBatch runs a batch of requests through the full OPAQUE pipeline
+// (obfuscate → evaluate → filter) and returns one result per request.
+func (s *System) ProcessBatch(batch []obfuscate.Request) ([]obfsvc.ClientResult, error) {
+	return s.Obfuscator.ProcessBatch(batch)
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// QuickSystem builds a complete demo system on a freshly generated network:
+// the quickest way to get a runnable OPAQUE deployment, used by the
+// quickstart example and documentation snippets.
+func QuickSystem(networkCfg gen.NetworkConfig, cfg Config) (*System, error) {
+	g, err := gen.Generate(networkCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating network: %w", err)
+	}
+	return NewSystem(g, cfg)
+}
+
+// Mechanism adapts the full OPAQUE pipeline to the baseline.Mechanism
+// interface so experiment E1 can tabulate it alongside the Section II
+// techniques. Each Run processes the request as a batch of one through the
+// obfuscator (independent obfuscation semantics); SharedMechanism covers the
+// shared variant, which needs whole batches.
+type Mechanism struct {
+	sys  *System
+	name string
+}
+
+// NewMechanism wraps the system as a baseline mechanism named
+// "opaque-<mode>".
+func NewMechanism(sys *System) *Mechanism {
+	mode := sys.cfg.Obfuscator.Obfuscation.Mode
+	if mode == "" {
+		mode = obfuscate.Shared
+	}
+	return &Mechanism{sys: sys, name: "opaque-" + string(mode)}
+}
+
+// Name implements baseline.Mechanism.
+func (m *Mechanism) Name() string { return m.name }
+
+// Run implements baseline.Mechanism.
+func (m *Mechanism) Run(req obfuscate.Request, trueCost float64) (baseline.Outcome, error) {
+	before, beforeQueries := m.sys.Server.TotalStats()
+	ioBefore := m.sys.Server.IOStats()
+	results, err := m.sys.ProcessBatch([]obfuscate.Request{req})
+	if err != nil {
+		return baseline.Outcome{}, err
+	}
+	after, afterQueries := m.sys.Server.TotalStats()
+	ioAfter := m.sys.Server.IOStats()
+	res := results[0]
+	if res.Err != nil {
+		return baseline.Outcome{}, res.Err
+	}
+	fs, ft := req.FS, req.FT
+	if fs < 1 {
+		fs = 1
+	}
+	if ft < 1 {
+		ft = 1
+	}
+	out := baseline.Outcome{
+		Mechanism:          m.name,
+		ExactPath:          res.Found,
+		ResultCost:         res.Path.Cost,
+		TrueCost:           trueCost,
+		BreachProbability:  obfuscate.BreachProbability(fs, ft),
+		ServerSettledNodes: after.SettledNodes - before.SettledNodes,
+		ServerPageFaults:   ioAfter.Faults - ioBefore.Faults,
+		CandidatePairs:     fs * ft,
+	}
+	_ = beforeQueries
+	_ = afterQueries
+	if !res.Found {
+		out.ResultCost = trueCost // unreachable in both views
+	}
+	return out, nil
+}
+
+// EvaluateObfuscatedQuery is a convenience wrapper evaluating one Q(S, T)
+// directly against the system's server; experiments that construct obfuscated
+// queries by hand use it.
+func (s *System) EvaluateObfuscatedQuery(q obfuscate.ObfuscatedQuery) (search.MSMDResult, error) {
+	reply, err := s.Server.Evaluate(protocol.ServerQuery{Sources: q.Sources, Dests: q.Dests})
+	if err != nil {
+		return search.MSMDResult{}, err
+	}
+	res := search.MSMDResult{
+		Sources: append([]roadnet.NodeID(nil), q.Sources...),
+		Dests:   append([]roadnet.NodeID(nil), q.Dests...),
+		Paths:   make([][]search.Path, len(q.Sources)),
+	}
+	res.Stats.SettledNodes = reply.SettledNodes
+	index := make(map[[2]roadnet.NodeID]search.Path, len(reply.Paths))
+	for _, c := range reply.Paths {
+		index[[2]roadnet.NodeID{c.Source, c.Dest}] = protocol.PathFromCandidate(c)
+	}
+	for i, src := range q.Sources {
+		res.Paths[i] = make([]search.Path, len(q.Dests))
+		for j, dst := range q.Dests {
+			res.Paths[i][j] = index[[2]roadnet.NodeID{src, dst}]
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Nodes = 900
+	cfg.Seed = 121
+	return gen.MustGenerate(cfg)
+}
+
+func testConfig(g *roadnet.Graph, mode obfuscate.Mode) Config {
+	cfg := DefaultConfig()
+	cfg.Obfuscator.Obfuscation.Mode = mode
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	cfg.Obfuscator.Obfuscation.Selector = obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, 123)
+	return cfg
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	g := testGraph(t)
+	bad := DefaultConfig()
+	bad.Server.Paged = true
+	bad.Server.PageConfig.NodesPerPage = 0
+	if _, err := NewSystem(g, bad); err == nil {
+		t.Error("bad server config accepted")
+	}
+	bad2 := DefaultConfig()
+	bad2.Obfuscator.Obfuscation.Selector = nil
+	if _, err := NewSystem(g, bad2); err == nil {
+		t.Error("bad obfuscator config accepted")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	sys := MustNewSystem(g, testConfig(g, obfuscate.Shared))
+	alice, err := sys.NewClient("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 5, Seed: 125})
+	acc := storage.NewMemoryGraph(g)
+	for _, pr := range wl {
+		res, err := alice.QueryWithProtection(pr.Source, pr.Dest, 3, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("no path for %d->%d", pr.Source, pr.Dest)
+		}
+		truth, _, err := search.Dijkstra(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(truth.Cost-res.Path.Cost) > 1e-6 {
+			t.Errorf("OPAQUE path cost %v, shortest %v", res.Path.Cost, truth.Cost)
+		}
+	}
+	// Every query in the server log must satisfy the 3x3 protection.
+	for _, entry := range sys.Server.QueryLog() {
+		if len(entry.Sources) < 3 || len(entry.Dests) < 3 {
+			t.Errorf("server saw |S|=%d |T|=%d, below the 3x3 protection", len(entry.Sources), len(entry.Dests))
+		}
+	}
+}
+
+func TestSystemWithDifferentMaps(t *testing.T) {
+	serverMap := testGraph(t)
+	// The obfuscator holds a coarser map: same nodes, perturbed costs.
+	obfMap := serverMap.Clone()
+	obfMap.Freeze()
+	cfg := testConfig(serverMap, obfuscate.Independent)
+	sys, err := NewSystemWithMaps(serverMap, obfMap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := gen.MustGenerateWorkload(serverMap, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 3, Seed: 127})
+	batch := []obfuscate.Request{{User: "a", Source: wl[0].Source, Dest: wl[0].Dest, FS: 2, FT: 2}}
+	results, err := sys.ProcessBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Found {
+		t.Error("path not found with split maps")
+	}
+}
+
+func TestQuickSystem(t *testing.T) {
+	netCfg := gen.DefaultNetworkConfig()
+	netCfg.Nodes = 400
+	sys, err := QuickSystem(netCfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Graph.NumNodes() == 0 {
+		t.Error("QuickSystem produced an empty graph")
+	}
+	badNet := netCfg
+	badNet.Nodes = 0
+	if _, err := QuickSystem(badNet, DefaultConfig()); err == nil {
+		t.Error("QuickSystem accepted an invalid network config")
+	}
+}
+
+func TestDirectClientBypassesObfuscation(t *testing.T) {
+	g := testGraph(t)
+	sys := MustNewSystem(g, testConfig(g, obfuscate.Shared))
+	direct := sys.DirectClient()
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 1, Seed: 129})
+	res, err := direct.Query(wl[0].Source, wl[0].Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("direct query found no path")
+	}
+	log := sys.Server.QueryLog()
+	if len(log) != 1 || len(log[0].Sources) != 1 || len(log[0].Dests) != 1 {
+		t.Errorf("direct query should appear as a bare 1x1 query, log = %+v", log)
+	}
+}
+
+func TestMechanismAdapter(t *testing.T) {
+	g := testGraph(t)
+	cfg := testConfig(g, obfuscate.Independent)
+	cfg.Server = server.DefaultConfig()
+	cfg.Server.Paged = true
+	sys := MustNewSystem(g, cfg)
+	mech := NewMechanism(sys)
+	if mech.Name() != "opaque-independent" {
+		t.Errorf("Name = %q", mech.Name())
+	}
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 3, Seed: 131})
+	acc := storage.NewMemoryGraph(g)
+	for i, pr := range wl {
+		trueCost, err := search.DijkstraDistance(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := mech.Run(obfuscate.Request{User: obfuscate.UserID(string(rune('a' + i))), Source: pr.Source, Dest: pr.Dest, FS: 2, FT: 2}, trueCost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.ExactPath {
+			t.Errorf("request %d: OPAQUE mechanism must return the exact path", i)
+		}
+		if math.Abs(out.BreachProbability-0.25) > 1e-9 {
+			t.Errorf("request %d: breach = %v, want 0.25", i, out.BreachProbability)
+		}
+		if out.ServerSettledNodes <= 0 {
+			t.Errorf("request %d: no server work recorded", i)
+		}
+		if out.CandidatePairs != 4 {
+			t.Errorf("request %d: candidate pairs = %d, want 4", i, out.CandidatePairs)
+		}
+	}
+}
+
+func TestEvaluateObfuscatedQuery(t *testing.T) {
+	g := testGraph(t)
+	sys := MustNewSystem(g, testConfig(g, obfuscate.Independent))
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0, 5},
+		Dests:   []roadnet.NodeID{100, 200},
+	}
+	res, err := sys.EvaluateObfuscatedQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCandidates() != 4 {
+		t.Errorf("candidates = %d, want 4", res.NumCandidates())
+	}
+	acc := storage.NewMemoryGraph(g)
+	for i, s := range q.Sources {
+		for j, d := range q.Dests {
+			truth, _, err := search.Dijkstra(acc, s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !truth.Empty() && math.Abs(truth.Cost-res.Paths[i][j].Cost) > 1e-6 {
+				t.Errorf("pair (%d,%d): cost %v, want %v", s, d, res.Paths[i][j].Cost, truth.Cost)
+			}
+		}
+	}
+}

@@ -1,0 +1,194 @@
+// Package costmodel implements the analytical processing-cost model of the
+// OPAQUE paper (Section III-B, Lemma 1) and utilities to compare it against
+// measured search work.
+//
+// The paper models the cost of a Dijkstra search from s towards t as the area
+// of the network region the spanning tree covers, O(||s,t||²), assuming the
+// road network has roughly uniform node density and nodes are stored in
+// connectivity-clustered pages. Extending the search from a single source to
+// a destination set T costs O(max_{t∈T} ||s,t||²), and an obfuscated path
+// query Q(S,T) evaluated by one SSMD search per source costs
+//
+//	O( Σ_{s∈S}  max_{t∈T} ||s,t||² )          (Lemma 1)
+//
+// The estimators below compute that quantity using either exact network
+// distances or the Euclidean lower bound, and Calibration fits the constant
+// factor that links the model to a measured cost metric (settled nodes or
+// page faults), so experiments can report how well the shape of the model
+// tracks reality.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// DistanceFunc returns the distance between two nodes used by the model;
+// either Euclidean (cheap, lower bound) or exact network distance.
+type DistanceFunc func(s, t roadnet.NodeID) (float64, error)
+
+// EuclideanDistance builds a DistanceFunc from straight-line distances.
+func EuclideanDistance(g *roadnet.Graph) DistanceFunc {
+	return func(s, t roadnet.NodeID) (float64, error) {
+		if !g.ValidNode(s) || !g.ValidNode(t) {
+			return 0, fmt.Errorf("costmodel: invalid node pair (%d,%d)", s, t)
+		}
+		return g.Euclid(s, t), nil
+	}
+}
+
+// NetworkDistance builds a DistanceFunc that computes exact shortest-path
+// distances on acc (one Dijkstra per call; use for small experiments or wrap
+// with a cache).
+func NetworkDistance(acc storage.Accessor) DistanceFunc {
+	return func(s, t roadnet.NodeID) (float64, error) {
+		return search.DijkstraDistance(acc, s, t)
+	}
+}
+
+// SingleSearchCost returns the modelled cost of one search from s that must
+// reach every destination in T: max_{t∈T} d(s,t)².
+func SingleSearchCost(dist DistanceFunc, s roadnet.NodeID, dests []roadnet.NodeID) (float64, error) {
+	if len(dests) == 0 {
+		return 0, fmt.Errorf("costmodel: need at least one destination")
+	}
+	maxD := 0.0
+	for _, t := range dests {
+		d, err := dist(s, t)
+		if err != nil {
+			return 0, err
+		}
+		if math.IsInf(d, 1) {
+			return math.Inf(1), nil
+		}
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD * maxD, nil
+}
+
+// ObfuscatedQueryCost returns the Lemma 1 estimate for Q(S, T):
+// Σ_{s∈S} max_{t∈T} d(s,t)².
+func ObfuscatedQueryCost(dist DistanceFunc, sources, dests []roadnet.NodeID) (float64, error) {
+	if len(sources) == 0 {
+		return 0, fmt.Errorf("costmodel: need at least one source")
+	}
+	total := 0.0
+	for _, s := range sources {
+		c, err := SingleSearchCost(dist, s, dests)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// PairwiseQueryCost returns the model estimate when the server evaluates
+// every (s, t) pair independently: Σ_{s∈S} Σ_{t∈T} d(s,t)². This is the cost
+// the naive-obfuscation baseline pays and what Lemma 1's sharing avoids.
+func PairwiseQueryCost(dist DistanceFunc, sources, dests []roadnet.NodeID) (float64, error) {
+	if len(sources) == 0 || len(dests) == 0 {
+		return 0, fmt.Errorf("costmodel: need at least one source and destination")
+	}
+	total := 0.0
+	for _, s := range sources {
+		for _, t := range dests {
+			d, err := dist(s, t)
+			if err != nil {
+				return 0, err
+			}
+			total += d * d
+		}
+	}
+	return total, nil
+}
+
+// Sample pairs one model estimate with one measured cost.
+type Sample struct {
+	Model    float64
+	Measured float64
+}
+
+// Calibration summarises how well the analytical model tracks a measured
+// cost metric over a set of samples: the least-squares constant factor c in
+// measured ≈ c·model, and the Pearson correlation between the two series.
+type Calibration struct {
+	Samples     int
+	Factor      float64
+	Correlation float64
+	// MeanAbsErr is the mean |measured - Factor*model| relative to the mean
+	// measured value; a shape-match indicator.
+	MeanAbsRelErr float64
+}
+
+// Calibrate fits the proportionality factor and correlation for the samples.
+// Samples with non-finite values are skipped.
+func Calibrate(samples []Sample) Calibration {
+	var xs, ys []float64
+	for _, s := range samples {
+		if math.IsInf(s.Model, 0) || math.IsNaN(s.Model) || math.IsInf(s.Measured, 0) || math.IsNaN(s.Measured) {
+			continue
+		}
+		xs = append(xs, s.Model)
+		ys = append(ys, s.Measured)
+	}
+	cal := Calibration{Samples: len(xs)}
+	if len(xs) == 0 {
+		return cal
+	}
+	// Least squares through the origin: c = Σxy / Σx².
+	var sxy, sxx float64
+	for i := range xs {
+		sxy += xs[i] * ys[i]
+		sxx += xs[i] * xs[i]
+	}
+	if sxx > 0 {
+		cal.Factor = sxy / sxx
+	}
+	cal.Correlation = pearson(xs, ys)
+	meanY := mean(ys)
+	if meanY > 0 {
+		sumErr := 0.0
+		for i := range xs {
+			sumErr += math.Abs(ys[i] - cal.Factor*xs[i])
+		}
+		cal.MeanAbsRelErr = (sumErr / float64(len(xs))) / meanY
+	}
+	return cal
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+func pearson(x, y []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	mx, my := mean(x), mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

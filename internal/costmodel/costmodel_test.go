@@ -1,0 +1,179 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+func testGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Nodes = 900
+	cfg.Seed = 31
+	return gen.MustGenerate(cfg)
+}
+
+func TestSingleSearchCost(t *testing.T) {
+	g := testGraph(t)
+	dist := EuclideanDistance(g)
+	s := roadnet.NodeID(0)
+	dests := []roadnet.NodeID{10, 200, 400}
+	got, err := SingleSearchCost(dist, s, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxD := 0.0
+	for _, d := range dests {
+		if e := g.Euclid(s, d); e > maxD {
+			maxD = e
+		}
+	}
+	if math.Abs(got-maxD*maxD) > 1e-6 {
+		t.Errorf("SingleSearchCost = %v, want %v", got, maxD*maxD)
+	}
+	if _, err := SingleSearchCost(dist, s, nil); err == nil {
+		t.Error("empty destination set accepted")
+	}
+}
+
+func TestObfuscatedQueryCostLemma1Shape(t *testing.T) {
+	g := testGraph(t)
+	dist := EuclideanDistance(g)
+	sources := []roadnet.NodeID{0, 100}
+	dests := []roadnet.NodeID{300, 500}
+	total, err := ObfuscatedQueryCost(dist, sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range sources {
+		c, err := SingleSearchCost(dist, s, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += c
+	}
+	if math.Abs(total-sum) > 1e-9 {
+		t.Errorf("ObfuscatedQueryCost = %v, want sum of per-source costs %v", total, sum)
+	}
+	// Pairwise cost is always >= the Lemma 1 (max-based) cost.
+	pair, err := PairwiseQueryCost(dist, sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair < total {
+		t.Errorf("pairwise cost %v < shared cost %v", pair, total)
+	}
+	if _, err := ObfuscatedQueryCost(dist, nil, dests); err == nil {
+		t.Error("empty source set accepted")
+	}
+	if _, err := PairwiseQueryCost(dist, sources, nil); err == nil {
+		t.Error("empty destination set accepted")
+	}
+}
+
+func TestNetworkDistanceFunc(t *testing.T) {
+	g := testGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	nd := NetworkDistance(acc)
+	got, err := nd(0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := search.DijkstraDistance(acc, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("NetworkDistance = %v, want %v", got, want)
+	}
+	// Network distance is never below the Euclidean lower bound for
+	// planar-cost generators.
+	if got < g.Euclid(0, 50)-1e-6 {
+		t.Errorf("network distance %v below Euclidean %v", got, g.Euclid(0, 50))
+	}
+	ed := EuclideanDistance(g)
+	if _, err := ed(-1, 2); err == nil {
+		t.Error("EuclideanDistance accepted an invalid node")
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	// measured = 3 * model exactly: factor 3, correlation 1, error 0.
+	samples := make([]Sample, 20)
+	for i := range samples {
+		m := float64(i + 1)
+		samples[i] = Sample{Model: m, Measured: 3 * m}
+	}
+	cal := Calibrate(samples)
+	if cal.Samples != 20 {
+		t.Errorf("samples = %d, want 20", cal.Samples)
+	}
+	if math.Abs(cal.Factor-3) > 1e-9 {
+		t.Errorf("factor = %v, want 3", cal.Factor)
+	}
+	if math.Abs(cal.Correlation-1) > 1e-9 {
+		t.Errorf("correlation = %v, want 1", cal.Correlation)
+	}
+	if cal.MeanAbsRelErr > 1e-9 {
+		t.Errorf("error = %v, want 0", cal.MeanAbsRelErr)
+	}
+}
+
+func TestCalibrateSkipsNonFinite(t *testing.T) {
+	samples := []Sample{
+		{Model: 1, Measured: 2},
+		{Model: math.Inf(1), Measured: 5},
+		{Model: 3, Measured: math.NaN()},
+		{Model: 2, Measured: 4},
+	}
+	cal := Calibrate(samples)
+	if cal.Samples != 2 {
+		t.Errorf("samples = %d, want 2 (non-finite skipped)", cal.Samples)
+	}
+	if math.Abs(cal.Factor-2) > 1e-9 {
+		t.Errorf("factor = %v, want 2", cal.Factor)
+	}
+}
+
+func TestCalibrateEmptyAndDegenerate(t *testing.T) {
+	if cal := Calibrate(nil); cal.Samples != 0 || cal.Factor != 0 {
+		t.Errorf("empty calibration = %+v", cal)
+	}
+	// Constant series: correlation undefined, reported as 0.
+	samples := []Sample{{Model: 1, Measured: 5}, {Model: 1, Measured: 5}}
+	if cal := Calibrate(samples); cal.Correlation != 0 {
+		t.Errorf("constant-series correlation = %v, want 0", cal.Correlation)
+	}
+}
+
+// TestModelTracksMeasuredCost is the unit-level version of experiment E3: on
+// a uniform grid, the measured settled-node count must correlate strongly
+// with the Lemma 1 estimate across queries of different radii.
+func TestModelTracksMeasuredCost(t *testing.T) {
+	g := testGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	dist := EuclideanDistance(g)
+	pairs := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 40, Seed: 33})
+	var samples []Sample
+	for _, pr := range pairs {
+		model, err := SingleSearchCost(dist, pr.Source, []roadnet.NodeID{pr.Dest})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := search.Dijkstra(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, Sample{Model: model, Measured: float64(st.SettledNodes)})
+	}
+	cal := Calibrate(samples)
+	if cal.Correlation < 0.6 {
+		t.Errorf("correlation between Lemma 1 model and settled nodes = %v, want >= 0.6", cal.Correlation)
+	}
+}

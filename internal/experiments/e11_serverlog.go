@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"opaque/internal/core"
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/privacy"
+	"opaque/internal/roadnet"
+)
+
+// E11ServerLog quantifies the Section II motivation from the operator's side:
+// what the directions search server can mine from its accumulated query log
+// under (a) direct no-privacy queries, (b) OPAQUE independent obfuscation and
+// (c) OPAQUE shared obfuscation. The metric is the exposure of a specific
+// popular destination (the "clinic"): how far its weighted share of logged
+// destinations stands above a uniform crowd, plus the overall entropy of the
+// logged destination distribution.
+type E11ServerLog struct{}
+
+// ID implements Runner.
+func (E11ServerLog) ID() string { return "E11" }
+
+// Description implements Runner.
+func (E11ServerLog) Description() string {
+	return "What the server log reveals: direct queries vs OPAQUE independent/shared obfuscation (Section II motivation)"
+}
+
+// Run implements Runner.
+func (E11ServerLog) Run(scale Scale) ([]*Table, error) {
+	netCfg := gen.DefaultNetworkConfig()
+	netCfg.Kind = gen.TigerLike
+	netCfg.Nodes = networkNodes(scale, 2500, 20000)
+	netCfg.Seed = 1101
+	g, err := gen.Generate(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	nQueries := queries(scale, 60, 400)
+	// A workload where a noticeable fraction of users head to one clinic.
+	clinic := g.NearestNode(0.75*netCfg.Extent, 0.25*netCfg.Extent)
+	wl, err := gen.GenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: nQueries, Seed: 1102})
+	if err != nil {
+		return nil, err
+	}
+	for i := range wl {
+		if i%4 == 0 && wl[i].Source != clinic { // every 4th user goes to the clinic
+			wl[i].Dest = clinic
+		}
+	}
+
+	table := &Table{
+		ID:    "E11",
+		Title: "Server log exposure (" + itoa(nQueries) + " queries, 25% headed to one clinic)",
+		Columns: []string{
+			"deployment", "clinic share of logged dests", "dest entropy bits", "distinct dests in log", "mean candidate pairs per logged query",
+		},
+	}
+
+	runDeployment := func(name string, mode obfuscate.Mode, direct bool) error {
+		cfg := core.DefaultConfig()
+		cfg.Obfuscator.Obfuscation.Mode = mode
+		cfg.Obfuscator.Obfuscation.Selector = defaultBandSelector(g, 1103)
+		sys, err := core.NewSystem(g, cfg)
+		if err != nil {
+			return err
+		}
+		if direct {
+			dc := sys.DirectClient()
+			for _, p := range wl {
+				if _, err := dc.Query(p.Source, p.Dest); err != nil {
+					return err
+				}
+			}
+		} else {
+			reqs := requestsFromWorkload(wl, 4, 4)
+			// Process in batches of 16 to give shared mode something to merge.
+			for start := 0; start < len(reqs); start += 16 {
+				end := start + 16
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				if _, err := sys.ProcessBatch(reqs[start:end]); err != nil {
+					return err
+				}
+			}
+		}
+		var observed []privacy.ObservedQuery
+		for _, entry := range sys.Server.QueryLog() {
+			observed = append(observed, privacy.ObservedQuery{
+				Sources: append([]roadnet.NodeID(nil), entry.Sources...),
+				Dests:   append([]roadnet.NodeID(nil), entry.Dests...),
+			})
+		}
+		rep := privacy.AnalyzeLog(observed, 5)
+		exposure := privacy.HotspotExposure(observed, clinic)
+		table.AddRow(name, exposure, rep.DestEntropy, rep.DistinctDests, rep.MeanCandidatesPerQuery)
+		return nil
+	}
+
+	if err := runDeployment("direct (no privacy)", obfuscate.Independent, true); err != nil {
+		return nil, err
+	}
+	if err := runDeployment("opaque independent", obfuscate.Independent, false); err != nil {
+		return nil, err
+	}
+	if err := runDeployment("opaque shared", obfuscate.Shared, false); err != nil {
+		return nil, err
+	}
+	table.AddNote("Expectation: the clinic's exposure is largest in the direct log and shrinks under obfuscation (fakes dilute its share and raise the log's entropy); shared mode keeps exposure comparable to independent mode while the server sees fewer, larger queries.")
+	return []*Table{table}, nil
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"math"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/privacy"
+	"opaque/internal/protocol"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+// E8Strategies is the fake-endpoint selection ablation: the paper notes that
+// finding fake sources and destinations "requires the knowledge of the
+// underlying road network" (Section IV) but leaves the policy open. We
+// compare uniform, ring-band and density-aware selection on three axes:
+// processing cost (fakes far away blow up the Lemma 1 radius), nominal breach
+// probability (identical by construction), and breach probability against a
+// prior-weighted adversary (implausible fakes are discounted).
+type E8Strategies struct{}
+
+// ID implements Runner.
+func (E8Strategies) ID() string { return "E8" }
+
+// Description implements Runner.
+func (E8Strategies) Description() string {
+	return "Fake-endpoint selection strategies: processing cost vs robustness to a prior-weighted adversary"
+}
+
+// Run implements Runner.
+func (E8Strategies) Run(scale Scale) ([]*Table, error) {
+	netCfg := gen.DefaultNetworkConfig()
+	netCfg.Kind = gen.TigerLike
+	netCfg.Nodes = networkNodes(scale, 2500, 30000)
+	netCfg.Seed = 808
+	g, err := gen.Generate(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	srvCfg := server.DefaultConfig()
+	srvCfg.Paged = true
+	srvCfg.PageConfig = storage.DefaultConfig()
+	srv, err := server.New(g, srvCfg)
+	if err != nil {
+		return nil, err
+	}
+	wl, err := gen.GenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Hotspot, Queries: queries(scale, 30, 200), Hotspots: 4, HotspotSpread: 0.04, Seed: 809})
+	if err != nil {
+		return nil, err
+	}
+	const fs, ft = 4, 4
+	reqs := requestsFromWorkload(wl, fs, ft)
+
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+
+	selectors := []obfuscate.EndpointSelector{
+		obfuscate.NewUniformSelector(81),
+		obfuscate.MustNewRingBandSelector(0.02*extent, 0.15*extent, 82),
+		obfuscate.MustNewDensityAwareSelector(0.15*extent, 83),
+	}
+	uniformAdv := privacy.NewUniformAdversary(g)
+	weightedAdv := privacy.NewWeightedAdversary(g)
+
+	table := &Table{
+		ID:    "E8",
+		Title: "Fake endpoint selection strategies (independent obfuscation, fS=fT=4)",
+		Columns: []string{
+			"strategy", "mean settled nodes/query", "mean page faults/query", "breach (uniform adv)", "breach (weighted adv)", "mean fake distance / extent",
+		},
+	}
+
+	for _, sel := range selectors {
+		obf, err := obfuscate.New(g, obfuscate.Config{
+			Mode:     obfuscate.Independent,
+			Cluster:  obfuscate.ClusterNone,
+			Selector: sel,
+			Seed:     84,
+		})
+		if err != nil {
+			return nil, err
+		}
+		srv.ResetStats()
+		var settled, faults, breachU, breachW, fakeDist []float64
+		for i := range reqs {
+			plan, err := obf.Obfuscate(reqs[i : i+1])
+			if err != nil {
+				return nil, err
+			}
+			q := plan.Queries[0]
+			ioBefore := srv.IOStats()
+			reply, err := srv.Evaluate(protocol.ServerQuery{Sources: q.Sources, Dests: q.Dests})
+			if err != nil {
+				return nil, err
+			}
+			ioAfter := srv.IOStats()
+			settled = append(settled, float64(reply.SettledNodes))
+			faults = append(faults, float64(ioAfter.Faults-ioBefore.Faults))
+			breachU = append(breachU, uniformAdv.BreachProbability(q, reqs[i]))
+			breachW = append(breachW, weightedAdv.BreachProbability(q, reqs[i]))
+			// Mean Euclidean distance between the true endpoints and the
+			// fakes of this query, normalised by extent.
+			d, n := 0.0, 0
+			for _, s := range q.Sources {
+				if s != reqs[i].Source {
+					d += g.Euclid(s, reqs[i].Source)
+					n++
+				}
+			}
+			for _, t := range q.Dests {
+				if t != reqs[i].Dest {
+					d += g.Euclid(t, reqs[i].Dest)
+					n++
+				}
+			}
+			if n > 0 {
+				fakeDist = append(fakeDist, d/float64(n)/extent)
+			}
+		}
+		table.AddRow(sel.Name(), meanFloat(settled), meanFloat(faults), meanFloat(breachU), meanFloat(breachW), meanFloat(fakeDist))
+	}
+	table.AddNote("Expectation: uniform fakes cost the most (largest search radius) with the same nominal breach; ring-band is the cheapest; density-aware costs about the same as ring-band but resists the weighted adversary better on hotspot workloads.")
+	return []*Table{table}, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/privacy"
+)
+
+// E9Collusion measures the collusion-resistance claim from the abstract:
+// shared obfuscated path queries "enhance privacy protection against
+// collusion attacks". We compare what happens to the remaining (victim)
+// members' breach probability when c of the k users whose queries were merged
+// defect and reveal their true endpoints, against the independent-obfuscation
+// reference where a victim's query contains only fabricated fakes.
+type E9Collusion struct{}
+
+// ID implements Runner.
+func (E9Collusion) ID() string { return "E9" }
+
+// Description implements Runner.
+func (E9Collusion) Description() string {
+	return "Collusion attacks on shared obfuscated path queries: victim breach probability vs coalition size"
+}
+
+// Run implements Runner.
+func (E9Collusion) Run(scale Scale) ([]*Table, error) {
+	netCfg := gen.DefaultNetworkConfig()
+	netCfg.Kind = gen.TigerLike
+	netCfg.Nodes = networkNodes(scale, 2500, 20000)
+	netCfg.Seed = 909
+	g, err := gen.Generate(netCfg)
+	if err != nil {
+		return nil, err
+	}
+	adversary := privacy.NewUniformAdversary(g)
+
+	const k = 8 // users per shared query
+	const fs, ft = 4, 4
+	rounds := queries(scale, 10, 50)
+
+	table := &Table{
+		ID:    "E9",
+		Title: "Collusion attack on shared queries (k=8 users, fS=fT=4, " + itoa(rounds) + " rounds)",
+		Columns: []string{
+			"fake floor", "colluders c", "victim breach before", "victim breach after", "residual |S|", "residual |T|", "independent-mode breach (reference)",
+		},
+	}
+
+	independentRef := obfuscate.BreachProbability(fs, ft)
+
+	// Two variants: the plain shared query (no fake floor, as in the paper)
+	// and the hardened one that always keeps MinFakesPerSide decoys so a
+	// coalition can never strip the sets bare.
+	for _, floor := range []int{0, 2} {
+		type acc struct {
+			before, after, resS, resT float64
+			n                         int
+		}
+		byC := make([]acc, k)
+		for round := 0; round < rounds; round++ {
+			wl, err := gen.GenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Hotspot, Queries: k, Hotspots: 3, HotspotSpread: 0.05, Seed: uint64(1500 + round)})
+			if err != nil {
+				return nil, err
+			}
+			reqs := requestsFromWorkload(wl, fs, ft)
+			obf, err := obfuscate.New(g, obfuscate.Config{
+				Mode:            obfuscate.Shared,
+				Cluster:         obfuscate.ClusterRandom, // force all k into one query
+				Selector:        defaultBandSelector(g, uint64(1600+round)),
+				MaxClusterSize:  k,
+				MinFakesPerSide: floor,
+				Seed:            uint64(1700 + round),
+			})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := obf.Obfuscate(reqs)
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range plan.Queries {
+				if len(q.Members) < 2 {
+					continue
+				}
+				reports := adversary.CollusionSweep(q)
+				for c, rep := range reports {
+					if c >= len(byC) || rep.Victims == 0 {
+						continue
+					}
+					byC[c].before += rep.BreachBefore
+					byC[c].after += rep.BreachAfter
+					byC[c].resS += float64(rep.ResidualSources)
+					byC[c].resT += float64(rep.ResidualDests)
+					byC[c].n++
+				}
+			}
+		}
+		for c, a := range byC {
+			if a.n == 0 {
+				continue
+			}
+			n := float64(a.n)
+			table.AddRow(floor, c, a.before/n, a.after/n, a.resS/n, a.resT/n, independentRef)
+		}
+	}
+	table.AddNote("Expectation: victim breach probability rises as colluders strip their endpoints from the anonymity sets, but remains bounded because each remaining member's endpoints are still mixed with the other victims'.")
+	table.AddNote("With no fake floor an (k-1)-coalition fully exposes the last victim (residual sets 1x1); with MinFakesPerSide=2 the residual sets never fall below 3x3, so even the worst-case coalition leaves the victim a breach probability of at most 1/9.")
+	table.AddNote("Against independent obfuscation a coalition of other users learns nothing (reference column), but each independent query costs the server more (see E5); the paper's point is that sharing buys efficiency at a quantifiable, bounded collusion exposure.")
+	return []*Table{table}, nil
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunAtSmallScale executes every experiment runner end to
+// end at small scale and checks the structural properties the benchmark
+// harness and cmd/opaque-bench rely on: at least one table per experiment,
+// non-empty rows, cells matching the declared columns, and at least one
+// explanatory note tying the table back to the paper. It is the integration
+// test for the whole reproduction pipeline; skip it with -short.
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep skipped in -short mode")
+	}
+	for _, runner := range All() {
+		runner := runner
+		t.Run(runner.ID(), func(t *testing.T) {
+			tables, err := runner.Run(Small)
+			if err != nil {
+				t.Fatalf("%s failed: %v", runner.ID(), err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", runner.ID())
+			}
+			for _, tbl := range tables {
+				if tbl.ID == "" || tbl.Title == "" {
+					t.Errorf("%s: table missing id or title", runner.ID())
+				}
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s: table %s has no rows", runner.ID(), tbl.ID)
+				}
+				for i, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Errorf("%s: table %s row %d has %d cells for %d columns", runner.ID(), tbl.ID, i, len(row), len(tbl.Columns))
+					}
+					for j, cell := range row {
+						if strings.TrimSpace(cell) == "" {
+							t.Errorf("%s: table %s row %d column %q is empty", runner.ID(), tbl.ID, i, tbl.Columns[j])
+						}
+					}
+				}
+				if len(tbl.Notes) == 0 {
+					t.Errorf("%s: table %s carries no expectation note", runner.ID(), tbl.ID)
+				}
+				if !strings.Contains(tbl.String(), tbl.Columns[0]) {
+					t.Errorf("%s: rendering lost the header", runner.ID())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Package filter implements the candidate result path filter of the OPAQUE
+// obfuscator (Figures 5 and 6 of the paper): after the directions search
+// server returns the candidate result paths of an obfuscated path query
+// Q(S, T), the filter picks out, for each pending request, the path that
+// answers its true query Q(s, t), optionally verifying the path against the
+// obfuscator's own road map, and then discards the satisfied request.
+package filter
+
+import (
+	"fmt"
+
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+// CandidateSet is what the server returns for one obfuscated query: the
+// candidate result paths addressable by (source, destination).
+type CandidateSet interface {
+	// Path returns the candidate path for the pair and whether the pair was
+	// part of the query.
+	Path(source, dest roadnet.NodeID) (search.Path, bool)
+}
+
+// Result pairs one request with its extracted path.
+type Result struct {
+	Request obfuscate.Request
+	Path    search.Path
+	// Found is false when the server's candidate set did not contain the
+	// request's pair (a protocol violation) or contained an empty path
+	// (destination unreachable).
+	Found bool
+}
+
+// Filter extracts each member's true path from a candidate set. When verify
+// is non-nil, each extracted path is additionally validated as a real walk on
+// that graph; validation failures are reported as errors because they mean
+// the server returned a corrupt or fabricated path.
+type Filter struct {
+	verify *roadnet.Graph
+}
+
+// New returns a filter without path verification.
+func New() *Filter { return &Filter{} }
+
+// NewVerifying returns a filter that validates extracted paths against g (the
+// obfuscator's simple road map). Costs may legitimately differ from the
+// obfuscator's map when the server has better data, so only structural
+// validity (consecutive nodes connected) is enforced, not cost equality.
+func NewVerifying(g *roadnet.Graph) *Filter { return &Filter{verify: g} }
+
+// Extract returns the result for each member of the obfuscated query, in
+// member order.
+func (f *Filter) Extract(q obfuscate.ObfuscatedQuery, candidates CandidateSet) ([]Result, error) {
+	if candidates == nil {
+		return nil, fmt.Errorf("filter: nil candidate set")
+	}
+	out := make([]Result, 0, len(q.Members))
+	for _, m := range q.Members {
+		p, ok := candidates.Path(m.Source, m.Dest)
+		res := Result{Request: m, Path: p, Found: ok && !p.Empty()}
+		if res.Found && f.verify != nil {
+			if err := verifyWalk(f.verify, p); err != nil {
+				return nil, fmt.Errorf("filter: path for user %q failed verification: %w", m.User, err)
+			}
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ExtractOne returns the path answering a single request from the candidate
+// set.
+func (f *Filter) ExtractOne(req obfuscate.Request, candidates CandidateSet) (Result, error) {
+	results, err := f.Extract(obfuscate.ObfuscatedQuery{Members: []obfuscate.Request{req}}, candidates)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// verifyWalk checks structural validity: the path's endpoints and that each
+// consecutive pair is connected by an arc in g. Unlike search.Path.Validate
+// it does not compare costs, because the server's edge costs (live traffic)
+// may differ from the obfuscator's static map.
+func verifyWalk(g *roadnet.Graph, p search.Path) error {
+	if p.Empty() {
+		return nil
+	}
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		if !g.ValidNode(p.Nodes[i]) || !g.ValidNode(p.Nodes[i+1]) {
+			return fmt.Errorf("step %d references unknown node", i)
+		}
+		if _, ok := g.ArcCost(p.Nodes[i], p.Nodes[i+1]); !ok {
+			return fmt.Errorf("step %d: no road segment from %d to %d", i, p.Nodes[i], p.Nodes[i+1])
+		}
+	}
+	return nil
+}

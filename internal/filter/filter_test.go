@@ -1,0 +1,148 @@
+package filter
+
+import (
+	"testing"
+
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+// mapCandidates is a CandidateSet backed by a map, used to feed the filter
+// arbitrary server replies.
+type mapCandidates map[[2]roadnet.NodeID]search.Path
+
+func (m mapCandidates) Path(s, t roadnet.NodeID) (search.Path, bool) {
+	p, ok := m[[2]roadnet.NodeID{s, t}]
+	return p, ok
+}
+
+func lineGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	g := roadnet.NewGraph(5, 8)
+	for i := 0; i < 5; i++ {
+		g.AddNode(float64(i), 0)
+	}
+	for i := 0; i < 4; i++ {
+		g.MustAddBidirectionalEdge(roadnet.NodeID(i), roadnet.NodeID(i+1), 1)
+	}
+	g.Freeze()
+	return g
+}
+
+func TestExtract(t *testing.T) {
+	g := lineGraph(t)
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0, 1},
+		Dests:   []roadnet.NodeID{3, 4},
+		Members: []obfuscate.Request{
+			{User: "alice", Source: 0, Dest: 4},
+			{User: "bob", Source: 1, Dest: 3},
+		},
+	}
+	candidates := mapCandidates{
+		{0, 3}: {Nodes: []roadnet.NodeID{0, 1, 2, 3}, Cost: 3},
+		{0, 4}: {Nodes: []roadnet.NodeID{0, 1, 2, 3, 4}, Cost: 4},
+		{1, 3}: {Nodes: []roadnet.NodeID{1, 2, 3}, Cost: 2},
+		{1, 4}: {Nodes: []roadnet.NodeID{1, 2, 3, 4}, Cost: 3},
+	}
+	results, err := NewVerifying(g).Extract(q, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want 2", len(results))
+	}
+	if !results[0].Found || results[0].Path.Cost != 4 || results[0].Request.User != "alice" {
+		t.Errorf("alice result = %+v", results[0])
+	}
+	if !results[1].Found || results[1].Path.Cost != 2 || results[1].Request.User != "bob" {
+		t.Errorf("bob result = %+v", results[1])
+	}
+}
+
+func TestExtractMissingPair(t *testing.T) {
+	g := lineGraph(t)
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0},
+		Dests:   []roadnet.NodeID{4},
+		Members: []obfuscate.Request{{User: "alice", Source: 0, Dest: 4}},
+	}
+	results, err := New().Extract(q, mapCandidates{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Found {
+		t.Error("missing candidate reported as found")
+	}
+	_ = g
+}
+
+func TestExtractUnreachableDestination(t *testing.T) {
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0},
+		Dests:   []roadnet.NodeID{4},
+		Members: []obfuscate.Request{{User: "alice", Source: 0, Dest: 4}},
+	}
+	candidates := mapCandidates{{0, 4}: {}} // empty path = unreachable
+	results, err := New().Extract(q, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Found {
+		t.Error("unreachable destination reported as found")
+	}
+}
+
+func TestExtractVerificationRejectsFabricatedPath(t *testing.T) {
+	g := lineGraph(t)
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0},
+		Dests:   []roadnet.NodeID{4},
+		Members: []obfuscate.Request{{User: "alice", Source: 0, Dest: 4}},
+	}
+	// The "server" returns a path using a road that does not exist (0 -> 4
+	// directly).
+	candidates := mapCandidates{{0, 4}: {Nodes: []roadnet.NodeID{0, 4}, Cost: 1}}
+	if _, err := NewVerifying(g).Extract(q, candidates); err == nil {
+		t.Error("fabricated path passed verification")
+	}
+	// The non-verifying filter accepts it (it trusts the server).
+	if _, err := New().Extract(q, candidates); err != nil {
+		t.Errorf("non-verifying filter should not error: %v", err)
+	}
+}
+
+func TestExtractVerificationAcceptsDifferentCosts(t *testing.T) {
+	// The server's live-traffic costs may differ from the obfuscator map's
+	// static costs; structural verification must still pass.
+	g := lineGraph(t)
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0},
+		Dests:   []roadnet.NodeID{2},
+		Members: []obfuscate.Request{{User: "alice", Source: 0, Dest: 2}},
+	}
+	candidates := mapCandidates{{0, 2}: {Nodes: []roadnet.NodeID{0, 1, 2}, Cost: 97}}
+	results, err := NewVerifying(g).Extract(q, candidates)
+	if err != nil {
+		t.Fatalf("structurally valid path with different cost rejected: %v", err)
+	}
+	if !results[0].Found {
+		t.Error("result not found")
+	}
+}
+
+func TestExtractOneAndNilCandidates(t *testing.T) {
+	g := lineGraph(t)
+	req := obfuscate.Request{User: "alice", Source: 0, Dest: 3}
+	res, err := NewVerifying(g).ExtractOne(req, mapCandidates{{0, 3}: {Nodes: []roadnet.NodeID{0, 1, 2, 3}, Cost: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Path.Cost != 3 {
+		t.Errorf("ExtractOne = %+v", res)
+	}
+	if _, err := New().Extract(obfuscate.ObfuscatedQuery{}, nil); err == nil {
+		t.Error("nil candidate set accepted")
+	}
+}

@@ -1,0 +1,425 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/roadnet"
+)
+
+// NetworkKind selects a synthetic road-network topology.
+type NetworkKind string
+
+const (
+	// Grid is a Manhattan-style rectangular street grid with light random
+	// perturbation of intersection positions and a fraction of streets
+	// removed to create irregularity.
+	Grid NetworkKind = "grid"
+	// RandomGeometric scatters intersections uniformly and connects each to
+	// its nearby neighbours, producing an unstructured rural-style network.
+	RandomGeometric NetworkKind = "geometric"
+	// RingRadial is a city with concentric ring roads and radial avenues
+	// meeting in a dense core.
+	RingRadial NetworkKind = "ringradial"
+	// TigerLike combines several dense urban clusters connected by sparse
+	// highways, mimicking the suburban structure of Tiger/Line county maps.
+	TigerLike NetworkKind = "tigerlike"
+)
+
+// NetworkConfig parameterises a synthetic network.
+type NetworkConfig struct {
+	Kind NetworkKind
+	// Nodes is the target node count. Generators may produce slightly more
+	// or fewer nodes to keep the topology regular; Generate reports the
+	// actual count in the returned graph.
+	Nodes int
+	// Extent is the side length of the square region the network covers, in
+	// cost units (e.g. metres). Edge costs are Euclidean lengths scaled by a
+	// per-edge factor in [1, 1+CostJitter].
+	Extent float64
+	// CostJitter adds multiplicative noise to edge costs to model speed
+	// differences between roads. 0 means costs equal Euclidean lengths.
+	CostJitter float64
+	// RemoveFraction is the fraction of candidate edges dropped at random to
+	// create irregularity (dead ends, missing streets). The generator always
+	// keeps the graph connected by restricting output to the largest
+	// component when removal disconnects it.
+	RemoveFraction float64
+	// Clusters is the number of urban cores for the TigerLike kind.
+	Clusters int
+	// Seed makes generation deterministic.
+	Seed uint64
+}
+
+// DefaultNetworkConfig returns a mid-sized grid network configuration used by
+// the examples and as the baseline for experiments.
+func DefaultNetworkConfig() NetworkConfig {
+	return NetworkConfig{
+		Kind:           Grid,
+		Nodes:          10000,
+		Extent:         100000, // 100 km square
+		CostJitter:     0.2,
+		RemoveFraction: 0.05,
+		Clusters:       6,
+		Seed:           42,
+	}
+}
+
+// Generate builds a road network according to cfg. The returned graph is
+// frozen, validated and weakly connected.
+func Generate(cfg NetworkConfig) (*roadnet.Graph, error) {
+	if cfg.Nodes <= 1 {
+		return nil, fmt.Errorf("gen: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Extent <= 0 {
+		return nil, fmt.Errorf("gen: extent must be positive, got %v", cfg.Extent)
+	}
+	if cfg.CostJitter < 0 {
+		return nil, fmt.Errorf("gen: cost jitter must be non-negative, got %v", cfg.CostJitter)
+	}
+	if cfg.RemoveFraction < 0 || cfg.RemoveFraction >= 1 {
+		return nil, fmt.Errorf("gen: remove fraction must be in [0,1), got %v", cfg.RemoveFraction)
+	}
+	r := newRNG(cfg.Seed)
+	var g *roadnet.Graph
+	switch cfg.Kind {
+	case Grid, "":
+		g = generateGrid(cfg, r)
+	case RandomGeometric:
+		g = generateGeometric(cfg, r)
+	case RingRadial:
+		g = generateRingRadial(cfg, r)
+	case TigerLike:
+		g = generateTigerLike(cfg, r)
+	default:
+		return nil, fmt.Errorf("gen: unknown network kind %q", cfg.Kind)
+	}
+	g.Freeze()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsConnected() {
+		g = restrictToLargestComponent(g)
+	}
+	return g, nil
+}
+
+// MustGenerate is Generate but panics on error; used in tests and examples
+// whose configurations are valid by construction.
+func MustGenerate(cfg NetworkConfig) *roadnet.Graph {
+	g, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// edgeCost computes the cost of an edge between two placed nodes: Euclidean
+// length times a jitter factor in [1, 1+CostJitter]. A tiny floor keeps
+// zero-length duplicate placements usable.
+func edgeCost(cfg NetworkConfig, r *rng, x1, y1, x2, y2 float64) float64 {
+	d := math.Hypot(x2-x1, y2-y1)
+	if d < 1e-9 {
+		d = 1e-9
+	}
+	return d * (1 + cfg.CostJitter*r.Float64())
+}
+
+// generateGrid builds a rows×cols Manhattan grid with perturbed intersection
+// positions.
+func generateGrid(cfg NetworkConfig, r *rng) *roadnet.Graph {
+	side := int(math.Round(math.Sqrt(float64(cfg.Nodes))))
+	if side < 2 {
+		side = 2
+	}
+	spacing := cfg.Extent / float64(side-1)
+	g := roadnet.NewGraph(side*side, 4*side*side)
+	ids := make([][]roadnet.NodeID, side)
+	for i := 0; i < side; i++ {
+		ids[i] = make([]roadnet.NodeID, side)
+		for j := 0; j < side; j++ {
+			// Perturb positions by up to 20% of the spacing to avoid a
+			// perfectly regular lattice.
+			x := float64(j)*spacing + r.Range(-0.2, 0.2)*spacing
+			y := float64(i)*spacing + r.Range(-0.2, 0.2)*spacing
+			ids[i][j] = g.AddNode(x, y)
+		}
+	}
+	addStreet := func(a, b roadnet.NodeID) {
+		if cfg.RemoveFraction > 0 && r.Float64() < cfg.RemoveFraction {
+			return
+		}
+		na, nb := g.Node(a), g.Node(b)
+		g.MustAddBidirectionalEdge(a, b, edgeCost(cfg, r, na.X, na.Y, nb.X, nb.Y))
+	}
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			if j+1 < side {
+				addStreet(ids[i][j], ids[i][j+1])
+			}
+			if i+1 < side {
+				addStreet(ids[i][j], ids[i+1][j])
+			}
+		}
+	}
+	return g
+}
+
+// generateGeometric scatters nodes uniformly and connects each node to its k
+// nearest neighbours (k drawn from {2,3,4}), a standard random geometric road
+// approximation.
+func generateGeometric(cfg NetworkConfig, r *rng) *roadnet.Graph {
+	n := cfg.Nodes
+	g := roadnet.NewGraph(n, 6*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(r.Range(0, cfg.Extent), r.Range(0, cfg.Extent))
+	}
+	// Spatial bucketing for neighbour search while still mutable: simple
+	// uniform grid built locally (the graph's own index requires Freeze).
+	cells := int(math.Ceil(math.Sqrt(float64(n))))
+	if cells < 1 {
+		cells = 1
+	}
+	cellSize := cfg.Extent / float64(cells)
+	bucket := make([][]roadnet.NodeID, cells*cells)
+	cellOf := func(x, y float64) int {
+		cx := int(x / cellSize)
+		cy := int(y / cellSize)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		return cy*cells + cx
+	}
+	for _, node := range g.Nodes() {
+		bucket[cellOf(node.X, node.Y)] = append(bucket[cellOf(node.X, node.Y)], node.ID)
+	}
+	type cand struct {
+		id roadnet.NodeID
+		d  float64
+	}
+	for _, node := range g.Nodes() {
+		k := 2 + r.Intn(3)
+		// Gather candidates from the 3x3 cell neighbourhood, expanding if
+		// needed.
+		var cands []cand
+		for radius := 1; radius <= cells && len(cands) <= k; radius++ {
+			cands = cands[:0]
+			cx := int(node.X / cellSize)
+			cy := int(node.Y / cellSize)
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					bx, by := cx+dx, cy+dy
+					if bx < 0 || by < 0 || bx >= cells || by >= cells {
+						continue
+					}
+					for _, other := range bucket[by*cells+bx] {
+						if other == node.ID {
+							continue
+						}
+						o := g.Node(other)
+						cands = append(cands, cand{other, math.Hypot(o.X-node.X, o.Y-node.Y)})
+					}
+				}
+			}
+		}
+		// Partial selection sort of the k nearest.
+		for sel := 0; sel < k && sel < len(cands); sel++ {
+			best := sel
+			for j := sel + 1; j < len(cands); j++ {
+				if cands[j].d < cands[best].d {
+					best = j
+				}
+			}
+			cands[sel], cands[best] = cands[best], cands[sel]
+			if cfg.RemoveFraction > 0 && r.Float64() < cfg.RemoveFraction {
+				continue
+			}
+			o := g.Node(cands[sel].id)
+			g.MustAddBidirectionalEdge(node.ID, cands[sel].id, edgeCost(cfg, r, node.X, node.Y, o.X, o.Y))
+		}
+	}
+	return g
+}
+
+// generateRingRadial builds concentric rings crossed by radial avenues.
+func generateRingRadial(cfg NetworkConfig, r *rng) *roadnet.Graph {
+	// nodes ≈ rings × spokes; pick a roughly square decomposition.
+	spokes := int(math.Round(math.Sqrt(float64(cfg.Nodes) * 2)))
+	if spokes < 4 {
+		spokes = 4
+	}
+	rings := cfg.Nodes / spokes
+	if rings < 2 {
+		rings = 2
+	}
+	cx, cy := cfg.Extent/2, cfg.Extent/2
+	maxR := cfg.Extent / 2
+	g := roadnet.NewGraph(rings*spokes+1, 4*rings*spokes)
+	center := g.AddWeightedNode(cx, cy, 4) // dense core gets a high weight
+	ids := make([][]roadnet.NodeID, rings)
+	for ri := 0; ri < rings; ri++ {
+		ids[ri] = make([]roadnet.NodeID, spokes)
+		radius := maxR * float64(ri+1) / float64(rings)
+		for si := 0; si < spokes; si++ {
+			angle := 2 * math.Pi * float64(si) / float64(spokes)
+			x := cx + radius*math.Cos(angle) + r.Range(-0.01, 0.01)*cfg.Extent
+			y := cy + radius*math.Sin(angle) + r.Range(-0.01, 0.01)*cfg.Extent
+			// Inner rings are denser/more popular: weight decays with radius.
+			w := 1 + 3*(1-float64(ri)/float64(rings))
+			ids[ri][si] = g.AddWeightedNode(x, y, w)
+		}
+	}
+	connect := func(a, b roadnet.NodeID) {
+		if cfg.RemoveFraction > 0 && r.Float64() < cfg.RemoveFraction {
+			return
+		}
+		na, nb := g.Node(a), g.Node(b)
+		g.MustAddBidirectionalEdge(a, b, edgeCost(cfg, r, na.X, na.Y, nb.X, nb.Y))
+	}
+	for si := 0; si < spokes; si++ {
+		connect(center, ids[0][si])
+		for ri := 0; ri < rings; ri++ {
+			connect(ids[ri][si], ids[ri][(si+1)%spokes]) // along the ring
+			if ri+1 < rings {
+				connect(ids[ri][si], ids[ri+1][si]) // radial
+			}
+		}
+	}
+	return g
+}
+
+// generateTigerLike builds several dense grid clusters ("towns") scattered in
+// the extent, connected by sparse highway edges, echoing the structure of
+// Tiger/Line county maps used by the paper.
+func generateTigerLike(cfg NetworkConfig, r *rng) *roadnet.Graph {
+	clusters := cfg.Clusters
+	if clusters < 2 {
+		clusters = 2
+	}
+	perCluster := cfg.Nodes / clusters
+	if perCluster < 4 {
+		perCluster = 4
+	}
+	g := roadnet.NewGraph(cfg.Nodes+clusters, 5*cfg.Nodes)
+	type cluster struct {
+		cx, cy  float64
+		members []roadnet.NodeID
+	}
+	cls := make([]cluster, clusters)
+	for c := 0; c < clusters; c++ {
+		cls[c].cx = r.Range(0.1, 0.9) * cfg.Extent
+		cls[c].cy = r.Range(0.1, 0.9) * cfg.Extent
+		side := int(math.Round(math.Sqrt(float64(perCluster))))
+		if side < 2 {
+			side = 2
+		}
+		// town diameter ~ extent / (2*clusters^0.5)
+		townSize := cfg.Extent / (2 * math.Sqrt(float64(clusters)))
+		spacing := townSize / float64(side-1)
+		ids := make([][]roadnet.NodeID, side)
+		for i := 0; i < side; i++ {
+			ids[i] = make([]roadnet.NodeID, side)
+			for j := 0; j < side; j++ {
+				x := cls[c].cx - townSize/2 + float64(j)*spacing + r.Range(-0.25, 0.25)*spacing
+				y := cls[c].cy - townSize/2 + float64(i)*spacing + r.Range(-0.25, 0.25)*spacing
+				// Town centres carry higher association weight (businesses).
+				dist := math.Hypot(float64(i)-float64(side)/2, float64(j)-float64(side)/2)
+				w := 1 + 3*math.Exp(-dist/float64(side))
+				ids[i][j] = g.AddWeightedNode(x, y, w)
+				cls[c].members = append(cls[c].members, ids[i][j])
+			}
+		}
+		for i := 0; i < side; i++ {
+			for j := 0; j < side; j++ {
+				if cfg.RemoveFraction > 0 && r.Float64() < cfg.RemoveFraction {
+					continue
+				}
+				if j+1 < side {
+					a, b := g.Node(ids[i][j]), g.Node(ids[i][j+1])
+					g.MustAddBidirectionalEdge(ids[i][j], ids[i][j+1], edgeCost(cfg, r, a.X, a.Y, b.X, b.Y))
+				}
+				if i+1 < side {
+					a, b := g.Node(ids[i][j]), g.Node(ids[i+1][j])
+					g.MustAddBidirectionalEdge(ids[i][j], ids[i+1][j], edgeCost(cfg, r, a.X, a.Y, b.X, b.Y))
+				}
+			}
+		}
+	}
+	// Highways: connect each cluster to its two nearest clusters through the
+	// member node closest to the other cluster's centre. Highway costs get a
+	// 0.8 factor (faster travel) on top of the Euclidean length.
+	for c := range cls {
+		type link struct {
+			other int
+			d     float64
+		}
+		links := make([]link, 0, clusters-1)
+		for o := range cls {
+			if o == c {
+				continue
+			}
+			links = append(links, link{o, math.Hypot(cls[o].cx-cls[c].cx, cls[o].cy-cls[c].cy)})
+		}
+		// two nearest
+		for pick := 0; pick < 2 && pick < len(links); pick++ {
+			best := pick
+			for j := pick + 1; j < len(links); j++ {
+				if links[j].d < links[best].d {
+					best = j
+				}
+			}
+			links[pick], links[best] = links[best], links[pick]
+			o := links[pick].other
+			a := nearestMember(g, cls[c].members, cls[o].cx, cls[o].cy)
+			b := nearestMember(g, cls[o].members, cls[c].cx, cls[c].cy)
+			na, nb := g.Node(a), g.Node(b)
+			cost := 0.8 * edgeCost(cfg, r, na.X, na.Y, nb.X, nb.Y)
+			g.MustAddBidirectionalEdge(a, b, cost)
+		}
+	}
+	return g
+}
+
+func nearestMember(g *roadnet.Graph, members []roadnet.NodeID, x, y float64) roadnet.NodeID {
+	best := members[0]
+	bestD := math.Inf(1)
+	for _, id := range members {
+		n := g.Node(id)
+		d := math.Hypot(n.X-x, n.Y-y)
+		if d < bestD {
+			bestD = d
+			best = id
+		}
+	}
+	return best
+}
+
+// restrictToLargestComponent rebuilds the graph keeping only the largest
+// weakly connected component, remapping node IDs densely.
+func restrictToLargestComponent(g *roadnet.Graph) *roadnet.Graph {
+	keep := g.LargestComponent()
+	remap := make(map[roadnet.NodeID]roadnet.NodeID, len(keep))
+	out := roadnet.NewGraph(len(keep), g.NumArcs())
+	for _, id := range keep {
+		n := g.Node(id)
+		remap[id] = out.AddWeightedNode(n.X, n.Y, n.Weight)
+	}
+	for _, id := range keep {
+		for _, a := range g.Arcs(id) {
+			if to, ok := remap[a.To]; ok {
+				out.MustAddEdge(remap[id], to, a.Cost)
+			}
+		}
+	}
+	out.Freeze()
+	return out
+}

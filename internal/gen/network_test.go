@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opaque/internal/roadnet"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	kinds := []NetworkKind{Grid, RandomGeometric, RingRadial, TigerLike}
+	for _, kind := range kinds {
+		t.Run(string(kind), func(t *testing.T) {
+			cfg := DefaultNetworkConfig()
+			cfg.Kind = kind
+			cfg.Nodes = 600
+			cfg.Seed = 9
+			g, err := Generate(cfg)
+			if err != nil {
+				t.Fatalf("Generate(%s): %v", kind, err)
+			}
+			if !g.Frozen() {
+				t.Error("generated graph must be frozen")
+			}
+			if g.NumNodes() < cfg.Nodes/3 {
+				t.Errorf("node count %d unexpectedly small for target %d", g.NumNodes(), cfg.Nodes)
+			}
+			if g.NumArcs() == 0 {
+				t.Error("generated graph has no arcs")
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if !g.IsConnected() {
+				t.Error("generated graph must be weakly connected")
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Kind = TigerLike
+	cfg.Nodes = 500
+	cfg.Seed = 77
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() || a.NumArcs() != b.NumArcs() {
+		t.Fatalf("same seed produced different sizes: %d/%d vs %d/%d", a.NumNodes(), a.NumArcs(), b.NumNodes(), b.NumArcs())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(int32ID(i)), b.Node(int32ID(i))
+		if na.X != nb.X || na.Y != nb.Y || na.Weight != nb.Weight {
+			t.Fatalf("node %d differs between runs: %+v vs %+v", i, na, nb)
+		}
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 400
+	cfg.Seed = 1
+	a := MustGenerate(cfg)
+	cfg.Seed = 2
+	b := MustGenerate(cfg)
+	same := a.NumNodes() == b.NumNodes()
+	if same {
+		diff := false
+		for i := 0; i < a.NumNodes(); i++ {
+			if a.Node(int32ID(i)).X != b.Node(int32ID(i)).X {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical node placements")
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := []NetworkConfig{
+		{Kind: Grid, Nodes: 1, Extent: 100},
+		{Kind: Grid, Nodes: 100, Extent: 0},
+		{Kind: Grid, Nodes: 100, Extent: 100, CostJitter: -1},
+		{Kind: Grid, Nodes: 100, Extent: 100, RemoveFraction: 1.5},
+		{Kind: "mystery", Nodes: 100, Extent: 100},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestEdgeCostsPositiveAndBounded(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 400
+	cfg.CostJitter = 0.3
+	g := MustGenerate(cfg)
+	for id := 0; id < g.NumNodes(); id++ {
+		for _, a := range g.Arcs(int32ID(id)) {
+			if a.Cost <= 0 {
+				t.Fatalf("non-positive edge cost %v", a.Cost)
+			}
+			// Costs are Euclidean length × factor in [0.8, 1+jitter]; allow
+			// the highway discount.
+			euclid := g.Euclid(int32ID(id), a.To)
+			if a.Cost < 0.79*euclid || a.Cost > (1+cfg.CostJitter)*euclid+1e-6 {
+				t.Fatalf("edge cost %v outside [%v, %v] for Euclid %v", a.Cost, 0.79*euclid, (1+cfg.CostJitter)*euclid, euclid)
+			}
+		}
+	}
+}
+
+// Property: the deterministic RNG produces values in range and Perm returns a
+// valid permutation.
+func TestRNGProperties(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := newRNG(seed)
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			return false
+		}
+		size := int(n%32) + 1
+		p := r.Perm(size)
+		seen := make([]bool, size)
+		for _, x := range p {
+			if x < 0 || x >= size || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	newRNG(1).Intn(0)
+}
+
+// int32ID keeps the tests readable: node IDs are int32-backed.
+func int32ID(i int) roadnet.NodeID { return roadnet.NodeID(i) }

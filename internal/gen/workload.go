@@ -1,0 +1,173 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/roadnet"
+)
+
+// QueryPair is a source/destination pair on the network: one user's true path
+// query Q(s, t).
+type QueryPair struct {
+	Source roadnet.NodeID
+	Dest   roadnet.NodeID
+}
+
+// WorkloadKind selects how query endpoints are drawn.
+type WorkloadKind string
+
+const (
+	// Uniform draws sources and destinations uniformly at random.
+	Uniform WorkloadKind = "uniform"
+	// Hotspot draws endpoints around a small number of popular centres
+	// (clinics, malls, stadiums), modelling the skewed interest distribution
+	// the paper's motivation describes.
+	Hotspot WorkloadKind = "hotspot"
+	// DistanceBand draws pairs whose Euclidean separation falls inside
+	// [MinDistance, MaxDistance], used to control the ||s,t|| term of
+	// Lemma 1 experiments.
+	DistanceBand WorkloadKind = "distanceband"
+)
+
+// WorkloadConfig parameterises a query workload.
+type WorkloadConfig struct {
+	Kind    WorkloadKind
+	Queries int
+	// Hotspots is the number of popular centres for the Hotspot kind.
+	Hotspots int
+	// HotspotSpread is the standard deviation (as a fraction of the network
+	// extent) of endpoint placement around a hotspot centre.
+	HotspotSpread float64
+	// MinDistance and MaxDistance bound the Euclidean separation of pairs
+	// for the DistanceBand kind, in the network's cost units.
+	MinDistance float64
+	MaxDistance float64
+	Seed        uint64
+}
+
+// DefaultWorkloadConfig returns 200 uniform queries.
+func DefaultWorkloadConfig() WorkloadConfig {
+	return WorkloadConfig{Kind: Uniform, Queries: 200, Hotspots: 5, HotspotSpread: 0.05, Seed: 7}
+}
+
+// GenerateWorkload draws query pairs on g according to cfg. Sources always
+// differ from destinations.
+func GenerateWorkload(g *roadnet.Graph, cfg WorkloadConfig) ([]QueryPair, error) {
+	if g.NumNodes() < 2 {
+		return nil, fmt.Errorf("gen: workload needs a graph with at least 2 nodes")
+	}
+	if cfg.Queries <= 0 {
+		return nil, fmt.Errorf("gen: workload needs a positive query count, got %d", cfg.Queries)
+	}
+	r := newRNG(cfg.Seed)
+	switch cfg.Kind {
+	case Uniform, "":
+		return uniformWorkload(g, cfg, r), nil
+	case Hotspot:
+		return hotspotWorkload(g, cfg, r)
+	case DistanceBand:
+		return distanceBandWorkload(g, cfg, r)
+	default:
+		return nil, fmt.Errorf("gen: unknown workload kind %q", cfg.Kind)
+	}
+}
+
+// MustGenerateWorkload is GenerateWorkload but panics on error.
+func MustGenerateWorkload(g *roadnet.Graph, cfg WorkloadConfig) []QueryPair {
+	w, err := GenerateWorkload(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func uniformWorkload(g *roadnet.Graph, cfg WorkloadConfig, r *rng) []QueryPair {
+	n := g.NumNodes()
+	out := make([]QueryPair, 0, cfg.Queries)
+	for len(out) < cfg.Queries {
+		s := roadnet.NodeID(r.Intn(n))
+		t := roadnet.NodeID(r.Intn(n))
+		if s == t {
+			continue
+		}
+		out = append(out, QueryPair{Source: s, Dest: t})
+	}
+	return out
+}
+
+func hotspotWorkload(g *roadnet.Graph, cfg WorkloadConfig, r *rng) ([]QueryPair, error) {
+	hotspots := cfg.Hotspots
+	if hotspots < 1 {
+		hotspots = 1
+	}
+	spread := cfg.HotspotSpread
+	if spread <= 0 {
+		spread = 0.05
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	extentX, extentY := maxX-minX, maxY-minY
+	if extentX <= 0 {
+		extentX = 1
+	}
+	if extentY <= 0 {
+		extentY = 1
+	}
+	type centre struct{ x, y float64 }
+	centres := make([]centre, hotspots)
+	for i := range centres {
+		centres[i] = centre{r.Range(minX, maxX), r.Range(minY, maxY)}
+	}
+	draw := func() roadnet.NodeID {
+		c := centres[r.Intn(hotspots)]
+		x := c.x + r.Norm()*spread*extentX
+		y := c.y + r.Norm()*spread*extentY
+		return g.NearestNode(x, y)
+	}
+	out := make([]QueryPair, 0, cfg.Queries)
+	for len(out) < cfg.Queries {
+		// Sources are homes (uniform); destinations are hotspots, matching
+		// the paper's motivating scenario (home -> clinic).
+		s := roadnet.NodeID(r.Intn(g.NumNodes()))
+		t := draw()
+		if s == t || t == roadnet.InvalidNode {
+			continue
+		}
+		out = append(out, QueryPair{Source: s, Dest: t})
+	}
+	return out, nil
+}
+
+func distanceBandWorkload(g *roadnet.Graph, cfg WorkloadConfig, r *rng) ([]QueryPair, error) {
+	if cfg.MaxDistance <= 0 || cfg.MaxDistance < cfg.MinDistance {
+		return nil, fmt.Errorf("gen: distance band workload requires 0 <= MinDistance <= MaxDistance, got [%v, %v]", cfg.MinDistance, cfg.MaxDistance)
+	}
+	n := g.NumNodes()
+	out := make([]QueryPair, 0, cfg.Queries)
+	attempts := 0
+	maxAttempts := cfg.Queries * 2000
+	for len(out) < cfg.Queries {
+		attempts++
+		if attempts > maxAttempts {
+			return nil, fmt.Errorf("gen: could not find %d pairs in distance band [%v, %v] after %d attempts (found %d)",
+				cfg.Queries, cfg.MinDistance, cfg.MaxDistance, attempts, len(out))
+		}
+		s := roadnet.NodeID(r.Intn(n))
+		ns := g.Node(s)
+		// Sample a target point in the band around s, then snap to the
+		// nearest node; this is much faster than rejection sampling pairs on
+		// large sparse networks.
+		angle := r.Range(0, 2*math.Pi)
+		radius := r.Range(cfg.MinDistance, cfg.MaxDistance)
+		t := g.NearestNode(ns.X+radius*math.Cos(angle), ns.Y+radius*math.Sin(angle))
+		if t == roadnet.InvalidNode || t == s {
+			continue
+		}
+		d := g.Euclid(s, t)
+		if d < cfg.MinDistance || d > cfg.MaxDistance {
+			continue
+		}
+		out = append(out, QueryPair{Source: s, Dest: t})
+	}
+	return out, nil
+}

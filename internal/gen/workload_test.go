@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"testing"
+
+	"opaque/internal/roadnet"
+)
+
+func testNetwork(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 900
+	cfg.Seed = 5
+	return MustGenerate(cfg)
+}
+
+func TestUniformWorkload(t *testing.T) {
+	g := testNetwork(t)
+	wl, err := GenerateWorkload(g, WorkloadConfig{Kind: Uniform, Queries: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl) != 50 {
+		t.Fatalf("got %d queries, want 50", len(wl))
+	}
+	for i, q := range wl {
+		if q.Source == q.Dest {
+			t.Errorf("query %d has identical source and destination", i)
+		}
+		if !g.ValidNode(q.Source) || !g.ValidNode(q.Dest) {
+			t.Errorf("query %d references invalid nodes %d/%d", i, q.Source, q.Dest)
+		}
+	}
+}
+
+func TestHotspotWorkloadConcentratesDestinations(t *testing.T) {
+	g := testNetwork(t)
+	wl, err := GenerateWorkload(g, WorkloadConfig{Kind: Hotspot, Queries: 200, Hotspots: 2, HotspotSpread: 0.02, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 2 tight hotspots, distinct destinations should be far fewer than
+	// distinct sources.
+	srcs := map[roadnet.NodeID]struct{}{}
+	dsts := map[roadnet.NodeID]struct{}{}
+	for _, q := range wl {
+		srcs[q.Source] = struct{}{}
+		dsts[q.Dest] = struct{}{}
+	}
+	if len(dsts) >= len(srcs) {
+		t.Errorf("hotspot workload destinations (%d distinct) are not more concentrated than sources (%d distinct)", len(dsts), len(srcs))
+	}
+}
+
+func TestDistanceBandWorkload(t *testing.T) {
+	g := testNetwork(t)
+	cfg := DefaultNetworkConfig()
+	minD, maxD := 0.2*cfg.Extent, 0.4*cfg.Extent
+	wl, err := GenerateWorkload(g, WorkloadConfig{Kind: DistanceBand, Queries: 40, MinDistance: minD, MaxDistance: maxD, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range wl {
+		d := g.Euclid(q.Source, q.Dest)
+		if d < minD || d > maxD {
+			t.Errorf("query %d distance %v outside band [%v, %v]", i, d, minD, maxD)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	g := testNetwork(t)
+	cfg := WorkloadConfig{Kind: Uniform, Queries: 30, Seed: 11}
+	a := MustGenerateWorkload(g, cfg)
+	b := MustGenerateWorkload(g, cfg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("workloads differ at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	g := testNetwork(t)
+	small := roadnet.NewGraph(1, 0)
+	small.AddNode(0, 0)
+	small.Freeze()
+	cases := []struct {
+		name string
+		g    *roadnet.Graph
+		cfg  WorkloadConfig
+	}{
+		{"tiny graph", small, WorkloadConfig{Kind: Uniform, Queries: 5}},
+		{"zero queries", g, WorkloadConfig{Kind: Uniform, Queries: 0}},
+		{"unknown kind", g, WorkloadConfig{Kind: "nope", Queries: 5}},
+		{"bad band", g, WorkloadConfig{Kind: DistanceBand, Queries: 5, MinDistance: 10, MaxDistance: 5}},
+		{"impossible band", g, WorkloadConfig{Kind: DistanceBand, Queries: 5, MinDistance: 1e9, MaxDistance: 2e9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := GenerateWorkload(tc.g, tc.cfg); err == nil {
+				t.Errorf("GenerateWorkload(%+v) succeeded, want error", tc.cfg)
+			}
+		})
+	}
+}

@@ -1,0 +1,259 @@
+// Package metrics is a small, dependency-free instrumentation registry used
+// by the OPAQUE server and obfuscator service: named counters, gauges and
+// latency histograms that can be snapshotted for logs, tests and the
+// load-test example. It favours predictable behaviour over features — fixed
+// histogram buckets, no background goroutines, plain mutex protection — which
+// is all a reproduction study needs to report what its components did.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry holds named metrics. The zero value is not usable; create one with
+// NewRegistry. All methods are safe for concurrent use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]int64
+	gauges     map[string]float64
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]int64),
+		gauges:     make(map[string]float64),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Add increments the named counter by delta.
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter returns the current value of the named counter (0 if never used).
+func (r *Registry) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// SetGauge records an instantaneous value.
+func (r *Registry) SetGauge(name string, value float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges[name] = value
+}
+
+// Gauge returns the last recorded value of the named gauge (0 if never set).
+func (r *Registry) Gauge(name string) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.gauges[name]
+}
+
+// Observe records a duration in the named histogram.
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.mu.Lock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram()
+		r.histograms[name] = h
+	}
+	r.mu.Unlock()
+	h.Observe(d)
+}
+
+// Histogram returns the named histogram, or nil when nothing was observed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.histograms[name]
+}
+
+// Snapshot captures every metric at one point in time, with stable ordering
+// for rendering.
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []NamedHistogram
+}
+
+// NamedValue is one counter or gauge value.
+type NamedValue struct {
+	Name  string
+	Value float64
+}
+
+// NamedHistogram is one histogram summary.
+type NamedHistogram struct {
+	Name    string
+	Count   int64
+	Mean    time.Duration
+	P50     time.Duration
+	P90     time.Duration
+	P99     time.Duration
+	Maximum time.Duration
+}
+
+// Snapshot returns a copy of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var snap Snapshot
+	for name, v := range r.counters {
+		snap.Counters = append(snap.Counters, NamedValue{Name: name, Value: float64(v)})
+	}
+	for name, v := range r.gauges {
+		snap.Gauges = append(snap.Gauges, NamedValue{Name: name, Value: v})
+	}
+	for name, h := range r.histograms {
+		s := h.Summary()
+		s.Name = name
+		snap.Histograms = append(snap.Histograms, s)
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}
+
+// WriteTo renders the snapshot as plain text, one metric per line.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	write := func(format string, args ...any) error {
+		n, err := fmt.Fprintf(w, format, args...)
+		total += int64(n)
+		return err
+	}
+	for _, c := range s.Counters {
+		if err := write("counter %s = %.0f\n", c.Name, c.Value); err != nil {
+			return total, err
+		}
+	}
+	for _, g := range s.Gauges {
+		if err := write("gauge %s = %g\n", g.Name, g.Value); err != nil {
+			return total, err
+		}
+	}
+	for _, h := range s.Histograms {
+		if err := write("histogram %s count=%d mean=%v p50=%v p90=%v p99=%v max=%v\n",
+			h.Name, h.Count, h.Mean, h.P50, h.P90, h.P99, h.Maximum); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// histogram bucket boundaries: 16 exponentially growing latency buckets from
+// 100µs to ~55min; the last bucket is open-ended.
+var bucketBounds = buildBounds()
+
+func buildBounds() []time.Duration {
+	bounds := make([]time.Duration, 0, 16)
+	d := 100 * time.Microsecond
+	for i := 0; i < 16; i++ {
+		bounds = append(bounds, d)
+		d *= 2
+	}
+	return bounds
+}
+
+// Histogram is a fixed-bucket latency histogram. It keeps per-bucket counts
+// plus exact running sum/max, so summaries are cheap and allocation-free.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [17]int64 // len(bucketBounds)+1 overflow bucket
+	count   int64
+	sum     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := len(bucketBounds)
+	for i, b := range bucketBounds {
+		if d <= b {
+			idx = i
+			break
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) based on the
+// bucket boundaries; the overflow bucket reports the observed maximum.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i < len(bucketBounds) {
+				return bucketBounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// Summary returns count, mean and the standard percentiles.
+func (h *Histogram) Summary() NamedHistogram {
+	h.mu.Lock()
+	count := h.count
+	sum := h.sum
+	max := h.max
+	h.mu.Unlock()
+	s := NamedHistogram{Count: count, Maximum: max}
+	if count > 0 {
+		s.Mean = sum / time.Duration(count)
+	}
+	s.P50 = h.Quantile(0.50)
+	s.P90 = h.Quantile(0.90)
+	s.P99 = h.Quantile(0.99)
+	return s
+}

@@ -1,0 +1,35 @@
+package obfsvc
+
+import (
+	"testing"
+
+	"opaque/internal/obfuscate"
+)
+
+func TestServiceRecordsMetrics(t *testing.T) {
+	g := testGraph(t)
+	svc, _ := testService(t, g, obfuscate.Shared, 0)
+	batch := testRequests(t, g, 6)
+	if _, err := svc.ProcessBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	m := svc.Metrics()
+	if got := m.Counter("requests"); got != 6 {
+		t.Errorf("requests = %d, want 6", got)
+	}
+	if got := m.Counter("batches"); got != 1 {
+		t.Errorf("batches = %d, want 1", got)
+	}
+	if m.Counter("obfuscated_queries_sent") < 1 {
+		t.Error("obfuscated_queries_sent not recorded")
+	}
+	if m.Counter("candidate_paths_received") < m.Counter("obfuscated_queries_sent") {
+		t.Error("candidate_paths_received should be at least the number of queries")
+	}
+	if h := m.Histogram("obfuscation_latency"); h == nil || h.Count() != 1 {
+		t.Error("obfuscation_latency histogram not recorded")
+	}
+	if m.Gauge("last_batch_size") != 6 {
+		t.Errorf("last_batch_size = %v, want 6", m.Gauge("last_batch_size"))
+	}
+}

@@ -1,0 +1,369 @@
+// Package obfsvc implements the OPAQUE obfuscator service — the trusted
+// middlebox of Figure 5 that sits between clients and the directions search
+// server. It accepts client requests over a secure channel, batches them,
+// runs the path query obfuscator, forwards the obfuscated path queries to the
+// server, filters the returned candidate result paths, answers each client
+// with its own path only, and then discards the satisfied request
+// (Section IV).
+package obfsvc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opaque/internal/filter"
+	"opaque/internal/metrics"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+// QueryExecutor abstracts the connection to the directions search server: the
+// in-process deployment calls the server directly, the networked deployment
+// sends the query over TCP.
+type QueryExecutor interface {
+	Execute(q protocol.ServerQuery) (protocol.ServerReply, error)
+}
+
+// ExecutorFunc adapts a function to the QueryExecutor interface.
+type ExecutorFunc func(q protocol.ServerQuery) (protocol.ServerReply, error)
+
+// Execute implements QueryExecutor.
+func (f ExecutorFunc) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) { return f(q) }
+
+// RemoteExecutor sends queries to a server over a protocol.Conn.
+type RemoteExecutor struct {
+	conn *protocol.Conn
+}
+
+// NewRemoteExecutor wraps an established connection to the server.
+func NewRemoteExecutor(conn *protocol.Conn) *RemoteExecutor { return &RemoteExecutor{conn: conn} }
+
+// Execute implements QueryExecutor.
+func (r *RemoteExecutor) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	reply, err := r.conn.Call(q)
+	if err != nil {
+		return protocol.ServerReply{}, err
+	}
+	switch m := reply.(type) {
+	case protocol.ServerReply:
+		return m, nil
+	case protocol.ErrorReply:
+		return protocol.ServerReply{}, fmt.Errorf("obfsvc: server error: %s", m.Message)
+	default:
+		return protocol.ServerReply{}, fmt.Errorf("obfsvc: unexpected server reply type %T", reply)
+	}
+}
+
+// Config parameterises the obfuscator service.
+type Config struct {
+	// Obfuscation is the path query obfuscator configuration.
+	Obfuscation obfuscate.Config
+	// BatchWindow is how long the service waits to accumulate concurrent
+	// requests before obfuscating them together (shared mode benefits from
+	// larger windows). Zero means every Submit call is processed
+	// immediately as a batch of one.
+	BatchWindow time.Duration
+	// MaxBatch caps the number of requests obfuscated together.
+	MaxBatch int
+	// VerifyPaths validates returned candidate paths against the
+	// obfuscator's road map before answering clients.
+	VerifyPaths bool
+}
+
+// DefaultConfig returns a shared-mode service with a 50 ms batching window.
+func DefaultConfig() Config {
+	return Config{
+		Obfuscation: obfuscate.DefaultConfig(),
+		BatchWindow: 50 * time.Millisecond,
+		MaxBatch:    64,
+		VerifyPaths: true,
+	}
+}
+
+// Stats counts the service's work.
+type Stats struct {
+	Requests         int64
+	Batches          int64
+	ObfuscatedSent   int64
+	CandidatesRecv   int64
+	ObfuscationNanos int64
+	FilterNanos      int64
+}
+
+// Service is the obfuscator middlebox.
+type Service struct {
+	graph    *roadnet.Graph
+	obf      *obfuscate.Obfuscator
+	filt     *filter.Filter
+	executor QueryExecutor
+	cfg      Config
+
+	queryID atomic.Uint64
+	stats   Stats
+	statsMu sync.Mutex
+	metrics *metrics.Registry
+
+	// batching state used by the asynchronous Submit path.
+	mu      sync.Mutex
+	pending []pendingRequest
+	timer   *time.Timer
+}
+
+type pendingRequest struct {
+	req  obfuscate.Request
+	done chan ClientResult
+}
+
+// ClientResult is what a client receives back: its own requested path.
+type ClientResult struct {
+	Request obfuscate.Request
+	Path    search.Path
+	Found   bool
+	Err     error
+}
+
+// New builds the obfuscator service over the simple road map g.
+func New(g *roadnet.Graph, executor QueryExecutor, cfg Config) (*Service, error) {
+	if executor == nil {
+		return nil, fmt.Errorf("obfsvc: nil query executor")
+	}
+	obf, err := obfuscate.New(g, cfg.Obfuscation)
+	if err != nil {
+		return nil, err
+	}
+	var filt *filter.Filter
+	if cfg.VerifyPaths {
+		filt = filter.NewVerifying(g)
+	} else {
+		filt = filter.New()
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	return &Service{graph: g, obf: obf, filt: filt, executor: executor, cfg: cfg, metrics: metrics.NewRegistry()}, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(g *roadnet.Graph, executor QueryExecutor, cfg Config) *Service {
+	s, err := New(g, executor, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Obfuscator exposes the underlying path query obfuscator (used by
+// experiments that need the plan without going through the server).
+func (s *Service) Obfuscator() *obfuscate.Obfuscator { return s.obf }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// Metrics returns the service's instrumentation registry (request counters,
+// obfuscation and filtering latency histograms).
+func (s *Service) Metrics() *metrics.Registry { return s.metrics }
+
+// ProcessBatch obfuscates the batch, evaluates every obfuscated query through
+// the executor, filters the candidates and returns one result per request in
+// batch order. This synchronous entry point is what experiments and the
+// in-process deployment use; Submit builds on it for the asynchronous,
+// batching-window flow.
+func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error) {
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("obfsvc: empty batch")
+	}
+	start := time.Now()
+	plan, err := s.obf.Obfuscate(batch)
+	obfDur := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("obfsvc: obfuscation failed: %w", err)
+	}
+
+	results := make([]ClientResult, len(batch))
+	for i := range results {
+		results[i] = ClientResult{Request: batch[i]}
+	}
+
+	var filterDur time.Duration
+	candidates := int64(0)
+	for _, q := range plan.Queries {
+		reply, err := s.executor.Execute(protocol.ServerQuery{
+			QueryID: s.queryID.Add(1),
+			Sources: q.Sources,
+			Dests:   q.Dests,
+		})
+		if err != nil {
+			// Mark every member of this query as failed but keep processing
+			// the other queries of the plan.
+			for i := range batch {
+				if qi, ok := plan.Assignment[i]; ok && qi == q.ID {
+					results[i].Err = err
+				}
+			}
+			continue
+		}
+		candidates += int64(len(reply.Paths))
+		fstart := time.Now()
+		set := newCandidateSet(reply)
+		extracted, ferr := s.filt.Extract(q, set)
+		filterDur += time.Since(fstart)
+		if ferr != nil {
+			for i := range batch {
+				if qi, ok := plan.Assignment[i]; ok && qi == q.ID {
+					results[i].Err = ferr
+				}
+			}
+			continue
+		}
+		// Map member results back to batch positions by user and pair.
+		for _, ext := range extracted {
+			for i := range batch {
+				if qi, ok := plan.Assignment[i]; !ok || qi != q.ID {
+					continue
+				}
+				if batch[i].User == ext.Request.User && batch[i].Source == ext.Request.Source && batch[i].Dest == ext.Request.Dest {
+					results[i].Path = ext.Path
+					results[i].Found = ext.Found
+				}
+			}
+		}
+	}
+
+	s.statsMu.Lock()
+	s.stats.Requests += int64(len(batch))
+	s.stats.Batches++
+	s.stats.ObfuscatedSent += int64(len(plan.Queries))
+	s.stats.CandidatesRecv += candidates
+	s.stats.ObfuscationNanos += obfDur.Nanoseconds()
+	s.stats.FilterNanos += filterDur.Nanoseconds()
+	s.statsMu.Unlock()
+
+	s.metrics.Add("requests", int64(len(batch)))
+	s.metrics.Add("batches", 1)
+	s.metrics.Add("obfuscated_queries_sent", int64(len(plan.Queries)))
+	s.metrics.Add("candidate_paths_received", candidates)
+	s.metrics.Observe("obfuscation_latency", obfDur)
+	s.metrics.Observe("filter_latency", filterDur)
+	s.metrics.SetGauge("last_batch_size", float64(len(batch)))
+
+	// "the satisfied requests are immediately discarded in the obfuscator"
+	// — nothing about the batch is retained beyond the counters above.
+	return results, nil
+}
+
+// Submit enqueues one request and returns a channel that will receive the
+// result once the current batching window closes. Requests arriving within
+// BatchWindow of each other are obfuscated together, which is what makes the
+// shared obfuscated path query variant effective.
+func (s *Service) Submit(req obfuscate.Request) <-chan ClientResult {
+	done := make(chan ClientResult, 1)
+	if err := req.Validate(s.graph); err != nil {
+		done <- ClientResult{Request: req, Err: err}
+		return done
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, pendingRequest{req: req, done: done})
+	shouldFlushNow := len(s.pending) >= s.cfg.MaxBatch || s.cfg.BatchWindow <= 0
+	if !shouldFlushNow && s.timer == nil {
+		s.timer = time.AfterFunc(s.cfg.BatchWindow, s.flush)
+	}
+	s.mu.Unlock()
+	if shouldFlushNow {
+		s.flush()
+	}
+	return done
+}
+
+// flush processes all currently pending requests as one batch.
+func (s *Service) flush() {
+	s.mu.Lock()
+	if s.timer != nil {
+		s.timer.Stop()
+		s.timer = nil
+	}
+	pending := s.pending
+	s.pending = nil
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	batch := make([]obfuscate.Request, len(pending))
+	for i, p := range pending {
+		batch[i] = p.req
+	}
+	results, err := s.ProcessBatch(batch)
+	for i, p := range pending {
+		if err != nil {
+			p.done <- ClientResult{Request: p.req, Err: err}
+			continue
+		}
+		p.done <- results[i]
+	}
+}
+
+// Flush forces any pending requests to be processed immediately; tests and
+// shutdown paths use it.
+func (s *Service) Flush() { s.flush() }
+
+// Handler returns a protocol.Handler that answers ClientRequest messages from
+// networked clients. Each request is submitted through the batching path and
+// the reply is sent when its batch completes.
+func (s *Service) Handler() protocol.Handler {
+	return func(msg any) (any, error) {
+		req, ok := msg.(protocol.ClientRequest)
+		if !ok {
+			return nil, fmt.Errorf("obfsvc: unexpected message type %T", msg)
+		}
+		res := <-s.Submit(obfuscate.Request{
+			User:   obfuscate.UserID(req.User),
+			Source: req.Source,
+			Dest:   req.Dest,
+			FS:     req.FS,
+			FT:     req.FT,
+		})
+		reply := protocol.ClientReply{RequestID: req.RequestID, Found: res.Found}
+		if res.Err != nil {
+			reply.Error = res.Err.Error()
+		}
+		if res.Found {
+			reply.Path = res.Path.Nodes
+			reply.Cost = res.Path.Cost
+		}
+		return reply, nil
+	}
+}
+
+// Serve accepts client connections on ln until the listener closes. The
+// channel between clients and the obfuscator is assumed secure (e.g. TLS in a
+// real deployment); securing it is outside the paper's scope and ours.
+func (s *Service) Serve(ln net.Listener) error {
+	return protocol.ServeListener(ln, s.Handler())
+}
+
+// candidateSet adapts a ServerReply to the filter.CandidateSet interface.
+type candidateSet struct {
+	paths map[[2]roadnet.NodeID]search.Path
+}
+
+func newCandidateSet(reply protocol.ServerReply) candidateSet {
+	set := candidateSet{paths: make(map[[2]roadnet.NodeID]search.Path, len(reply.Paths))}
+	for _, c := range reply.Paths {
+		set.paths[[2]roadnet.NodeID{c.Source, c.Dest}] = protocol.PathFromCandidate(c)
+	}
+	return set
+}
+
+// Path implements filter.CandidateSet.
+func (c candidateSet) Path(source, dest roadnet.NodeID) (search.Path, bool) {
+	p, ok := c.paths[[2]roadnet.NodeID{source, dest}]
+	return p, ok
+}

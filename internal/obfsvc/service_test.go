@@ -1,0 +1,271 @@
+package obfsvc
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/server"
+	"opaque/internal/storage"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Nodes = 800
+	cfg.Seed = 81
+	return gen.MustGenerate(cfg)
+}
+
+func testService(t testing.TB, g *roadnet.Graph, mode obfuscate.Mode, window time.Duration) (*Service, *server.Server) {
+	t.Helper()
+	srv := server.MustNew(g, server.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.BatchWindow = window
+	cfg.Obfuscation.Mode = mode
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	cfg.Obfuscation.Selector = obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, 83)
+	svc := MustNew(g, ExecutorFunc(srv.Evaluate), cfg)
+	return svc, srv
+}
+
+func testRequests(t testing.TB, g *roadnet.Graph, n int) []obfuscate.Request {
+	t.Helper()
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: n, Seed: 85})
+	out := make([]obfuscate.Request, n)
+	for i, p := range wl {
+		out[i] = obfuscate.Request{User: obfuscate.UserID(string(rune('a' + i%26))), Source: p.Source, Dest: p.Dest, FS: 2, FT: 3}
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	g := testGraph(t)
+	if _, err := New(g, nil, DefaultConfig()); err == nil {
+		t.Error("nil executor accepted")
+	}
+	cfg := DefaultConfig()
+	cfg.Obfuscation.Selector = nil
+	if _, err := New(g, ExecutorFunc(func(protocol.ServerQuery) (protocol.ServerReply, error) { return protocol.ServerReply{}, nil }), cfg); err == nil {
+		t.Error("config without selector accepted")
+	}
+}
+
+func TestProcessBatchReturnsExactPaths(t *testing.T) {
+	g := testGraph(t)
+	for _, mode := range []obfuscate.Mode{obfuscate.Independent, obfuscate.Shared} {
+		svc, srv := testService(t, g, mode, 0)
+		batch := testRequests(t, g, 8)
+		results, err := svc.ProcessBatch(batch)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(results) != len(batch) {
+			t.Fatalf("%s: %d results for %d requests", mode, len(results), len(batch))
+		}
+		acc := storage.NewMemoryGraph(g)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("%s: request %d error: %v", mode, i, r.Err)
+			}
+			if !r.Found {
+				t.Fatalf("%s: request %d path not found", mode, i)
+			}
+			truth, _, err := search.Dijkstra(acc, batch[i].Source, batch[i].Dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(truth.Cost-r.Path.Cost) > 1e-6 {
+				t.Errorf("%s: request %d path cost %v, shortest path costs %v", mode, i, r.Path.Cost, truth.Cost)
+			}
+			if r.Path.Source() != batch[i].Source || r.Path.Dest() != batch[i].Dest {
+				t.Errorf("%s: request %d path endpoints %d->%d, want %d->%d", mode, i, r.Path.Source(), r.Path.Dest(), batch[i].Source, batch[i].Dest)
+			}
+		}
+		// The server must never have seen a bare true pair as a whole query:
+		// every logged query must be at least fS x fT.
+		for _, entry := range srv.QueryLog() {
+			if len(entry.Sources) < 2 || len(entry.Dests) < 3 {
+				t.Errorf("%s: server saw a query with |S|=%d |T|=%d, below the requested protection", mode, len(entry.Sources), len(entry.Dests))
+			}
+		}
+		st := svc.Stats()
+		if st.Requests != int64(len(batch)) || st.Batches != 1 || st.ObfuscatedSent == 0 {
+			t.Errorf("%s: stats = %+v", mode, st)
+		}
+	}
+}
+
+func TestProcessBatchEmpty(t *testing.T) {
+	svc, _ := testService(t, testGraph(t), obfuscate.Shared, 0)
+	if _, err := svc.ProcessBatch(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+}
+
+func TestProcessBatchServerError(t *testing.T) {
+	g := testGraph(t)
+	boom := errors.New("server down")
+	cfg := DefaultConfig()
+	cfg.BatchWindow = 0
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	cfg.Obfuscation.Selector = obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, 83)
+	svc := MustNew(g, ExecutorFunc(func(protocol.ServerQuery) (protocol.ServerReply, error) {
+		return protocol.ServerReply{}, boom
+	}), cfg)
+	batch := testRequests(t, g, 3)
+	results, err := svc.ProcessBatch(batch)
+	if err != nil {
+		t.Fatalf("batch-level error: %v", err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("request %d should carry the server error", i)
+		}
+	}
+}
+
+func TestSubmitBatchingWindow(t *testing.T) {
+	g := testGraph(t)
+	svc, srv := testService(t, g, obfuscate.Shared, 30*time.Millisecond)
+	batch := testRequests(t, g, 6)
+	var chans []<-chan ClientResult
+	for _, req := range batch {
+		chans = append(chans, svc.Submit(req))
+	}
+	for i, ch := range chans {
+		select {
+		case res := <-ch:
+			if res.Err != nil {
+				t.Fatalf("request %d: %v", i, res.Err)
+			}
+			if !res.Found {
+				t.Errorf("request %d not found", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d timed out", i)
+		}
+	}
+	// All six requests arrived inside one window, so the obfuscator should
+	// have sent far fewer than six queries to the server.
+	if _, n := srv.TotalStats(); n >= 6 {
+		t.Errorf("server processed %d obfuscated queries for 6 batched requests; expected sharing", n)
+	}
+}
+
+func TestSubmitInvalidRequestFailsFast(t *testing.T) {
+	g := testGraph(t)
+	svc, _ := testService(t, g, obfuscate.Shared, time.Hour) // window never fires
+	res := <-svc.Submit(obfuscate.Request{User: "", Source: 0, Dest: 1})
+	if res.Err == nil {
+		t.Error("invalid request did not fail")
+	}
+}
+
+func TestSubmitMaxBatchFlushesImmediately(t *testing.T) {
+	g := testGraph(t)
+	srv := server.MustNew(g, server.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.BatchWindow = time.Hour // would never fire on its own
+	cfg.MaxBatch = 2
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	cfg.Obfuscation.Selector = obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, 87)
+	svc := MustNew(g, ExecutorFunc(srv.Evaluate), cfg)
+	batch := testRequests(t, g, 2)
+	var wg sync.WaitGroup
+	for _, req := range batch {
+		wg.Add(1)
+		go func(r obfuscate.Request) {
+			defer wg.Done()
+			select {
+			case res := <-svc.Submit(r):
+				if res.Err != nil {
+					t.Errorf("submit: %v", res.Err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Error("submit timed out despite MaxBatch flush")
+			}
+		}(req)
+	}
+	wg.Wait()
+}
+
+func TestFlushProcessesPending(t *testing.T) {
+	g := testGraph(t)
+	svc, _ := testService(t, g, obfuscate.Shared, time.Hour)
+	req := testRequests(t, g, 1)[0]
+	ch := svc.Submit(req)
+	svc.Flush()
+	select {
+	case res := <-ch:
+		if res.Err != nil || !res.Found {
+			t.Errorf("flushed result = %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Flush did not release the pending request")
+	}
+}
+
+func TestHandlerAndServeOverTCP(t *testing.T) {
+	g := testGraph(t)
+	svc, _ := testService(t, g, obfuscate.Independent, 0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = svc.Serve(ln) }()
+	defer ln.Close()
+
+	conn, err := protocol.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 1, Seed: 90})
+	reply, err := conn.Call(protocol.ClientRequest{RequestID: 9, User: "tcp-user", Source: wl[0].Source, Dest: wl[0].Dest, FS: 2, FT: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr, ok := reply.(protocol.ClientReply)
+	if !ok {
+		t.Fatalf("reply type %T", reply)
+	}
+	if !cr.Found || cr.RequestID != 9 || len(cr.Path) == 0 {
+		t.Errorf("reply = %+v", cr)
+	}
+}
+
+func TestRemoteExecutor(t *testing.T) {
+	g := testGraph(t)
+	srv := server.MustNew(g, server.DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer ln.Close()
+	conn, err := protocol.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	exec := NewRemoteExecutor(conn)
+	reply, err := exec.Execute(protocol.ServerQuery{QueryID: 2, Sources: []roadnet.NodeID{0}, Dests: []roadnet.NodeID{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.QueryID != 2 || len(reply.Paths) != 1 {
+		t.Errorf("remote executor reply = %+v", reply)
+	}
+}

@@ -1,0 +1,253 @@
+package obfuscate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.TigerLike
+	cfg.Nodes = 1200
+	cfg.Seed = 41
+	return gen.MustGenerate(cfg)
+}
+
+func testSelector(g *roadnet.Graph, seed uint64) EndpointSelector {
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	return MustNewRingBandSelector(0.02*extent, 0.2*extent, seed)
+}
+
+func testRequests(g *roadnet.Graph, n, fs, ft int, seed uint64) []Request {
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: n, Seed: seed})
+	out := make([]Request, n)
+	for i, p := range wl {
+		out[i] = Request{User: UserID("u"+string(rune('a'+i%26))) + UserID(rune('0'+i/26)), Source: p.Source, Dest: p.Dest, FS: fs, FT: ft}
+	}
+	return out
+}
+
+func TestBreachProbability(t *testing.T) {
+	cases := []struct {
+		fs, ft int
+		want   float64
+	}{
+		{1, 1, 1},
+		{2, 3, 1.0 / 6},
+		{4, 4, 1.0 / 16},
+		{0, 5, 1.0 / 5}, // clamped fS
+		{-3, -2, 1},     // both clamped
+		{16, 16, 1.0 / 256},
+	}
+	for _, tc := range cases {
+		if got := BreachProbability(tc.fs, tc.ft); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("BreachProbability(%d,%d) = %v, want %v", tc.fs, tc.ft, got, tc.want)
+		}
+	}
+}
+
+// Property: breach probability is always in (0, 1] and decreases (weakly)
+// when either set grows.
+func TestBreachProbabilityProperty(t *testing.T) {
+	f := func(fs, ft uint8) bool {
+		a := BreachProbability(int(fs), int(ft))
+		b := BreachProbability(int(fs)+1, int(ft))
+		c := BreachProbability(int(fs), int(ft)+1)
+		return a > 0 && a <= 1 && b <= a && c <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	g := testGraph(t)
+	good := Request{User: "alice", Source: 0, Dest: 1, FS: 2, FT: 2}
+	if err := good.Validate(g); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	cases := []Request{
+		{User: "", Source: 0, Dest: 1},
+		{User: "x", Source: -1, Dest: 1},
+		{User: "x", Source: 0, Dest: roadnet.NodeID(g.NumNodes())},
+		{User: "x", Source: 5, Dest: 5},
+		{User: "x", Source: 0, Dest: 1, FS: -1},
+	}
+	for i, r := range cases {
+		if err := r.Validate(g); err == nil {
+			t.Errorf("case %d: invalid request %+v accepted", i, r)
+		}
+	}
+}
+
+func TestObfuscatedQueryHelpers(t *testing.T) {
+	q := ObfuscatedQuery{
+		Sources: []roadnet.NodeID{1, 2},
+		Dests:   []roadnet.NodeID{3, 4, 5},
+		Members: []Request{{User: "a", Source: 1, Dest: 3}},
+	}
+	if got := q.BreachProbability(); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("BreachProbability = %v, want 1/6", got)
+	}
+	if !q.ContainsPair(2, 5) || q.ContainsPair(3, 5) {
+		t.Error("ContainsPair misbehaves")
+	}
+	if !q.Covers(q.Members[0]) {
+		t.Error("Covers should accept its own member")
+	}
+	if q.NumCandidatePairs() != 6 {
+		t.Errorf("NumCandidatePairs = %d, want 6", q.NumCandidatePairs())
+	}
+	if q.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestUniformSelector(t *testing.T) {
+	g := testGraph(t)
+	sel := NewUniformSelector(7)
+	truth := roadnet.NodeID(10)
+	exclude := map[roadnet.NodeID]struct{}{20: {}, 30: {}}
+	fakes := sel.SelectFakes(g, truth, 15, exclude)
+	if len(fakes) != 15 {
+		t.Fatalf("got %d fakes, want 15", len(fakes))
+	}
+	seen := map[roadnet.NodeID]struct{}{}
+	for _, f := range fakes {
+		if f == truth {
+			t.Error("selector returned the true endpoint")
+		}
+		if _, excluded := exclude[f]; excluded {
+			t.Error("selector returned an excluded endpoint")
+		}
+		if _, dup := seen[f]; dup {
+			t.Error("selector returned duplicates")
+		}
+		seen[f] = struct{}{}
+	}
+	if sel.Name() != "uniform" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+}
+
+func TestUniformSelectorSmallGraph(t *testing.T) {
+	g := roadnet.NewGraph(3, 0)
+	g.AddNode(0, 0)
+	g.AddNode(1, 0)
+	g.AddNode(2, 0)
+	g.Freeze()
+	sel := NewUniformSelector(1)
+	fakes := sel.SelectFakes(g, 0, 10, nil)
+	if len(fakes) != 2 {
+		t.Errorf("tiny graph should yield 2 fakes, got %d", len(fakes))
+	}
+}
+
+func TestRingBandSelector(t *testing.T) {
+	g := testGraph(t)
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	minR, maxR := 0.05*extent, 0.2*extent
+	sel := MustNewRingBandSelector(minR, maxR, 3)
+	if sel.Name() != "ringband" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	truth := roadnet.NodeID(g.NumNodes() / 2)
+	fakes := sel.SelectFakes(g, truth, 8, nil)
+	if len(fakes) == 0 {
+		t.Fatal("no fakes selected")
+	}
+	for _, f := range fakes {
+		if f == truth {
+			t.Error("true endpoint returned as fake")
+		}
+		d := g.Euclid(truth, f)
+		// The band may be widened when sparse, but never narrowed below min.
+		if d < minR-1e-9 {
+			t.Errorf("fake at distance %v inside the minimum radius %v", d, minR)
+		}
+	}
+	if _, err := NewRingBandSelector(5, 5, 1); err == nil {
+		t.Error("degenerate band accepted")
+	}
+	if _, err := NewRingBandSelector(-1, 5, 1); err == nil {
+		t.Error("negative min radius accepted")
+	}
+}
+
+func TestDensityAwareSelector(t *testing.T) {
+	g := testGraph(t)
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	sel := MustNewDensityAwareSelector(0.2*extent, 5)
+	if sel.Name() != "density" {
+		t.Errorf("Name = %q", sel.Name())
+	}
+	truth := roadnet.NodeID(0)
+	fakes := sel.SelectFakes(g, truth, 10, map[roadnet.NodeID]struct{}{1: {}})
+	if len(fakes) == 0 {
+		t.Fatal("no fakes selected")
+	}
+	seen := map[roadnet.NodeID]struct{}{}
+	for _, f := range fakes {
+		if f == truth || f == 1 {
+			t.Error("selector returned truth or excluded node")
+		}
+		if _, dup := seen[f]; dup {
+			t.Error("duplicate fake")
+		}
+		seen[f] = struct{}{}
+	}
+	if _, err := NewDensityAwareSelector(0, 1); err == nil {
+		t.Error("zero radius accepted")
+	}
+}
+
+// TestDensityAwarePrefersPopularNodes draws many fakes and checks the mean
+// weight of selected nodes exceeds the graph's mean node weight.
+func TestDensityAwarePrefersPopularNodes(t *testing.T) {
+	g := testGraph(t)
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	sel := MustNewDensityAwareSelector(0.5*extent, 9)
+	graphMean := 0.0
+	for _, n := range g.Nodes() {
+		graphMean += n.Weight
+	}
+	graphMean /= float64(g.NumNodes())
+
+	totalWeight, count := 0.0, 0
+	for trial := 0; trial < 20; trial++ {
+		truth := roadnet.NodeID((trial * 37) % g.NumNodes())
+		for _, f := range sel.SelectFakes(g, truth, 5, nil) {
+			totalWeight += g.Node(f).Weight
+			count++
+		}
+	}
+	if count == 0 {
+		t.Fatal("no fakes drawn")
+	}
+	if totalWeight/float64(count) <= graphMean {
+		t.Errorf("density-aware mean fake weight %.3f not above graph mean %.3f", totalWeight/float64(count), graphMean)
+	}
+}
+
+func TestSelectorsDeterministic(t *testing.T) {
+	g := testGraph(t)
+	a := testSelector(g, 42).SelectFakes(g, 5, 6, nil)
+	b := testSelector(g, 42).SelectFakes(g, 5, 6, nil)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("selection differs at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

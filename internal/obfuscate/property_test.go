@@ -1,0 +1,72 @@
+package obfuscate
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary protection settings, modes, clustering policies and
+// batch sizes, the obfuscator always produces a plan that validates — every
+// request is covered by exactly one query whose S/T sizes meet the request's
+// fS/fT — and the nominal breach probability of every covering query is at
+// most 1/(fS·fT).
+func TestObfuscationPlanInvariantProperty(t *testing.T) {
+	g := testGraph(t)
+	modes := []Mode{Independent, Shared}
+	policies := []ClusterPolicy{ClusterNone, ClusterRandom, ClusterSpatialGreedy}
+	f := func(fsRaw, ftRaw, nRaw, modeRaw, policyRaw, floorRaw uint8, seed uint64) bool {
+		fs := int(fsRaw%5) + 1
+		ft := int(ftRaw%5) + 1
+		n := int(nRaw%8) + 1
+		mode := modes[int(modeRaw)%len(modes)]
+		policy := policies[int(policyRaw)%len(policies)]
+		floor := int(floorRaw % 3)
+		o, err := New(g, Config{
+			Mode:            mode,
+			Cluster:         policy,
+			Selector:        testSelector(g, seed),
+			MaxClusterSize:  4,
+			MaxClusterSpan:  0.4,
+			MinFakesPerSide: floor,
+			Seed:            seed,
+		})
+		if err != nil {
+			return false
+		}
+		reqs := testRequests(g, n, fs, ft, seed+1)
+		plan, err := o.Obfuscate(reqs)
+		if err != nil {
+			return false
+		}
+		if err := plan.Validate(); err != nil {
+			return false
+		}
+		for i, r := range reqs {
+			q, ok := plan.QueryFor(i)
+			if !ok {
+				return false
+			}
+			if q.BreachProbability() > BreachProbability(fs, ft)+1e-12 {
+				return false
+			}
+			if floor > 0 {
+				// The fake floor guarantees more candidates than true
+				// endpoints on each side.
+				trueSrc := map[int32]struct{}{}
+				trueDst := map[int32]struct{}{}
+				for _, m := range q.Members {
+					trueSrc[int32(m.Source)] = struct{}{}
+					trueDst[int32(m.Dest)] = struct{}{}
+				}
+				if len(q.Sources) < len(trueSrc)+floor || len(q.Dests) < len(trueDst)+floor {
+					return false
+				}
+			}
+			_ = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

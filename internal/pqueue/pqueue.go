@@ -1,0 +1,178 @@
+// Package pqueue provides an indexed binary min-heap keyed by float64
+// priorities. It supports DecreaseKey, which Dijkstra-style searches use to
+// update tentative distances in place, and is the single priority-queue
+// implementation shared by every search algorithm in the repository.
+package pqueue
+
+// Item is a queue entry: an integer payload (typically a node ID) with a
+// float64 priority.
+type Item struct {
+	Value    int32
+	Priority float64
+}
+
+// IndexedHeap is a binary min-heap over int32 values with float64 priorities.
+// Each value may appear at most once; Push on an existing value behaves like
+// DecreaseKey when the new priority is lower and is a no-op otherwise.
+//
+// The zero value is not usable; construct with New or NewWithCapacity. The
+// position index is a map so the heap works for arbitrarily sparse value
+// spaces; for dense node IDs the map stays small relative to graph storage.
+type IndexedHeap struct {
+	items []Item
+	pos   map[int32]int
+}
+
+// New returns an empty heap.
+func New() *IndexedHeap {
+	return NewWithCapacity(0)
+}
+
+// NewWithCapacity returns an empty heap with storage preallocated for n
+// entries.
+func NewWithCapacity(n int) *IndexedHeap {
+	return &IndexedHeap{
+		items: make([]Item, 0, n),
+		pos:   make(map[int32]int, n),
+	}
+}
+
+// Len returns the number of queued items.
+func (h *IndexedHeap) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no items.
+func (h *IndexedHeap) Empty() bool { return len(h.items) == 0 }
+
+// Reset removes all items but keeps allocated storage.
+func (h *IndexedHeap) Reset() {
+	h.items = h.items[:0]
+	for k := range h.pos {
+		delete(h.pos, k)
+	}
+}
+
+// Contains reports whether value is currently queued.
+func (h *IndexedHeap) Contains(value int32) bool {
+	_, ok := h.pos[value]
+	return ok
+}
+
+// Priority returns the current priority of value and whether it is queued.
+func (h *IndexedHeap) Priority(value int32) (float64, bool) {
+	i, ok := h.pos[value]
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].Priority, true
+}
+
+// Push inserts value with the given priority. If value is already queued the
+// call degrades to DecreaseKey: the priority is lowered if the new one is
+// smaller, otherwise nothing happens. It returns true if the heap changed.
+func (h *IndexedHeap) Push(value int32, priority float64) bool {
+	if i, ok := h.pos[value]; ok {
+		if priority < h.items[i].Priority {
+			h.items[i].Priority = priority
+			h.up(i)
+			return true
+		}
+		return false
+	}
+	h.items = append(h.items, Item{Value: value, Priority: priority})
+	i := len(h.items) - 1
+	h.pos[value] = i
+	h.up(i)
+	return true
+}
+
+// DecreaseKey lowers the priority of a queued value. It returns false when
+// the value is not queued or the new priority is not lower.
+func (h *IndexedHeap) DecreaseKey(value int32, priority float64) bool {
+	i, ok := h.pos[value]
+	if !ok || priority >= h.items[i].Priority {
+		return false
+	}
+	h.items[i].Priority = priority
+	h.up(i)
+	return true
+}
+
+// Pop removes and returns the item with the smallest priority. It panics on
+// an empty heap; callers check Empty or Len first.
+func (h *IndexedHeap) Pop() Item {
+	if len(h.items) == 0 {
+		panic("pqueue: Pop on empty heap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	delete(h.pos, top.Value)
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum item without removing it. It panics on an empty
+// heap.
+func (h *IndexedHeap) Peek() Item {
+	if len(h.items) == 0 {
+		panic("pqueue: Peek on empty heap")
+	}
+	return h.items[0]
+}
+
+// Remove deletes value from the heap, returning true if it was present.
+func (h *IndexedHeap) Remove(value int32) bool {
+	i, ok := h.pos[value]
+	if !ok {
+		return false
+	}
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	delete(h.pos, value)
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	return true
+}
+
+func (h *IndexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[i].Priority >= h.items[parent].Priority {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *IndexedHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		right := left + 1
+		smallest := i
+		if left < n && h.items[left].Priority < h.items[smallest].Priority {
+			smallest = left
+		}
+		if right < n && h.items[right].Priority < h.items[smallest].Priority {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *IndexedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].Value] = i
+	h.pos[h.items[j].Value] = j
+}

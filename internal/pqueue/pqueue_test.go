@@ -1,0 +1,219 @@
+package pqueue
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New()
+	if !h.Empty() || h.Len() != 0 {
+		t.Error("new heap should be empty")
+	}
+	if h.Contains(3) {
+		t.Error("Contains on empty heap returned true")
+	}
+	if _, ok := h.Priority(3); ok {
+		t.Error("Priority on empty heap returned ok")
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	h := NewWithCapacity(8)
+	input := map[int32]float64{1: 5, 2: 1, 3: 3, 4: 4, 5: 2}
+	for v, p := range input {
+		if !h.Push(v, p) {
+			t.Errorf("Push(%d,%v) returned false", v, p)
+		}
+	}
+	if h.Len() != len(input) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(input))
+	}
+	var prev float64 = math.Inf(-1)
+	for !h.Empty() {
+		item := h.Pop()
+		if item.Priority < prev {
+			t.Errorf("Pop out of order: %v after %v", item.Priority, prev)
+		}
+		if input[item.Value] != item.Priority {
+			t.Errorf("Pop returned value %d with priority %v, want %v", item.Value, item.Priority, input[item.Value])
+		}
+		prev = item.Priority
+	}
+}
+
+func TestPushExistingActsAsDecreaseKey(t *testing.T) {
+	h := New()
+	h.Push(7, 10)
+	if h.Push(7, 20) {
+		t.Error("Push with a higher priority on existing value should be a no-op")
+	}
+	if p, _ := h.Priority(7); p != 10 {
+		t.Errorf("priority changed to %v after no-op push, want 10", p)
+	}
+	if !h.Push(7, 4) {
+		t.Error("Push with a lower priority should succeed as decrease-key")
+	}
+	if p, _ := h.Priority(7); p != 4 {
+		t.Errorf("priority = %v after decrease, want 4", p)
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d after duplicate pushes, want 1", h.Len())
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	h := New()
+	h.Push(1, 10)
+	h.Push(2, 20)
+	if h.DecreaseKey(2, 25) {
+		t.Error("DecreaseKey to a larger priority should fail")
+	}
+	if h.DecreaseKey(99, 1) {
+		t.Error("DecreaseKey on a missing value should fail")
+	}
+	if !h.DecreaseKey(2, 5) {
+		t.Error("DecreaseKey to a smaller priority should succeed")
+	}
+	if top := h.Peek(); top.Value != 2 || top.Priority != 5 {
+		t.Errorf("Peek = %+v, want value 2 priority 5", top)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	h := New()
+	for i := int32(0); i < 10; i++ {
+		h.Push(i, float64(10-i))
+	}
+	if !h.Remove(5) {
+		t.Error("Remove(5) failed")
+	}
+	if h.Remove(5) {
+		t.Error("second Remove(5) should fail")
+	}
+	if h.Contains(5) {
+		t.Error("heap still contains removed value")
+	}
+	// Remaining pops must still be ordered.
+	prev := math.Inf(-1)
+	for !h.Empty() {
+		it := h.Pop()
+		if it.Value == 5 {
+			t.Error("popped a removed value")
+		}
+		if it.Priority < prev {
+			t.Errorf("order violated after Remove: %v < %v", it.Priority, prev)
+		}
+		prev = it.Priority
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Push(1, 1)
+	h.Push(2, 2)
+	h.Reset()
+	if !h.Empty() {
+		t.Error("heap not empty after Reset")
+	}
+	if h.Contains(1) {
+		t.Error("heap still indexes values after Reset")
+	}
+	h.Push(3, 3)
+	if h.Pop().Value != 3 {
+		t.Error("heap unusable after Reset")
+	}
+}
+
+func TestPopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop on empty heap did not panic")
+		}
+	}()
+	New().Pop()
+}
+
+func TestPeekPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Peek on empty heap did not panic")
+		}
+	}()
+	New().Peek()
+}
+
+// Property: pushing arbitrary (value, priority) pairs (last write wins only
+// when lower) and popping everything yields priorities in non-decreasing
+// order, and each value appears at most once.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(priorities []float64) bool {
+		h := NewWithCapacity(len(priorities))
+		want := make([]float64, 0, len(priorities))
+		for i, p := range priorities {
+			if math.IsNaN(p) {
+				continue
+			}
+			h.Push(int32(i), p)
+			want = append(want, p)
+		}
+		sort.Float64s(want)
+		got := make([]float64, 0, len(want))
+		seen := make(map[int32]bool)
+		for !h.Empty() {
+			it := h.Pop()
+			if seen[it.Value] {
+				return false
+			}
+			seen[it.Value] = true
+			got = append(got, it.Priority)
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after arbitrary interleavings of Push and DecreaseKey, the heap's
+// reported priority for every value equals the minimum priority ever pushed
+// for it.
+func TestDecreaseKeyProperty(t *testing.T) {
+	f := func(ops []struct {
+		Value uint8
+		Prio  float64
+	}) bool {
+		h := New()
+		min := make(map[int32]float64)
+		for _, op := range ops {
+			if math.IsNaN(op.Prio) {
+				continue
+			}
+			v := int32(op.Value % 16)
+			h.Push(v, op.Prio)
+			if cur, ok := min[v]; !ok || op.Prio < cur {
+				min[v] = op.Prio
+			}
+		}
+		for v, want := range min {
+			got, ok := h.Priority(v)
+			if !ok || got != want {
+				return false
+			}
+		}
+		return h.Len() == len(min)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

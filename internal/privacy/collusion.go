@@ -1,0 +1,186 @@
+package privacy
+
+import (
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+)
+
+// CollusionScenario models the attack the paper's abstract raises: some users
+// whose queries were merged into a shared obfuscated query collude with the
+// server and reveal their own true (s, t) pairs. The server can then discount
+// those endpoints when guessing the remaining (victim) members' pairs.
+//
+// For an independent obfuscated query, every non-member endpoint is a fake
+// the obfuscator invented, so a colluding coalition that includes the lone
+// member reveals everything and a coalition that excludes the member reveals
+// nothing about it; the interesting comparison is the shared case, where the
+// coalition's endpoints are real but belong to other people, shrinking —
+// though never collapsing — the victims' anonymity sets.
+type CollusionScenario struct {
+	Query obfuscate.ObfuscatedQuery
+	// Colluders are the member requests that defected (revealed their true
+	// endpoints to the adversary).
+	Colluders []obfuscate.Request
+}
+
+// victims returns the members of the query that did not collude.
+func (c CollusionScenario) victims() []obfuscate.Request {
+	colluding := make(map[obfuscate.UserID]struct{}, len(c.Colluders))
+	for _, r := range c.Colluders {
+		colluding[r.User] = struct{}{}
+	}
+	var out []obfuscate.Request
+	for _, m := range c.Query.Members {
+		if _, ok := colluding[m.User]; !ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ResidualQuery returns the obfuscated query as the colluding adversary sees
+// it after removing every endpoint claimed by a colluder (unless another
+// member shares the endpoint, which the adversary cannot rule out and
+// therefore must keep).
+func (c CollusionScenario) ResidualQuery() obfuscate.ObfuscatedQuery {
+	claimedSrc := make(map[roadnet.NodeID]int)
+	claimedDst := make(map[roadnet.NodeID]int)
+	for _, r := range c.Colluders {
+		claimedSrc[r.Source]++
+		claimedDst[r.Dest]++
+	}
+	// Count how many non-colluding members also use each endpoint; those
+	// endpoints stay in the residual sets.
+	sharedSrc := make(map[roadnet.NodeID]bool)
+	sharedDst := make(map[roadnet.NodeID]bool)
+	for _, v := range c.victims() {
+		sharedSrc[v.Source] = true
+		sharedDst[v.Dest] = true
+	}
+	res := obfuscate.ObfuscatedQuery{ID: c.Query.ID, Members: c.victims()}
+	for _, s := range c.Query.Sources {
+		if n, claimed := claimedSrc[s]; claimed && n > 0 && !sharedSrc[s] {
+			continue
+		}
+		res.Sources = append(res.Sources, s)
+	}
+	for _, t := range c.Query.Dests {
+		if n, claimed := claimedDst[t]; claimed && n > 0 && !sharedDst[t] {
+			continue
+		}
+		res.Dests = append(res.Dests, t)
+	}
+	// Degenerate safety: a residual set can never be empty while victims
+	// remain, because each victim's own endpoint survives the filter above.
+	return res
+}
+
+// CollusionReport summarises the privacy loss a coalition inflicts on the
+// remaining members.
+type CollusionReport struct {
+	Colluders int
+	Victims   int
+	// BreachBefore and BreachAfter are the mean probability the adversary
+	// assigns to each victim's true pair before and after using the
+	// coalition's knowledge.
+	BreachBefore float64
+	BreachAfter  float64
+	// ResidualSources and ResidualDests are the sizes of the anonymity sets
+	// the victims retain.
+	ResidualSources int
+	ResidualDests   int
+}
+
+// EvaluateCollusion measures the collusion attack: adversary a first guesses
+// using the full query, then using the residual query with colluder endpoints
+// removed.
+func (a *Adversary) EvaluateCollusion(sc CollusionScenario) CollusionReport {
+	victims := sc.victims()
+	rep := CollusionReport{Colluders: len(sc.Colluders), Victims: len(victims)}
+	if len(victims) == 0 {
+		return rep
+	}
+	residual := sc.ResidualQuery()
+	rep.ResidualSources = len(residual.Sources)
+	rep.ResidualDests = len(residual.Dests)
+	before, after := 0.0, 0.0
+	for _, v := range victims {
+		before += a.BreachProbability(sc.Query, v)
+		after += a.PairProbability(residual, v.Source, v.Dest)
+	}
+	rep.BreachBefore = before / float64(len(victims))
+	rep.BreachAfter = after / float64(len(victims))
+	return rep
+}
+
+// CollusionSweep runs the collusion attack for every coalition size from 0 to
+// len(q.Members)-1, taking colluders in member order, and returns one report
+// per coalition size. It is the primitive behind experiment E9.
+func (a *Adversary) CollusionSweep(q obfuscate.ObfuscatedQuery) []CollusionReport {
+	n := len(q.Members)
+	if n == 0 {
+		return nil
+	}
+	out := make([]CollusionReport, 0, n)
+	for c := 0; c < n; c++ {
+		sc := CollusionScenario{Query: q, Colluders: q.Members[:c]}
+		out = append(out, a.EvaluateCollusion(sc))
+	}
+	return out
+}
+
+// LinkageReport quantifies how much repeated queries from the same user leak
+// when the obfuscator picks fresh fakes each time: endpoints that appear in
+// every one of the user's obfuscated queries are more likely to be true.
+type LinkageReport struct {
+	Queries int
+	// PersistentSources/Dests are the endpoints present in every query.
+	PersistentSources []roadnet.NodeID
+	PersistentDests   []roadnet.NodeID
+	// SourceIdentified/DestIdentified report whether intersection alone
+	// pinned the true endpoint uniquely.
+	SourceIdentified bool
+	DestIdentified   bool
+}
+
+// AnalyzeLinkage intersects the source and destination sets of several
+// obfuscated queries known (to the analyst) to belong to the same user with
+// the same true endpoints. It models the paper's observation that the server
+// "can accumulate all the path queries received" (Section II).
+func AnalyzeLinkage(queries []obfuscate.ObfuscatedQuery, truth obfuscate.Request) LinkageReport {
+	rep := LinkageReport{Queries: len(queries)}
+	if len(queries) == 0 {
+		return rep
+	}
+	srcCount := make(map[roadnet.NodeID]int)
+	dstCount := make(map[roadnet.NodeID]int)
+	for _, q := range queries {
+		seenS := make(map[roadnet.NodeID]struct{})
+		for _, s := range q.Sources {
+			if _, dup := seenS[s]; !dup {
+				srcCount[s]++
+				seenS[s] = struct{}{}
+			}
+		}
+		seenT := make(map[roadnet.NodeID]struct{})
+		for _, t := range q.Dests {
+			if _, dup := seenT[t]; !dup {
+				dstCount[t]++
+				seenT[t] = struct{}{}
+			}
+		}
+	}
+	for id, c := range srcCount {
+		if c == len(queries) {
+			rep.PersistentSources = append(rep.PersistentSources, id)
+		}
+	}
+	for id, c := range dstCount {
+		if c == len(queries) {
+			rep.PersistentDests = append(rep.PersistentDests, id)
+		}
+	}
+	rep.SourceIdentified = len(rep.PersistentSources) == 1 && len(rep.PersistentSources) > 0 && rep.PersistentSources[0] == truth.Source
+	rep.DestIdentified = len(rep.PersistentDests) == 1 && len(rep.PersistentDests) > 0 && rep.PersistentDests[0] == truth.Dest
+	return rep
+}

@@ -1,0 +1,173 @@
+package privacy
+
+import (
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+)
+
+// sharedQuery builds one shared obfuscated query over k users.
+func sharedQuery(t *testing.T, g *roadnet.Graph, k int) (obfuscate.ObfuscatedQuery, []obfuscate.Request) {
+	t.Helper()
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Hotspot, Queries: k, Hotspots: 2, HotspotSpread: 0.05, Seed: 61})
+	reqs := make([]obfuscate.Request, k)
+	for i, p := range wl {
+		reqs[i] = obfuscate.Request{User: obfuscate.UserID(string(rune('a' + i))), Source: p.Source, Dest: p.Dest, FS: 4, FT: 4}
+	}
+	o := obfuscate.MustNew(g, obfuscate.Config{
+		Mode:           obfuscate.Shared,
+		Cluster:        obfuscate.ClusterRandom,
+		Selector:       testSelector(g, 62),
+		MaxClusterSize: k,
+		Seed:           63,
+	})
+	plan, err := o.Obfuscate(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Queries) != 1 {
+		t.Fatalf("expected a single shared query, got %d", len(plan.Queries))
+	}
+	return plan.Queries[0], reqs
+}
+
+func TestResidualQueryKeepsVictimEndpoints(t *testing.T) {
+	g := testGraph(t)
+	q, reqs := sharedQuery(t, g, 6)
+	sc := CollusionScenario{Query: q, Colluders: reqs[:2]}
+	residual := sc.ResidualQuery()
+	// Every victim's endpoints must survive the filter.
+	for _, v := range reqs[2:] {
+		if !residual.ContainsPair(v.Source, v.Dest) {
+			t.Errorf("victim %s endpoints missing from residual query", v.User)
+		}
+	}
+	// Residual sets are never larger than the original.
+	if len(residual.Sources) > len(q.Sources) || len(residual.Dests) > len(q.Dests) {
+		t.Error("residual sets grew")
+	}
+	if len(residual.Members) != len(reqs)-2 {
+		t.Errorf("residual members = %d, want %d", len(residual.Members), len(reqs)-2)
+	}
+}
+
+func TestCollusionIncreasesButBoundsBreach(t *testing.T) {
+	g := testGraph(t)
+	q, reqs := sharedQuery(t, g, 6)
+	adv := NewUniformAdversary(g)
+	sc := CollusionScenario{Query: q, Colluders: reqs[:3]}
+	rep := adv.EvaluateCollusion(sc)
+	if rep.Colluders != 3 || rep.Victims != 3 {
+		t.Fatalf("report counted %d colluders / %d victims", rep.Colluders, rep.Victims)
+	}
+	if rep.BreachAfter < rep.BreachBefore {
+		t.Errorf("collusion decreased breach: before %v, after %v", rep.BreachBefore, rep.BreachAfter)
+	}
+	if rep.BreachAfter >= 1 {
+		t.Errorf("breach after collusion = %v, must remain below certainty while victims share the query", rep.BreachAfter)
+	}
+	if rep.ResidualSources < 1 || rep.ResidualDests < 1 {
+		t.Error("residual anonymity sets must stay non-empty")
+	}
+}
+
+func TestCollusionSweepMonotonicResidualSets(t *testing.T) {
+	g := testGraph(t)
+	q, _ := sharedQuery(t, g, 6)
+	adv := NewUniformAdversary(g)
+	reports := adv.CollusionSweep(q)
+	if len(reports) != len(q.Members) {
+		t.Fatalf("sweep produced %d reports, want %d", len(reports), len(q.Members))
+	}
+	for i := 1; i < len(reports); i++ {
+		if reports[i].ResidualSources > reports[i-1].ResidualSources {
+			t.Errorf("residual |S| increased from %d to %d as the coalition grew", reports[i-1].ResidualSources, reports[i].ResidualSources)
+		}
+		if reports[i].Victims > reports[i-1].Victims {
+			t.Errorf("victims grew from %d to %d as the coalition grew", reports[i-1].Victims, reports[i].Victims)
+		}
+	}
+	if got := adv.CollusionSweep(obfuscate.ObfuscatedQuery{}); got != nil {
+		t.Error("sweep of memberless query should be nil")
+	}
+}
+
+func TestCollusionAllButOne(t *testing.T) {
+	g := testGraph(t)
+	q, reqs := sharedQuery(t, g, 4)
+	adv := NewUniformAdversary(g)
+	rep := adv.EvaluateCollusion(CollusionScenario{Query: q, Colluders: reqs[:3]})
+	if rep.Victims != 1 {
+		t.Fatalf("victims = %d, want 1", rep.Victims)
+	}
+	// The lone victim's breach rises substantially, but as long as any fake
+	// endpoints remain in the residual sets it stays below 1.
+	if rep.BreachAfter <= rep.BreachBefore {
+		t.Errorf("expected breach to rise when all but one member collude (before %v, after %v)", rep.BreachBefore, rep.BreachAfter)
+	}
+	if rep.ResidualSources > 1 && rep.ResidualDests > 1 && rep.BreachAfter >= 1 {
+		t.Errorf("breach %v should stay below 1 with residual sets %dx%d", rep.BreachAfter, rep.ResidualSources, rep.ResidualDests)
+	}
+}
+
+func TestEvaluateCollusionNoVictims(t *testing.T) {
+	g := testGraph(t)
+	q, reqs := sharedQuery(t, g, 3)
+	adv := NewUniformAdversary(g)
+	rep := adv.EvaluateCollusion(CollusionScenario{Query: q, Colluders: reqs})
+	if rep.Victims != 0 {
+		t.Errorf("victims = %d, want 0", rep.Victims)
+	}
+	if rep.BreachBefore != 0 || rep.BreachAfter != 0 {
+		t.Errorf("breach values for no victims should be 0, got %v/%v", rep.BreachBefore, rep.BreachAfter)
+	}
+}
+
+func TestAnalyzeLinkage(t *testing.T) {
+	g := testGraph(t)
+	truth := obfuscate.Request{User: "alice", Source: 10, Dest: 800, FS: 3, FT: 3}
+	var observed []obfuscate.ObfuscatedQuery
+	for day := 0; day < 4; day++ {
+		o := obfuscate.MustNew(g, obfuscate.Config{
+			Mode:     obfuscate.Independent,
+			Cluster:  obfuscate.ClusterNone,
+			Selector: testSelector(g, uint64(100+day)),
+			Seed:     uint64(200 + day),
+		})
+		plan, err := o.Obfuscate([]obfuscate.Request{truth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		observed = append(observed, plan.Queries[0])
+	}
+	rep := AnalyzeLinkage(observed, truth)
+	if rep.Queries != 4 {
+		t.Errorf("queries = %d, want 4", rep.Queries)
+	}
+	// The true endpoints persist across every observation.
+	foundSrc, foundDst := false, false
+	for _, s := range rep.PersistentSources {
+		if s == truth.Source {
+			foundSrc = true
+		}
+	}
+	for _, d := range rep.PersistentDests {
+		if d == truth.Dest {
+			foundDst = true
+		}
+	}
+	if !foundSrc || !foundDst {
+		t.Error("true endpoints missing from the persistent intersection")
+	}
+	// With fresh random fakes each day, intersection over 4 observations
+	// almost surely pins the endpoints uniquely.
+	if !rep.SourceIdentified || !rep.DestIdentified {
+		t.Logf("linkage did not uniquely identify endpoints (persistent S=%d, T=%d) — acceptable but unusual",
+			len(rep.PersistentSources), len(rep.PersistentDests))
+	}
+	if empty := AnalyzeLinkage(nil, truth); empty.Queries != 0 {
+		t.Error("empty observation set should produce an empty report")
+	}
+}

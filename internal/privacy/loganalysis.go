@@ -1,0 +1,150 @@
+package privacy
+
+import (
+	"math"
+	"sort"
+
+	"opaque/internal/roadnet"
+)
+
+// ObservedQuery is one query as recorded in the directions search server's
+// log: just the endpoint sets it received, with no user attribution. Both the
+// no-privacy deployment (1×1 sets) and OPAQUE (obfuscated sets) produce logs
+// of this shape, which makes them directly comparable.
+type ObservedQuery struct {
+	Sources []roadnet.NodeID
+	Dests   []roadnet.NodeID
+}
+
+// LogReport summarises what an honest-but-curious operator can mine from its
+// accumulated query log (Section II: "the server can accumulate all the path
+// queries received to learn where individuals travel").
+type LogReport struct {
+	Queries int
+	// DistinctSources and DistinctDests are the numbers of distinct endpoint
+	// nodes appearing anywhere in the log.
+	DistinctSources int
+	DistinctDests   int
+	// SourceEntropy and DestEntropy are the Shannon entropies (bits) of the
+	// endpoint occurrence distributions. Higher entropy means the log is
+	// less concentrated and individual hotspots stand out less.
+	SourceEntropy float64
+	DestEntropy   float64
+	// TopDests are the most frequently observed destination nodes with their
+	// occurrence shares — what the operator would flag as "popular places
+	// users travel to".
+	TopDests []EndpointFrequency
+	// MeanCandidatesPerQuery is the mean |S|·|T| per logged query; 1 for a
+	// no-privacy log.
+	MeanCandidatesPerQuery float64
+}
+
+// EndpointFrequency is one node with its share of log occurrences.
+type EndpointFrequency struct {
+	Node  roadnet.NodeID
+	Share float64
+}
+
+// AnalyzeLog mines an observed query log. topK bounds the TopDests list.
+func AnalyzeLog(log []ObservedQuery, topK int) LogReport {
+	rep := LogReport{Queries: len(log)}
+	if len(log) == 0 {
+		return rep
+	}
+	srcCount := make(map[roadnet.NodeID]float64)
+	dstCount := make(map[roadnet.NodeID]float64)
+	totalPairs := 0
+	for _, q := range log {
+		totalPairs += len(q.Sources) * len(q.Dests)
+		// Each query contributes one observation split evenly over its
+		// candidate endpoints, so an obfuscated query dilutes every endpoint
+		// it mentions instead of incriminating each equally with a direct
+		// query.
+		if len(q.Sources) > 0 {
+			w := 1.0 / float64(len(q.Sources))
+			for _, s := range q.Sources {
+				srcCount[s] += w
+			}
+		}
+		if len(q.Dests) > 0 {
+			w := 1.0 / float64(len(q.Dests))
+			for _, d := range q.Dests {
+				dstCount[d] += w
+			}
+		}
+	}
+	rep.DistinctSources = len(srcCount)
+	rep.DistinctDests = len(dstCount)
+	rep.SourceEntropy = distributionEntropy(srcCount)
+	rep.DestEntropy = distributionEntropy(dstCount)
+	rep.MeanCandidatesPerQuery = float64(totalPairs) / float64(len(log))
+
+	total := 0.0
+	for _, c := range dstCount {
+		total += c
+	}
+	freqs := make([]EndpointFrequency, 0, len(dstCount))
+	for id, c := range dstCount {
+		freqs = append(freqs, EndpointFrequency{Node: id, Share: c / total})
+	}
+	sort.Slice(freqs, func(i, j int) bool {
+		if freqs[i].Share != freqs[j].Share {
+			return freqs[i].Share > freqs[j].Share
+		}
+		return freqs[i].Node < freqs[j].Node
+	})
+	if topK > 0 && topK < len(freqs) {
+		freqs = freqs[:topK]
+	}
+	rep.TopDests = freqs
+	return rep
+}
+
+// distributionEntropy computes the Shannon entropy (bits) of a weighted
+// occurrence map.
+func distributionEntropy(counts map[roadnet.NodeID]float64) float64 {
+	total := 0.0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c <= 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// HotspotExposure measures how much a specific destination node (say, the
+// clinic of the paper's example) stands out in the log: the probability mass
+// the operator's weighted endpoint count assigns to that node among all
+// logged destinations. A direct (no-privacy) log concentrates the clinic's
+// true popularity into this share; obfuscation dilutes each query's
+// observation across its |T| candidates, so the share shrinks towards the
+// background level even though the clinic still appears in the log.
+func HotspotExposure(log []ObservedQuery, node roadnet.NodeID) float64 {
+	dstCount := make(map[roadnet.NodeID]float64)
+	for _, q := range log {
+		if len(q.Dests) == 0 {
+			continue
+		}
+		w := 1.0 / float64(len(q.Dests))
+		for _, d := range q.Dests {
+			dstCount[d] += w
+		}
+	}
+	total := 0.0
+	for _, c := range dstCount {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	return dstCount[node] / total
+}

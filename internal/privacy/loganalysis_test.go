@@ -1,0 +1,97 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/roadnet"
+)
+
+func TestAnalyzeLogEmpty(t *testing.T) {
+	rep := AnalyzeLog(nil, 5)
+	if rep.Queries != 0 || rep.DistinctDests != 0 || rep.DestEntropy != 0 {
+		t.Errorf("empty log report = %+v", rep)
+	}
+}
+
+func TestAnalyzeLogDirectQueries(t *testing.T) {
+	// Three direct queries, two of them to destination 9.
+	log := []ObservedQuery{
+		{Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{9}},
+		{Sources: []roadnet.NodeID{2}, Dests: []roadnet.NodeID{9}},
+		{Sources: []roadnet.NodeID{3}, Dests: []roadnet.NodeID{7}},
+	}
+	rep := AnalyzeLog(log, 2)
+	if rep.Queries != 3 || rep.DistinctSources != 3 || rep.DistinctDests != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.MeanCandidatesPerQuery != 1 {
+		t.Errorf("mean candidates = %v, want 1", rep.MeanCandidatesPerQuery)
+	}
+	if len(rep.TopDests) != 2 || rep.TopDests[0].Node != 9 {
+		t.Errorf("top destinations = %+v, want node 9 first", rep.TopDests)
+	}
+	if math.Abs(rep.TopDests[0].Share-2.0/3) > 1e-9 {
+		t.Errorf("node 9 share = %v, want 2/3", rep.TopDests[0].Share)
+	}
+	// Destination entropy of distribution {2/3, 1/3}.
+	wantH := -(2.0/3)*math.Log2(2.0/3) - (1.0/3)*math.Log2(1.0/3)
+	if math.Abs(rep.DestEntropy-wantH) > 1e-9 {
+		t.Errorf("dest entropy = %v, want %v", rep.DestEntropy, wantH)
+	}
+}
+
+func TestAnalyzeLogObfuscationDilutesShares(t *testing.T) {
+	// The same three trips, but each query carries three candidate
+	// destinations; the clinic's (node 9) weighted share must drop.
+	direct := []ObservedQuery{
+		{Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{9}},
+		{Sources: []roadnet.NodeID{2}, Dests: []roadnet.NodeID{9}},
+		{Sources: []roadnet.NodeID{3}, Dests: []roadnet.NodeID{7}},
+	}
+	obfuscated := []ObservedQuery{
+		{Sources: []roadnet.NodeID{1, 11}, Dests: []roadnet.NodeID{9, 20, 21}},
+		{Sources: []roadnet.NodeID{2, 12}, Dests: []roadnet.NodeID{9, 22, 23}},
+		{Sources: []roadnet.NodeID{3, 13}, Dests: []roadnet.NodeID{7, 24, 25}},
+	}
+	directRep := AnalyzeLog(direct, 1)
+	obfRep := AnalyzeLog(obfuscated, 1)
+	if obfRep.DestEntropy <= directRep.DestEntropy {
+		t.Errorf("obfuscated log entropy %v should exceed direct log entropy %v", obfRep.DestEntropy, directRep.DestEntropy)
+	}
+	if obfRep.MeanCandidatesPerQuery <= directRep.MeanCandidatesPerQuery {
+		t.Error("obfuscated log should show more candidate pairs per query")
+	}
+	if HotspotExposure(obfuscated, 9) >= HotspotExposure(direct, 9) {
+		t.Errorf("clinic exposure under obfuscation (%v) should be below direct exposure (%v)",
+			HotspotExposure(obfuscated, 9), HotspotExposure(direct, 9))
+	}
+}
+
+func TestHotspotExposure(t *testing.T) {
+	if HotspotExposure(nil, 1) != 0 {
+		t.Error("exposure on empty log should be 0")
+	}
+	// Two direct queries to two different destinations: each holds half the
+	// observed destination mass.
+	log := []ObservedQuery{
+		{Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{5}},
+		{Sources: []roadnet.NodeID{2}, Dests: []roadnet.NodeID{6}},
+	}
+	if got := HotspotExposure(log, 5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("exposure = %v, want 0.5", got)
+	}
+	// A node absent from the log has exposure 0.
+	if got := HotspotExposure(log, 99); got != 0 {
+		t.Errorf("absent node exposure = %v, want 0", got)
+	}
+}
+
+func TestDistributionEntropyDegenerate(t *testing.T) {
+	if distributionEntropy(nil) != 0 {
+		t.Error("entropy of empty distribution should be 0")
+	}
+	if distributionEntropy(map[roadnet.NodeID]float64{1: 5}) != 0 {
+		t.Error("entropy of a single-point distribution should be 0")
+	}
+}

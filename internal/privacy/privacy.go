@@ -1,0 +1,188 @@
+// Package privacy quantifies how much an adversary observing the directions
+// search server learns about users' true path queries.
+//
+// The paper's metric is the breach probability of Definition 2 (1/(|S|·|T|)
+// under a uniform guess). This package generalises it to adversaries with
+// prior knowledge ("public information such as voter registration lists and
+// yellow pages", Section II): each node carries an association weight, and
+// the adversary weighs candidate (s, t) pairs by the product of endpoint
+// weights. It also models collusion attacks: colluding users reveal their own
+// true endpoints, shrinking the effective anonymity sets of a shared query —
+// the scenario that motivates the shared obfuscated path query variant.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+)
+
+// Adversary models the semi-trusted directions search server's inference
+// power. It sees obfuscated queries Q(S, T) only; Prior supplies its side
+// knowledge about how likely each node is to be a true endpoint.
+type Adversary struct {
+	g *roadnet.Graph
+	// prior returns the adversary's prior weight for node id being a true
+	// endpoint; higher means more plausible. Must be positive.
+	prior func(id roadnet.NodeID) float64
+}
+
+// NewUniformAdversary returns an adversary with no side knowledge: every node
+// is equally plausible, so its best guess is uniform over S×T and its success
+// probability equals the paper's breach probability.
+func NewUniformAdversary(g *roadnet.Graph) *Adversary {
+	return &Adversary{g: g, prior: func(roadnet.NodeID) float64 { return 1 }}
+}
+
+// NewWeightedAdversary returns an adversary whose prior for each node is the
+// node's association weight (internal/gen assigns higher weights to town
+// centres and popular areas, standing in for yellow-pages knowledge).
+func NewWeightedAdversary(g *roadnet.Graph) *Adversary {
+	return &Adversary{g: g, prior: func(id roadnet.NodeID) float64 {
+		w := g.Node(id).Weight
+		if w <= 0 {
+			return 1e-9
+		}
+		return w
+	}}
+}
+
+// NewCustomAdversary returns an adversary with an arbitrary positive prior.
+func NewCustomAdversary(g *roadnet.Graph, prior func(id roadnet.NodeID) float64) (*Adversary, error) {
+	if prior == nil {
+		return nil, fmt.Errorf("privacy: nil prior")
+	}
+	return &Adversary{g: g, prior: prior}, nil
+}
+
+// PairProbability returns the probability the adversary assigns to (s, t)
+// being a true pair hidden in q, under the prior-weighted model
+// P(s,t) ∝ prior(s)·prior(t) over S×T. It returns 0 when the pair is not in
+// S×T.
+func (a *Adversary) PairProbability(q obfuscate.ObfuscatedQuery, s, t roadnet.NodeID) float64 {
+	if !q.ContainsPair(s, t) {
+		return 0
+	}
+	total := 0.0
+	for _, ss := range q.Sources {
+		for _, tt := range q.Dests {
+			total += a.prior(ss) * a.prior(tt)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return a.prior(s) * a.prior(t) / total
+}
+
+// BreachProbability returns the probability that the adversary's single best
+// guess identifies the true pair of the given member request: the maximum
+// pair probability is its rational guess, but what matters for the member is
+// the probability mass the adversary assigns to the member's own pair.
+func (a *Adversary) BreachProbability(q obfuscate.ObfuscatedQuery, member obfuscate.Request) float64 {
+	return a.PairProbability(q, member.Source, member.Dest)
+}
+
+// GuessSuccessProbability returns the probability that the adversary's
+// maximum-probability guess is correct for a uniformly chosen member of the
+// query (ties broken uniformly). With a uniform prior and a single member it
+// reduces to Definition 2's 1/(|S|·|T|).
+func (a *Adversary) GuessSuccessProbability(q obfuscate.ObfuscatedQuery) float64 {
+	if len(q.Members) == 0 {
+		return 0
+	}
+	// Find the set of (s,t) pairs attaining the maximum probability.
+	best := -1.0
+	var bestPairs [][2]roadnet.NodeID
+	for _, s := range q.Sources {
+		for _, t := range q.Dests {
+			p := a.PairProbability(q, s, t)
+			switch {
+			case p > best+1e-15:
+				best = p
+				bestPairs = [][2]roadnet.NodeID{{s, t}}
+			case math.Abs(p-best) <= 1e-15:
+				bestPairs = append(bestPairs, [2]roadnet.NodeID{s, t})
+			}
+		}
+	}
+	if len(bestPairs) == 0 {
+		return 0
+	}
+	// Probability the guessed pair (uniform among ties) equals a uniformly
+	// chosen member's true pair.
+	hit := 0.0
+	for _, m := range q.Members {
+		for _, bp := range bestPairs {
+			if bp[0] == m.Source && bp[1] == m.Dest {
+				hit += 1.0 / float64(len(bestPairs))
+			}
+		}
+	}
+	return hit / float64(len(q.Members))
+}
+
+// Entropy returns the Shannon entropy (in bits) of the adversary's posterior
+// over candidate pairs of q: log2(|S|·|T|) under a uniform prior, lower when
+// the prior is skewed. Higher entropy means stronger protection.
+func (a *Adversary) Entropy(q obfuscate.ObfuscatedQuery) float64 {
+	h := 0.0
+	for _, s := range q.Sources {
+		for _, t := range q.Dests {
+			p := a.PairProbability(q, s, t)
+			if p > 0 {
+				h -= p * math.Log2(p)
+			}
+		}
+	}
+	return h
+}
+
+// PlanReport aggregates privacy metrics over a whole obfuscation plan.
+type PlanReport struct {
+	Queries int
+	Members int
+	// MeanBreach and MaxBreach are over members: the probability the
+	// adversary assigns to each member's true pair.
+	MeanBreach float64
+	MaxBreach  float64
+	// MeanEntropy is the mean posterior entropy over queries, in bits.
+	MeanEntropy float64
+	// MeanCandidatePairs is the mean |S|·|T| per query.
+	MeanCandidatePairs float64
+}
+
+// EvaluatePlan computes a PlanReport for plan under adversary a.
+func (a *Adversary) EvaluatePlan(plan obfuscate.Plan) PlanReport {
+	rep := PlanReport{Queries: len(plan.Queries)}
+	if len(plan.Queries) == 0 {
+		return rep
+	}
+	sumEntropy := 0.0
+	sumPairs := 0
+	for _, q := range plan.Queries {
+		sumEntropy += a.Entropy(q)
+		sumPairs += q.NumCandidatePairs()
+	}
+	rep.MeanEntropy = sumEntropy / float64(len(plan.Queries))
+	rep.MeanCandidatePairs = float64(sumPairs) / float64(len(plan.Queries))
+	sumBreach := 0.0
+	for i, r := range plan.Requests {
+		q, ok := plan.QueryFor(i)
+		if !ok {
+			continue
+		}
+		b := a.BreachProbability(q, r)
+		sumBreach += b
+		if b > rep.MaxBreach {
+			rep.MaxBreach = b
+		}
+		rep.Members++
+	}
+	if rep.Members > 0 {
+		rep.MeanBreach = sumBreach / float64(rep.Members)
+	}
+	return rep
+}

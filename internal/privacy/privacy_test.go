@@ -1,0 +1,208 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"opaque/internal/gen"
+	"opaque/internal/obfuscate"
+	"opaque/internal/roadnet"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.TigerLike
+	cfg.Nodes = 1000
+	cfg.Seed = 51
+	return gen.MustGenerate(cfg)
+}
+
+func testSelector(g *roadnet.Graph, seed uint64) obfuscate.EndpointSelector {
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	return obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, seed)
+}
+
+func makeQuery(t *testing.T, g *roadnet.Graph, fs, ft int) (obfuscate.ObfuscatedQuery, obfuscate.Request) {
+	t.Helper()
+	req := obfuscate.Request{User: "alice", Source: 3, Dest: 500, FS: fs, FT: ft}
+	o := obfuscate.MustNew(g, obfuscate.Config{Mode: obfuscate.Independent, Cluster: obfuscate.ClusterNone, Selector: testSelector(g, 5), Seed: 6})
+	plan, err := o.Obfuscate([]obfuscate.Request{req})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan.Queries[0], req
+}
+
+func TestUniformAdversaryMatchesDefinition2(t *testing.T) {
+	g := testGraph(t)
+	for _, sizes := range [][2]int{{1, 1}, {2, 3}, {4, 4}, {8, 2}} {
+		q, req := makeQuery(t, g, sizes[0], sizes[1])
+		adv := NewUniformAdversary(g)
+		got := adv.BreachProbability(q, req)
+		want := obfuscate.BreachProbability(len(q.Sources), len(q.Dests))
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("fS=%d fT=%d: uniform adversary breach %v, Definition 2 gives %v", sizes[0], sizes[1], got, want)
+		}
+	}
+}
+
+func TestPairProbabilityProperties(t *testing.T) {
+	g := testGraph(t)
+	q, req := makeQuery(t, g, 4, 4)
+	adv := NewWeightedAdversary(g)
+	// Probabilities over S×T sum to 1.
+	sum := 0.0
+	for _, s := range q.Sources {
+		for _, d := range q.Dests {
+			p := adv.PairProbability(q, s, d)
+			if p < 0 || p > 1 {
+				t.Fatalf("pair probability %v out of range", p)
+			}
+			sum += p
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pair probabilities sum to %v, want 1", sum)
+	}
+	// A pair outside S×T has probability 0.
+	if p := adv.PairProbability(q, req.Source, req.Source); p != 0 {
+		t.Errorf("outside pair probability = %v, want 0", p)
+	}
+}
+
+func TestWeightedAdversaryGainsOnSkewedPriors(t *testing.T) {
+	// Build a tiny graph where the true destination is far more popular than
+	// the fake: the weighted adversary should assign it more probability than
+	// the uniform adversary does.
+	g := roadnet.NewGraph(4, 4)
+	g.AddWeightedNode(0, 0, 1)   // true source
+	g.AddWeightedNode(1, 0, 1)   // fake source
+	g.AddWeightedNode(0, 1, 10)  // true dest: popular clinic
+	g.AddWeightedNode(1, 1, 0.1) // fake dest: empty lot
+	g.MustAddBidirectionalEdge(0, 2, 1)
+	g.MustAddBidirectionalEdge(1, 3, 1)
+	g.Freeze()
+	q := obfuscate.ObfuscatedQuery{
+		Sources: []roadnet.NodeID{0, 1},
+		Dests:   []roadnet.NodeID{2, 3},
+		Members: []obfuscate.Request{{User: "a", Source: 0, Dest: 2}},
+	}
+	uni := NewUniformAdversary(g).BreachProbability(q, q.Members[0])
+	wei := NewWeightedAdversary(g).BreachProbability(q, q.Members[0])
+	if wei <= uni {
+		t.Errorf("weighted adversary breach %v should exceed uniform %v when the true destination is popular", wei, uni)
+	}
+	if wei >= 1 {
+		t.Errorf("weighted breach %v should remain below certainty", wei)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	g := testGraph(t)
+	q, _ := makeQuery(t, g, 4, 4)
+	adv := NewUniformAdversary(g)
+	h := adv.Entropy(q)
+	want := math.Log2(float64(len(q.Sources) * len(q.Dests)))
+	if math.Abs(h-want) > 1e-9 {
+		t.Errorf("uniform entropy = %v, want log2(|S||T|) = %v", h, want)
+	}
+	// Skewed priors reduce entropy.
+	weighted := NewWeightedAdversary(g)
+	if weighted.Entropy(q) > h+1e-9 {
+		t.Error("weighted-prior entropy should not exceed uniform entropy")
+	}
+}
+
+func TestGuessSuccessProbability(t *testing.T) {
+	g := testGraph(t)
+	q, _ := makeQuery(t, g, 2, 2)
+	adv := NewUniformAdversary(g)
+	got := adv.GuessSuccessProbability(q)
+	// With a uniform prior and one member, every pair ties, so guessing
+	// succeeds with probability 1/(|S||T|).
+	want := 1 / float64(len(q.Sources)*len(q.Dests))
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("guess success = %v, want %v", got, want)
+	}
+	if adv.GuessSuccessProbability(obfuscate.ObfuscatedQuery{}) != 0 {
+		t.Error("guess success for a memberless query should be 0")
+	}
+}
+
+func TestNewCustomAdversary(t *testing.T) {
+	g := testGraph(t)
+	if _, err := NewCustomAdversary(g, nil); err == nil {
+		t.Error("nil prior accepted")
+	}
+	adv, err := NewCustomAdversary(g, func(id roadnet.NodeID) float64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, req := makeQuery(t, g, 2, 2)
+	if p := adv.BreachProbability(q, req); math.Abs(p-0.25) > 1e-9 {
+		t.Errorf("custom uniform adversary breach = %v, want 0.25", p)
+	}
+}
+
+func TestEvaluatePlan(t *testing.T) {
+	g := testGraph(t)
+	o := obfuscate.MustNew(g, obfuscate.Config{Mode: obfuscate.Shared, Cluster: obfuscate.ClusterRandom, Selector: testSelector(g, 7), MaxClusterSize: 4, Seed: 8})
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 8, Seed: 9})
+	reqs := make([]obfuscate.Request, len(wl))
+	for i, p := range wl {
+		reqs[i] = obfuscate.Request{User: obfuscate.UserID(string(rune('a' + i))), Source: p.Source, Dest: p.Dest, FS: 3, FT: 3}
+	}
+	plan, err := o.Obfuscate(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewUniformAdversary(g).EvaluatePlan(plan)
+	if rep.Members != len(reqs) {
+		t.Errorf("report covers %d members, want %d", rep.Members, len(reqs))
+	}
+	if rep.Queries != len(plan.Queries) {
+		t.Errorf("report covers %d queries, want %d", rep.Queries, len(plan.Queries))
+	}
+	if rep.MeanBreach <= 0 || rep.MeanBreach > obfuscate.BreachProbability(3, 3)+1e-9 {
+		t.Errorf("mean breach %v outside (0, %v]", rep.MeanBreach, obfuscate.BreachProbability(3, 3))
+	}
+	if rep.MaxBreach < rep.MeanBreach {
+		t.Error("max breach below mean breach")
+	}
+	if rep.MeanEntropy <= 0 {
+		t.Error("mean entropy should be positive")
+	}
+	empty := NewUniformAdversary(g).EvaluatePlan(obfuscate.Plan{})
+	if empty.Queries != 0 || empty.MeanBreach != 0 {
+		t.Errorf("empty plan report = %+v", empty)
+	}
+}
+
+// Property: for any obfuscation sizes, the uniform adversary's breach equals
+// 1/(|S|·|T|) and entropy equals log2(|S|·|T|).
+func TestUniformAdversaryProperty(t *testing.T) {
+	g := testGraph(t)
+	adv := NewUniformAdversary(g)
+	f := func(fsRaw, ftRaw uint8) bool {
+		fs := int(fsRaw%6) + 1
+		ft := int(ftRaw%6) + 1
+		req := obfuscate.Request{User: "p", Source: 1, Dest: 700, FS: fs, FT: ft}
+		o := obfuscate.MustNew(g, obfuscate.Config{Mode: obfuscate.Independent, Cluster: obfuscate.ClusterNone, Selector: testSelector(g, uint64(fs*100+ft)), Seed: uint64(fs + ft)})
+		plan, err := o.Obfuscate([]obfuscate.Request{req})
+		if err != nil {
+			return false
+		}
+		q := plan.Queries[0]
+		breach := adv.BreachProbability(q, req)
+		entropy := adv.Entropy(q)
+		wantBreach := 1 / float64(len(q.Sources)*len(q.Dests))
+		wantEntropy := math.Log2(float64(len(q.Sources) * len(q.Dests)))
+		return math.Abs(breach-wantBreach) < 1e-9 && math.Abs(entropy-wantEntropy) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

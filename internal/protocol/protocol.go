@@ -1,0 +1,223 @@
+// Package protocol defines the messages exchanged between the three OPAQUE
+// roles (client, obfuscator, directions search server) and codecs/transports
+// to carry them. Two transports are provided: an in-process transport for
+// experiments and tests, and a length-prefixed gob transport over TCP for the
+// networked deployment built by the cmd/ binaries.
+//
+// The message boundary mirrors Figure 6 of the paper:
+//
+//	client      → obfuscator : ClientRequest  ⟨u, (s,t), fS, fT⟩   (secure channel)
+//	obfuscator  → server     : ServerQuery    Q(S, T)
+//	server      → obfuscator : ServerReply    candidate result paths
+//	obfuscator  → client     : ClientReply    P(s, t)
+package protocol
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+// MessageType tags a framed message on the wire.
+type MessageType uint8
+
+// Message type constants.
+const (
+	TypeClientRequest MessageType = iota + 1
+	TypeClientReply
+	TypeServerQuery
+	TypeServerReply
+	TypeError
+)
+
+// ClientRequest is the client-to-obfuscator request over the secure channel.
+type ClientRequest struct {
+	RequestID uint64
+	User      string
+	Source    roadnet.NodeID
+	Dest      roadnet.NodeID
+	FS        int
+	FT        int
+}
+
+// ClientReply is the obfuscator-to-client answer: the requested path.
+type ClientReply struct {
+	RequestID uint64
+	Found     bool
+	Path      []roadnet.NodeID
+	Cost      float64
+	// Error carries a human-readable failure description when Found is
+	// false because of an error (as opposed to an unreachable destination).
+	Error string
+}
+
+// ServerQuery is one obfuscated path query Q(S, T) sent to the server. It
+// deliberately carries no user identifiers: the server must not learn who is
+// asking, only the anonymised endpoint sets.
+type ServerQuery struct {
+	QueryID uint64
+	Sources []roadnet.NodeID
+	Dests   []roadnet.NodeID
+}
+
+// CandidatePath is one (s, t, path) triple of a ServerReply.
+type CandidatePath struct {
+	Source roadnet.NodeID
+	Dest   roadnet.NodeID
+	Nodes  []roadnet.NodeID
+	Cost   float64
+	Found  bool
+}
+
+// ServerReply returns every candidate result path of one obfuscated query.
+type ServerReply struct {
+	QueryID uint64
+	Paths   []CandidatePath
+	// SettledNodes and PageFaults let experiments observe the server-side
+	// cost without another channel; a production server would omit them.
+	SettledNodes int
+	PageFaults   int64
+}
+
+// ErrorReply reports a failure processing a query or request.
+type ErrorReply struct {
+	RefID   uint64
+	Message string
+}
+
+// PathFromCandidate converts a wire CandidatePath back to a search.Path.
+func PathFromCandidate(c CandidatePath) search.Path {
+	if !c.Found {
+		return search.Path{}
+	}
+	return search.Path{Nodes: append([]roadnet.NodeID(nil), c.Nodes...), Cost: c.Cost}
+}
+
+// CandidateFromPath converts a search.Path to its wire form for the pair
+// (s, t).
+func CandidateFromPath(s, t roadnet.NodeID, p search.Path) CandidatePath {
+	return CandidatePath{
+		Source: s,
+		Dest:   t,
+		Nodes:  append([]roadnet.NodeID(nil), p.Nodes...),
+		Cost:   p.Cost,
+		Found:  !p.Empty(),
+	}
+}
+
+// Envelope wraps any protocol message with its type tag for gob framing.
+type Envelope struct {
+	Type    MessageType
+	Request *ClientRequest `json:",omitempty"`
+	Reply   *ClientReply   `json:",omitempty"`
+	Query   *ServerQuery   `json:",omitempty"`
+	Result  *ServerReply   `json:",omitempty"`
+	Err     *ErrorReply    `json:",omitempty"`
+}
+
+// Wrap builds an Envelope from a concrete message. It returns an error for
+// unsupported message types.
+func Wrap(msg any) (Envelope, error) {
+	switch m := msg.(type) {
+	case ClientRequest:
+		return Envelope{Type: TypeClientRequest, Request: &m}, nil
+	case *ClientRequest:
+		return Envelope{Type: TypeClientRequest, Request: m}, nil
+	case ClientReply:
+		return Envelope{Type: TypeClientReply, Reply: &m}, nil
+	case *ClientReply:
+		return Envelope{Type: TypeClientReply, Reply: m}, nil
+	case ServerQuery:
+		return Envelope{Type: TypeServerQuery, Query: &m}, nil
+	case *ServerQuery:
+		return Envelope{Type: TypeServerQuery, Query: m}, nil
+	case ServerReply:
+		return Envelope{Type: TypeServerReply, Result: &m}, nil
+	case *ServerReply:
+		return Envelope{Type: TypeServerReply, Result: m}, nil
+	case ErrorReply:
+		return Envelope{Type: TypeError, Err: &m}, nil
+	case *ErrorReply:
+		return Envelope{Type: TypeError, Err: m}, nil
+	default:
+		return Envelope{}, fmt.Errorf("protocol: unsupported message type %T", msg)
+	}
+}
+
+// Unwrap returns the concrete message held by the envelope.
+func (e Envelope) Unwrap() (any, error) {
+	switch e.Type {
+	case TypeClientRequest:
+		if e.Request == nil {
+			return nil, fmt.Errorf("protocol: client request envelope without payload")
+		}
+		return *e.Request, nil
+	case TypeClientReply:
+		if e.Reply == nil {
+			return nil, fmt.Errorf("protocol: client reply envelope without payload")
+		}
+		return *e.Reply, nil
+	case TypeServerQuery:
+		if e.Query == nil {
+			return nil, fmt.Errorf("protocol: server query envelope without payload")
+		}
+		return *e.Query, nil
+	case TypeServerReply:
+		if e.Result == nil {
+			return nil, fmt.Errorf("protocol: server reply envelope without payload")
+		}
+		return *e.Result, nil
+	case TypeError:
+		if e.Err == nil {
+			return nil, fmt.Errorf("protocol: error envelope without payload")
+		}
+		return *e.Err, nil
+	default:
+		return nil, fmt.Errorf("protocol: unknown message type %d", e.Type)
+	}
+}
+
+// Codec encodes and decodes envelopes on a stream.
+type Codec interface {
+	Encode(Envelope) error
+	Decode(*Envelope) error
+}
+
+// GobCodec frames envelopes with encoding/gob; it is the default wire codec.
+type GobCodec struct {
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewGobCodec builds a codec reading from r and writing to w.
+func NewGobCodec(r io.Reader, w io.Writer) *GobCodec {
+	return &GobCodec{enc: gob.NewEncoder(w), dec: gob.NewDecoder(r)}
+}
+
+// Encode implements Codec.
+func (c *GobCodec) Encode(e Envelope) error { return c.enc.Encode(e) }
+
+// Decode implements Codec.
+func (c *GobCodec) Decode(e *Envelope) error { return c.dec.Decode(e) }
+
+// JSONCodec frames envelopes as newline-delimited JSON; useful for debugging
+// and cross-language clients.
+type JSONCodec struct {
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+// NewJSONCodec builds a JSON codec reading from r and writing to w.
+func NewJSONCodec(r io.Reader, w io.Writer) *JSONCodec {
+	return &JSONCodec{enc: json.NewEncoder(w), dec: json.NewDecoder(r)}
+}
+
+// Encode implements Codec.
+func (c *JSONCodec) Encode(e Envelope) error { return c.enc.Encode(e) }
+
+// Decode implements Codec.
+func (c *JSONCodec) Decode(e *Envelope) error { return c.dec.Decode(e) }

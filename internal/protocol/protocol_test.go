@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	messages := []any{
+		ClientRequest{RequestID: 1, User: "alice", Source: 2, Dest: 3, FS: 4, FT: 5},
+		ClientReply{RequestID: 1, Found: true, Path: []roadnet.NodeID{1, 2, 3}, Cost: 7},
+		ServerQuery{QueryID: 9, Sources: []roadnet.NodeID{1, 2}, Dests: []roadnet.NodeID{3}},
+		ServerReply{QueryID: 9, SettledNodes: 10, Paths: []CandidatePath{{Source: 1, Dest: 3, Found: true, Nodes: []roadnet.NodeID{1, 3}, Cost: 2}}},
+		ErrorReply{RefID: 4, Message: "boom"},
+	}
+	for _, msg := range messages {
+		env, err := Wrap(msg)
+		if err != nil {
+			t.Fatalf("Wrap(%T): %v", msg, err)
+		}
+		got, err := env.Unwrap()
+		if err != nil {
+			t.Fatalf("Unwrap(%T): %v", msg, err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("round trip of %T: got %+v, want %+v", msg, got, msg)
+		}
+	}
+}
+
+func TestWrapPointerAndUnsupported(t *testing.T) {
+	req := &ClientRequest{RequestID: 2}
+	env, err := Wrap(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := env.Unwrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(ClientRequest).RequestID != 2 {
+		t.Error("pointer wrap lost data")
+	}
+	if _, err := Wrap(42); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	if _, err := (Envelope{Type: TypeClientRequest}).Unwrap(); err == nil {
+		t.Error("envelope without payload accepted")
+	}
+	if _, err := (Envelope{Type: 99}).Unwrap(); err == nil {
+		t.Error("unknown envelope type accepted")
+	}
+}
+
+func TestGobCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewGobCodec(&buf, &buf)
+	want, err := Wrap(ServerQuery{QueryID: 7, Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := codec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := got.Unwrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := want.Unwrap()
+	if !reflect.DeepEqual(gm, wm) {
+		t.Errorf("gob round trip: got %+v, want %+v", gm, wm)
+	}
+}
+
+func TestJSONCodecRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	codec := NewJSONCodec(&buf, &buf)
+	want, err := Wrap(ClientReply{RequestID: 3, Found: true, Path: []roadnet.NodeID{5, 6}, Cost: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := codec.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	var got Envelope
+	if err := codec.Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	gm, err := got.Unwrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, _ := want.Unwrap()
+	if !reflect.DeepEqual(gm, wm) {
+		t.Errorf("json round trip: got %+v, want %+v", gm, wm)
+	}
+}
+
+func TestPathConversions(t *testing.T) {
+	p := search.Path{Nodes: []roadnet.NodeID{1, 2, 3}, Cost: 9}
+	c := CandidateFromPath(1, 3, p)
+	if !c.Found || c.Source != 1 || c.Dest != 3 || c.Cost != 9 {
+		t.Errorf("CandidateFromPath = %+v", c)
+	}
+	back := PathFromCandidate(c)
+	if !reflect.DeepEqual(back.Nodes, p.Nodes) || back.Cost != p.Cost {
+		t.Errorf("PathFromCandidate = %+v", back)
+	}
+	emptyCand := CandidateFromPath(1, 3, search.Path{})
+	if emptyCand.Found {
+		t.Error("empty path should convert to Found=false")
+	}
+	if !PathFromCandidate(emptyCand).Empty() {
+		t.Error("not-found candidate should convert to empty path")
+	}
+}
+
+func TestConnCallOverPipe(t *testing.T) {
+	clientRaw, serverRaw := net.Pipe()
+	clientConn := NewConn(clientRaw)
+	serverConn := NewConn(serverRaw)
+	defer clientConn.Close()
+
+	// Echo-style server: answers every ServerQuery with a reply carrying the
+	// same query id.
+	go func() {
+		_ = ServeConn(serverConn, func(msg any) (any, error) {
+			q, ok := msg.(ServerQuery)
+			if !ok {
+				return nil, nil
+			}
+			return ServerReply{QueryID: q.QueryID, SettledNodes: 42}, nil
+		})
+	}()
+
+	reply, err := clientConn.Call(ServerQuery{QueryID: 11, Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := reply.(ServerReply)
+	if !ok || sr.QueryID != 11 || sr.SettledNodes != 42 {
+		t.Errorf("Call reply = %+v", reply)
+	}
+}
+
+func TestServeConnReportsHandlerErrors(t *testing.T) {
+	clientRaw, serverRaw := net.Pipe()
+	clientConn := NewConn(clientRaw)
+	serverConn := NewConn(serverRaw)
+	defer clientConn.Close()
+
+	go func() {
+		_ = ServeConn(serverConn, func(msg any) (any, error) {
+			return nil, &net.AddrError{Err: "handler exploded", Addr: "x"}
+		})
+	}()
+
+	reply, err := clientConn.Call(ServerQuery{QueryID: 1, Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.(ErrorReply); !ok {
+		t.Errorf("expected ErrorReply, got %T", reply)
+	}
+}
+
+func TestServeListenerAndDial(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_ = ServeListener(ln, func(msg any) (any, error) {
+			q := msg.(ServerQuery)
+			return ServerReply{QueryID: q.QueryID}, nil
+		})
+	}()
+	defer ln.Close()
+
+	conn, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reply, err := conn.Call(ServerQuery{QueryID: 5, Sources: []roadnet.NodeID{0}, Dests: []roadnet.NodeID{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.(ServerReply).QueryID != 5 {
+		t.Errorf("reply = %+v", reply)
+	}
+	if conn.RemoteAddr() == nil {
+		t.Error("RemoteAddr is nil")
+	}
+	// Double close must be safe.
+	if err := conn.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to a closed port succeeded")
+	}
+}

@@ -1,0 +1,135 @@
+package protocol
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a message-oriented wrapper around a stream connection. It is safe
+// for use by one reader and one writer goroutine concurrently; Call serialises
+// whole request/response exchanges for simple RPC-style use.
+type Conn struct {
+	raw     net.Conn
+	codec   Codec
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	callMu  sync.Mutex
+	closeMu sync.Once
+	closed  chan struct{}
+}
+
+// NewConn wraps a stream connection with the gob codec.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{
+		raw:    raw,
+		codec:  NewGobCodec(raw, raw),
+		closed: make(chan struct{}),
+	}
+}
+
+// Send encodes and writes one message.
+func (c *Conn) Send(msg any) error {
+	env, err := Wrap(msg)
+	if err != nil {
+		return err
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return c.codec.Encode(env)
+}
+
+// Recv reads and decodes one message.
+func (c *Conn) Recv() (any, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	var env Envelope
+	if err := c.codec.Decode(&env); err != nil {
+		return nil, err
+	}
+	return env.Unwrap()
+}
+
+// Call sends a request and waits for the next message as its response. Calls
+// are serialised, which is sufficient for the obfuscator-to-server and
+// client-to-obfuscator request/response flows.
+func (c *Conn) Call(msg any) (any, error) {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	if err := c.Send(msg); err != nil {
+		return nil, err
+	}
+	return c.Recv()
+}
+
+// Close closes the underlying connection. It is safe to call multiple times.
+func (c *Conn) Close() error {
+	var err error
+	c.closeMu.Do(func() {
+		close(c.closed)
+		err = c.raw.Close()
+	})
+	return err
+}
+
+// RemoteAddr returns the remote address of the underlying connection.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+// Dial connects to addr over TCP and wraps the connection.
+func Dial(addr string) (*Conn, error) {
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}
+
+// Handler processes one received message and returns the reply to send, or
+// nil for no reply.
+type Handler func(msg any) (reply any, err error)
+
+// ServeConn reads messages from the connection and answers each with the
+// handler's reply until the connection fails or closes. Handler errors are
+// reported to the peer as ErrorReply messages and do not terminate the loop.
+func ServeConn(c *Conn, handle Handler) error {
+	defer c.Close()
+	for {
+		msg, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		reply, herr := handle(msg)
+		if herr != nil {
+			if sendErr := c.Send(ErrorReply{Message: herr.Error()}); sendErr != nil {
+				return sendErr
+			}
+			continue
+		}
+		if reply == nil {
+			continue
+		}
+		if err := c.Send(reply); err != nil {
+			return err
+		}
+	}
+}
+
+// ServeListener accepts connections from ln and serves each with the handler
+// on its own goroutine until the listener is closed. It returns the accept
+// error that terminated the loop.
+func ServeListener(ln net.Listener, handle Handler) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		raw, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		conn := NewConn(raw)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = ServeConn(conn, handle)
+		}()
+	}
+}

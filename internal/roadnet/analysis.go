@@ -1,0 +1,142 @@
+package roadnet
+
+import "fmt"
+
+// ConnectedComponents returns, for every node, the identifier of its weakly
+// connected component and the number of components. Components are numbered
+// 0..k-1 in order of discovery from node 0 upward.
+func (g *Graph) ConnectedComponents() (comp []int, count int) {
+	n := g.NumNodes()
+	comp = make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	// Treat arcs as undirected for "weak" connectivity: build a merged view.
+	// Road generators produce symmetric arcs, so following out-arcs alone is
+	// usually sufficient, but imported graphs may be asymmetric; union with
+	// the reverse adjacency keeps the analysis correct for those too.
+	rev := make([][]NodeID, n)
+	for id := 0; id < n; id++ {
+		for _, a := range g.Arcs(NodeID(id)) {
+			rev[a.To] = append(rev[a.To], NodeID(id))
+		}
+	}
+	queue := make([]NodeID, 0, n)
+	for start := 0; start < n; start++ {
+		if comp[start] != -1 {
+			continue
+		}
+		comp[start] = count
+		queue = queue[:0]
+		queue = append(queue, NodeID(start))
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, a := range g.Arcs(u) {
+				if comp[a.To] == -1 {
+					comp[a.To] = count
+					queue = append(queue, a.To)
+				}
+			}
+			for _, v := range rev[u] {
+				if comp[v] == -1 {
+					comp[v] = count
+					queue = append(queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return comp, count
+}
+
+// LargestComponent returns the node IDs of the largest weakly connected
+// component, in ascending ID order.
+func (g *Graph) LargestComponent() []NodeID {
+	comp, count := g.ConnectedComponents()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, c := range comp {
+		sizes[c]++
+	}
+	best := 0
+	for c, s := range sizes {
+		if s > sizes[best] {
+			best = c
+		}
+	}
+	out := make([]NodeID, 0, sizes[best])
+	for id, c := range comp {
+		if c == best {
+			out = append(out, NodeID(id))
+		}
+	}
+	return out
+}
+
+// IsConnected reports whether the graph is weakly connected (a single
+// component). The empty graph is considered connected.
+func (g *Graph) IsConnected() bool {
+	if g.NumNodes() == 0 {
+		return true
+	}
+	_, count := g.ConnectedComponents()
+	return count == 1
+}
+
+// Validate performs structural sanity checks: every arc references a valid
+// node and carries a finite non-negative cost. It returns the first problem
+// found, or nil.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	for id := 0; id < n; id++ {
+		for _, a := range g.Arcs(NodeID(id)) {
+			if !g.validID(a.To) {
+				return fmt.Errorf("roadnet: node %d has arc to unknown node %d", id, a.To)
+			}
+			if a.Cost < 0 {
+				return fmt.Errorf("roadnet: arc (%d,%d) has negative cost %v", id, a.To, a.Cost)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats summarises a graph for reports and logs.
+type Stats struct {
+	Nodes      int
+	Arcs       int
+	Components int
+	AvgDegree  float64
+	MinCost    float64
+	MaxCost    float64
+	TotalCost  float64
+}
+
+// ComputeStats gathers summary statistics about the graph.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{Nodes: g.NumNodes(), Arcs: g.NumArcs()}
+	if s.Nodes > 0 {
+		s.AvgDegree = float64(s.Arcs) / float64(s.Nodes)
+	}
+	first := true
+	for id := 0; id < s.Nodes; id++ {
+		for _, a := range g.Arcs(NodeID(id)) {
+			if first {
+				s.MinCost, s.MaxCost = a.Cost, a.Cost
+				first = false
+			}
+			if a.Cost < s.MinCost {
+				s.MinCost = a.Cost
+			}
+			if a.Cost > s.MaxCost {
+				s.MaxCost = a.Cost
+			}
+			s.TotalCost += a.Cost
+		}
+	}
+	_, s.Components = g.ConnectedComponents()
+	return s
+}

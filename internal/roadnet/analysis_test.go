@@ -1,0 +1,88 @@
+package roadnet
+
+import "testing"
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph(6, 6)
+	for i := 0; i < 6; i++ {
+		g.AddNode(float64(i), 0)
+	}
+	// Component A: 0-1-2, component B: 3-4, isolated: 5.
+	g.MustAddBidirectionalEdge(0, 1, 1)
+	g.MustAddBidirectionalEdge(1, 2, 1)
+	g.MustAddBidirectionalEdge(3, 4, 1)
+	g.Freeze()
+
+	comp, count := g.ConnectedComponents()
+	if count != 3 {
+		t.Fatalf("component count = %d, want 3", count)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("nodes 0,1,2 should share a component")
+	}
+	if comp[3] != comp[4] {
+		t.Error("nodes 3,4 should share a component")
+	}
+	if comp[5] == comp[0] || comp[5] == comp[3] {
+		t.Error("node 5 should be its own component")
+	}
+	if g.IsConnected() {
+		t.Error("IsConnected = true for a 3-component graph")
+	}
+
+	largest := g.LargestComponent()
+	if len(largest) != 3 {
+		t.Errorf("LargestComponent size = %d, want 3", len(largest))
+	}
+}
+
+func TestConnectedComponentsDirectedAsymmetric(t *testing.T) {
+	// A one-way chain is still weakly connected.
+	g := NewGraph(3, 2)
+	for i := 0; i < 3; i++ {
+		g.AddNode(float64(i), 0)
+	}
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 1, 1)
+	g.Freeze()
+	if !g.IsConnected() {
+		t.Error("weakly connected directed graph reported as disconnected")
+	}
+}
+
+func TestIsConnectedEmptyAndSingle(t *testing.T) {
+	empty := NewGraph(0, 0)
+	if !empty.IsConnected() {
+		t.Error("empty graph should count as connected")
+	}
+	single := NewGraph(1, 0)
+	single.AddNode(0, 0)
+	single.Freeze()
+	if !single.IsConnected() {
+		t.Error("single-node graph should be connected")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := buildTriangle(t)
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate on healthy graph: %v", err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildTriangle(t)
+	s := g.ComputeStats()
+	if s.Nodes != 3 || s.Arcs != 6 || s.Components != 1 {
+		t.Errorf("stats = %+v, want 3 nodes, 6 arcs, 1 component", s)
+	}
+	if s.MinCost != 1 || s.MaxCost != 5 {
+		t.Errorf("cost range = [%v,%v], want [1,5]", s.MinCost, s.MaxCost)
+	}
+	if s.AvgDegree != 2 {
+		t.Errorf("avg degree = %v, want 2", s.AvgDegree)
+	}
+	if s.TotalCost != 2*(1+2+5) {
+		t.Errorf("total cost = %v, want 16", s.TotalCost)
+	}
+}

@@ -1,0 +1,258 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildTriangle returns a small frozen graph:
+//
+//	0 --1.0-- 1 --2.0-- 2, plus 0 --5.0-- 2 (all bidirectional)
+func buildTriangle(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(3, 6)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 0)
+	c := g.AddNode(2, 0)
+	if err := g.AddBidirectionalEdge(a, b, 1); err != nil {
+		t.Fatalf("AddBidirectionalEdge: %v", err)
+	}
+	if err := g.AddBidirectionalEdge(b, c, 2); err != nil {
+		t.Fatalf("AddBidirectionalEdge: %v", err)
+	}
+	if err := g.AddBidirectionalEdge(a, c, 5); err != nil {
+		t.Fatalf("AddBidirectionalEdge: %v", err)
+	}
+	g.Freeze()
+	return g
+}
+
+func TestGraphAddAndCounts(t *testing.T) {
+	g := buildTriangle(t)
+	if got := g.NumNodes(); got != 3 {
+		t.Errorf("NumNodes = %d, want 3", got)
+	}
+	if got := g.NumArcs(); got != 6 {
+		t.Errorf("NumArcs = %d, want 6", got)
+	}
+	if !g.Frozen() {
+		t.Error("graph should be frozen")
+	}
+}
+
+func TestGraphNodeAccessors(t *testing.T) {
+	g := NewGraph(0, 0)
+	id := g.AddWeightedNode(3, 4, 2.5)
+	n := g.Node(id)
+	if n.X != 3 || n.Y != 4 || n.Weight != 2.5 || n.ID != id {
+		t.Errorf("Node = %+v, want {ID:%d X:3 Y:4 Weight:2.5}", n, id)
+	}
+	if !g.ValidNode(id) {
+		t.Error("ValidNode(id) = false, want true")
+	}
+	if g.ValidNode(99) || g.ValidNode(-1) {
+		t.Error("ValidNode should reject out-of-range ids")
+	}
+}
+
+func TestGraphAddEdgeErrors(t *testing.T) {
+	g := NewGraph(2, 2)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 1)
+	cases := []struct {
+		name     string
+		from, to NodeID
+		cost     float64
+	}{
+		{"unknown from", 17, b, 1},
+		{"unknown to", a, 42, 1},
+		{"negative cost", a, b, -1},
+		{"NaN cost", a, b, math.NaN()},
+		{"inf cost", a, b, math.Inf(1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddEdge(tc.from, tc.to, tc.cost); err == nil {
+				t.Errorf("AddEdge(%d,%d,%v) succeeded, want error", tc.from, tc.to, tc.cost)
+			}
+		})
+	}
+}
+
+func TestGraphFrozenMutationFails(t *testing.T) {
+	g := buildTriangle(t)
+	if err := g.AddEdge(0, 1, 1); err == nil {
+		t.Error("AddEdge on frozen graph succeeded, want error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNode on frozen graph did not panic")
+		}
+	}()
+	g.AddNode(9, 9)
+}
+
+func TestGraphArcsAndArcCost(t *testing.T) {
+	g := buildTriangle(t)
+	arcs := g.Arcs(0)
+	if len(arcs) != 2 {
+		t.Fatalf("Arcs(0) has %d entries, want 2", len(arcs))
+	}
+	if cost, ok := g.ArcCost(0, 1); !ok || cost != 1 {
+		t.Errorf("ArcCost(0,1) = %v,%v want 1,true", cost, ok)
+	}
+	if cost, ok := g.ArcCost(0, 2); !ok || cost != 5 {
+		t.Errorf("ArcCost(0,2) = %v,%v want 5,true", cost, ok)
+	}
+	if _, ok := g.ArcCost(1, 1); ok {
+		t.Error("ArcCost(1,1) reported an arc that does not exist")
+	}
+	if got := g.Degree(0); got != 2 {
+		t.Errorf("Degree(0) = %d, want 2", got)
+	}
+}
+
+func TestGraphParallelEdgesKeepCheapest(t *testing.T) {
+	g := NewGraph(2, 4)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 0)
+	g.MustAddEdge(a, b, 7)
+	g.MustAddEdge(a, b, 3)
+	g.Freeze()
+	if cost, ok := g.ArcCost(a, b); !ok || cost != 3 {
+		t.Errorf("ArcCost with parallel edges = %v,%v want 3,true", cost, ok)
+	}
+}
+
+func TestGraphBounds(t *testing.T) {
+	g := NewGraph(0, 0)
+	if minX, minY, maxX, maxY := g.Bounds(); minX != 0 || minY != 0 || maxX != 0 || maxY != 0 {
+		t.Errorf("empty graph Bounds = %v %v %v %v, want zeros", minX, minY, maxX, maxY)
+	}
+	g.AddNode(-2, 3)
+	g.AddNode(5, -7)
+	minX, minY, maxX, maxY := g.Bounds()
+	if minX != -2 || minY != -7 || maxX != 5 || maxY != 3 {
+		t.Errorf("Bounds = %v %v %v %v, want -2 -7 5 3", minX, minY, maxX, maxY)
+	}
+}
+
+func TestGraphEuclid(t *testing.T) {
+	g := NewGraph(2, 0)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(3, 4)
+	if d := g.Euclid(a, b); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Euclid = %v, want 5", d)
+	}
+	if d := g.Euclid(a, a); d != 0 {
+		t.Errorf("Euclid(a,a) = %v, want 0", d)
+	}
+}
+
+func TestGraphReverse(t *testing.T) {
+	g := NewGraph(3, 2)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 0)
+	c := g.AddNode(2, 0)
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(b, c, 2)
+	g.Freeze()
+	r := g.Reverse()
+	if !r.Frozen() {
+		t.Fatal("Reverse graph must be frozen")
+	}
+	if _, ok := r.ArcCost(b, a); !ok {
+		t.Error("reverse graph missing arc b->a")
+	}
+	if _, ok := r.ArcCost(c, b); !ok {
+		t.Error("reverse graph missing arc c->b")
+	}
+	if _, ok := r.ArcCost(a, b); ok {
+		t.Error("reverse graph should not contain forward arc a->b")
+	}
+	if r.NumArcs() != g.NumArcs() {
+		t.Errorf("reverse arcs = %d, want %d", r.NumArcs(), g.NumArcs())
+	}
+}
+
+func TestGraphClone(t *testing.T) {
+	g := buildTriangle(t)
+	c := g.Clone()
+	if c.Frozen() {
+		t.Error("clone should be mutable")
+	}
+	if c.NumNodes() != g.NumNodes() || c.NumArcs() != g.NumArcs() {
+		t.Errorf("clone size %d/%d, want %d/%d", c.NumNodes(), c.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+	// Mutating the clone must not affect the original.
+	extra := c.AddNode(9, 9)
+	c.MustAddEdge(extra, 0, 1)
+	if g.NumNodes() != 3 {
+		t.Error("mutating clone changed original node count")
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := buildTriangle(t)
+	if s := g.String(); s == "" {
+		t.Error("String() returned empty")
+	}
+}
+
+// TestGraphFreezeIdempotent ensures double-freeze does not corrupt adjacency.
+func TestGraphFreezeIdempotent(t *testing.T) {
+	g := buildTriangle(t)
+	before := g.NumArcs()
+	g.Freeze()
+	if g.NumArcs() != before {
+		t.Errorf("second Freeze changed arc count from %d to %d", before, g.NumArcs())
+	}
+}
+
+// TestGraphArcOrderDeterministic verifies the CSR arc order is stable across
+// builds of the same graph, which determinism of the whole pipeline relies
+// on.
+func TestGraphArcOrderDeterministic(t *testing.T) {
+	build := func() *Graph {
+		g := NewGraph(4, 8)
+		for i := 0; i < 4; i++ {
+			g.AddNode(float64(i), 0)
+		}
+		g.MustAddEdge(0, 3, 3)
+		g.MustAddEdge(0, 1, 1)
+		g.MustAddEdge(0, 2, 2)
+		g.Freeze()
+		return g
+	}
+	a, b := build(), build()
+	arcsA, arcsB := a.Arcs(0), b.Arcs(0)
+	if len(arcsA) != len(arcsB) {
+		t.Fatalf("arc counts differ: %d vs %d", len(arcsA), len(arcsB))
+	}
+	for i := range arcsA {
+		if arcsA[i] != arcsB[i] {
+			t.Errorf("arc %d differs: %+v vs %+v", i, arcsA[i], arcsB[i])
+		}
+	}
+	if arcsA[0].To != 1 || arcsA[1].To != 2 || arcsA[2].To != 3 {
+		t.Errorf("arcs not sorted by head: %+v", arcsA)
+	}
+}
+
+// Property: for any set of points, Euclid is symmetric and satisfies the
+// triangle inequality.
+func TestGraphEuclidProperties(t *testing.T) {
+	f := func(coords [6]int8) bool {
+		g := NewGraph(3, 0)
+		a := g.AddNode(float64(coords[0]), float64(coords[1]))
+		b := g.AddNode(float64(coords[2]), float64(coords[3]))
+		c := g.AddNode(float64(coords[4]), float64(coords[5]))
+		symmetric := math.Abs(g.Euclid(a, b)-g.Euclid(b, a)) < 1e-9
+		triangle := g.Euclid(a, c) <= g.Euclid(a, b)+g.Euclid(b, c)+1e-9
+		return symmetric && triangle
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

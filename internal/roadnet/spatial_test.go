@@ -1,0 +1,156 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// scatterGraph builds a frozen graph with nodes at pseudo-random positions in
+// [0,100)² produced from a simple LCG so the test is deterministic.
+func scatterGraph(n int) *Graph {
+	g := NewGraph(n, 0)
+	state := uint64(12345)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53) * 100
+	}
+	for i := 0; i < n; i++ {
+		g.AddNode(next(), next())
+	}
+	g.Freeze()
+	return g
+}
+
+func TestNearestNodeMatchesLinearScan(t *testing.T) {
+	g := scatterGraph(500)
+	probes := [][2]float64{{0, 0}, {50, 50}, {99, 1}, {-10, 110}, {33.3, 66.6}}
+	for _, p := range probes {
+		got := g.NearestNode(p[0], p[1])
+		want := g.linearNearest(p[0], p[1])
+		gd := math.Hypot(g.Node(got).X-p[0], g.Node(got).Y-p[1])
+		wd := math.Hypot(g.Node(want).X-p[0], g.Node(want).Y-p[1])
+		if math.Abs(gd-wd) > 1e-9 {
+			t.Errorf("NearestNode(%v) distance %v, linear scan distance %v", p, gd, wd)
+		}
+	}
+}
+
+// Property: grid-based nearest node always matches the brute-force answer (in
+// distance) for arbitrary probe points.
+func TestNearestNodeProperty(t *testing.T) {
+	g := scatterGraph(200)
+	f := func(xRaw, yRaw uint16) bool {
+		x := float64(xRaw) / 655.35 // 0..100
+		y := float64(yRaw) / 655.35
+		got := g.NearestNode(x, y)
+		want := g.linearNearest(x, y)
+		gd := math.Hypot(g.Node(got).X-x, g.Node(got).Y-y)
+		wd := math.Hypot(g.Node(want).X-x, g.Node(want).Y-y)
+		return math.Abs(gd-wd) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNearestNodeEmptyGraph(t *testing.T) {
+	g := NewGraph(0, 0)
+	g.Freeze()
+	if got := g.NearestNode(1, 2); got != InvalidNode {
+		t.Errorf("NearestNode on empty graph = %d, want InvalidNode", got)
+	}
+}
+
+func TestNearestNodeUnfrozenGraphFallsBack(t *testing.T) {
+	g := NewGraph(2, 0)
+	g.AddNode(0, 0)
+	b := g.AddNode(10, 10)
+	if got := g.NearestNode(9, 9); got != b {
+		t.Errorf("NearestNode on mutable graph = %d, want %d", got, b)
+	}
+}
+
+func TestNodesWithin(t *testing.T) {
+	g := NewGraph(0, 0)
+	ids := []NodeID{
+		g.AddNode(0, 0),
+		g.AddNode(1, 0),
+		g.AddNode(3, 0),
+		g.AddNode(10, 0),
+	}
+	g.Freeze()
+	got := g.NodesWithin(0, 0, 3.5)
+	want := []NodeID{ids[0], ids[1], ids[2]}
+	if len(got) != len(want) {
+		t.Fatalf("NodesWithin = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("NodesWithin[%d] = %d, want %d (results must be sorted by distance)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNodesWithinMatchesBruteForce(t *testing.T) {
+	g := scatterGraph(300)
+	for _, radius := range []float64{5, 20, 60} {
+		got := g.NodesWithin(50, 50, radius)
+		count := 0
+		for _, n := range g.Nodes() {
+			if math.Hypot(n.X-50, n.Y-50) <= radius {
+				count++
+			}
+		}
+		if len(got) != count {
+			t.Errorf("NodesWithin(radius=%v) returned %d nodes, brute force found %d", radius, len(got), count)
+		}
+		// Results must be sorted by distance.
+		for i := 1; i < len(got); i++ {
+			d0 := math.Hypot(g.Node(got[i-1]).X-50, g.Node(got[i-1]).Y-50)
+			d1 := math.Hypot(g.Node(got[i]).X-50, g.Node(got[i]).Y-50)
+			if d0 > d1+1e-9 {
+				t.Errorf("NodesWithin results not sorted at index %d", i)
+				break
+			}
+		}
+	}
+}
+
+func TestNodesInBand(t *testing.T) {
+	g := scatterGraph(300)
+	inner, outer := 10.0, 30.0
+	got := g.NodesInBand(50, 50, inner, outer)
+	for _, id := range got {
+		d := math.Hypot(g.Node(id).X-50, g.Node(id).Y-50)
+		if d < inner-1e-9 || d > outer+1e-9 {
+			t.Errorf("node %d at distance %v outside band [%v,%v]", id, d, inner, outer)
+		}
+	}
+	// Every node in the band must be reported.
+	count := 0
+	for _, n := range g.Nodes() {
+		d := math.Hypot(n.X-50, n.Y-50)
+		if d >= inner && d <= outer {
+			count++
+		}
+	}
+	if len(got) != count {
+		t.Errorf("NodesInBand returned %d nodes, brute force found %d", len(got), count)
+	}
+}
+
+func TestNodesWithinDegenerateGeometry(t *testing.T) {
+	// All nodes on one vertical line: the grid has zero width in x.
+	g := NewGraph(5, 0)
+	for i := 0; i < 5; i++ {
+		g.AddNode(7, float64(i))
+	}
+	g.Freeze()
+	if got := g.NodesWithin(7, 0, 2.5); len(got) != 3 {
+		t.Errorf("NodesWithin on collinear nodes = %d results, want 3", len(got))
+	}
+	if got := g.NearestNode(7, 4.4); g.Node(got).Y != 4 {
+		t.Errorf("NearestNode on collinear nodes picked y=%v, want 4", g.Node(got).Y)
+	}
+}

@@ -1,0 +1,37 @@
+package roadnet
+
+// SubgraphWithin extracts the part of the graph inside the axis-aligned
+// rectangle [minX, maxX] × [minY, maxY]: nodes inside the rectangle, and the
+// arcs between them. Node IDs are remapped densely; the returned mapping
+// translates original IDs to IDs in the extracted graph (absent keys were
+// outside the rectangle). The extracted graph is returned frozen.
+//
+// Note that node IDs are remapped, so an extract is suitable for focused
+// analyses and test fixtures; components that must agree on node IDs with the
+// server (such as the obfuscator) need the id mapping applied to any result
+// they exchange.
+func (g *Graph) SubgraphWithin(minX, minY, maxX, maxY float64) (*Graph, map[NodeID]NodeID) {
+	if minX > maxX {
+		minX, maxX = maxX, minX
+	}
+	if minY > maxY {
+		minY, maxY = maxY, minY
+	}
+	mapping := make(map[NodeID]NodeID)
+	sub := NewGraph(0, 0)
+	for _, n := range g.Nodes() {
+		if n.X < minX || n.X > maxX || n.Y < minY || n.Y > maxY {
+			continue
+		}
+		mapping[n.ID] = sub.AddWeightedNode(n.X, n.Y, n.Weight)
+	}
+	for oldID, newID := range mapping {
+		for _, a := range g.Arcs(oldID) {
+			if to, ok := mapping[a.To]; ok {
+				sub.MustAddEdge(newID, to, a.Cost)
+			}
+		}
+	}
+	sub.Freeze()
+	return sub, mapping
+}

@@ -1,0 +1,72 @@
+package roadnet
+
+import "testing"
+
+func TestSubgraphWithin(t *testing.T) {
+	g := scatterGraph(200).Clone()
+	// Add a ring of edges so the extract has arcs to keep.
+	for i := 0; i < 200; i++ {
+		g.MustAddBidirectionalEdge(NodeID(i), NodeID((i+1)%200), 1)
+	}
+	g.Freeze()
+
+	sub, mapping := g.SubgraphWithin(25, 25, 75, 75)
+	if sub.NumNodes() == 0 {
+		t.Fatal("extraction returned no nodes")
+	}
+	if !sub.Frozen() {
+		t.Error("extracted graph must be frozen")
+	}
+	// Every extracted node lies inside the rectangle and keeps its
+	// coordinates and weight.
+	for oldID, newID := range mapping {
+		o, n := g.Node(oldID), sub.Node(newID)
+		if o.X != n.X || o.Y != n.Y || o.Weight != n.Weight {
+			t.Errorf("node %d attributes changed: %+v vs %+v", oldID, o, n)
+		}
+		if n.X < 25 || n.X > 75 || n.Y < 25 || n.Y > 75 {
+			t.Errorf("node %d at (%v,%v) outside the rectangle", oldID, n.X, n.Y)
+		}
+	}
+	// No node outside the rectangle is mapped.
+	inside := 0
+	for _, n := range g.Nodes() {
+		if n.X >= 25 && n.X <= 75 && n.Y >= 25 && n.Y <= 75 {
+			inside++
+		}
+	}
+	if len(mapping) != inside {
+		t.Errorf("mapping covers %d nodes, rectangle contains %d", len(mapping), inside)
+	}
+	// Arcs: every extracted arc corresponds to an original arc between two
+	// extracted nodes, with the same cost.
+	reverse := make(map[NodeID]NodeID, len(mapping))
+	for oldID, newID := range mapping {
+		reverse[newID] = oldID
+	}
+	for _, n := range sub.Nodes() {
+		for _, a := range sub.Arcs(n.ID) {
+			origFrom, origTo := reverse[n.ID], reverse[a.To]
+			if cost, ok := g.ArcCost(origFrom, origTo); !ok || cost > a.Cost {
+				t.Errorf("extracted arc (%d,%d) has no matching original arc", origFrom, origTo)
+			}
+		}
+	}
+	if err := sub.Validate(); err != nil {
+		t.Errorf("extracted graph invalid: %v", err)
+	}
+}
+
+func TestSubgraphWithinSwappedBoundsAndEmpty(t *testing.T) {
+	g := scatterGraph(50)
+	// Swapped bounds are normalised.
+	sub, _ := g.SubgraphWithin(80, 80, 20, 20)
+	if sub.NumNodes() == 0 {
+		t.Error("swapped bounds should still extract the rectangle")
+	}
+	// A rectangle outside the graph extracts nothing.
+	empty, mapping := g.SubgraphWithin(1000, 1000, 2000, 2000)
+	if empty.NumNodes() != 0 || len(mapping) != 0 {
+		t.Errorf("out-of-range rectangle extracted %d nodes", empty.NumNodes())
+	}
+}

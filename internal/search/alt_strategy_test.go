@@ -1,0 +1,84 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+func TestProcessorPairwiseALT(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	lm, err := PrepareLandmarks(acc, 4, LandmarksFarthest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []roadnet.NodeID{5, 205}
+	dests := []roadnet.NodeID{77, 301, 512}
+
+	alt := NewProcessor(acc, WithStrategy(StrategyPairwiseALT), WithLandmarks(lm))
+	base := NewProcessor(acc, WithStrategy(StrategySSMD))
+	resALT, err := alt.Evaluate(sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBase, err := base.Evaluate(sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		for j := range dests {
+			a, b := resALT.Paths[i][j], resBase.Paths[i][j]
+			if a.Empty() != b.Empty() {
+				t.Fatalf("reachability mismatch at (%d,%d)", i, j)
+			}
+			if !a.Empty() && math.Abs(a.Cost-b.Cost) > 1e-6 {
+				t.Fatalf("ALT strategy cost %v != SSMD cost %v", a.Cost, b.Cost)
+			}
+		}
+	}
+	// Without landmarks the strategy must fail loudly.
+	broken := NewProcessor(acc, WithStrategy(StrategyPairwiseALT))
+	if _, err := broken.Evaluate(sources, dests); err == nil {
+		t.Error("pairwise-alt without landmarks accepted")
+	}
+}
+
+// TestFilteredSearchAvoidsNodes exercises the constrained-search accessor
+// end to end: the avoided node never appears on the returned path and the
+// detour is at least as costly as the unconstrained optimum.
+func TestFilteredSearchAvoidsNodes(t *testing.T) {
+	g := mediumGraph(t)
+	plain := storage.NewMemoryGraph(g)
+	// Find an unconstrained path with at least one interior node, then ban
+	// one of its interior nodes and re-search.
+	p, _, err := Dijkstra(plain, 3, roadnet.NodeID(g.NumNodes()-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() < 3 {
+		t.Skip("path too short to have an interior node to avoid")
+	}
+	banned := p.Nodes[p.Len()/2]
+	filtered := storage.NewFilteredGraph(plain, storage.AvoidNodes(banned))
+	q, _, err := Dijkstra(filtered, 3, roadnet.NodeID(g.NumNodes()-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Empty() {
+		t.Skip("avoiding the node disconnects the pair on this instance")
+	}
+	for _, n := range q.Nodes {
+		if n == banned {
+			t.Fatalf("avoided node %d appears on the constrained path", banned)
+		}
+	}
+	if q.Cost < p.Cost-1e-9 {
+		t.Errorf("constrained path cost %v is cheaper than the unconstrained optimum %v", q.Cost, p.Cost)
+	}
+	if err := q.Validate(g); err != nil {
+		t.Errorf("constrained path invalid: %v", err)
+	}
+}

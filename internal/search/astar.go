@@ -1,0 +1,74 @@
+package search
+
+import (
+	"opaque/internal/pqueue"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// AStar computes the shortest path from source to dest using A* with the
+// Euclidean distance heuristic. The heuristic is admissible as long as every
+// arc cost is at least the Euclidean distance between its endpoints, which
+// holds for the generators in internal/gen (costs are Euclidean length times
+// a factor >= 0.8 for highways; highway shortcuts keep the heuristic
+// admissible because the straight-line distance never exceeds any path
+// length when the per-unit cost factor is >= 1 — for highway factors < 1 the
+// caller should scale the heuristic, which HeuristicScale supports).
+func AStar(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error) {
+	return AStarScaled(acc, source, dest, 0.8)
+}
+
+// AStarScaled is A* with the Euclidean heuristic multiplied by scale. Use
+// scale <= (minimum cost per unit Euclidean length) to keep the heuristic
+// admissible; 0.8 is safe for all generators in this repository. scale = 0
+// degenerates to Dijkstra.
+func AStarScaled(acc storage.Accessor, source, dest roadnet.NodeID, scale float64) (Path, Stats, error) {
+	if err := checkEndpoints(acc, source, dest); err != nil {
+		return Path{}, Stats{}, err
+	}
+	if scale < 0 {
+		scale = 0
+	}
+	n := acc.NumNodes()
+	dist := newDistSlice(n)
+	parent := newParentSlice(n)
+	settled := make([]bool, n)
+	var stats Stats
+
+	h := func(id roadnet.NodeID) float64 { return scale * acc.Euclid(id, dest) }
+
+	pq := pqueue.NewWithCapacity(64)
+	dist[source] = 0
+	pq.Push(int32(source), h(source))
+	stats.QueueOps++
+
+	for !pq.Empty() {
+		if pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pq.Len()
+		}
+		item := pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		stats.SettledNodes++
+		if u == dest {
+			return reconstruct(parent, dist, source, dest), stats, nil
+		}
+		for _, a := range acc.Arcs(u) {
+			stats.RelaxedArcs++
+			if settled[a.To] {
+				continue
+			}
+			nd := dist[u] + a.Cost
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				pq.Push(int32(a.To), nd+h(a.To))
+				stats.QueueOps++
+			}
+		}
+	}
+	return Path{}, stats, nil
+}

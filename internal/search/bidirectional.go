@@ -1,0 +1,137 @@
+package search
+
+import (
+	"math"
+
+	"opaque/internal/pqueue"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// BidirectionalDijkstra runs Dijkstra simultaneously from the source (on the
+// forward graph) and from the destination (on the reverse graph), stopping
+// when the two frontiers prove the optimal meeting point. It is included as
+// the strongest conventional single-pair baseline: it shows what the server
+// could do per query if no destination sharing were exploited.
+//
+// The reverse accessor must present the reverse graph of acc (see
+// roadnet.Graph.Reverse). Both accessors may share a buffer pool so I/O is
+// charged once.
+func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error) {
+	if err := checkEndpoints(acc, source, dest); err != nil {
+		return Path{}, Stats{}, err
+	}
+	if source == dest {
+		return Path{Nodes: []roadnet.NodeID{source}, Cost: 0}, Stats{}, nil
+	}
+	n := acc.NumNodes()
+	distF := newDistSlice(n)
+	distB := newDistSlice(n)
+	parentF := newParentSlice(n)
+	parentB := newParentSlice(n)
+	settledF := make([]bool, n)
+	settledB := make([]bool, n)
+	var stats Stats
+
+	pqF := pqueue.NewWithCapacity(64)
+	pqB := pqueue.NewWithCapacity(64)
+	distF[source] = 0
+	distB[dest] = 0
+	pqF.Push(int32(source), 0)
+	pqB.Push(int32(dest), 0)
+	stats.QueueOps += 2
+
+	best := math.Inf(1)
+	meet := roadnet.InvalidNode
+
+	relax := func(forward bool, u roadnet.NodeID) {
+		var a storage.Accessor
+		var dist []float64
+		var parent []roadnet.NodeID
+		var pq *pqueue.IndexedHeap
+		var otherDist []float64
+		if forward {
+			a, dist, parent, pq, otherDist = acc, distF, parentF, pqF, distB
+		} else {
+			a, dist, parent, pq, otherDist = rev, distB, parentB, pqB, distF
+		}
+		for _, arc := range a.Arcs(u) {
+			stats.RelaxedArcs++
+			nd := dist[u] + arc.Cost
+			if nd < dist[arc.To] {
+				dist[arc.To] = nd
+				parent[arc.To] = u
+				pq.Push(int32(arc.To), nd)
+				stats.QueueOps++
+			}
+			if total := nd + otherDist[arc.To]; total < best {
+				best = total
+				meet = arc.To
+			}
+		}
+	}
+
+	for !pqF.Empty() || !pqB.Empty() {
+		if pqF.Len()+pqB.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pqF.Len() + pqB.Len()
+		}
+		topF, topB := math.Inf(1), math.Inf(1)
+		if !pqF.Empty() {
+			topF = pqF.Peek().Priority
+		}
+		if !pqB.Empty() {
+			topB = pqB.Peek().Priority
+		}
+		// Standard stopping criterion: once the sum of the two frontier
+		// minima reaches the best meeting cost, no better path exists.
+		if topF+topB >= best {
+			break
+		}
+		if topF <= topB {
+			item := pqF.Pop()
+			u := roadnet.NodeID(item.Value)
+			if settledF[u] || item.Priority > distF[u] {
+				continue
+			}
+			settledF[u] = true
+			stats.SettledNodes++
+			relax(true, u)
+		} else {
+			item := pqB.Pop()
+			u := roadnet.NodeID(item.Value)
+			if settledB[u] || item.Priority > distB[u] {
+				continue
+			}
+			settledB[u] = true
+			stats.SettledNodes++
+			relax(false, u)
+		}
+	}
+
+	if meet == roadnet.InvalidNode {
+		return Path{}, stats, nil
+	}
+	// Stitch the forward path source->meet with the backward path meet->dest.
+	forward := reconstruct(parentF, distF, source, meet)
+	if forward.Empty() && source != meet {
+		return Path{}, stats, nil
+	}
+	nodes := append([]roadnet.NodeID{}, forward.Nodes...)
+	if len(nodes) == 0 {
+		nodes = append(nodes, source)
+	}
+	for at := parentB[meet]; at != roadnet.InvalidNode; {
+		nodes = append(nodes, at)
+		if at == dest {
+			break
+		}
+		at = parentB[at]
+	}
+	if nodes[len(nodes)-1] != dest {
+		// meet == dest case: the backward walk added nothing.
+		if meet != dest {
+			return Path{}, stats, nil
+		}
+	}
+	return Path{Nodes: nodes, Cost: best}, stats, nil
+}

@@ -1,0 +1,138 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/pqueue"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// Dijkstra computes the shortest path from source to dest on acc using
+// Dijkstra's algorithm with early termination when dest is settled. It
+// returns an empty path when dest is unreachable.
+func Dijkstra(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error) {
+	if err := checkEndpoints(acc, source, dest); err != nil {
+		return Path{}, Stats{}, err
+	}
+	n := acc.NumNodes()
+	dist := newDistSlice(n)
+	parent := newParentSlice(n)
+	var stats Stats
+
+	pq := pqueue.NewWithCapacity(64)
+	dist[source] = 0
+	pq.Push(int32(source), 0)
+	stats.QueueOps++
+
+	for !pq.Empty() {
+		if pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pq.Len()
+		}
+		item := pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > dist[u] {
+			continue // stale entry
+		}
+		stats.SettledNodes++
+		if u == dest {
+			return reconstruct(parent, dist, source, dest), stats, nil
+		}
+		for _, a := range acc.Arcs(u) {
+			stats.RelaxedArcs++
+			nd := dist[u] + a.Cost
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				pq.Push(int32(a.To), nd)
+				stats.QueueOps++
+			}
+		}
+	}
+	return Path{}, stats, nil
+}
+
+// DijkstraDistance returns only the shortest-path distance from source to
+// dest, or +Inf when unreachable.
+func DijkstraDistance(acc storage.Accessor, source, dest roadnet.NodeID) (float64, error) {
+	p, _, err := Dijkstra(acc, source, dest)
+	if err != nil {
+		return 0, err
+	}
+	if p.Empty() && source != dest {
+		return math.Inf(1), nil
+	}
+	return p.Cost, nil
+}
+
+// SingleSourceTree computes shortest-path distances from source to every
+// reachable node (a full Dijkstra run with no early termination). It returns
+// the distance and parent arrays; unreachable nodes have distance +Inf. It is
+// used by experiments that need exact network distances as ground truth.
+func SingleSourceTree(acc storage.Accessor, source roadnet.NodeID) ([]float64, []roadnet.NodeID, Stats, error) {
+	if !validNode(acc, source) {
+		return nil, nil, Stats{}, fmt.Errorf("search: invalid source node %d", source)
+	}
+	n := acc.NumNodes()
+	dist := newDistSlice(n)
+	parent := newParentSlice(n)
+	var stats Stats
+
+	pq := pqueue.NewWithCapacity(64)
+	dist[source] = 0
+	pq.Push(int32(source), 0)
+	stats.QueueOps++
+	for !pq.Empty() {
+		if pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pq.Len()
+		}
+		item := pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > dist[u] {
+			continue
+		}
+		stats.SettledNodes++
+		for _, a := range acc.Arcs(u) {
+			stats.RelaxedArcs++
+			nd := dist[u] + a.Cost
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				pq.Push(int32(a.To), nd)
+				stats.QueueOps++
+			}
+		}
+	}
+	return dist, parent, stats, nil
+}
+
+func checkEndpoints(acc storage.Accessor, source, dest roadnet.NodeID) error {
+	if !validNode(acc, source) {
+		return fmt.Errorf("search: invalid source node %d", source)
+	}
+	if !validNode(acc, dest) {
+		return fmt.Errorf("search: invalid destination node %d", dest)
+	}
+	return nil
+}
+
+func validNode(acc storage.Accessor, id roadnet.NodeID) bool {
+	return id >= 0 && int(id) < acc.NumNodes()
+}
+
+func newDistSlice(n int) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	return dist
+}
+
+func newParentSlice(n int) []roadnet.NodeID {
+	parent := make([]roadnet.NodeID, n)
+	for i := range parent {
+		parent[i] = roadnet.InvalidNode
+	}
+	return parent
+}

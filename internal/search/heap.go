@@ -1,0 +1,9 @@
+package search
+
+import "opaque/internal/pqueue"
+
+// newHeapForSearch centralises priority-queue construction for the search
+// algorithms so capacity tuning happens in one place.
+func newHeapForSearch() *pqueue.IndexedHeap {
+	return pqueue.NewWithCapacity(64)
+}

@@ -1,0 +1,240 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// Landmarks holds the precomputed distance tables of the ALT heuristic (A*,
+// Landmarks, Triangle inequality): for a set of landmark nodes L, the exact
+// network distances d(l, v) from every landmark to every node. During an A*
+// search towards destination t, the admissible lower bound for node v is
+//
+//	h(v) = max_{l ∈ L} |d(l, t) − d(l, v)|
+//
+// which by the triangle inequality never overestimates the true network
+// distance from v to t on symmetric road networks. ALT is the strongest
+// point-to-point engine in this repository; the server can use it for the
+// pairwise strategies, and the ablation benchmark compares it against plain
+// A* and Dijkstra.
+//
+// Preprocessing runs |L| full Dijkstra trees, so it is a one-time cost paid
+// when the server loads the map — exactly the kind of work a production
+// directions service precomputes offline.
+type Landmarks struct {
+	nodes []roadnet.NodeID
+	// dist[i][v] is the network distance from landmark i to node v.
+	dist [][]float64
+}
+
+// LandmarkStrategy selects how landmark nodes are chosen.
+type LandmarkStrategy string
+
+const (
+	// LandmarksFarthest picks landmarks greedily: start from an arbitrary
+	// node, then repeatedly add the node farthest (in network distance) from
+	// the already chosen set. Standard and effective for road networks.
+	LandmarksFarthest LandmarkStrategy = "farthest"
+	// LandmarksPerimeter picks nodes closest to the corners and edge
+	// midpoints of the bounding box; cheap and geometry-driven.
+	LandmarksPerimeter LandmarkStrategy = "perimeter"
+)
+
+// PrepareLandmarks computes the distance tables for k landmarks chosen by the
+// given strategy. k is clamped to the node count.
+func PrepareLandmarks(acc storage.Accessor, k int, strategy LandmarkStrategy) (*Landmarks, error) {
+	n := acc.NumNodes()
+	if n == 0 {
+		return nil, fmt.Errorf("search: cannot prepare landmarks on an empty graph")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("search: landmark count must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	var picks []roadnet.NodeID
+	var err error
+	switch strategy {
+	case LandmarksFarthest, "":
+		picks, err = farthestLandmarks(acc, k)
+	case LandmarksPerimeter:
+		picks = perimeterLandmarks(acc.Graph(), k)
+	default:
+		return nil, fmt.Errorf("search: unknown landmark strategy %q", strategy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lm := &Landmarks{nodes: picks, dist: make([][]float64, len(picks))}
+	for i, l := range picks {
+		dist, _, _, err := SingleSourceTree(acc, l)
+		if err != nil {
+			return nil, err
+		}
+		lm.dist[i] = dist
+	}
+	return lm, nil
+}
+
+// Nodes returns the chosen landmark nodes.
+func (lm *Landmarks) Nodes() []roadnet.NodeID { return lm.nodes }
+
+// LowerBound returns the ALT lower bound on the network distance from v to t.
+// Unreachable table entries contribute nothing (a landmark in another
+// component gives no information).
+func (lm *Landmarks) LowerBound(v, t roadnet.NodeID) float64 {
+	best := 0.0
+	for i := range lm.dist {
+		dv, dt := lm.dist[i][v], lm.dist[i][t]
+		if math.IsInf(dv, 1) || math.IsInf(dt, 1) {
+			continue
+		}
+		if diff := math.Abs(dt - dv); diff > best {
+			best = diff
+		}
+	}
+	return best
+}
+
+// farthestLandmarks implements the farthest-point heuristic using network
+// distances.
+func farthestLandmarks(acc storage.Accessor, k int) ([]roadnet.NodeID, error) {
+	n := acc.NumNodes()
+	// Start from node 0 (any node works; the first pick is discarded in the
+	// classic formulation, but keeping it is fine for small k).
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	picks := make([]roadnet.NodeID, 0, k)
+	current := roadnet.NodeID(0)
+	for len(picks) < k {
+		picks = append(picks, current)
+		dist, _, _, err := SingleSourceTree(acc, current)
+		if err != nil {
+			return nil, err
+		}
+		next := roadnet.InvalidNode
+		nextDist := -1.0
+		for v := 0; v < n; v++ {
+			if dist[v] < minDist[v] {
+				minDist[v] = dist[v]
+			}
+			if math.IsInf(minDist[v], 1) {
+				continue // other component; never pick unreachable nodes
+			}
+			if minDist[v] > nextDist {
+				nextDist = minDist[v]
+				next = roadnet.NodeID(v)
+			}
+		}
+		if next == roadnet.InvalidNode || containsID(picks, next) {
+			break
+		}
+		current = next
+	}
+	return picks, nil
+}
+
+// perimeterLandmarks picks the nodes nearest to the bounding-box corners and
+// edge midpoints.
+func perimeterLandmarks(g *roadnet.Graph, k int) []roadnet.NodeID {
+	minX, minY, maxX, maxY := g.Bounds()
+	midX, midY := (minX+maxX)/2, (minY+maxY)/2
+	anchors := [][2]float64{
+		{minX, minY}, {maxX, maxY}, {minX, maxY}, {maxX, minY},
+		{midX, minY}, {midX, maxY}, {minX, midY}, {maxX, midY},
+	}
+	var picks []roadnet.NodeID
+	for _, a := range anchors {
+		if len(picks) >= k {
+			break
+		}
+		id := g.NearestNode(a[0], a[1])
+		if id != roadnet.InvalidNode && !containsID(picks, id) {
+			picks = append(picks, id)
+		}
+	}
+	// Fill any remainder with evenly spaced node IDs.
+	for id := 0; len(picks) < k && id < g.NumNodes(); id += 1 + g.NumNodes()/k {
+		nid := roadnet.NodeID(id)
+		if !containsID(picks, nid) {
+			picks = append(picks, nid)
+		}
+	}
+	return picks
+}
+
+func containsID(ids []roadnet.NodeID, id roadnet.NodeID) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// AStarALT runs A* from source to dest using the ALT lower bound as the
+// heuristic. The landmark tables must have been prepared on the same graph.
+func AStarALT(acc storage.Accessor, lm *Landmarks, source, dest roadnet.NodeID) (Path, Stats, error) {
+	if lm == nil || len(lm.dist) == 0 {
+		return Path{}, Stats{}, fmt.Errorf("search: AStarALT needs prepared landmarks")
+	}
+	if err := checkEndpoints(acc, source, dest); err != nil {
+		return Path{}, Stats{}, err
+	}
+	if len(lm.dist[0]) != acc.NumNodes() {
+		return Path{}, Stats{}, fmt.Errorf("search: landmark tables cover %d nodes, graph has %d", len(lm.dist[0]), acc.NumNodes())
+	}
+	return aStarWithHeuristic(acc, source, dest, func(v roadnet.NodeID) float64 {
+		return lm.LowerBound(v, dest)
+	})
+}
+
+// aStarWithHeuristic is the generic A* core shared by AStarALT; the plain
+// Euclidean A* keeps its own specialised loop in astar.go for clarity.
+func aStarWithHeuristic(acc storage.Accessor, source, dest roadnet.NodeID, h func(roadnet.NodeID) float64) (Path, Stats, error) {
+	n := acc.NumNodes()
+	dist := newDistSlice(n)
+	parent := newParentSlice(n)
+	settled := make([]bool, n)
+	var stats Stats
+
+	pq := newHeapForSearch()
+	dist[source] = 0
+	pq.Push(int32(source), h(source))
+	stats.QueueOps++
+	for !pq.Empty() {
+		if pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pq.Len()
+		}
+		item := pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if settled[u] {
+			continue
+		}
+		settled[u] = true
+		stats.SettledNodes++
+		if u == dest {
+			return reconstruct(parent, dist, source, dest), stats, nil
+		}
+		for _, a := range acc.Arcs(u) {
+			stats.RelaxedArcs++
+			if settled[a.To] {
+				continue
+			}
+			nd := dist[u] + a.Cost
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				pq.Push(int32(a.To), nd+h(a.To))
+				stats.QueueOps++
+			}
+		}
+	}
+	return Path{}, stats, nil
+}

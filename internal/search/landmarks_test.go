@@ -1,0 +1,139 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+func TestPrepareLandmarksValidation(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	if _, err := PrepareLandmarks(acc, 0, LandmarksFarthest); err == nil {
+		t.Error("zero landmarks accepted")
+	}
+	empty := roadnet.NewGraph(0, 0)
+	empty.Freeze()
+	if _, err := PrepareLandmarks(storage.NewMemoryGraph(empty), 2, LandmarksFarthest); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := PrepareLandmarks(acc, 2, "bogus"); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	// k larger than the node count is clamped, not an error.
+	tiny := lineGraph(t)
+	lm, err := PrepareLandmarks(storage.NewMemoryGraph(tiny), 50, LandmarksFarthest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Nodes()) > tiny.NumNodes() {
+		t.Errorf("landmarks %d exceed node count %d", len(lm.Nodes()), tiny.NumNodes())
+	}
+}
+
+func TestLandmarkStrategiesPickDistinctNodes(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	for _, strategy := range []LandmarkStrategy{LandmarksFarthest, LandmarksPerimeter} {
+		lm, err := PrepareLandmarks(acc, 6, strategy)
+		if err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		seen := map[roadnet.NodeID]struct{}{}
+		for _, id := range lm.Nodes() {
+			if _, dup := seen[id]; dup {
+				t.Errorf("%s: duplicate landmark %d", strategy, id)
+			}
+			seen[id] = struct{}{}
+			if !g.ValidNode(id) {
+				t.Errorf("%s: invalid landmark %d", strategy, id)
+			}
+		}
+	}
+}
+
+// TestALTLowerBoundAdmissible checks the ALT bound never exceeds the true
+// network distance — the property that makes A* with it exact.
+func TestALTLowerBoundAdmissible(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	lm, err := PrepareLandmarks(acc, 4, LandmarksFarthest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 30, Seed: 71})
+	for _, pr := range pairs {
+		true_, err := DijkstraDistance(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(true_, 1) {
+			continue
+		}
+		lb := lm.LowerBound(pr.Source, pr.Dest)
+		if lb > true_+1e-6 {
+			t.Fatalf("ALT bound %v exceeds true distance %v for %d->%d", lb, true_, pr.Source, pr.Dest)
+		}
+		if lb < 0 {
+			t.Fatalf("negative lower bound %v", lb)
+		}
+	}
+}
+
+func TestAStarALTMatchesDijkstraAndSettlesFewer(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	lm, err := PrepareLandmarks(acc, 6, LandmarksFarthest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 30, Seed: 73})
+	var altSettled, dijkstraSettled int
+	for _, pr := range pairs {
+		pd, sd, err := Dijkstra(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, sa, err := AStarALT(acc, lm, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pd.Empty() != pa.Empty() {
+			t.Fatalf("reachability mismatch for %d->%d", pr.Source, pr.Dest)
+		}
+		if !pd.Empty() && math.Abs(pd.Cost-pa.Cost) > 1e-6 {
+			t.Fatalf("ALT cost %v != Dijkstra cost %v for %d->%d", pa.Cost, pd.Cost, pr.Source, pr.Dest)
+		}
+		if err := pa.Validate(g); err != nil {
+			t.Errorf("ALT path invalid: %v", err)
+		}
+		altSettled += sa.SettledNodes
+		dijkstraSettled += sd.SettledNodes
+	}
+	if altSettled >= dijkstraSettled {
+		t.Errorf("ALT settled %d nodes, Dijkstra %d — landmarks should prune the search", altSettled, dijkstraSettled)
+	}
+}
+
+func TestAStarALTErrors(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	lm, err := PrepareLandmarks(acc, 2, LandmarksPerimeter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AStarALT(acc, nil, 0, 1); err == nil {
+		t.Error("nil landmarks accepted")
+	}
+	if _, _, err := AStarALT(acc, lm, -1, 1); err == nil {
+		t.Error("invalid source accepted")
+	}
+	// Tables prepared on a different graph are rejected.
+	other := storage.NewMemoryGraph(lineGraph(t))
+	if _, _, err := AStarALT(other, lm, 0, 1); err == nil {
+		t.Error("landmark tables for a different graph accepted")
+	}
+}

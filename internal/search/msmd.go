@@ -1,0 +1,260 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// Strategy selects how the obfuscated path query processor evaluates Q(S, T).
+type Strategy string
+
+const (
+	// StrategySSMD runs one single-source multi-destination Dijkstra per
+	// source, sharing the spanning tree across all destinations — the
+	// evaluation the paper designs OPAQUE around (cost
+	// O(Σ_s max_t ||s,t||²), Lemma 1).
+	StrategySSMD Strategy = "ssmd"
+	// StrategyPairwise runs an independent point-to-point Dijkstra for every
+	// (s, t) pair in S×T — the naive evaluation an oblivious server would
+	// perform; used as the comparison baseline in experiments E3–E5.
+	StrategyPairwise Strategy = "pairwise"
+	// StrategyPairwiseAStar runs an independent A* search per pair; a
+	// stronger pairwise baseline that still pays the |S|·|T| multiplier.
+	StrategyPairwiseAStar Strategy = "pairwise-astar"
+	// StrategyPairwiseALT runs an independent A* search per pair using the
+	// precomputed landmark (ALT) lower bounds; requires WithLandmarks. The
+	// strongest per-pair engine, used by the ablation that asks whether a
+	// very good point-to-point search can close the gap to SSMD sharing.
+	StrategyPairwiseALT Strategy = "pairwise-alt"
+)
+
+// MSMDResult is the result of evaluating one obfuscated path query Q(S, T):
+// the |S|·|T| candidate result paths, addressable by (source, dest).
+type MSMDResult struct {
+	Sources []roadnet.NodeID
+	Dests   []roadnet.NodeID
+	// Paths[i][j] is the path from Sources[i] to Dests[j]; empty when
+	// unreachable.
+	Paths [][]Path
+	Stats Stats
+}
+
+// Path returns the candidate path for the (source, dest) pair and whether the
+// pair belongs to the query.
+func (r MSMDResult) Path(source, dest roadnet.NodeID) (Path, bool) {
+	si, sok := indexOf(r.Sources, source)
+	di, dok := indexOf(r.Dests, dest)
+	if !sok || !dok {
+		return Path{}, false
+	}
+	return r.Paths[si][di], true
+}
+
+// NumCandidates returns the number of candidate result paths (|S|·|T|).
+func (r MSMDResult) NumCandidates() int { return len(r.Sources) * len(r.Dests) }
+
+// AllPaths returns every candidate path in row-major (source, dest) order.
+func (r MSMDResult) AllPaths() []Path {
+	out := make([]Path, 0, r.NumCandidates())
+	for _, row := range r.Paths {
+		out = append(out, row...)
+	}
+	return out
+}
+
+func indexOf(ids []roadnet.NodeID, id roadnet.NodeID) (int, bool) {
+	for i, v := range ids {
+		if v == id {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Processor is the obfuscated path query processor installed in the
+// directions search server (Figure 5/6 of the paper). It evaluates Q(S, T)
+// queries against an Accessor using a configurable strategy, optionally
+// fanning the per-source searches out over a bounded number of goroutines.
+type Processor struct {
+	acc       storage.Accessor
+	strategy  Strategy
+	workers   int
+	landmarks *Landmarks
+}
+
+// ProcessorOption customises a Processor.
+type ProcessorOption func(*Processor)
+
+// WithStrategy selects the evaluation strategy (default StrategySSMD).
+func WithStrategy(s Strategy) ProcessorOption {
+	return func(p *Processor) { p.strategy = s }
+}
+
+// WithWorkers sets the number of concurrent per-source searches (default 1 =
+// sequential). Concurrency changes wall-clock time but not the algorithmic
+// work counted in Stats.
+func WithWorkers(n int) ProcessorOption {
+	return func(p *Processor) {
+		if n > 0 {
+			p.workers = n
+		}
+	}
+}
+
+// WithLandmarks supplies precomputed ALT landmark tables, required by
+// StrategyPairwiseALT.
+func WithLandmarks(lm *Landmarks) ProcessorOption {
+	return func(p *Processor) { p.landmarks = lm }
+}
+
+// NewProcessor builds a processor over acc.
+func NewProcessor(acc storage.Accessor, opts ...ProcessorOption) *Processor {
+	p := &Processor{acc: acc, strategy: StrategySSMD, workers: 1}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Strategy returns the configured evaluation strategy.
+func (p *Processor) Strategy() Strategy { return p.strategy }
+
+// Accessor returns the graph accessor the processor evaluates against.
+func (p *Processor) Accessor() storage.Accessor { return p.acc }
+
+// Evaluate processes the obfuscated path query Q(sources, dests) and returns
+// every candidate result path.
+func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error) {
+	if len(sources) == 0 || len(dests) == 0 {
+		return MSMDResult{}, fmt.Errorf("search: obfuscated query needs at least one source and one destination (got |S|=%d, |T|=%d)", len(sources), len(dests))
+	}
+	for _, s := range sources {
+		if !validNode(p.acc, s) {
+			return MSMDResult{}, fmt.Errorf("search: invalid source node %d", s)
+		}
+	}
+	for _, t := range dests {
+		if !validNode(p.acc, t) {
+			return MSMDResult{}, fmt.Errorf("search: invalid destination node %d", t)
+		}
+	}
+	res := MSMDResult{
+		Sources: append([]roadnet.NodeID(nil), sources...),
+		Dests:   append([]roadnet.NodeID(nil), dests...),
+		Paths:   make([][]Path, len(sources)),
+	}
+
+	type rowResult struct {
+		idx   int
+		paths []Path
+		stats Stats
+		err   error
+	}
+
+	evalRow := func(i int) rowResult {
+		s := sources[i]
+		switch p.strategy {
+		case StrategySSMD, "":
+			r, err := SSMD(p.acc, s, dests)
+			if err != nil {
+				return rowResult{idx: i, err: err}
+			}
+			return rowResult{idx: i, paths: r.Paths, stats: r.Stats}
+		case StrategyPairwise:
+			paths := make([]Path, len(dests))
+			var stats Stats
+			for j, t := range dests {
+				path, st, err := Dijkstra(p.acc, s, t)
+				if err != nil {
+					return rowResult{idx: i, err: err}
+				}
+				paths[j] = path
+				stats = stats.Add(st)
+			}
+			return rowResult{idx: i, paths: paths, stats: stats}
+		case StrategyPairwiseAStar:
+			paths := make([]Path, len(dests))
+			var stats Stats
+			for j, t := range dests {
+				path, st, err := AStar(p.acc, s, t)
+				if err != nil {
+					return rowResult{idx: i, err: err}
+				}
+				paths[j] = path
+				stats = stats.Add(st)
+			}
+			return rowResult{idx: i, paths: paths, stats: stats}
+		case StrategyPairwiseALT:
+			if p.landmarks == nil {
+				return rowResult{idx: i, err: fmt.Errorf("search: strategy %q requires WithLandmarks", StrategyPairwiseALT)}
+			}
+			paths := make([]Path, len(dests))
+			var stats Stats
+			for j, t := range dests {
+				path, st, err := AStarALT(p.acc, p.landmarks, s, t)
+				if err != nil {
+					return rowResult{idx: i, err: err}
+				}
+				paths[j] = path
+				stats = stats.Add(st)
+			}
+			return rowResult{idx: i, paths: paths, stats: stats}
+		default:
+			return rowResult{idx: i, err: fmt.Errorf("search: unknown strategy %q", p.strategy)}
+		}
+	}
+
+	if p.workers <= 1 || len(sources) == 1 {
+		for i := range sources {
+			rr := evalRow(i)
+			if rr.err != nil {
+				return MSMDResult{}, rr.err
+			}
+			res.Paths[rr.idx] = rr.paths
+			res.Stats = res.Stats.Add(rr.stats)
+		}
+		return res, nil
+	}
+
+	// Bounded fan-out over sources.
+	jobs := make(chan int)
+	results := make(chan rowResult, len(sources))
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results <- evalRow(i)
+			}
+		}()
+	}
+	for i := range sources {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	var firstErr error
+	for rr := range results {
+		if rr.err != nil {
+			if firstErr == nil {
+				firstErr = rr.err
+			}
+			continue
+		}
+		res.Paths[rr.idx] = rr.paths
+		res.Stats = res.Stats.Add(rr.stats)
+	}
+	if firstErr != nil {
+		return MSMDResult{}, firstErr
+	}
+	return res, nil
+}

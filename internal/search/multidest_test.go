@@ -1,0 +1,231 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+func TestSSMDMatchesIndividualDijkstra(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	pairs := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 10, Seed: 9})
+	for _, pr := range pairs {
+		dests := []roadnet.NodeID{pr.Dest, (pr.Dest + 17) % roadnet.NodeID(g.NumNodes()), (pr.Dest + 91) % roadnet.NodeID(g.NumNodes())}
+		res, err := SSMD(acc, pr.Source, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Paths) != len(dests) {
+			t.Fatalf("got %d paths, want %d", len(res.Paths), len(dests))
+		}
+		for i, d := range dests {
+			ref, _, err := Dijkstra(acc, pr.Source, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Paths[i]
+			if ref.Empty() != got.Empty() {
+				t.Fatalf("reachability mismatch for %d->%d", pr.Source, d)
+			}
+			if !ref.Empty() && math.Abs(ref.Cost-got.Cost) > 1e-6 {
+				t.Fatalf("SSMD cost %v != Dijkstra cost %v for %d->%d", got.Cost, ref.Cost, pr.Source, d)
+			}
+			if err := got.Validate(g); err != nil {
+				t.Errorf("SSMD path invalid: %v", err)
+			}
+		}
+	}
+}
+
+func TestSSMDDuplicateAndSelfDestinations(t *testing.T) {
+	g := lineGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	res, err := SSMD(acc, 0, []roadnet.NodeID{3, 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Paths[0].Cost != res.Paths[1].Cost {
+		t.Error("duplicate destinations should receive identical paths")
+	}
+	if res.Paths[2].Cost != 0 || len(res.Paths[2].Nodes) != 1 {
+		t.Errorf("self destination path = %+v, want zero-cost single node", res.Paths[2])
+	}
+	if p, ok := res.PathTo(3); !ok || p.Cost != 3 {
+		t.Errorf("PathTo(3) = %+v, %v", p, ok)
+	}
+	if _, ok := res.PathTo(99); ok {
+		t.Error("PathTo for a non-requested destination should report false")
+	}
+}
+
+func TestSSMDErrors(t *testing.T) {
+	acc := storage.NewMemoryGraph(lineGraph(t))
+	if _, err := SSMD(acc, 0, nil); err == nil {
+		t.Error("SSMD with no destinations accepted")
+	}
+	if _, err := SSMD(acc, 99, []roadnet.NodeID{1}); err == nil {
+		t.Error("SSMD with invalid source accepted")
+	}
+	if _, err := SSMD(acc, 0, []roadnet.NodeID{99}); err == nil {
+		t.Error("SSMD with invalid destination accepted")
+	}
+}
+
+// TestSSMDSharingCheaperThanPairwise verifies the Section III-B claim the
+// design rests on: one spanning tree to nearby destinations costs much less
+// than one Dijkstra per destination.
+func TestSSMDSharingCheaperThanPairwise(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	pairs := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 10, Seed: 11})
+	var ssmdTotal, pairwiseTotal int
+	for _, pr := range pairs {
+		// Destinations clustered around the true one.
+		tn := g.Node(pr.Dest)
+		near := g.NodesWithin(tn.X, tn.Y, 10000)
+		dests := []roadnet.NodeID{pr.Dest}
+		for _, id := range near {
+			if id != pr.Dest && len(dests) < 6 {
+				dests = append(dests, id)
+			}
+		}
+		res, err := SSMD(acc, pr.Source, dests)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ssmdTotal += res.Stats.SettledNodes
+		for _, d := range dests {
+			_, st, err := Dijkstra(acc, pr.Source, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pairwiseTotal += st.SettledNodes
+		}
+	}
+	if ssmdTotal*2 >= pairwiseTotal {
+		t.Errorf("SSMD settled %d nodes, pairwise %d — expected SSMD to be at least 2x cheaper for clustered destinations", ssmdTotal, pairwiseTotal)
+	}
+}
+
+func TestSSMDDistances(t *testing.T) {
+	g := lineGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	d, _, err := SSMDDistances(acc, 0, []roadnet.NodeID{1, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 0}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Errorf("distance[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestProcessorStrategiesAgree(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	sources := []roadnet.NodeID{5, 105, 305}
+	dests := []roadnet.NodeID{77, 301, 512, 640}
+
+	results := map[Strategy]MSMDResult{}
+	for _, strat := range []Strategy{StrategySSMD, StrategyPairwise, StrategyPairwiseAStar} {
+		proc := NewProcessor(acc, WithStrategy(strat))
+		res, err := proc.Evaluate(sources, dests)
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if res.NumCandidates() != len(sources)*len(dests) {
+			t.Fatalf("%s produced %d candidates, want %d", strat, res.NumCandidates(), len(sources)*len(dests))
+		}
+		results[strat] = res
+	}
+	base := results[StrategySSMD]
+	for _, strat := range []Strategy{StrategyPairwise, StrategyPairwiseAStar} {
+		other := results[strat]
+		for i := range sources {
+			for j := range dests {
+				a, b := base.Paths[i][j], other.Paths[i][j]
+				if a.Empty() != b.Empty() {
+					t.Fatalf("%s reachability differs for (%d,%d)", strat, sources[i], dests[j])
+				}
+				if !a.Empty() && math.Abs(a.Cost-b.Cost) > 1e-6 {
+					t.Fatalf("%s cost %v != SSMD cost %v for (%d,%d)", strat, b.Cost, a.Cost, sources[i], dests[j])
+				}
+			}
+		}
+	}
+	// The sharing strategy must do less work than pairwise Dijkstra.
+	if results[StrategySSMD].Stats.SettledNodes >= results[StrategyPairwise].Stats.SettledNodes {
+		t.Errorf("SSMD settled %d nodes, pairwise %d — sharing should be cheaper",
+			results[StrategySSMD].Stats.SettledNodes, results[StrategyPairwise].Stats.SettledNodes)
+	}
+}
+
+func TestProcessorConcurrentWorkersMatchSequential(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	sources := []roadnet.NodeID{3, 33, 333, 603}
+	dests := []roadnet.NodeID{10, 20, 30}
+	seq, err := NewProcessor(acc).Evaluate(sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewProcessor(acc, WithWorkers(4)).Evaluate(sources, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sources {
+		for j := range dests {
+			if math.Abs(seq.Paths[i][j].Cost-par.Paths[i][j].Cost) > 1e-9 {
+				t.Fatalf("worker result differs at (%d,%d)", i, j)
+			}
+		}
+	}
+	if seq.Stats.SettledNodes != par.Stats.SettledNodes {
+		t.Errorf("algorithmic work differs: %d vs %d settled nodes", seq.Stats.SettledNodes, par.Stats.SettledNodes)
+	}
+}
+
+func TestProcessorErrors(t *testing.T) {
+	acc := storage.NewMemoryGraph(lineGraph(t))
+	proc := NewProcessor(acc)
+	if _, err := proc.Evaluate(nil, []roadnet.NodeID{1}); err == nil {
+		t.Error("empty source set accepted")
+	}
+	if _, err := proc.Evaluate([]roadnet.NodeID{0}, nil); err == nil {
+		t.Error("empty destination set accepted")
+	}
+	if _, err := proc.Evaluate([]roadnet.NodeID{99}, []roadnet.NodeID{1}); err == nil {
+		t.Error("invalid source accepted")
+	}
+	if _, err := proc.Evaluate([]roadnet.NodeID{0}, []roadnet.NodeID{99}); err == nil {
+		t.Error("invalid destination accepted")
+	}
+	bad := NewProcessor(acc, WithStrategy("nonsense"))
+	if _, err := bad.Evaluate([]roadnet.NodeID{0}, []roadnet.NodeID{1}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestMSMDResultLookup(t *testing.T) {
+	acc := storage.NewMemoryGraph(lineGraph(t))
+	res, err := NewProcessor(acc).Evaluate([]roadnet.NodeID{0, 1}, []roadnet.NodeID{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := res.Path(0, 3); !ok || p.Cost != 3 {
+		t.Errorf("Path(0,3) = %+v, %v", p, ok)
+	}
+	if _, ok := res.Path(0, 2); ok {
+		t.Error("Path for a pair outside the query should report false")
+	}
+	all := res.AllPaths()
+	if len(all) != 4 {
+		t.Errorf("AllPaths returned %d, want 4", len(all))
+	}
+}

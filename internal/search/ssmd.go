@@ -1,0 +1,136 @@
+package search
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/pqueue"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// SSMDResult is the outcome of a single-source multi-destination search: one
+// path per requested destination (empty when unreachable), in the same order
+// as the destinations passed in.
+type SSMDResult struct {
+	Source roadnet.NodeID
+	Dests  []roadnet.NodeID
+	Paths  []Path
+	Stats  Stats
+}
+
+// PathTo returns the path to dest and whether dest was one of the requested
+// destinations.
+func (r SSMDResult) PathTo(dest roadnet.NodeID) (Path, bool) {
+	for i, d := range r.Dests {
+		if d == dest {
+			return r.Paths[i], true
+		}
+	}
+	return Path{}, false
+}
+
+// SSMD performs the single-source multi-destination search of Section III-B:
+// a Dijkstra spanning tree grown from source until every destination in dests
+// has been settled (or the frontier is exhausted). This is the primitive the
+// obfuscated path query processor uses: with destinations of similar radius,
+// its cost is close to a single 1-to-1 search, i.e. O(max_t ||s,t||^2), which
+// is what Lemma 1 builds on.
+//
+// Duplicate destinations are allowed and each receives the same path.
+func SSMD(acc storage.Accessor, source roadnet.NodeID, dests []roadnet.NodeID) (SSMDResult, error) {
+	if !validNode(acc, source) {
+		return SSMDResult{}, fmt.Errorf("search: invalid source node %d", source)
+	}
+	if len(dests) == 0 {
+		return SSMDResult{}, fmt.Errorf("search: SSMD needs at least one destination")
+	}
+	for _, d := range dests {
+		if !validNode(acc, d) {
+			return SSMDResult{}, fmt.Errorf("search: invalid destination node %d", d)
+		}
+	}
+	n := acc.NumNodes()
+	dist := newDistSlice(n)
+	parent := newParentSlice(n)
+	var stats Stats
+
+	// Count distinct destinations still unsettled.
+	pending := make(map[roadnet.NodeID]struct{}, len(dests))
+	for _, d := range dests {
+		pending[d] = struct{}{}
+	}
+
+	pq := pqueue.NewWithCapacity(64)
+	dist[source] = 0
+	pq.Push(int32(source), 0)
+	stats.QueueOps++
+	if _, ok := pending[source]; ok {
+		delete(pending, source)
+	}
+
+	for !pq.Empty() && len(pending) > 0 {
+		if pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = pq.Len()
+		}
+		item := pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > dist[u] {
+			continue
+		}
+		stats.SettledNodes++
+		if _, ok := pending[u]; ok {
+			delete(pending, u)
+			if len(pending) == 0 {
+				break
+			}
+		}
+		for _, a := range acc.Arcs(u) {
+			stats.RelaxedArcs++
+			nd := dist[u] + a.Cost
+			if nd < dist[a.To] {
+				dist[a.To] = nd
+				parent[a.To] = u
+				pq.Push(int32(a.To), nd)
+				stats.QueueOps++
+			}
+		}
+	}
+
+	res := SSMDResult{
+		Source: source,
+		Dests:  append([]roadnet.NodeID(nil), dests...),
+		Paths:  make([]Path, len(dests)),
+		Stats:  stats,
+	}
+	for i, d := range dests {
+		if d == source {
+			res.Paths[i] = Path{Nodes: []roadnet.NodeID{source}, Cost: 0}
+			continue
+		}
+		if math.IsInf(dist[d], 1) {
+			res.Paths[i] = Path{}
+			continue
+		}
+		res.Paths[i] = reconstruct(parent, dist, source, d)
+	}
+	return res, nil
+}
+
+// SSMDDistances runs an SSMD search and returns only the distances to each
+// destination (+Inf when unreachable), in destination order.
+func SSMDDistances(acc storage.Accessor, source roadnet.NodeID, dests []roadnet.NodeID) ([]float64, Stats, error) {
+	res, err := SSMD(acc, source, dests)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := make([]float64, len(dests))
+	for i, p := range res.Paths {
+		if p.Empty() && dests[i] != source {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = p.Cost
+		}
+	}
+	return out, res.Stats, nil
+}

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+)
+
+func TestServerWithALTLandmarks(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = search.StrategyPairwiseALT
+	cfg.Landmarks = 4
+	srv, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustNew(g, DefaultConfig())
+	q := protocol.ServerQuery{Sources: []roadnet.NodeID{2, 40}, Dests: []roadnet.NodeID{300, 500}}
+	a, err := srv.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ref.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(r protocol.ServerReply) map[[2]roadnet.NodeID]float64 {
+		m := map[[2]roadnet.NodeID]float64{}
+		for _, c := range r.Paths {
+			m[[2]roadnet.NodeID{c.Source, c.Dest}] = c.Cost
+		}
+		return m
+	}
+	ca, cb := costs(a), costs(b)
+	for k, v := range cb {
+		if math.Abs(ca[k]-v) > 1e-6 {
+			t.Errorf("pair %v: ALT server cost %v, reference %v", k, ca[k], v)
+		}
+	}
+}
+
+func TestServerALTStrategyRequiresLandmarks(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = search.StrategyPairwiseALT
+	cfg.Landmarks = 0
+	if _, err := New(g, cfg); err == nil {
+		t.Error("pairwise-alt strategy without landmarks accepted")
+	}
+}

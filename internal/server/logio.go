@@ -1,0 +1,40 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DumpLog writes the server's accumulated query log as JSON lines, one
+// LogEntry per line. Operators use it to persist what the server observed so
+// the audit tooling (cmd/opaque-audit, internal/privacy.AnalyzeLog) can run
+// offline; experiments use it to hand logs between processes.
+func (s *Server) DumpLog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, entry := range s.QueryLog() {
+		if err := enc.Encode(entry); err != nil {
+			return fmt.Errorf("server: encoding log entry %d: %w", entry.QueryID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLog parses a JSON-lines query log written by DumpLog.
+func ReadLog(r io.Reader) ([]LogEntry, error) {
+	var out []LogEntry
+	dec := json.NewDecoder(r)
+	for {
+		var entry LogEntry
+		if err := dec.Decode(&entry); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("server: parsing query log entry %d: %w", len(out), err)
+		}
+		out = append(out, entry)
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+)
+
+func TestDumpAndReadLog(t *testing.T) {
+	g := testGraph(t)
+	srv := MustNew(g, DefaultConfig())
+	queries := []protocol.ServerQuery{
+		{QueryID: 1, Sources: []roadnet.NodeID{1, 2}, Dests: []roadnet.NodeID{10, 11, 12}},
+		{QueryID: 2, Sources: []roadnet.NodeID{5}, Dests: []roadnet.NodeID{20}},
+	}
+	for _, q := range queries {
+		if _, err := srv.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := srv.DumpLog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(queries) {
+		t.Fatalf("read %d entries, want %d", len(entries), len(queries))
+	}
+	for i, q := range queries {
+		if entries[i].QueryID != q.QueryID {
+			t.Errorf("entry %d id = %d, want %d", i, entries[i].QueryID, q.QueryID)
+		}
+		if len(entries[i].Sources) != len(q.Sources) || len(entries[i].Dests) != len(q.Dests) {
+			t.Errorf("entry %d sets = %d/%d, want %d/%d", i, len(entries[i].Sources), len(entries[i].Dests), len(q.Sources), len(q.Dests))
+		}
+	}
+}
+
+func TestReadLogErrors(t *testing.T) {
+	if entries, err := ReadLog(strings.NewReader("")); err != nil || len(entries) != 0 {
+		t.Errorf("empty log: entries=%d err=%v", len(entries), err)
+	}
+	if _, err := ReadLog(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed log accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"testing"
+
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+)
+
+func TestServerRecordsMetrics(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Paged = true
+	srv := MustNew(g, cfg)
+	for i := 0; i < 3; i++ {
+		q := protocol.ServerQuery{
+			Sources: []roadnet.NodeID{roadnet.NodeID(i), roadnet.NodeID(i + 10)},
+			Dests:   []roadnet.NodeID{roadnet.NodeID(100 + i)},
+		}
+		if _, err := srv.Evaluate(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := srv.Metrics()
+	if got := m.Counter("queries_processed"); got != 3 {
+		t.Errorf("queries_processed = %d, want 3", got)
+	}
+	if got := m.Counter("candidate_pairs"); got != 6 {
+		t.Errorf("candidate_pairs = %d, want 6", got)
+	}
+	if m.Counter("nodes_settled") <= 0 {
+		t.Error("nodes_settled not recorded")
+	}
+	if h := m.Histogram("query_latency"); h == nil || h.Count() != 3 {
+		t.Error("query_latency histogram not recorded")
+	}
+	if m.Gauge("buffer_hit_ratio") < 0 || m.Gauge("buffer_hit_ratio") > 1 {
+		t.Errorf("buffer_hit_ratio = %v out of range", m.Gauge("buffer_hit_ratio"))
+	}
+	// Failed queries are counted separately.
+	if _, err := srv.Evaluate(protocol.ServerQuery{}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	// Note: validation failures happen before the processor runs and are not
+	// counted as processed.
+	if got := m.Counter("queries_processed"); got != 3 {
+		t.Errorf("queries_processed after invalid query = %d, want 3", got)
+	}
+}

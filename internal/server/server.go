@@ -1,0 +1,254 @@
+// Package server implements the OPAQUE directions search server: it holds the
+// full road map (optionally behind the paged storage simulation), evaluates
+// obfuscated path queries Q(S, T) with the obfuscated path query processor of
+// internal/search, keeps the query log an honest-but-curious operator would
+// accumulate, and optionally exposes the whole thing over TCP for the
+// networked deployment.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opaque/internal/metrics"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// Strategy selects how Q(S,T) is evaluated (default: SSMD sharing).
+	Strategy search.Strategy
+	// Workers bounds per-query source-level parallelism (default 1).
+	Workers int
+	// Paged enables the disk simulation: the graph is laid out in
+	// connectivity-clustered pages and accessed through an LRU buffer pool.
+	Paged bool
+	// PageConfig and BufferPages configure the simulation when Paged is set.
+	PageConfig  storage.Config
+	BufferPages int
+	// KeepLog records every received query for adversary analysis.
+	KeepLog bool
+	// Landmarks enables ALT preprocessing with the given number of landmark
+	// nodes (0 disables it). Required when Strategy is
+	// search.StrategyPairwiseALT; harmless otherwise. Preprocessing runs
+	// |Landmarks| full Dijkstra trees at startup and is charged to the
+	// buffer pool when Paged is set, exactly like an offline index build.
+	Landmarks int
+}
+
+// DefaultConfig returns an in-memory SSMD server with logging enabled.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:    search.StrategySSMD,
+		Workers:     1,
+		Paged:       false,
+		PageConfig:  storage.DefaultConfig(),
+		BufferPages: 256,
+		KeepLog:     true,
+	}
+}
+
+// LogEntry is one obfuscated query as the server saw it — the only
+// information the semi-trusted operator ever receives about user intent.
+type LogEntry struct {
+	QueryID uint64
+	Sources []roadnet.NodeID
+	Dests   []roadnet.NodeID
+}
+
+// Server is the directions search server.
+type Server struct {
+	graph     *roadnet.Graph
+	acc       storage.Accessor
+	pool      *storage.BufferPool
+	processor *search.Processor
+	cfg       Config
+
+	mu      sync.Mutex
+	log     []LogEntry
+	queryID atomic.Uint64
+
+	// accumulated processing statistics
+	statsMu     sync.Mutex
+	totalStats  search.Stats
+	queriesDone int
+
+	metrics *metrics.Registry
+}
+
+// New builds a server over graph g according to cfg.
+func New(g *roadnet.Graph, cfg Config) (*Server, error) {
+	if g == nil || g.NumNodes() == 0 {
+		return nil, fmt.Errorf("server: need a non-empty road map")
+	}
+	if !g.Frozen() {
+		return nil, fmt.Errorf("server: graph must be frozen")
+	}
+	s := &Server{graph: g, cfg: cfg, metrics: metrics.NewRegistry()}
+	if cfg.Paged {
+		store, err := storage.Build(g, cfg.PageConfig)
+		if err != nil {
+			return nil, fmt.Errorf("server: building page store: %w", err)
+		}
+		bufferPages := cfg.BufferPages
+		if bufferPages <= 0 {
+			bufferPages = 256
+		}
+		pool, err := storage.NewBufferPool(bufferPages)
+		if err != nil {
+			return nil, fmt.Errorf("server: building buffer pool: %w", err)
+		}
+		s.pool = pool
+		s.acc = storage.NewPagedGraph(store, pool)
+	} else {
+		s.acc = storage.NewMemoryGraph(g)
+	}
+	opts := []search.ProcessorOption{search.WithStrategy(cfg.Strategy)}
+	if cfg.Workers > 1 {
+		opts = append(opts, search.WithWorkers(cfg.Workers))
+	}
+	if cfg.Landmarks > 0 {
+		lm, err := search.PrepareLandmarks(s.acc, cfg.Landmarks, search.LandmarksFarthest)
+		if err != nil {
+			return nil, fmt.Errorf("server: preparing ALT landmarks: %w", err)
+		}
+		opts = append(opts, search.WithLandmarks(lm))
+	} else if cfg.Strategy == search.StrategyPairwiseALT {
+		return nil, fmt.Errorf("server: strategy %q requires Landmarks > 0", cfg.Strategy)
+	}
+	s.processor = search.NewProcessor(s.acc, opts...)
+	return s, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(g *roadnet.Graph, cfg Config) *Server {
+	s, err := New(g, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Graph returns the server's road map.
+func (s *Server) Graph() *roadnet.Graph { return s.graph }
+
+// Accessor returns the accessor queries are evaluated against.
+func (s *Server) Accessor() storage.Accessor { return s.acc }
+
+// Evaluate processes one obfuscated path query and returns all candidate
+// result paths. This is the entry point used both by the in-process
+// deployment and by the TCP handler.
+func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	if len(q.Sources) == 0 || len(q.Dests) == 0 {
+		return protocol.ServerReply{}, fmt.Errorf("server: query %d has empty source or destination set", q.QueryID)
+	}
+	id := q.QueryID
+	if id == 0 {
+		id = s.queryID.Add(1)
+	}
+	if s.cfg.KeepLog {
+		s.mu.Lock()
+		s.log = append(s.log, LogEntry{
+			QueryID: id,
+			Sources: append([]roadnet.NodeID(nil), q.Sources...),
+			Dests:   append([]roadnet.NodeID(nil), q.Dests...),
+		})
+		s.mu.Unlock()
+	}
+	var faultsBefore int64
+	if s.pool != nil {
+		faultsBefore = s.pool.Stats().Faults
+	}
+	start := time.Now()
+	res, err := s.processor.Evaluate(q.Sources, q.Dests)
+	if err != nil {
+		s.metrics.Add("queries_failed", 1)
+		return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
+	}
+	s.metrics.Observe("query_latency", time.Since(start))
+	s.metrics.Add("queries_processed", 1)
+	s.metrics.Add("candidate_pairs", int64(len(q.Sources)*len(q.Dests)))
+	s.metrics.Add("nodes_settled", int64(res.Stats.SettledNodes))
+	reply := protocol.ServerReply{QueryID: id, SettledNodes: res.Stats.SettledNodes}
+	if s.pool != nil {
+		poolStats := s.pool.Stats()
+		reply.PageFaults = poolStats.Faults - faultsBefore
+		s.metrics.Add("page_faults", reply.PageFaults)
+		s.metrics.SetGauge("buffer_hit_ratio", poolStats.HitRatio())
+	}
+	for i, src := range res.Sources {
+		for j, dst := range res.Dests {
+			reply.Paths = append(reply.Paths, protocol.CandidateFromPath(src, dst, res.Paths[i][j]))
+		}
+	}
+	s.statsMu.Lock()
+	s.totalStats = s.totalStats.Add(res.Stats)
+	s.queriesDone++
+	s.statsMu.Unlock()
+	return reply, nil
+}
+
+// QueryLog returns a copy of the queries the server has observed.
+func (s *Server) QueryLog() []LogEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]LogEntry(nil), s.log...)
+}
+
+// TotalStats returns the accumulated search statistics and the number of
+// obfuscated queries processed.
+func (s *Server) TotalStats() (search.Stats, int) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.totalStats, s.queriesDone
+}
+
+// IOStats returns the buffer-pool counters when the server runs the paged
+// simulation, or zeroes otherwise.
+func (s *Server) IOStats() storage.IOStats {
+	if s.pool == nil {
+		return storage.IOStats{}
+	}
+	return s.pool.Stats()
+}
+
+// ResetStats zeroes the accumulated statistics and the query log.
+func (s *Server) ResetStats() {
+	s.statsMu.Lock()
+	s.totalStats = search.Stats{}
+	s.queriesDone = 0
+	s.statsMu.Unlock()
+	s.mu.Lock()
+	s.log = nil
+	s.mu.Unlock()
+	if s.pool != nil {
+		s.pool.ResetStats()
+	}
+}
+
+// Metrics returns the server's instrumentation registry (query counters,
+// latency histogram, I/O gauges).
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Handler returns a protocol.Handler that answers ServerQuery messages;
+// anything else is rejected.
+func (s *Server) Handler() protocol.Handler {
+	return func(msg any) (any, error) {
+		q, ok := msg.(protocol.ServerQuery)
+		if !ok {
+			return nil, fmt.Errorf("server: unexpected message type %T", msg)
+		}
+		return s.Evaluate(q)
+	}
+}
+
+// Serve accepts obfuscator connections on ln until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	return protocol.ServeListener(ln, s.Handler())
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+func testGraph(t testing.TB) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Nodes = 800
+	cfg.Seed = 71
+	return gen.MustGenerate(cfg)
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("nil graph accepted")
+	}
+	mutable := roadnet.NewGraph(1, 0)
+	mutable.AddNode(0, 0)
+	if _, err := New(mutable, DefaultConfig()); err == nil {
+		t.Error("unfrozen graph accepted")
+	}
+	g := testGraph(t)
+	badPage := DefaultConfig()
+	badPage.Paged = true
+	badPage.PageConfig.NodesPerPage = 0
+	if _, err := New(g, badPage); err == nil {
+		t.Error("invalid page config accepted")
+	}
+}
+
+func TestEvaluateMatchesDirectSearch(t *testing.T) {
+	g := testGraph(t)
+	srv := MustNew(g, DefaultConfig())
+	acc := storage.NewMemoryGraph(g)
+
+	sources := []roadnet.NodeID{1, 50}
+	dests := []roadnet.NodeID{200, 400, 600}
+	reply, err := srv.Evaluate(protocol.ServerQuery{QueryID: 1, Sources: sources, Dests: dests})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Paths) != len(sources)*len(dests) {
+		t.Fatalf("got %d candidate paths, want %d", len(reply.Paths), len(sources)*len(dests))
+	}
+	for _, c := range reply.Paths {
+		want, _, err := search.Dijkstra(acc, c.Source, c.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Empty() != !c.Found {
+			t.Errorf("reachability mismatch for (%d,%d)", c.Source, c.Dest)
+		}
+		if c.Found && math.Abs(want.Cost-c.Cost) > 1e-6 {
+			t.Errorf("cost %v != direct %v for (%d,%d)", c.Cost, want.Cost, c.Source, c.Dest)
+		}
+	}
+	if reply.SettledNodes <= 0 {
+		t.Error("settled node count missing from reply")
+	}
+}
+
+func TestEvaluateRejectsEmptySets(t *testing.T) {
+	srv := MustNew(testGraph(t), DefaultConfig())
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: nil, Dests: []roadnet.NodeID{1}}); err == nil {
+		t.Error("empty source set accepted")
+	}
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{1}, Dests: nil}); err == nil {
+		t.Error("empty destination set accepted")
+	}
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{-2}, Dests: []roadnet.NodeID{1}}); err == nil {
+		t.Error("invalid source accepted")
+	}
+}
+
+func TestQueryLogAndStats(t *testing.T) {
+	g := testGraph(t)
+	srv := MustNew(g, DefaultConfig())
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{1, 2}, Dests: []roadnet.NodeID{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Evaluate(protocol.ServerQuery{QueryID: 77, Sources: []roadnet.NodeID{5}, Dests: []roadnet.NodeID{6}}); err != nil {
+		t.Fatal(err)
+	}
+	log := srv.QueryLog()
+	if len(log) != 2 {
+		t.Fatalf("query log has %d entries, want 2", len(log))
+	}
+	if log[1].QueryID != 77 {
+		t.Errorf("explicit query id not preserved: %d", log[1].QueryID)
+	}
+	if len(log[0].Sources) != 2 || len(log[0].Dests) != 1 {
+		t.Errorf("log entry sets = %d/%d, want 2/1", len(log[0].Sources), len(log[0].Dests))
+	}
+	stats, n := srv.TotalStats()
+	if n != 2 || stats.SettledNodes == 0 {
+		t.Errorf("total stats = %+v over %d queries", stats, n)
+	}
+	srv.ResetStats()
+	if _, n := srv.TotalStats(); n != 0 {
+		t.Error("ResetStats did not clear the counters")
+	}
+	if len(srv.QueryLog()) != 0 {
+		t.Error("ResetStats did not clear the query log")
+	}
+}
+
+func TestNoLogWhenDisabled(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.KeepLog = false
+	srv := MustNew(g, cfg)
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(srv.QueryLog()) != 0 {
+		t.Error("query logged despite KeepLog=false")
+	}
+}
+
+func TestPagedServerCountsFaults(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Paged = true
+	cfg.BufferPages = 16
+	srv := MustNew(g, cfg)
+	reply, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{0}, Dests: []roadnet.NodeID{roadnet.NodeID(g.NumNodes() - 1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.PageFaults <= 0 {
+		t.Error("paged server reported no page faults for a cross-network query")
+	}
+	if srv.IOStats().Faults <= 0 {
+		t.Error("IOStats missing faults")
+	}
+	// In-memory server reports zero I/O.
+	mem := MustNew(g, DefaultConfig())
+	if mem.IOStats() != (storage.IOStats{}) {
+		t.Error("in-memory server should report zero IOStats")
+	}
+}
+
+func TestStrategiesProduceSameCosts(t *testing.T) {
+	g := testGraph(t)
+	q := protocol.ServerQuery{Sources: []roadnet.NodeID{3, 9}, Dests: []roadnet.NodeID{100, 300}}
+	cfgA := DefaultConfig()
+	cfgA.Strategy = search.StrategySSMD
+	cfgB := DefaultConfig()
+	cfgB.Strategy = search.StrategyPairwise
+	a, err := MustNew(g, cfgA).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MustNew(g, cfgB).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs := func(r protocol.ServerReply) map[[2]roadnet.NodeID]float64 {
+		m := map[[2]roadnet.NodeID]float64{}
+		for _, c := range r.Paths {
+			m[[2]roadnet.NodeID{c.Source, c.Dest}] = c.Cost
+		}
+		return m
+	}
+	ca, cb := costs(a), costs(b)
+	for k, v := range ca {
+		if math.Abs(cb[k]-v) > 1e-6 {
+			t.Errorf("pair %v: ssmd cost %v, pairwise cost %v", k, v, cb[k])
+		}
+	}
+}
+
+func TestConcurrentEvaluate(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Paged = true
+	srv := MustNew(g, cfg)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := roadnet.NodeID(i * 13 % g.NumNodes())
+			d := roadnet.NodeID((i*29 + 100) % g.NumNodes())
+			if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{s}, Dests: []roadnet.NodeID{d}}); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if _, n := srv.TotalStats(); n != 16 {
+		t.Errorf("processed %d queries, want 16", n)
+	}
+}
+
+func TestServeOverTCP(t *testing.T) {
+	g := testGraph(t)
+	srv := MustNew(g, DefaultConfig())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer ln.Close()
+
+	conn, err := protocol.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	reply, err := conn.Call(protocol.ServerQuery{QueryID: 3, Sources: []roadnet.NodeID{0}, Dests: []roadnet.NodeID{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, ok := reply.(protocol.ServerReply)
+	if !ok || sr.QueryID != 3 || len(sr.Paths) != 1 {
+		t.Errorf("TCP reply = %+v", reply)
+	}
+	// A malformed message type gets an error reply, not a dropped connection.
+	badReply, err := conn.Call(protocol.ClientRequest{RequestID: 1, User: "x", Source: 0, Dest: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := badReply.(protocol.ErrorReply); !ok {
+		t.Errorf("expected ErrorReply for wrong message type, got %T", badReply)
+	}
+}

@@ -1,0 +1,78 @@
+package storage
+
+import "opaque/internal/roadnet"
+
+// Accessor is the graph view the search algorithms run against. It exposes
+// adjacency exactly like roadnet.Graph but lets the storage layer observe (and
+// charge for) every node expansion. search.* takes an Accessor so the same
+// algorithms run both purely in memory (MemoryGraph) and against the paged
+// simulation (PagedGraph).
+type Accessor interface {
+	// NumNodes returns the node count of the underlying graph.
+	NumNodes() int
+	// Arcs returns the outgoing arcs of id, charging any I/O cost the
+	// implementation models.
+	Arcs(id roadnet.NodeID) []roadnet.Arc
+	// Euclid returns the Euclidean distance between two nodes (used as the
+	// A* heuristic); it is free of I/O charges because coordinates of the
+	// two query endpoints are known to the query itself.
+	Euclid(a, b roadnet.NodeID) float64
+	// Graph exposes the underlying road network for result validation and
+	// coordinate lookups that are not charged as I/O.
+	Graph() *roadnet.Graph
+}
+
+// MemoryGraph is an Accessor with no I/O accounting: every access is free.
+type MemoryGraph struct {
+	g *roadnet.Graph
+}
+
+// NewMemoryGraph wraps a frozen graph in a free-access Accessor.
+func NewMemoryGraph(g *roadnet.Graph) *MemoryGraph { return &MemoryGraph{g: g} }
+
+// NumNodes implements Accessor.
+func (m *MemoryGraph) NumNodes() int { return m.g.NumNodes() }
+
+// Arcs implements Accessor.
+func (m *MemoryGraph) Arcs(id roadnet.NodeID) []roadnet.Arc { return m.g.Arcs(id) }
+
+// Euclid implements Accessor.
+func (m *MemoryGraph) Euclid(a, b roadnet.NodeID) float64 { return m.g.Euclid(a, b) }
+
+// Graph implements Accessor.
+func (m *MemoryGraph) Graph() *roadnet.Graph { return m.g }
+
+// PagedGraph is an Accessor that charges a buffer-pool access for the page of
+// every node whose adjacency list is read, modelling a disk-resident road
+// network laid out by a PageStore.
+type PagedGraph struct {
+	store *PageStore
+	pool  *BufferPool
+}
+
+// NewPagedGraph combines a page layout with a buffer pool.
+func NewPagedGraph(store *PageStore, pool *BufferPool) *PagedGraph {
+	return &PagedGraph{store: store, pool: pool}
+}
+
+// NumNodes implements Accessor.
+func (p *PagedGraph) NumNodes() int { return p.store.graph.NumNodes() }
+
+// Arcs implements Accessor. Reading a node's adjacency list requires its page
+// to be resident, so the access is charged to the buffer pool.
+func (p *PagedGraph) Arcs(id roadnet.NodeID) []roadnet.Arc {
+	p.pool.Access(p.store.PageOf(id))
+	return p.store.graph.Arcs(id)
+}
+
+// Euclid implements Accessor.
+func (p *PagedGraph) Euclid(a, b roadnet.NodeID) float64 { return p.store.graph.Euclid(a, b) }
+
+// Graph implements Accessor.
+func (p *PagedGraph) Graph() *roadnet.Graph { return p.store.graph }
+
+// Pool returns the buffer pool used for accounting.
+func (p *PagedGraph) Pool() *BufferPool { return p.pool }
+
+// Store returns the page layout.
+func (p *PagedGraph) Store() *PageStore { return p.store }

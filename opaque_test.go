@@ -1,0 +1,135 @@
+package opaque
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testNetwork(t testing.TB) *Graph {
+	t.Helper()
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 800
+	cfg.Seed = 141
+	g, err := GenerateNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBreachProbabilityFacade(t *testing.T) {
+	if got := BreachProbability(2, 3); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("BreachProbability(2,3) = %v, want 1/6", got)
+	}
+}
+
+func TestGenerateAndSerializeNetwork(t *testing.T) {
+	g := testNetwork(t)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadNetwork(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != g.NumNodes() || back.NumArcs() != g.NumArcs() {
+		t.Errorf("round trip changed the graph: %d/%d vs %d/%d", back.NumNodes(), back.NumArcs(), g.NumNodes(), g.NumArcs())
+	}
+}
+
+func TestNewGraphManualConstruction(t *testing.T) {
+	g := NewGraph(3, 4)
+	a := g.AddNode(0, 0)
+	b := g.AddNode(1, 0)
+	c := g.AddNode(2, 0)
+	if err := g.AddBidirectionalEdge(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddBidirectionalEdge(b, c, 1); err != nil {
+		t.Fatal(err)
+	}
+	g.Freeze()
+	p, err := ShortestPath(g, a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Cost != 2 || p.Len() != 2 {
+		t.Errorf("ShortestPath = %+v, want cost 2 with 2 edges", p)
+	}
+}
+
+func TestEndToEndSystemThroughFacade(t *testing.T) {
+	g := testNetwork(t)
+	sys, err := NewSystem(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := GenerateWorkload(g, WorkloadConfig{Kind: "uniform", Queries: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.NewClient("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pr := range pairs {
+		res, err := alice.QueryWithProtection(pr.Source, pr.Dest, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found {
+			t.Fatalf("no path for %d->%d", pr.Source, pr.Dest)
+		}
+		truth, err := ShortestPath(g, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(truth.Cost-res.Path.Cost) > 1e-6 {
+			t.Errorf("returned cost %v, shortest %v", res.Path.Cost, truth.Cost)
+		}
+	}
+	// Server log never exposes the bare pair.
+	for _, entry := range sys.Server.QueryLog() {
+		if len(entry.Sources)*len(entry.Dests) < 4 {
+			t.Errorf("server saw a query with only %d candidate pairs", len(entry.Sources)*len(entry.Dests))
+		}
+	}
+}
+
+func TestStandaloneRolesThroughFacade(t *testing.T) {
+	g := testNetwork(t)
+	srv, err := NewServer(g, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcCfg := DefaultObfuscatorConfig()
+	svcCfg.BatchWindow = 0
+	svc, err := NewObfuscatorService(g, QueryExecutorFunc(srv.Evaluate), svcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := NewClient("bob", svc, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := GenerateWorkload(g, WorkloadConfig{Kind: "uniform", Queries: 1, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bob.Query(pairs[0].Source, pairs[0].Dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Error("standalone composition returned no path")
+	}
+}
+
+func TestAdversariesThroughFacade(t *testing.T) {
+	g := testNetwork(t)
+	if NewUniformAdversary(g) == nil || NewWeightedAdversary(g) == nil {
+		t.Error("adversary constructors returned nil")
+	}
+}
