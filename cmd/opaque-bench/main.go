@@ -2,8 +2,10 @@
 // (DESIGN.md §5 / EXPERIMENTS.md): the Figure 2 baseline comparison,
 // Definition 2 breach probabilities, the Lemma 1 cost-model calibration, the
 // SSMD sharing measurement, the independent-vs-shared trade-off, obfuscator
-// overhead, scaling, the fake-endpoint strategy ablation, and the collusion
-// attack.
+// overhead, scaling, the fake-endpoint strategy ablation, the collusion
+// attack, the linkage and server-log analyses, and the batch-engine
+// throughput measurement (E12), which also reports the SSMD tree cache hit
+// ratio from the server's metrics registry.
 //
 // Usage:
 //
@@ -30,7 +32,7 @@ func main() {
 	log.SetPrefix("opaque-bench: ")
 
 	var (
-		expID  = flag.String("exp", "", "run a single experiment by id (E1..E9); empty runs all")
+		expID  = flag.String("exp", "", "run a single experiment by id (E1..E12); empty runs all")
 		scale  = flag.String("scale", "small", "experiment scale: small | full")
 		list   = flag.Bool("list", false, "list available experiments and exit")
 		csvDir = flag.String("csv", "", "directory to also write per-table CSV files into")

@@ -31,11 +31,14 @@ func main() {
 		nodes       = flag.Int("nodes", 10000, "node count when generating")
 		seed        = flag.Uint64("seed", 42, "generation seed")
 		listen      = flag.String("listen", ":7001", "TCP listen address for obfuscator connections")
-		strategy    = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar")
-		workers     = flag.Int("workers", 1, "concurrent per-source searches per query")
-		paged       = flag.Bool("paged", false, "simulate disk-resident storage with an LRU buffer pool")
-		bufferPages = flag.Int("buffer-pages", 256, "buffer pool capacity in pages (with -paged)")
-		landmarks   = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
+		strategy     = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar | pairwise-alt")
+		workers      = flag.Int("workers", 1, "concurrent per-source searches per query")
+		batchWorkers = flag.Int("batch-workers", 0, "concurrent queries per batch in the batch engine (0 = GOMAXPROCS)")
+		maxSearches  = flag.Int("max-searches", 0, "server-wide cap on concurrent per-source searches (0 = unbounded)")
+		treeCache    = flag.Int("tree-cache", 0, "SSMD tree cache capacity in trees (0 disables the cache)")
+		paged        = flag.Bool("paged", false, "simulate disk-resident storage with an LRU buffer pool")
+		bufferPages  = flag.Int("buffer-pages", 256, "buffer pool capacity in pages (with -paged)")
+		landmarks    = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
 	)
 	flag.Parse()
 
@@ -48,6 +51,9 @@ func main() {
 	cfg := server.DefaultConfig()
 	cfg.Strategy = search.Strategy(*strategy)
 	cfg.Workers = *workers
+	cfg.BatchWorkers = *batchWorkers
+	cfg.MaxConcurrentSearches = *maxSearches
+	cfg.TreeCache = *treeCache
 	cfg.Paged = *paged
 	cfg.PageConfig = storage.DefaultConfig()
 	cfg.BufferPages = *bufferPages

@@ -1,0 +1,3 @@
+module opaque
+
+go 1.24

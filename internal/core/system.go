@@ -61,8 +61,7 @@ func NewSystemWithMaps(serverMap, obfuscatorMap *roadnet.Graph, cfg Config) (*Sy
 	if err != nil {
 		return nil, fmt.Errorf("core: building server: %w", err)
 	}
-	exec := obfsvc.ExecutorFunc(srv.Evaluate)
-	svc, err := obfsvc.New(obfuscatorMap, exec, cfg.Obfuscator)
+	svc, err := obfsvc.New(obfuscatorMap, serverExecutor{srv}, cfg.Obfuscator)
 	if err != nil {
 		return nil, fmt.Errorf("core: building obfuscator service: %w", err)
 	}
@@ -76,6 +75,28 @@ func MustNewSystem(g *roadnet.Graph, cfg Config) *System {
 		panic(err)
 	}
 	return s
+}
+
+// serverExecutor adapts the in-process server to obfsvc.BatchExecutor, so the
+// obfuscator hands whole obfuscation plans to the server's batch engine
+// (shared SSMD trees, worker-pool evaluation) instead of one query at a time.
+type serverExecutor struct{ srv *server.Server }
+
+// Execute implements obfsvc.QueryExecutor.
+func (e serverExecutor) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	return e.srv.Evaluate(q)
+}
+
+// ExecuteBatch implements obfsvc.BatchExecutor.
+func (e serverExecutor) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error) {
+	results := e.srv.EvaluateBatch(qs)
+	replies := make([]protocol.ServerReply, len(results))
+	errs := make([]error, len(results))
+	for i, r := range results {
+		replies[i] = r.Reply
+		errs[i] = r.Err
+	}
+	return replies, errs
 }
 
 // NewClient returns a client for the given user wired to the system's

@@ -138,6 +138,7 @@ func All() []Runner {
 		E9Collusion{},
 		E10Linkage{},
 		E11ServerLog{},
+		E12BatchThroughput{},
 	}
 }
 

@@ -1,9 +1,19 @@
 // Package metrics is a small, dependency-free instrumentation registry used
 // by the OPAQUE server and obfuscator service: named counters, gauges and
 // latency histograms that can be snapshotted for logs, tests and the
-// load-test example. It favours predictable behaviour over features — fixed
-// histogram buckets, no background goroutines, plain mutex protection — which
-// is all a reproduction study needs to report what its components did.
+// load-test example. It is how the reproduction observes the quantities the
+// paper's evaluation (Section V) reports — queries processed, nodes settled,
+// page faults, batch sizes, cache hit ratios — without wiring an external
+// metrics stack into a research codebase.
+//
+// The hot path is lock-free: counters are atomic integers obtained once with
+// CounterVar and bumped without touching the registry map, and histograms use
+// atomic buckets, so the batch engine can record per-query metrics from many
+// workers without a shared mutex. Name-based lookups (Add, Observe) remain
+// for convenience on cold paths. The design still favours predictable
+// behaviour over features — fixed histogram buckets, no background
+// goroutines — which is all a reproduction study needs to report what its
+// components did.
 package metrics
 
 import (
@@ -12,14 +22,28 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a named monotonically increasing value. Obtain one with
+// Registry.CounterVar and keep it: Add on a Counter is a single atomic
+// instruction, suitable for per-query hot paths.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Registry holds named metrics. The zero value is not usable; create one with
 // NewRegistry. All methods are safe for concurrent use.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]int64
+	counters   map[string]*Counter
 	gauges     map[string]float64
 	histograms map[string]*Histogram
 }
@@ -27,24 +51,39 @@ type Registry struct {
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]int64),
+		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]float64),
 		histograms: make(map[string]*Histogram),
 	}
 }
 
-// Add increments the named counter by delta.
-func (r *Registry) Add(name string, delta int64) {
+// CounterVar returns the named counter, registering it on first use. Callers
+// on hot paths should fetch the Counter once and Add on it directly.
+func (r *Registry) CounterVar(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.counters[name] += delta
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments the named counter by delta (convenience name-based form;
+// prefer CounterVar on hot paths).
+func (r *Registry) Add(name string, delta int64) {
+	r.CounterVar(name).Add(delta)
 }
 
 // Counter returns the current value of the named counter (0 if never used).
 func (r *Registry) Counter(name string) int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.counters[name]
+	if c, ok := r.counters[name]; ok {
+		return c.Value()
+	}
+	return 0
 }
 
 // SetGauge records an instantaneous value.
@@ -61,16 +100,24 @@ func (r *Registry) Gauge(name string) float64 {
 	return r.gauges[name]
 }
 
-// Observe records a duration in the named histogram.
-func (r *Registry) Observe(name string, d time.Duration) {
+// HistogramVar returns the named histogram, registering it on first use.
+// Callers on hot paths should fetch the Histogram once and Observe on it
+// directly.
+func (r *Registry) HistogramVar(name string) *Histogram {
 	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.histograms[name]
 	if !ok {
 		h = NewHistogram()
 		r.histograms[name] = h
 	}
-	r.mu.Unlock()
-	h.Observe(d)
+	return h
+}
+
+// Observe records a duration in the named histogram (convenience name-based
+// form; prefer HistogramVar on hot paths).
+func (r *Registry) Observe(name string, d time.Duration) {
+	r.HistogramVar(name).Observe(d)
 }
 
 // Histogram returns the named histogram, or nil when nothing was observed.
@@ -110,8 +157,8 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var snap Snapshot
-	for name, v := range r.counters {
-		snap.Counters = append(snap.Counters, NamedValue{Name: name, Value: float64(v)})
+	for name, c := range r.counters {
+		snap.Counters = append(snap.Counters, NamedValue{Name: name, Value: float64(c.Value())})
 	}
 	for name, v := range r.gauges {
 		snap.Gauges = append(snap.Gauges, NamedValue{Name: name, Value: v})
@@ -168,14 +215,15 @@ func buildBounds() []time.Duration {
 	return bounds
 }
 
-// Histogram is a fixed-bucket latency histogram. It keeps per-bucket counts
-// plus exact running sum/max, so summaries are cheap and allocation-free.
+// Histogram is a fixed-bucket latency histogram. Per-bucket counts and the
+// running sum/max are atomics, so Observe is lock-free and safe to call from
+// any number of goroutines; summaries read a slightly racy but internally
+// consistent-enough snapshot, which is fine for reporting.
 type Histogram struct {
-	mu      sync.Mutex
-	buckets [17]int64 // len(bucketBounds)+1 overflow bucket
-	count   int64
-	sum     time.Duration
-	max     time.Duration
+	buckets  [17]atomic.Int64 // len(bucketBounds)+1 overflow bucket
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
 }
 
 // NewHistogram returns an empty histogram.
@@ -193,22 +241,19 @@ func (h *Histogram) Observe(d time.Duration) {
 			break
 		}
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.buckets[idx]++
-	h.count++
-	h.sum += d
-	if d > h.max {
-		h.max = d
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() int64 { return h.count.Load() }
 
 // Quantile returns an upper bound for the q-quantile (0 ≤ q ≤ 1) based on the
 // bucket boundaries; the overflow bucket reports the observed maximum.
@@ -219,38 +264,33 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	if q > 1 {
 		q = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	count := h.count.Load()
+	if count == 0 {
 		return 0
 	}
-	target := int64(math.Ceil(q * float64(h.count)))
+	target := int64(math.Ceil(q * float64(count)))
 	if target < 1 {
 		target = 1
 	}
 	var cum int64
-	for i, c := range h.buckets {
-		cum += c
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
 		if cum >= target {
 			if i < len(bucketBounds) {
 				return bucketBounds[i]
 			}
-			return h.max
+			return time.Duration(h.maxNanos.Load())
 		}
 	}
-	return h.max
+	return time.Duration(h.maxNanos.Load())
 }
 
 // Summary returns count, mean and the standard percentiles.
 func (h *Histogram) Summary() NamedHistogram {
-	h.mu.Lock()
-	count := h.count
-	sum := h.sum
-	max := h.max
-	h.mu.Unlock()
-	s := NamedHistogram{Count: count, Maximum: max}
+	count := h.count.Load()
+	s := NamedHistogram{Count: count, Maximum: time.Duration(h.maxNanos.Load())}
 	if count > 0 {
-		s.Mean = sum / time.Duration(count)
+		s.Mean = time.Duration(h.sumNanos.Load()) / time.Duration(count)
 	}
 	s.P50 = h.Quantile(0.50)
 	s.P90 = h.Quantile(0.90)

@@ -29,15 +29,30 @@ type QueryExecutor interface {
 	Execute(q protocol.ServerQuery) (protocol.ServerReply, error)
 }
 
+// BatchExecutor is an optional extension of QueryExecutor for servers that
+// can evaluate a whole batch of obfuscated queries in one exchange (the
+// in-process server's batch engine, or a networked server via
+// protocol.BatchQuery). ExecuteBatch returns one reply and one error slot per
+// query, in query order; queries fail individually. When the executor
+// implements it, ProcessBatch hands over every query of an obfuscation plan
+// at once so the server can share SSMD trees across them.
+type BatchExecutor interface {
+	QueryExecutor
+	ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error)
+}
+
 // ExecutorFunc adapts a function to the QueryExecutor interface.
 type ExecutorFunc func(q protocol.ServerQuery) (protocol.ServerReply, error)
 
 // Execute implements QueryExecutor.
 func (f ExecutorFunc) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) { return f(q) }
 
-// RemoteExecutor sends queries to a server over a protocol.Conn.
+// RemoteExecutor sends queries to a server over a protocol.Conn. It
+// implements BatchExecutor: whole obfuscation plans travel as one
+// protocol.BatchQuery round trip.
 type RemoteExecutor struct {
-	conn *protocol.Conn
+	conn    *protocol.Conn
+	batchID atomic.Uint64
 }
 
 // NewRemoteExecutor wraps an established connection to the server.
@@ -56,6 +71,40 @@ func (r *RemoteExecutor) Execute(q protocol.ServerQuery) (protocol.ServerReply, 
 		return protocol.ServerReply{}, fmt.Errorf("obfsvc: server error: %s", m.Message)
 	default:
 		return protocol.ServerReply{}, fmt.Errorf("obfsvc: unexpected server reply type %T", reply)
+	}
+}
+
+// ExecuteBatch implements BatchExecutor over one BatchQuery round trip. A
+// transport or whole-batch failure is reported in every error slot.
+func (r *RemoteExecutor) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error) {
+	replies := make([]protocol.ServerReply, len(qs))
+	errs := make([]error, len(qs))
+	failAll := func(err error) ([]protocol.ServerReply, []error) {
+		for i := range errs {
+			errs[i] = err
+		}
+		return replies, errs
+	}
+	raw, err := r.conn.Call(protocol.BatchQuery{BatchID: r.batchID.Add(1), Queries: qs})
+	if err != nil {
+		return failAll(err)
+	}
+	switch m := raw.(type) {
+	case protocol.BatchReply:
+		if len(m.Replies) != len(qs) || len(m.Errors) > len(qs) {
+			return failAll(fmt.Errorf("obfsvc: batch reply has %d replies / %d errors for %d queries", len(m.Replies), len(m.Errors), len(qs)))
+		}
+		copy(replies, m.Replies)
+		for i, msg := range m.Errors {
+			if msg != "" {
+				errs[i] = fmt.Errorf("obfsvc: server error: %s", msg)
+			}
+		}
+		return replies, errs
+	case protocol.ErrorReply:
+		return failAll(fmt.Errorf("obfsvc: server error: %s", m.Message))
+	default:
+		return failAll(fmt.Errorf("obfsvc: unexpected server reply type %T", raw))
 	}
 }
 
@@ -107,6 +156,12 @@ type Service struct {
 	stats   Stats
 	statsMu sync.Mutex
 	metrics *metrics.Registry
+
+	// obfMu serialises access to the obfuscator, whose seeded endpoint
+	// selection is deliberately deterministic and therefore not safe for
+	// concurrent use. Only the (cheap) obfuscation stage is serialised;
+	// query evaluation and filtering run concurrently across batches.
+	obfMu sync.Mutex
 
 	// batching state used by the asynchronous Submit path.
 	mu      sync.Mutex
@@ -182,7 +237,9 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 		return nil, fmt.Errorf("obfsvc: empty batch")
 	}
 	start := time.Now()
+	s.obfMu.Lock()
 	plan, err := s.obf.Obfuscate(batch)
+	s.obfMu.Unlock()
 	obfDur := time.Since(start)
 	if err != nil {
 		return nil, fmt.Errorf("obfsvc: obfuscation failed: %w", err)
@@ -193,14 +250,34 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 		results[i] = ClientResult{Request: batch[i]}
 	}
 
-	var filterDur time.Duration
-	candidates := int64(0)
-	for _, q := range plan.Queries {
-		reply, err := s.executor.Execute(protocol.ServerQuery{
+	// Evaluate the whole obfuscation plan. Batch-capable executors receive
+	// every query at once — one round trip in the networked deployment, and
+	// the chance to share SSMD trees across queries in the server's batch
+	// engine; plain executors are driven query by query.
+	queries := make([]protocol.ServerQuery, len(plan.Queries))
+	for qi, q := range plan.Queries {
+		queries[qi] = protocol.ServerQuery{
 			QueryID: s.queryID.Add(1),
 			Sources: q.Sources,
 			Dests:   q.Dests,
-		})
+		}
+	}
+	var replies []protocol.ServerReply
+	var errs []error
+	if be, ok := s.executor.(BatchExecutor); ok {
+		replies, errs = be.ExecuteBatch(queries)
+	} else {
+		replies = make([]protocol.ServerReply, len(queries))
+		errs = make([]error, len(queries))
+		for qi := range queries {
+			replies[qi], errs[qi] = s.executor.Execute(queries[qi])
+		}
+	}
+
+	var filterDur time.Duration
+	candidates := int64(0)
+	for qi, q := range plan.Queries {
+		reply, err := replies[qi], errs[qi]
 		if err != nil {
 			// Mark every member of this query as failed but keep processing
 			// the other queries of the plan.

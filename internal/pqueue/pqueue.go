@@ -1,7 +1,11 @@
 // Package pqueue provides an indexed binary min-heap keyed by float64
 // priorities. It supports DecreaseKey, which Dijkstra-style searches use to
 // update tentative distances in place, and is the single priority-queue
-// implementation shared by every search algorithm in the repository.
+// implementation shared by every search algorithm in the repository: the
+// point-to-point baselines, the single-source multi-destination search the
+// OPAQUE paper's cost argument rests on (Section III-B), and the resumable
+// spanning trees of the server's SSMD tree cache, whose suspended frontier is
+// simply a retained IndexedHeap.
 package pqueue
 
 // Item is a queue entry: an integer payload (typically a node ID) with a

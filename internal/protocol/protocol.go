@@ -10,6 +10,11 @@
 //	obfuscator  → server     : ServerQuery    Q(S, T)
 //	server      → obfuscator : ServerReply    candidate result paths
 //	obfuscator  → client     : ClientReply    P(s, t)
+//
+// On top of the per-query exchange, BatchQuery/BatchReply carry a whole batch
+// of obfuscated queries in one round trip, so a networked obfuscator can hand
+// the server's batch engine an entire obfuscation plan (all Q(S, T) of one
+// batching window) and amortise both framing and evaluation.
 package protocol
 
 import (
@@ -32,6 +37,8 @@ const (
 	TypeServerQuery
 	TypeServerReply
 	TypeError
+	TypeBatchQuery
+	TypeBatchReply
 )
 
 // ClientRequest is the client-to-obfuscator request over the secure channel.
@@ -79,8 +86,28 @@ type ServerReply struct {
 	Paths   []CandidatePath
 	// SettledNodes and PageFaults let experiments observe the server-side
 	// cost without another channel; a production server would omit them.
+	// PageFaults is exact under sequential evaluation and an upper bound
+	// when the query overlapped others in a batch (the buffer pool's fault
+	// counter is shared across in-flight queries).
 	SettledNodes int
 	PageFaults   int64
+}
+
+// BatchQuery carries several obfuscated path queries to the server in one
+// message, to be evaluated concurrently by the server's batch engine. Like
+// ServerQuery it carries no user identifiers.
+type BatchQuery struct {
+	BatchID uint64
+	Queries []ServerQuery
+}
+
+// BatchReply answers a BatchQuery: one reply per query, in query order.
+// Queries that failed individually have their error message in Errors at the
+// same index (empty string = success) rather than failing the whole batch.
+type BatchReply struct {
+	BatchID uint64
+	Replies []ServerReply
+	Errors  []string
 }
 
 // ErrorReply reports a failure processing a query or request.
@@ -111,12 +138,14 @@ func CandidateFromPath(s, t roadnet.NodeID, p search.Path) CandidatePath {
 
 // Envelope wraps any protocol message with its type tag for gob framing.
 type Envelope struct {
-	Type    MessageType
-	Request *ClientRequest `json:",omitempty"`
-	Reply   *ClientReply   `json:",omitempty"`
-	Query   *ServerQuery   `json:",omitempty"`
-	Result  *ServerReply   `json:",omitempty"`
-	Err     *ErrorReply    `json:",omitempty"`
+	Type     MessageType
+	Request  *ClientRequest `json:",omitempty"`
+	Reply    *ClientReply   `json:",omitempty"`
+	Query    *ServerQuery   `json:",omitempty"`
+	Result   *ServerReply   `json:",omitempty"`
+	Batch    *BatchQuery    `json:",omitempty"`
+	BatchRes *BatchReply    `json:",omitempty"`
+	Err      *ErrorReply    `json:",omitempty"`
 }
 
 // Wrap builds an Envelope from a concrete message. It returns an error for
@@ -139,6 +168,14 @@ func Wrap(msg any) (Envelope, error) {
 		return Envelope{Type: TypeServerReply, Result: &m}, nil
 	case *ServerReply:
 		return Envelope{Type: TypeServerReply, Result: m}, nil
+	case BatchQuery:
+		return Envelope{Type: TypeBatchQuery, Batch: &m}, nil
+	case *BatchQuery:
+		return Envelope{Type: TypeBatchQuery, Batch: m}, nil
+	case BatchReply:
+		return Envelope{Type: TypeBatchReply, BatchRes: &m}, nil
+	case *BatchReply:
+		return Envelope{Type: TypeBatchReply, BatchRes: m}, nil
 	case ErrorReply:
 		return Envelope{Type: TypeError, Err: &m}, nil
 	case *ErrorReply:
@@ -171,6 +208,16 @@ func (e Envelope) Unwrap() (any, error) {
 			return nil, fmt.Errorf("protocol: server reply envelope without payload")
 		}
 		return *e.Result, nil
+	case TypeBatchQuery:
+		if e.Batch == nil {
+			return nil, fmt.Errorf("protocol: batch query envelope without payload")
+		}
+		return *e.Batch, nil
+	case TypeBatchReply:
+		if e.BatchRes == nil {
+			return nil, fmt.Errorf("protocol: batch reply envelope without payload")
+		}
+		return *e.BatchRes, nil
 	case TypeError:
 		if e.Err == nil {
 			return nil, fmt.Errorf("protocol: error envelope without payload")

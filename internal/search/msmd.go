@@ -83,6 +83,8 @@ type Processor struct {
 	strategy  Strategy
 	workers   int
 	landmarks *Landmarks
+	cache     *TreeCache
+	gate      Gate
 }
 
 // ProcessorOption customises a Processor.
@@ -108,6 +110,22 @@ func WithWorkers(n int) ProcessorOption {
 // StrategyPairwiseALT.
 func WithLandmarks(lm *Landmarks) ProcessorOption {
 	return func(p *Processor) { p.landmarks = lm }
+}
+
+// WithTreeCache installs an SSMD tree cache: StrategySSMD evaluations answer
+// each per-source search from cached resumable spanning trees keyed by
+// (source, accessor generation) instead of running Dijkstra from scratch.
+// Other strategies ignore the cache. Cached evaluation changes the reported
+// Stats (only incremental work is counted) but never the resulting paths.
+func WithTreeCache(c *TreeCache) ProcessorOption {
+	return func(p *Processor) { p.cache = c }
+}
+
+// WithGate bounds the processor's per-source searches with a shared
+// semaphore, composing per-query parallelism under a server-wide concurrency
+// cap. A nil gate (the default) imposes no bound.
+func WithGate(g Gate) ProcessorOption {
+	return func(p *Processor) { p.gate = g }
 }
 
 // NewProcessor builds a processor over acc.
@@ -155,10 +173,18 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 	}
 
 	evalRow := func(i int) rowResult {
+		p.gate.Acquire()
+		defer p.gate.Release()
 		s := sources[i]
 		switch p.strategy {
 		case StrategySSMD, "":
-			r, err := SSMD(p.acc, s, dests)
+			var r SSMDResult
+			var err error
+			if p.cache != nil {
+				r, err = p.cache.Evaluate(p.acc, s, dests)
+			} else {
+				r, err = SSMD(p.acc, s, dests)
+			}
 			if err != nil {
 				return rowResult{idx: i, err: err}
 			}

@@ -1,0 +1,178 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"opaque/internal/pqueue"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// Tree is a resumable single-source Dijkstra spanning tree: the settled part
+// of the tree the SSMD search of Section III-B grows. Unlike the one-shot
+// SSMD function, a Tree keeps its distance labels, parent pointers and
+// priority queue between calls, so a later query from the same source only
+// pays for the frontier expansion beyond what earlier queries already
+// settled. This is what makes the SSMD tree cache effective: obfuscated
+// queries that share a source (common in shared mode, where the obfuscator
+// deliberately reuses endpoints across users) reuse the settled prefix
+// instead of re-running Dijkstra from scratch.
+//
+// Growing the tree replays exactly the relaxation sequence an uninterrupted
+// search would perform: Paths stops, like cold SSMD, right after settling the
+// last requested destination (before expanding its arcs), records that node
+// as the pending expansion, and the next growth step starts by expanding it.
+// Distances and parent pointers therefore evolve identically to a single
+// long-running search, and paths extracted from a resumed tree match cold
+// SSMD results.
+//
+// A Tree serialises its own growth with an internal mutex; concurrent Paths
+// calls are safe and each observes a tree at least as grown as it needs.
+type Tree struct {
+	mu      sync.Mutex
+	acc     storage.Accessor
+	source  roadnet.NodeID
+	dist    []float64
+	parent  []roadnet.NodeID
+	settled []bool
+	pq      *pqueue.IndexedHeap
+	// unexpanded is the most recently settled node whose arcs have not been
+	// relaxed yet (cold SSMD stops before expanding the last destination);
+	// InvalidNode when none is outstanding.
+	unexpanded roadnet.NodeID
+	// grown accumulates the total work spent growing this tree across all
+	// calls; Paths reports only the incremental work of each call.
+	grown Stats
+}
+
+// NewTree initialises an empty spanning tree rooted at source. It performs no
+// search work; the first Paths call grows the tree.
+func NewTree(acc storage.Accessor, source roadnet.NodeID) (*Tree, error) {
+	if !validNode(acc, source) {
+		return nil, fmt.Errorf("search: invalid source node %d", source)
+	}
+	n := acc.NumNodes()
+	t := &Tree{
+		acc:        acc,
+		source:     source,
+		dist:       newDistSlice(n),
+		parent:     newParentSlice(n),
+		settled:    make([]bool, n),
+		pq:         pqueue.NewWithCapacity(64),
+		unexpanded: roadnet.InvalidNode,
+	}
+	t.dist[source] = 0
+	t.pq.Push(int32(source), 0)
+	t.grown.QueueOps++
+	return t, nil
+}
+
+// Source returns the root of the tree.
+func (t *Tree) Source() roadnet.NodeID { return t.source }
+
+// GrownStats returns the cumulative work spent growing the tree so far.
+func (t *Tree) GrownStats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.grown
+}
+
+// Paths returns the shortest path from the tree's source to every requested
+// destination (empty when unreachable), growing the tree just far enough to
+// settle them all. The returned Stats count only the incremental work this
+// call performed — zero when every destination was already settled, which is
+// exactly the saving the tree cache exists to harvest.
+func (t *Tree) Paths(dests []roadnet.NodeID) (SSMDResult, error) {
+	if len(dests) == 0 {
+		return SSMDResult{}, fmt.Errorf("search: SSMD needs at least one destination")
+	}
+	for _, d := range dests {
+		if !validNode(t.acc, d) {
+			return SSMDResult{}, fmt.Errorf("search: invalid destination node %d", d)
+		}
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	stats := t.grow(dests)
+
+	res := SSMDResult{
+		Source: t.source,
+		Dests:  append([]roadnet.NodeID(nil), dests...),
+		Paths:  make([]Path, len(dests)),
+		Stats:  stats,
+	}
+	for i, d := range dests {
+		if d == t.source {
+			res.Paths[i] = Path{Nodes: []roadnet.NodeID{t.source}, Cost: 0}
+			continue
+		}
+		if !t.settled[d] {
+			res.Paths[i] = Path{} // frontier exhausted without reaching d
+			continue
+		}
+		res.Paths[i] = reconstruct(t.parent, t.dist, t.source, d)
+	}
+	return res, nil
+}
+
+// grow continues the Dijkstra expansion until every destination is settled or
+// the frontier is exhausted, returning the incremental work. Caller holds
+// t.mu.
+func (t *Tree) grow(dests []roadnet.NodeID) Stats {
+	pendingSet := make(map[roadnet.NodeID]struct{}, len(dests))
+	for _, d := range dests {
+		if !t.settled[d] && d != t.source {
+			pendingSet[d] = struct{}{}
+		}
+	}
+	var stats Stats
+	if len(pendingSet) == 0 {
+		return stats // fully served from the settled prefix
+	}
+	if t.unexpanded != roadnet.InvalidNode {
+		t.relax(t.unexpanded, &stats)
+		t.unexpanded = roadnet.InvalidNode
+	}
+	for len(pendingSet) > 0 && !t.pq.Empty() {
+		if t.pq.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = t.pq.Len()
+		}
+		item := t.pq.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > t.dist[u] {
+			continue // stale entry
+		}
+		t.settled[u] = true
+		stats.SettledNodes++
+		if _, ok := pendingSet[u]; ok {
+			delete(pendingSet, u)
+			if len(pendingSet) == 0 {
+				// Stop exactly where cold SSMD stops: after settling the
+				// last destination, before expanding its arcs. The next
+				// grow call performs the deferred expansion first.
+				t.unexpanded = u
+				break
+			}
+		}
+		t.relax(u, &stats)
+	}
+	t.grown = t.grown.Add(stats)
+	return stats
+}
+
+// relax expands u's outgoing arcs, updating tentative distances.
+func (t *Tree) relax(u roadnet.NodeID, stats *Stats) {
+	for _, a := range t.acc.Arcs(u) {
+		stats.RelaxedArcs++
+		nd := t.dist[u] + a.Cost
+		if nd < t.dist[a.To] {
+			t.dist[a.To] = nd
+			t.parent[a.To] = u
+			t.pq.Push(int32(a.To), nd)
+			stats.QueueOps++
+		}
+	}
+}

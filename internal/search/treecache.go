@@ -1,0 +1,203 @@
+package search
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// TreeCacheStats is a snapshot of the cache's effectiveness counters.
+type TreeCacheStats struct {
+	// Hits counts Evaluate calls served by an existing tree (possibly after
+	// resuming its growth); Misses counts calls that had to build a tree.
+	Hits, Misses int64
+	// Resumes counts hits that still had to grow the tree further because a
+	// destination was not settled yet (a partial hit).
+	Resumes int64
+	// Evictions counts trees dropped to respect the capacity bound;
+	// Invalidations counts trees dropped because the accessor's data
+	// generation moved past them.
+	Evictions, Invalidations int64
+}
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s TreeCacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// TreeCache is an LRU cache of resumable SSMD spanning trees keyed by
+// (source node, accessor data generation). The directions search server uses
+// it to share settled shortest-path trees across obfuscated queries whose
+// source sets overlap — under shared-mode obfuscation the obfuscator
+// deliberately reuses endpoints, so consecutive Q(S, T) batches hit the same
+// sources again and again. A hit turns a full Dijkstra run into (at worst) an
+// incremental frontier expansion and (at best) pure path reconstruction.
+//
+// Entries computed under an older accessor generation (see storage.Versioned)
+// are dropped the moment the same source is requested again, so a
+// BumpGeneration on the accessor invalidates the cache without any
+// coordination.
+//
+// TreeCache is safe for concurrent use. The cache lock is held only for
+// lookup bookkeeping — the O(n) label allocation of a new tree happens
+// outside it, and tree growth runs under the individual tree's lock — so
+// queries on distinct sources proceed in parallel while queries on the same
+// source serialise and share each other's work.
+type TreeCache struct {
+	capacity int
+
+	mu      sync.Mutex
+	entries map[roadnet.NodeID]*list.Element // at most one entry per source
+	lru     *list.List                       // front = most recently used; values are *cacheEntry
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	resumes       atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type cacheEntry struct {
+	source roadnet.NodeID
+	gen    uint64
+	tree   *Tree
+}
+
+// DefaultTreeCacheSize is the tree capacity used when a caller enables the
+// cache without choosing a size. Each tree costs O(n) memory for the distance
+// and parent labels of an n-node graph.
+const DefaultTreeCacheSize = 256
+
+// NewTreeCache returns a cache holding at most capacity trees (values < 1 use
+// DefaultTreeCacheSize).
+func NewTreeCache(capacity int) *TreeCache {
+	if capacity < 1 {
+		capacity = DefaultTreeCacheSize
+	}
+	return &TreeCache{
+		capacity: capacity,
+		entries:  make(map[roadnet.NodeID]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Capacity returns the maximum number of trees the cache retains.
+func (c *TreeCache) Capacity() int { return c.capacity }
+
+// Len returns the number of trees currently cached.
+func (c *TreeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *TreeCache) Stats() TreeCacheStats {
+	return TreeCacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Resumes:       c.resumes.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+}
+
+// Evaluate answers the single-source multi-destination query (source, dests)
+// from the cache, building or resuming the source's spanning tree as needed.
+// Results are identical to a cold SSMD call; the Stats inside the result
+// count only the incremental work performed.
+func (c *TreeCache) Evaluate(acc storage.Accessor, source roadnet.NodeID, dests []roadnet.NodeID) (SSMDResult, error) {
+	tree, hit, err := c.lookup(acc, source)
+	if err != nil {
+		return SSMDResult{}, err
+	}
+	res, err := tree.Paths(dests)
+	if err != nil {
+		return SSMDResult{}, err
+	}
+	if hit {
+		c.hits.Add(1)
+		if res.Stats.SettledNodes > 0 || res.Stats.RelaxedArcs > 0 {
+			c.resumes.Add(1) // partial hit: the tree had to grow further
+		}
+	} else {
+		c.misses.Add(1)
+	}
+	return res, nil
+}
+
+// lookup returns the cached tree for (source, current generation), creating
+// it on a miss, and reports whether it was already present.
+func (c *TreeCache) lookup(acc storage.Accessor, source roadnet.NodeID) (*Tree, bool, error) {
+	gen := storage.GenerationOf(acc)
+	if tree, ok := c.fetch(source, gen, false); ok {
+		return tree, true, nil
+	}
+	// Build outside the lock: NewTree allocates the O(n) distance and parent
+	// labels, which must not serialise unrelated lookups.
+	tree, err := NewTree(acc, source)
+	if err != nil {
+		return nil, false, err
+	}
+	if shared, ok := c.fetch(source, gen, true); ok {
+		// A concurrent miss for the same source inserted first; share its
+		// tree (and whatever growth it has already paid for) instead.
+		return shared, true, nil
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el := c.lru.PushFront(&cacheEntry{source: source, gen: gen, tree: tree})
+	c.entries[source] = el
+	for c.lru.Len() > c.capacity {
+		c.removeLocked(c.lru.Back())
+		c.evictions.Add(1)
+	}
+	return tree, false, nil
+}
+
+// fetch returns the cached current-generation tree for source, dropping a
+// stale-generation entry when it finds one instead. The drop is recorded as
+// an invalidation unless this is the recheck after an unlocked tree build,
+// which must not double-count a bump the first fetch already charged.
+func (c *TreeCache) fetch(source roadnet.NodeID, gen uint64, recheck bool) (*Tree, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[source]
+	if !ok {
+		return nil, false
+	}
+	entry := el.Value.(*cacheEntry)
+	if entry.gen != gen {
+		c.removeLocked(el)
+		if !recheck {
+			c.invalidations.Add(1)
+		}
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return entry.tree, true
+}
+
+// removeLocked removes one LRU element. Caller holds c.mu.
+func (c *TreeCache) removeLocked(el *list.Element) {
+	entry := el.Value.(*cacheEntry)
+	delete(c.entries, entry.source)
+	c.lru.Remove(el)
+}
+
+// Purge drops every cached tree (used by tests and by servers that swap
+// their accessor wholesale).
+func (c *TreeCache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[roadnet.NodeID]*list.Element, c.capacity)
+	c.lru.Init()
+}

@@ -1,0 +1,221 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// overlappingQueries builds a workload of (source, dests) queries whose source
+// and destination sets overlap heavily, the access pattern shared-mode
+// obfuscation produces.
+func overlappingQueries(g *roadnet.Graph) []struct {
+	source roadnet.NodeID
+	dests  []roadnet.NodeID
+} {
+	n := g.NumNodes()
+	pick := func(i int) roadnet.NodeID { return roadnet.NodeID(i % n) }
+	var out []struct {
+		source roadnet.NodeID
+		dests  []roadnet.NodeID
+	}
+	// Three sources, each queried several times with growing/rotating
+	// destination sets; later queries repeat earlier destinations.
+	for round := 0; round < 4; round++ {
+		for s := 0; s < 3; s++ {
+			dests := []roadnet.NodeID{
+				pick(100 + 31*round),
+				pick(350 + 17*round),
+				pick(500 + 13*s),
+			}
+			out = append(out, struct {
+				source roadnet.NodeID
+				dests  []roadnet.NodeID
+			}{source: pick(7 * s), dests: dests})
+		}
+	}
+	return out
+}
+
+// TestTreeCacheMatchesColdSSMD is the cache-correctness contract: every
+// cached (hit, resumed, or cold) evaluation must return exactly the paths a
+// cold SSMD run returns.
+func TestTreeCacheMatchesColdSSMD(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(8)
+
+	for i, q := range overlappingQueries(g) {
+		got, err := cache.Evaluate(acc, q.source, q.dests)
+		if err != nil {
+			t.Fatalf("query %d: cache.Evaluate: %v", i, err)
+		}
+		want, err := SSMD(acc, q.source, q.dests)
+		if err != nil {
+			t.Fatalf("query %d: cold SSMD: %v", i, err)
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("query %d: %d paths, want %d", i, len(got.Paths), len(want.Paths))
+		}
+		for j := range want.Paths {
+			if got.Paths[j].Cost != want.Paths[j].Cost {
+				t.Errorf("query %d dest %d: cached cost %v, cold cost %v", i, j, got.Paths[j].Cost, want.Paths[j].Cost)
+			}
+			if !reflect.DeepEqual(got.Paths[j].Nodes, want.Paths[j].Nodes) {
+				t.Errorf("query %d dest %d: cached path %v != cold path %v", i, j, got.Paths[j].Nodes, want.Paths[j].Nodes)
+			}
+		}
+	}
+
+	st := cache.Stats()
+	if st.Misses != 3 {
+		t.Errorf("misses = %d, want 3 (one cold build per distinct source)", st.Misses)
+	}
+	if st.Hits == 0 {
+		t.Error("no cache hits on a workload that repeats its sources")
+	}
+	if st.HitRatio() <= 0.5 {
+		t.Errorf("hit ratio = %v, want > 0.5 on 12 queries over 3 sources", st.HitRatio())
+	}
+}
+
+// TestTreeCacheRepeatIsFree asserts a full hit performs no incremental search
+// work: repeating an identical query settles zero additional nodes.
+func TestTreeCacheRepeatIsFree(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(4)
+	dests := []roadnet.NodeID{300, 420, 555}
+
+	first, err := cache.Evaluate(acc, 5, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.SettledNodes == 0 {
+		t.Fatal("cold evaluation settled no nodes")
+	}
+	second, err := cache.Evaluate(acc, 5, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.SettledNodes != 0 || second.Stats.RelaxedArcs != 0 {
+		t.Errorf("repeat evaluation did work: settled=%d relaxed=%d, want 0/0",
+			second.Stats.SettledNodes, second.Stats.RelaxedArcs)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Resumes != 0 {
+		t.Errorf("stats = %+v, want exactly 1 hit, 1 miss, 0 resumes", st)
+	}
+}
+
+// TestTreeCacheInvalidation asserts that bumping the accessor's data
+// generation makes the cache drop stale trees and rebuild from the current
+// data, still matching cold evaluation.
+func TestTreeCacheInvalidation(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(4)
+	dests := []roadnet.NodeID{300, 420}
+
+	if _, err := cache.Evaluate(acc, 9, dests); err != nil {
+		t.Fatal(err)
+	}
+	if got := storage.GenerationOf(acc); got != 0 {
+		t.Fatalf("fresh accessor generation = %d, want 0", got)
+	}
+	acc.BumpGeneration()
+	if got := storage.GenerationOf(acc); got != 1 {
+		t.Fatalf("bumped accessor generation = %d, want 1", got)
+	}
+
+	res, err := cache.Evaluate(acc, 9, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SettledNodes == 0 {
+		t.Error("evaluation after invalidation did no work; stale tree was reused")
+	}
+	want, err := SSMD(acc, 9, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Paths, want.Paths) {
+		t.Error("post-invalidation paths differ from cold SSMD")
+	}
+	st := cache.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits and 2 misses across the generation change", st)
+	}
+	if cache.Len() != 1 {
+		t.Errorf("cache holds %d trees, want 1 (the stale one must be gone)", cache.Len())
+	}
+}
+
+// TestTreeCacheEviction asserts the LRU bound holds and evictions are counted.
+func TestTreeCacheEviction(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(2)
+	dests := []roadnet.NodeID{100}
+
+	for s := roadnet.NodeID(0); s < 5; s++ {
+		if _, err := cache.Evaluate(acc, s, dests); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() > 2 {
+		t.Errorf("cache holds %d trees, capacity is 2", cache.Len())
+	}
+	st := cache.Stats()
+	if st.Evictions != 3 {
+		t.Errorf("evictions = %d, want 3 (5 sources through capacity 2)", st.Evictions)
+	}
+
+	cache.Purge()
+	if cache.Len() != 0 {
+		t.Errorf("cache holds %d trees after Purge, want 0", cache.Len())
+	}
+}
+
+// TestTreeResumeMatchesCold grows one tree incrementally over several
+// destination sets and checks every answer against an independent cold SSMD
+// run — the resumability contract of Tree.
+func TestTreeResumeMatchesCold(t *testing.T) {
+	g := mediumGraph(t)
+	acc := storage.NewMemoryGraph(g)
+	tree, err := NewTree(acc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Source() != 3 {
+		t.Fatalf("Source() = %d, want 3", tree.Source())
+	}
+
+	sets := [][]roadnet.NodeID{
+		{50},                // near: small first growth
+		{50, 200},           // repeat + extend
+		{650, 3},            // far + the source itself
+		{50, 200, 650, 600}, // mostly settled already
+	}
+	for i, dests := range sets {
+		got, err := tree.Paths(dests)
+		if err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+		want, err := SSMD(acc, 3, dests)
+		if err != nil {
+			t.Fatalf("set %d: cold SSMD: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Paths, want.Paths) {
+			t.Errorf("set %d: resumed paths differ from cold SSMD", i)
+		}
+	}
+	if grown := tree.GrownStats(); grown.SettledNodes == 0 {
+		t.Error("GrownStats reports no settled nodes after growing the tree")
+	}
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"opaque/internal/protocol"
+)
+
+// This file is the server's batched evaluation engine. A batch is the set of
+// obfuscated queries one obfuscator flush produces (all Q(S, T) of a batching
+// window); evaluating them together lets the server (1) keep every core busy
+// with a bounded worker pool, (2) share settled SSMD spanning trees across
+// queries whose source sets overlap via the tree cache, and (3) amortise one
+// network round trip over the whole batch in the networked deployment
+// (protocol.BatchQuery). Per-query parallelism (Config.Workers) composes with
+// batch parallelism (Config.BatchWorkers) under the server-wide
+// Config.MaxConcurrentSearches gate, so total search concurrency stays
+// bounded no matter how many batches arrive at once.
+
+// BatchResult pairs the reply for one query of a batch with its error.
+// Queries fail individually: one malformed query does not poison the batch.
+type BatchResult struct {
+	Reply protocol.ServerReply
+	Err   error
+}
+
+// EvaluateBatch evaluates every query of the batch on the engine's worker
+// pool and returns one result per query, in input order. It is safe to call
+// from any number of goroutines; all calls share the same worker bound
+// implicitly through the search gate and the accessor.
+func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
+	results := make([]BatchResult, len(queries))
+	if len(queries) == 0 {
+		return results
+	}
+	start := time.Now()
+
+	workers := s.cfg.BatchWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	if workers <= 1 {
+		for i, q := range queries {
+			results[i].Reply, results[i].Err = s.Evaluate(q)
+		}
+	} else {
+		jobs := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					results[i].Reply, results[i].Err = s.Evaluate(queries[i])
+				}
+			}()
+		}
+		for i := range queries {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
+
+	s.mBatches.Add(1)
+	s.mBatchQueries.Add(int64(len(queries)))
+	s.hBatchLatency.Observe(time.Since(start))
+	s.metrics.SetGauge("last_batch_size", float64(len(queries)))
+	s.publishCacheMetrics()
+	return results
+}
+
+// evaluateBatchMessage answers a wire BatchQuery with a BatchReply, mapping
+// per-query errors to their slot instead of failing the message.
+func (s *Server) evaluateBatchMessage(b protocol.BatchQuery) protocol.BatchReply {
+	results := s.EvaluateBatch(b.Queries)
+	reply := protocol.BatchReply{
+		BatchID: b.BatchID,
+		Replies: make([]protocol.ServerReply, len(results)),
+		Errors:  make([]string, len(results)),
+	}
+	for i, r := range results {
+		reply.Replies[i] = r.Reply
+		if r.Err != nil {
+			reply.Errors[i] = r.Err.Error()
+		}
+	}
+	return reply
+}

@@ -4,12 +4,18 @@
 // internal/search, keeps the query log an honest-but-curious operator would
 // accumulate, and optionally exposes the whole thing over TCP for the
 // networked deployment.
+//
+// Two evaluation entry points are provided. Evaluate answers one obfuscated
+// query; EvaluateBatch (engine.go) answers a whole batch on a worker pool,
+// sharing SSMD spanning trees across queries through the tree cache and
+// composing per-query parallelism under a server-wide concurrency gate. The
+// hot path is free of global mutexes: the query log and statistics are
+// striped across shards and metrics use atomic counters.
 package server
 
 import (
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +32,24 @@ type Config struct {
 	Strategy search.Strategy
 	// Workers bounds per-query source-level parallelism (default 1).
 	Workers int
+	// BatchWorkers bounds how many queries of one EvaluateBatch call run
+	// concurrently (default: GOMAXPROCS). Together with Workers it defines
+	// the batch engine's parallelism: BatchWorkers queries in flight, each
+	// fanning out up to Workers per-source searches.
+	BatchWorkers int
+	// MaxConcurrentSearches caps the total number of per-source searches in
+	// flight across all queries and batches, composing Workers ×
+	// BatchWorkers under one server-wide semaphore so large batches cannot
+	// oversubscribe the machine. 0 means no cap.
+	MaxConcurrentSearches int
+	// TreeCache enables the SSMD tree cache with capacity for that many
+	// settled spanning trees (see search.TreeCache): obfuscated queries
+	// whose source sets overlap reuse each other's Dijkstra trees instead
+	// of recomputing them. 0 disables the cache. Only StrategySSMD benefits.
+	// Each cached tree costs O(nodes) memory. The cache changes reported
+	// search statistics (cache hits count only incremental work) but never
+	// the returned paths.
+	TreeCache int
 	// Paged enables the disk simulation: the graph is laid out in
 	// connectivity-clustered pages and accessed through an LRU buffer pool.
 	Paged bool
@@ -42,7 +66,9 @@ type Config struct {
 	Landmarks int
 }
 
-// DefaultConfig returns an in-memory SSMD server with logging enabled.
+// DefaultConfig returns an in-memory SSMD server with logging enabled. The
+// tree cache is off by default so single-query experiments report cold-search
+// work; batch deployments enable it via TreeCache.
 func DefaultConfig() Config {
 	return Config{
 		Strategy:    search.StrategySSMD,
@@ -68,18 +94,25 @@ type Server struct {
 	acc       storage.Accessor
 	pool      *storage.BufferPool
 	processor *search.Processor
+	cache     *search.TreeCache
+	gate      search.Gate
 	cfg       Config
 
-	mu      sync.Mutex
-	log     []LogEntry
+	log     shardedLog
 	queryID atomic.Uint64
-
-	// accumulated processing statistics
-	statsMu     sync.Mutex
-	totalStats  search.Stats
-	queriesDone int
+	stats   shardedStats
 
 	metrics *metrics.Registry
+	// pre-resolved metric handles so the hot path never touches the
+	// registry map.
+	mQueries      *metrics.Counter
+	mFailed       *metrics.Counter
+	mPairs        *metrics.Counter
+	mSettled      *metrics.Counter
+	mBatches      *metrics.Counter
+	mBatchQueries *metrics.Counter
+	hLatency      *metrics.Histogram
+	hBatchLatency *metrics.Histogram
 }
 
 // New builds a server over graph g according to cfg.
@@ -91,6 +124,14 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: graph must be frozen")
 	}
 	s := &Server{graph: g, cfg: cfg, metrics: metrics.NewRegistry()}
+	s.mQueries = s.metrics.CounterVar("queries_processed")
+	s.mFailed = s.metrics.CounterVar("queries_failed")
+	s.mPairs = s.metrics.CounterVar("candidate_pairs")
+	s.mSettled = s.metrics.CounterVar("nodes_settled")
+	s.mBatches = s.metrics.CounterVar("batches_processed")
+	s.mBatchQueries = s.metrics.CounterVar("batch_queries")
+	s.hLatency = s.metrics.HistogramVar("query_latency")
+	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
 		store, err := storage.Build(g, cfg.PageConfig)
 		if err != nil {
@@ -112,6 +153,14 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	opts := []search.ProcessorOption{search.WithStrategy(cfg.Strategy)}
 	if cfg.Workers > 1 {
 		opts = append(opts, search.WithWorkers(cfg.Workers))
+	}
+	if cfg.TreeCache > 0 {
+		s.cache = search.NewTreeCache(cfg.TreeCache)
+		opts = append(opts, search.WithTreeCache(s.cache))
+	}
+	if cfg.MaxConcurrentSearches > 0 {
+		s.gate = search.NewGate(cfg.MaxConcurrentSearches)
+		opts = append(opts, search.WithGate(s.gate))
 	}
 	if cfg.Landmarks > 0 {
 		lm, err := search.PrepareLandmarks(s.acc, cfg.Landmarks, search.LandmarksFarthest)
@@ -143,7 +192,8 @@ func (s *Server) Accessor() storage.Accessor { return s.acc }
 
 // Evaluate processes one obfuscated path query and returns all candidate
 // result paths. This is the entry point used both by the in-process
-// deployment and by the TCP handler.
+// deployment and by the TCP handler; EvaluateBatch fans it out over a worker
+// pool for whole batches.
 func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) {
 	if len(q.Sources) == 0 || len(q.Dests) == 0 {
 		return protocol.ServerReply{}, fmt.Errorf("server: query %d has empty source or destination set", q.QueryID)
@@ -153,13 +203,11 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		id = s.queryID.Add(1)
 	}
 	if s.cfg.KeepLog {
-		s.mu.Lock()
-		s.log = append(s.log, LogEntry{
+		s.log.append(LogEntry{
 			QueryID: id,
 			Sources: append([]roadnet.NodeID(nil), q.Sources...),
 			Dests:   append([]roadnet.NodeID(nil), q.Dests...),
 		})
-		s.mu.Unlock()
 	}
 	var faultsBefore int64
 	if s.pool != nil {
@@ -168,18 +216,23 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 	start := time.Now()
 	res, err := s.processor.Evaluate(q.Sources, q.Dests)
 	if err != nil {
-		s.metrics.Add("queries_failed", 1)
+		s.mFailed.Add(1)
 		return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
 	}
-	s.metrics.Observe("query_latency", time.Since(start))
-	s.metrics.Add("queries_processed", 1)
-	s.metrics.Add("candidate_pairs", int64(len(q.Sources)*len(q.Dests)))
-	s.metrics.Add("nodes_settled", int64(res.Stats.SettledNodes))
+	s.hLatency.Observe(time.Since(start))
+	s.mQueries.Add(1)
+	s.mPairs.Add(int64(len(q.Sources) * len(q.Dests)))
+	s.mSettled.Add(int64(res.Stats.SettledNodes))
 	reply := protocol.ServerReply{QueryID: id, SettledNodes: res.Stats.SettledNodes}
 	if s.pool != nil {
 		poolStats := s.pool.Stats()
+		// Per-reply fault attribution is a window over the shared pool
+		// counter: exact when queries run sequentially, an upper bound when
+		// EvaluateBatch overlaps queries. The page_faults gauge mirrors the
+		// pool's absolute counter, so the server-level total never
+		// multi-counts a fault however many queries are in flight.
 		reply.PageFaults = poolStats.Faults - faultsBefore
-		s.metrics.Add("page_faults", reply.PageFaults)
+		s.metrics.SetGauge("page_faults", float64(poolStats.Faults))
 		s.metrics.SetGauge("buffer_hit_ratio", poolStats.HitRatio())
 	}
 	for i, src := range res.Sources {
@@ -187,26 +240,20 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 			reply.Paths = append(reply.Paths, protocol.CandidateFromPath(src, dst, res.Paths[i][j]))
 		}
 	}
-	s.statsMu.Lock()
-	s.totalStats = s.totalStats.Add(res.Stats)
-	s.queriesDone++
-	s.statsMu.Unlock()
+	s.stats.add(id, res.Stats)
 	return reply, nil
 }
 
-// QueryLog returns a copy of the queries the server has observed.
+// QueryLog returns a copy of the queries the server has observed, ordered by
+// query ID (admission order).
 func (s *Server) QueryLog() []LogEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return append([]LogEntry(nil), s.log...)
+	return s.log.snapshot()
 }
 
 // TotalStats returns the accumulated search statistics and the number of
 // obfuscated queries processed.
 func (s *Server) TotalStats() (search.Stats, int) {
-	s.statsMu.Lock()
-	defer s.statsMu.Unlock()
-	return s.totalStats, s.queriesDone
+	return s.stats.total()
 }
 
 // IOStats returns the buffer-pool counters when the server runs the paged
@@ -218,33 +265,59 @@ func (s *Server) IOStats() storage.IOStats {
 	return s.pool.Stats()
 }
 
+// TreeCacheStats returns the SSMD tree cache counters, or zeroes when the
+// cache is disabled.
+func (s *Server) TreeCacheStats() search.TreeCacheStats {
+	if s.cache == nil {
+		return search.TreeCacheStats{}
+	}
+	return s.cache.Stats()
+}
+
 // ResetStats zeroes the accumulated statistics and the query log.
 func (s *Server) ResetStats() {
-	s.statsMu.Lock()
-	s.totalStats = search.Stats{}
-	s.queriesDone = 0
-	s.statsMu.Unlock()
-	s.mu.Lock()
-	s.log = nil
-	s.mu.Unlock()
+	s.stats.reset()
+	s.log.reset()
 	if s.pool != nil {
 		s.pool.ResetStats()
 	}
 }
 
-// Metrics returns the server's instrumentation registry (query counters,
-// latency histogram, I/O gauges).
-func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+// publishCacheMetrics mirrors the tree cache counters into the metrics
+// registry. Called per batch and on Metrics() reads rather than per query, so
+// the per-query hot path stays free of the registry's gauge lock.
+func (s *Server) publishCacheMetrics() {
+	if s.cache == nil {
+		return
+	}
+	st := s.cache.Stats()
+	s.metrics.SetGauge("tree_cache_hit_ratio", st.HitRatio())
+	s.metrics.SetGauge("tree_cache_hits", float64(st.Hits))
+	s.metrics.SetGauge("tree_cache_misses", float64(st.Misses))
+	s.metrics.SetGauge("tree_cache_resumes", float64(st.Resumes))
+	s.metrics.SetGauge("tree_cache_evictions", float64(st.Evictions))
+	s.metrics.SetGauge("tree_cache_invalidations", float64(st.Invalidations))
+}
 
-// Handler returns a protocol.Handler that answers ServerQuery messages;
-// anything else is rejected.
+// Metrics returns the server's instrumentation registry (query counters,
+// latency histograms, I/O and cache gauges).
+func (s *Server) Metrics() *metrics.Registry {
+	s.publishCacheMetrics()
+	return s.metrics
+}
+
+// Handler returns a protocol.Handler that answers ServerQuery and BatchQuery
+// messages; anything else is rejected.
 func (s *Server) Handler() protocol.Handler {
 	return func(msg any) (any, error) {
-		q, ok := msg.(protocol.ServerQuery)
-		if !ok {
+		switch m := msg.(type) {
+		case protocol.ServerQuery:
+			return s.Evaluate(m)
+		case protocol.BatchQuery:
+			return s.evaluateBatchMessage(m), nil
+		default:
 			return nil, fmt.Errorf("server: unexpected message type %T", msg)
 		}
-		return s.Evaluate(q)
 	}
 }
 

@@ -23,7 +23,10 @@ type Accessor interface {
 }
 
 // MemoryGraph is an Accessor with no I/O accounting: every access is free.
+// It carries a data generation (Versioned/Invalidator) so caches built over
+// it can be invalidated when the wrapped graph is replaced or re-weighted.
 type MemoryGraph struct {
+	generation
 	g *roadnet.Graph
 }
 
@@ -44,8 +47,10 @@ func (m *MemoryGraph) Graph() *roadnet.Graph { return m.g }
 
 // PagedGraph is an Accessor that charges a buffer-pool access for the page of
 // every node whose adjacency list is read, modelling a disk-resident road
-// network laid out by a PageStore.
+// network laid out by a PageStore. Like MemoryGraph it carries a data
+// generation for cache invalidation.
 type PagedGraph struct {
+	generation
 	store *PageStore
 	pool  *BufferPool
 }
