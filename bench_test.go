@@ -1,6 +1,6 @@
 // Benchmark harness for the OPAQUE reproduction.
 //
-// One benchmark per experiment of DESIGN.md §5 / EXPERIMENTS.md (E1–E9): each
+// One benchmark per experiment of DESIGN.md §5 / EXPERIMENTS.md (E1–E13): each
 // runs the corresponding experiment at small scale and reports the table it
 // produces (with -v, via b.Log), so `go test -bench=.` regenerates every
 // figure of the reproduction. Micro-benchmarks of the underlying primitives
@@ -66,6 +66,7 @@ func BenchmarkE9Collusion(b *testing.B)           { benchmarkExperiment(b, "E9")
 func BenchmarkE10Linkage(b *testing.B)            { benchmarkExperiment(b, "E10") }
 func BenchmarkE11ServerLog(b *testing.B)          { benchmarkExperiment(b, "E11") }
 func BenchmarkE12BatchThroughput(b *testing.B)    { benchmarkExperiment(b, "E12") }
+func BenchmarkE13WorkspaceHotPath(b *testing.B)   { benchmarkExperiment(b, "E13") }
 
 // Micro-benchmarks of the primitives behind the experiments.
 
@@ -319,6 +320,78 @@ func BenchmarkBatchedThroughput(b *testing.B) {
 		}
 		reportQPS(b)
 		b.Logf("tree cache hit ratio: %.3f", srv.Metrics().Gauge("tree_cache_hit_ratio"))
+	})
+}
+
+// BenchmarkWorkspaceReuse is the headline hot-path measurement of the
+// epoch-stamped search workspaces: local point queries on a large graph,
+// where the fresh-slice implementation's O(n) per-query setup (two Inf-filled
+// label arrays plus a map-indexed heap) dominates the O(touched-nodes)
+// search itself.
+//
+//   - fresh-slices runs search.ReferenceDijkstra, the pre-workspace code
+//     preserved in internal/search/reference.go;
+//   - pooled-path runs the workspace-backed search.Dijkstra (allocations
+//     left are the result path and SSMD bookkeeping only);
+//   - pooled-distance runs search.DijkstraDistance, which terminates on
+//     settling the destination, skips path reconstruction and reports
+//     0 allocs/op in steady state.
+//
+// Expectation: pooled-path beats fresh-slices by well over 2x on this graph
+// size, and pooled-distance shows 0 allocs/op.
+func BenchmarkWorkspaceReuse(b *testing.B) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 50000
+	cfg.Seed = 209
+	g, err := GenerateNetwork(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	wl, err := GenerateWorkload(g, WorkloadConfig{
+		Kind:        "distanceband",
+		Queries:     128,
+		MinDistance: 0.01 * extent,
+		MaxDistance: 0.05 * extent,
+		Seed:        210,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	acc := storage.NewMemoryGraph(g)
+
+	b.Run("fresh-slices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr := wl[i%len(wl)]
+			if _, _, err := search.ReferenceDijkstra(acc, pr.Source, pr.Dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled-path", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pr := wl[i%len(wl)]
+			if _, _, err := search.Dijkstra(acc, pr.Source, pr.Dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled-distance", func(b *testing.B) {
+		// Hold one workspace for the whole loop, the way a server worker
+		// does: the relax loop must report 0 allocs/op.
+		w := search.AcquireWorkspace(acc.NumNodes())
+		defer w.Release()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pr := wl[i%len(wl)]
+			if _, _, err := w.DijkstraDistance(acc, pr.Source, pr.Dest); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

@@ -3,9 +3,11 @@
 // Definition 2 breach probabilities, the Lemma 1 cost-model calibration, the
 // SSMD sharing measurement, the independent-vs-shared trade-off, obfuscator
 // overhead, scaling, the fake-endpoint strategy ablation, the collusion
-// attack, the linkage and server-log analyses, and the batch-engine
-// throughput measurement (E12), which also reports the SSMD tree cache hit
-// ratio from the server's metrics registry.
+// attack, the linkage and server-log analyses, the batch-engine throughput
+// measurement (E12, which also reports the SSMD tree cache hit ratio from
+// the server's metrics registry), and the workspace hot-path measurement
+// (E13: epoch-stamped search workspaces vs the fresh-slice baseline,
+// allocs/query and queries/sec).
 //
 // Usage:
 //
@@ -17,8 +19,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -30,25 +34,50 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("opaque-bench: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // -h/-help printed usage; that is a successful exit
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2) // the flag package already printed the details; 2 matches flag.ExitOnError
+		}
+		log.Fatal(err)
+	}
+}
 
+// errUsage marks a command-line parse failure whose details the flag package
+// has already written to the diagnostic stream.
+var errUsage = errors.New("invalid command line")
+
+// run parses args and executes the selected experiments, writing tables and
+// progress lines to out and flag diagnostics (usage, parse errors) to
+// errOut. It is the testable core of the command.
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("opaque-bench", flag.ContinueOnError)
+	fs.SetOutput(errOut)
 	var (
-		expID  = flag.String("exp", "", "run a single experiment by id (E1..E12); empty runs all")
-		scale  = flag.String("scale", "small", "experiment scale: small | full")
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		csvDir = flag.String("csv", "", "directory to also write per-table CSV files into")
+		expID  = fs.String("exp", "", "run a single experiment by id (E1..E13); empty runs all")
+		scale  = fs.String("scale", "small", "experiment scale: small | full")
+		list   = fs.Bool("list", false, "list available experiments and exit")
+		csvDir = fs.String("csv", "", "directory to also write per-table CSV files into")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
-			fmt.Printf("%-4s %s\n", r.ID(), r.Description())
+			fmt.Fprintf(out, "%-4s %s\n", r.ID(), r.Description())
 		}
-		return
+		return nil
 	}
 
 	sc := experiments.Scale(strings.ToLower(*scale))
 	if sc != experiments.Small && sc != experiments.Full {
-		log.Fatalf("unknown scale %q (want small or full)", *scale)
+		return fmt.Errorf("unknown scale %q (want small or full)", *scale)
 	}
 
 	var runners []experiments.Runner
@@ -57,30 +86,33 @@ func main() {
 	} else {
 		r, err := experiments.ByID(*expID)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		runners = []experiments.Runner{r}
 	}
 
 	for _, r := range runners {
-		log.Printf("running %s: %s", r.ID(), r.Description())
+		// Progress goes to the diagnostic stream so stdout stays pure
+		// machine-readable table output.
+		fmt.Fprintf(errOut, "running %s: %s\n", r.ID(), r.Description())
 		tables, err := r.Run(sc)
 		if err != nil {
-			log.Fatalf("%s failed: %v", r.ID(), err)
+			return fmt.Errorf("%s failed: %w", r.ID(), err)
 		}
 		for _, t := range tables {
-			if err := t.Render(os.Stdout); err != nil {
-				log.Fatalf("rendering %s: %v", t.ID, err)
+			if err := t.Render(out); err != nil {
+				return fmt.Errorf("rendering %s: %w", t.ID, err)
 			}
 			if *csvDir != "" {
 				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-					log.Fatalf("creating %s: %v", *csvDir, err)
+					return fmt.Errorf("creating %s: %w", *csvDir, err)
 				}
 				name := filepath.Join(*csvDir, strings.ToLower(t.ID)+".csv")
 				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
-					log.Fatalf("writing %s: %v", name, err)
+					return fmt.Errorf("writing %s: %w", name, err)
 				}
 			}
 		}
 	}
+	return nil
 }

@@ -139,6 +139,7 @@ func All() []Runner {
 		E10Linkage{},
 		E11ServerLog{},
 		E12BatchThroughput{},
+		E13WorkspaceHotPath{},
 	}
 }
 

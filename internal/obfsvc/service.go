@@ -253,7 +253,8 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 	// Evaluate the whole obfuscation plan. Batch-capable executors receive
 	// every query at once — one round trip in the networked deployment, and
 	// the chance to share SSMD trees across queries in the server's batch
-	// engine; plain executors are driven query by query.
+	// engine, whose workers run each per-source search on a pooled
+	// epoch-stamped workspace; plain executors are driven query by query.
 	queries := make([]protocol.ServerQuery, len(plan.Queries))
 	for qi, q := range plan.Queries {
 		queries[qi] = protocol.ServerQuery{

@@ -1,0 +1,174 @@
+package pqueue
+
+// DenseHeap is a binary min-heap over dense int32 values (node IDs in
+// 0..n-1) with float64 priorities. It is the allocation-free counterpart of
+// IndexedHeap: the position index is a flat array instead of a map, and the
+// index is invalidated by bumping an epoch counter, so Reset costs O(1)
+// regardless of how many entries the previous search pushed. This is the
+// queue the epoch-stamped search workspaces (internal/search.Workspace) keep
+// across queries: in steady state Push/Pop/Reset touch only preallocated
+// storage.
+//
+// Like IndexedHeap, each value may appear at most once; Push on a queued
+// value behaves like DecreaseKey when the new priority is lower and is a
+// no-op otherwise. The sift operations are intentionally identical to
+// IndexedHeap's so that the two heaps pop equal-priority items in the same
+// order — the workspace equivalence tests rely on the search result (paths
+// and work statistics) being byte-identical between the two implementations.
+//
+// The zero value is not usable; construct with NewDenseHeap.
+type DenseHeap struct {
+	items []Item
+	// pos[v] is the index of value v in items, valid iff stamp[v] == epoch.
+	pos   []int32
+	stamp []uint32
+	epoch uint32
+}
+
+// NewDenseHeap returns an empty heap addressing values 0..n-1. The heap grows
+// automatically if larger values are pushed.
+func NewDenseHeap(n int) *DenseHeap {
+	h := &DenseHeap{}
+	h.Reset(n)
+	return h
+}
+
+// Reset empties the heap and ensures values 0..n-1 are addressable. It runs
+// in O(1) amortised: the position index is invalidated by bumping the epoch,
+// not by clearing it.
+func (h *DenseHeap) Reset(n int) {
+	h.items = h.items[:0]
+	h.ensure(n)
+	if h.epoch == ^uint32(0) {
+		// Epoch wrap: every stamp could collide with a future epoch, so pay
+		// the one O(n) clear per 2^32 resets.
+		for i := range h.stamp {
+			h.stamp[i] = 0
+		}
+		h.epoch = 0
+	}
+	h.epoch++
+}
+
+// ensure grows the position index to cover values 0..n-1. New entries carry
+// stamp 0, which never equals the current epoch (epochs start at 1).
+func (h *DenseHeap) ensure(n int) {
+	if n <= len(h.pos) {
+		return
+	}
+	h.pos = append(h.pos, make([]int32, n-len(h.pos))...)
+	h.stamp = append(h.stamp, make([]uint32, n-len(h.stamp))...)
+}
+
+// Len returns the number of queued items.
+func (h *DenseHeap) Len() int { return len(h.items) }
+
+// Empty reports whether the heap has no items.
+func (h *DenseHeap) Empty() bool { return len(h.items) == 0 }
+
+// index returns the items position of value and whether it is queued.
+func (h *DenseHeap) index(value int32) (int, bool) {
+	if int(value) >= len(h.stamp) || h.stamp[value] != h.epoch {
+		return 0, false
+	}
+	return int(h.pos[value]), true
+}
+
+// Contains reports whether value is currently queued.
+func (h *DenseHeap) Contains(value int32) bool {
+	_, ok := h.index(value)
+	return ok
+}
+
+// Priority returns the current priority of value and whether it is queued.
+func (h *DenseHeap) Priority(value int32) (float64, bool) {
+	i, ok := h.index(value)
+	if !ok {
+		return 0, false
+	}
+	return h.items[i].Priority, true
+}
+
+// Push inserts value with the given priority. If value is already queued the
+// call degrades to DecreaseKey: the priority is lowered if the new one is
+// smaller, otherwise nothing happens. It returns true if the heap changed.
+func (h *DenseHeap) Push(value int32, priority float64) bool {
+	if i, ok := h.index(value); ok {
+		if priority < h.items[i].Priority {
+			h.items[i].Priority = priority
+			h.up(i)
+			return true
+		}
+		return false
+	}
+	h.ensure(int(value) + 1)
+	h.items = append(h.items, Item{Value: value, Priority: priority})
+	i := len(h.items) - 1
+	h.pos[value] = int32(i)
+	h.stamp[value] = h.epoch
+	h.up(i)
+	return true
+}
+
+// Pop removes and returns the item with the smallest priority. It panics on
+// an empty heap; callers check Empty or Len first.
+func (h *DenseHeap) Pop() Item {
+	if len(h.items) == 0 {
+		panic("pqueue: Pop on empty DenseHeap")
+	}
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.stamp[top.Value] = h.epoch - 1 // anything != epoch marks "not queued"
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum item without removing it. It panics on an empty
+// heap.
+func (h *DenseHeap) Peek() Item {
+	if len(h.items) == 0 {
+		panic("pqueue: Peek on empty DenseHeap")
+	}
+	return h.items[0]
+}
+
+func (h *DenseHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[i].Priority >= h.items[parent].Priority {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *DenseHeap) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		right := left + 1
+		smallest := i
+		if left < n && h.items[left].Priority < h.items[smallest].Priority {
+			smallest = left
+		}
+		if right < n && h.items[right].Priority < h.items[smallest].Priority {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+func (h *DenseHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].Value] = int32(i)
+	h.pos[h.items[j].Value] = int32(j)
+}

@@ -1,0 +1,109 @@
+package pqueue
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDenseHeapMatchesIndexedHeap drives a DenseHeap and an IndexedHeap with
+// the same randomized operation sequence and asserts identical observable
+// behaviour: Push return values, Pop order (including ties), Len, Contains and
+// Priority. The search workspaces rely on this equivalence to produce
+// byte-identical results to the fresh-slice reference implementations.
+func TestDenseHeapMatchesIndexedHeap(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	const n = 200
+	dh := NewDenseHeap(n)
+	ih := NewWithCapacity(n)
+	for round := 0; round < 50; round++ {
+		ops := 1 + r.Intn(300)
+		for k := 0; k < ops; k++ {
+			switch r.Intn(5) {
+			case 0, 1, 2: // push (ties are common: few distinct priorities)
+				v := int32(r.Intn(n))
+				p := float64(r.Intn(8))
+				if got, want := dh.Push(v, p), ih.Push(v, p); got != want {
+					t.Fatalf("round %d: Push(%d,%v) dense=%v indexed=%v", round, v, p, got, want)
+				}
+			case 3: // pop
+				if dh.Empty() != ih.Empty() {
+					t.Fatalf("round %d: Empty dense=%v indexed=%v", round, dh.Empty(), ih.Empty())
+				}
+				if !dh.Empty() {
+					got, want := dh.Pop(), ih.Pop()
+					if got != want {
+						t.Fatalf("round %d: Pop dense=%+v indexed=%+v", round, got, want)
+					}
+				}
+			case 4: // probes
+				v := int32(r.Intn(n))
+				if got, want := dh.Contains(v), ih.Contains(v); got != want {
+					t.Fatalf("round %d: Contains(%d) dense=%v indexed=%v", round, v, got, want)
+				}
+				gp, gok := dh.Priority(v)
+				wp, wok := ih.Priority(v)
+				if gp != wp || gok != wok {
+					t.Fatalf("round %d: Priority(%d) dense=(%v,%v) indexed=(%v,%v)", round, v, gp, gok, wp, wok)
+				}
+			}
+			if dh.Len() != ih.Len() {
+				t.Fatalf("round %d: Len dense=%d indexed=%d", round, dh.Len(), ih.Len())
+			}
+		}
+		// Drain both and compare the full pop order.
+		for !ih.Empty() {
+			got, want := dh.Pop(), ih.Pop()
+			if got != want {
+				t.Fatalf("round %d drain: Pop dense=%+v indexed=%+v", round, got, want)
+			}
+		}
+		if !dh.Empty() {
+			t.Fatalf("round %d: dense heap not drained", round)
+		}
+		// O(1) reset between rounds; the indexed heap resets the classic way.
+		dh.Reset(n)
+		ih.Reset()
+	}
+}
+
+// TestDenseHeapReset checks that Reset invalidates queued entries without
+// clearing storage and that entries pushed before a reset never leak into the
+// next epoch.
+func TestDenseHeapReset(t *testing.T) {
+	h := NewDenseHeap(8)
+	h.Push(3, 1.0)
+	h.Push(5, 0.5)
+	h.Reset(8)
+	if !h.Empty() || h.Len() != 0 {
+		t.Fatalf("heap not empty after Reset: len=%d", h.Len())
+	}
+	if h.Contains(3) || h.Contains(5) {
+		t.Fatal("stale entries survive Reset")
+	}
+	if _, ok := h.Priority(5); ok {
+		t.Fatal("stale priority survives Reset")
+	}
+	if !h.Push(3, 2.0) {
+		t.Fatal("push after Reset failed")
+	}
+	if got := h.Pop(); got.Value != 3 || got.Priority != 2.0 {
+		t.Fatalf("pop after Reset = %+v", got)
+	}
+}
+
+// TestDenseHeapGrows checks that values beyond the initial capacity are
+// handled by growing the position index.
+func TestDenseHeapGrows(t *testing.T) {
+	h := NewDenseHeap(2)
+	h.Push(100, 1)
+	h.Push(7, 0.25)
+	h.Reset(200) // larger graph generation
+	h.Push(150, 3)
+	h.Push(150, 2) // decrease-key
+	if p, ok := h.Priority(150); !ok || p != 2 {
+		t.Fatalf("Priority(150) = %v,%v", p, ok)
+	}
+	if got := h.Pop(); got.Value != 150 || got.Priority != 2 {
+		t.Fatalf("Pop = %+v", got)
+	}
+}

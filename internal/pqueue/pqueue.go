@@ -1,11 +1,17 @@
-// Package pqueue provides an indexed binary min-heap keyed by float64
-// priorities. It supports DecreaseKey, which Dijkstra-style searches use to
-// update tentative distances in place, and is the single priority-queue
-// implementation shared by every search algorithm in the repository: the
-// point-to-point baselines, the single-source multi-destination search the
-// OPAQUE paper's cost argument rests on (Section III-B), and the resumable
-// spanning trees of the server's SSMD tree cache, whose suspended frontier is
-// simply a retained IndexedHeap.
+// Package pqueue provides binary min-heaps keyed by float64 priorities, both
+// supporting DecreaseKey, which Dijkstra-style searches use to update
+// tentative distances in place:
+//
+//   - IndexedHeap tracks positions in a map, works for arbitrarily sparse
+//     value spaces, and backs the fresh-slice reference searches;
+//   - DenseHeap tracks positions in flat epoch-stamped arrays, resets in
+//     O(1) and allocates nothing in steady state — it is the queue inside
+//     the epoch-stamped search workspaces every serving-path algorithm in
+//     the repository runs on: the point-to-point baselines, the
+//     single-source multi-destination search the OPAQUE paper's cost
+//     argument rests on (Section III-B), and the resumable spanning trees
+//     of the server's SSMD tree cache, whose suspended frontier is simply a
+//     retained heap.
 package pqueue
 
 // Item is a queue entry: an integer payload (typically a node ID) with a

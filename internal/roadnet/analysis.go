@@ -5,21 +5,33 @@ import "fmt"
 // ConnectedComponents returns, for every node, the identifier of its weakly
 // connected component and the number of components. Components are numbered
 // 0..k-1 in order of discovery from node 0 upward.
+//
+// Arcs are treated as undirected for "weak" connectivity. Road generators
+// produce symmetric arcs, so following out-arcs alone is usually sufficient,
+// but imported graphs may be asymmetric; the union with the reverse adjacency
+// keeps the analysis correct for those too. On a frozen graph the reverse
+// direction comes from the shared reverse CSR layout (ReverseArcs), so
+// repeated calls — ComputeStats, IsConnected, generator validation — pay for
+// the reverse index once instead of rebuilding a [][]NodeID slice-of-slices
+// per call.
 func (g *Graph) ConnectedComponents() (comp []int, count int) {
 	n := g.NumNodes()
 	comp = make([]int, n)
 	for i := range comp {
 		comp[i] = -1
 	}
-	// Treat arcs as undirected for "weak" connectivity: build a merged view.
-	// Road generators produce symmetric arcs, so following out-arcs alone is
-	// usually sufficient, but imported graphs may be asymmetric; union with
-	// the reverse adjacency keeps the analysis correct for those too.
-	rev := make([][]NodeID, n)
-	for id := 0; id < n; id++ {
-		for _, a := range g.Arcs(NodeID(id)) {
-			rev[a.To] = append(rev[a.To], NodeID(id))
+	// On a mutable (unfrozen) graph the CSR arrays do not exist yet; fall
+	// back to a transient per-call reverse index.
+	var staged [][]NodeID
+	if !g.frozen {
+		staged = make([][]NodeID, n)
+		for id := 0; id < n; id++ {
+			for _, a := range g.Arcs(NodeID(id)) {
+				staged[a.To] = append(staged[a.To], NodeID(id))
+			}
 		}
+	} else {
+		g.ensureReverse()
 	}
 	queue := make([]NodeID, 0, n)
 	for start := 0; start < n; start++ {
@@ -38,10 +50,19 @@ func (g *Graph) ConnectedComponents() (comp []int, count int) {
 					queue = append(queue, a.To)
 				}
 			}
-			for _, v := range rev[u] {
-				if comp[v] == -1 {
-					comp[v] = count
-					queue = append(queue, v)
+			if g.frozen {
+				for _, a := range g.ReverseArcs(u) {
+					if comp[a.To] == -1 {
+						comp[a.To] = count
+						queue = append(queue, a.To)
+					}
+				}
+			} else {
+				for _, v := range staged[u] {
+					if comp[v] == -1 {
+						comp[v] = count
+						queue = append(queue, v)
+					}
 				}
 			}
 		}

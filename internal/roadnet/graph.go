@@ -5,19 +5,28 @@
 //
 // The package provides:
 //
-//   - an adjacency-list graph with stable integer node identifiers,
+//   - a graph with stable integer node identifiers whose adjacency is stored
+//     in compressed sparse row (CSR) form once frozen: one flat arc array
+//     plus per-node offsets, so arc iteration is a contiguous scan with no
+//     per-node allocation (ForEachArc / Arcs),
+//   - a lazily built reverse CSR adjacency (ReverseArcs) for backward
+//     traversals and weak-connectivity analysis,
 //   - a spatial grid index for nearest-node and range lookups,
 //   - connectivity analysis (components, reachability),
 //   - text and binary (gob) serialization.
 //
 // All other OPAQUE packages (search, storage, obfuscation, …) are built on
-// top of this package.
+// top of this package. The CSR layout is what the query hot path of
+// internal/search leans on: the inner relax loop of every Dijkstra-family
+// search walks g.arcs[offsets[u]:offsets[u+1]] directly and never
+// materialises per-node adjacency slices on the heap.
 package roadnet
 
 import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a node in a Graph. IDs are dense: a graph with n nodes
@@ -65,6 +74,13 @@ type Graph struct {
 	// staging adjacency used while the graph is mutable.
 	staging [][]Arc
 	frozen  bool
+
+	// reverse adjacency in CSR form, built lazily on first use (frozen
+	// graphs only): revArcs[revOffsets[v]:revOffsets[v+1]] are the arcs
+	// entering v, each stored with To = the predecessor node.
+	revOnce    sync.Once
+	revOffsets []int32
+	revArcs    []Arc
 
 	// bounding box, maintained incrementally.
 	minX, minY, maxX, maxY float64
@@ -221,6 +237,75 @@ func (g *Graph) Arcs(id NodeID) []Arc {
 	}
 	return g.arcs[g.offsets[id]:g.offsets[id+1]]
 }
+
+// ForEachArc calls yield for every outgoing arc of id in adjacency order,
+// stopping early when yield returns false. On a frozen graph this walks the
+// CSR arc array directly; it is the allocation-free iteration the search hot
+// path uses.
+func (g *Graph) ForEachArc(id NodeID, yield func(Arc) bool) {
+	for _, a := range g.Arcs(id) {
+		if !yield(a) {
+			return
+		}
+	}
+}
+
+// ensureReverse builds the reverse CSR adjacency on first use. It requires a
+// frozen graph: the reverse layout is derived from the forward CSR arrays.
+// The index costs as much memory as the forward arc array and is retained
+// for the graph's lifetime — the deliberate trade for making every later
+// reverse traversal (connectivity analysis, backward searches) a contiguous
+// array scan instead of a per-call slice-of-slices rebuild.
+func (g *Graph) ensureReverse() {
+	if !g.frozen {
+		panic("roadnet: reverse adjacency requires a frozen graph")
+	}
+	g.revOnce.Do(func() {
+		n := len(g.nodes)
+		g.revOffsets = make([]int32, n+1)
+		for _, a := range g.arcs {
+			g.revOffsets[a.To+1]++
+		}
+		for v := 0; v < n; v++ {
+			g.revOffsets[v+1] += g.revOffsets[v]
+		}
+		g.revArcs = make([]Arc, len(g.arcs))
+		next := make([]int32, n)
+		copy(next, g.revOffsets[:n])
+		// Iterating sources in ascending order keeps each reverse list
+		// sorted by predecessor ID, matching the order a per-node rebuild
+		// would produce.
+		for u := 0; u < n; u++ {
+			for _, a := range g.arcs[g.offsets[u]:g.offsets[u+1]] {
+				g.revArcs[next[a.To]] = Arc{To: NodeID(u), Cost: a.Cost}
+				next[a.To]++
+			}
+		}
+	})
+}
+
+// ReverseArcs returns the incoming arcs of node id as Arc values whose To
+// field holds the predecessor node. The returned slice aliases the graph's
+// reverse CSR storage and must not be modified. Valid only after Freeze; the
+// reverse layout is built once, on first use, and shared by all callers.
+func (g *Graph) ReverseArcs(id NodeID) []Arc {
+	g.ensureReverse()
+	return g.revArcs[g.revOffsets[id]:g.revOffsets[id+1]]
+}
+
+// ForEachReverseArc calls yield for every incoming arc of id (To = the
+// predecessor), stopping early when yield returns false. Valid only after
+// Freeze.
+func (g *Graph) ForEachReverseArc(id NodeID, yield func(Arc) bool) {
+	for _, a := range g.ReverseArcs(id) {
+		if !yield(a) {
+			return
+		}
+	}
+}
+
+// InDegree returns the in-degree of node id. Valid only after Freeze.
+func (g *Graph) InDegree(id NodeID) int { return len(g.ReverseArcs(id)) }
 
 // Degree returns the out-degree of node id.
 func (g *Graph) Degree(id NodeID) int { return len(g.Arcs(id)) }

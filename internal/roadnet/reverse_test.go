@@ -1,0 +1,115 @@
+package roadnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildAsymmetric returns a small frozen graph with deliberately asymmetric
+// arcs so the reverse adjacency differs from the forward one.
+func buildAsymmetric(t *testing.T) *Graph {
+	t.Helper()
+	g := NewGraph(6, 8)
+	for i := 0; i < 6; i++ {
+		g.AddNode(float64(i), float64(i%2))
+	}
+	edges := []struct {
+		from, to NodeID
+		cost     float64
+	}{
+		{0, 1, 1}, {1, 2, 2}, {2, 0, 3}, // directed cycle
+		{3, 2, 1.5},              // one-way into the cycle
+		{4, 3, 0.5}, {3, 4, 0.5}, // symmetric pair
+		// node 5 is isolated
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.from, e.to, e.cost); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Freeze()
+	return g
+}
+
+// TestReverseArcsMatchesBruteForce checks the lazily built reverse CSR
+// against a per-node rebuild from the forward adjacency.
+func TestReverseArcsMatchesBruteForce(t *testing.T) {
+	g := buildAsymmetric(t)
+	want := make([][]Arc, g.NumNodes())
+	for u := 0; u < g.NumNodes(); u++ {
+		for _, a := range g.Arcs(NodeID(u)) {
+			want[a.To] = append(want[a.To], Arc{To: NodeID(u), Cost: a.Cost})
+		}
+	}
+	total := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		got := g.ReverseArcs(NodeID(v))
+		if len(got) == 0 && len(want[v]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(append([]Arc(nil), got...), want[v]) {
+			t.Fatalf("ReverseArcs(%d) = %v, want %v", v, got, want[v])
+		}
+		if g.InDegree(NodeID(v)) != len(want[v]) {
+			t.Fatalf("InDegree(%d) = %d, want %d", v, g.InDegree(NodeID(v)), len(want[v]))
+		}
+		total += len(got)
+	}
+	if total != g.NumArcs() {
+		t.Fatalf("reverse adjacency covers %d arcs, graph has %d", total, g.NumArcs())
+	}
+}
+
+// TestForEachArcEarlyStop checks iteration order and early termination of
+// both directions.
+func TestForEachArcEarlyStop(t *testing.T) {
+	g := buildAsymmetric(t)
+	var seen []Arc
+	g.ForEachArc(3, func(a Arc) bool {
+		seen = append(seen, a)
+		return true
+	})
+	if !reflect.DeepEqual(seen, append([]Arc(nil), g.Arcs(3)...)) {
+		t.Fatalf("ForEachArc(3) = %v, want %v", seen, g.Arcs(3))
+	}
+	count := 0
+	g.ForEachArc(3, func(Arc) bool {
+		count++
+		return false // stop after the first arc
+	})
+	if count != 1 {
+		t.Fatalf("early-stop iteration visited %d arcs, want 1", count)
+	}
+	count = 0
+	g.ForEachReverseArc(2, func(Arc) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("reverse early-stop visited %d arcs, want 1", count)
+	}
+}
+
+// TestConnectedComponentsFrozenMatchesUnfrozen checks that the reverse-CSR
+// component analysis on a frozen graph agrees with the staged fallback on an
+// identical unfrozen clone, including on asymmetric graphs where weak
+// connectivity genuinely needs the reverse direction.
+func TestConnectedComponentsFrozenMatchesUnfrozen(t *testing.T) {
+	g := buildAsymmetric(t)
+	clone := g.Clone() // unfrozen copy
+
+	frozenComp, frozenCount := g.ConnectedComponents()
+	unfrozenComp, unfrozenCount := clone.ConnectedComponents()
+	if frozenCount != unfrozenCount || !reflect.DeepEqual(frozenComp, unfrozenComp) {
+		t.Fatalf("frozen components (%v,%d) != unfrozen (%v,%d)",
+			frozenComp, frozenCount, unfrozenComp, unfrozenCount)
+	}
+	// 0-1-2-3-4 are weakly connected (3->2 one-way still links them); 5 is
+	// alone.
+	if frozenCount != 2 {
+		t.Fatalf("component count = %d, want 2", frozenCount)
+	}
+	if frozenComp[0] != frozenComp[3] || frozenComp[5] == frozenComp[0] {
+		t.Fatalf("unexpected component assignment %v", frozenComp)
+	}
+}

@@ -3,7 +3,6 @@ package search
 import (
 	"math"
 
-	"opaque/internal/pqueue"
 	"opaque/internal/roadnet"
 	"opaque/internal/storage"
 )
@@ -16,7 +15,8 @@ import (
 //
 // The reverse accessor must present the reverse graph of acc (see
 // roadnet.Graph.Reverse). Both accessors may share a buffer pool so I/O is
-// charged once.
+// charged once. Each direction runs on its own pooled epoch-stamped
+// Workspace, so neither side pays an O(n) label fill.
 func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error) {
 	if err := checkEndpoints(acc, source, dest); err != nil {
 		return Path{}, Stats{}, err
@@ -24,63 +24,53 @@ func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeI
 	if source == dest {
 		return Path{Nodes: []roadnet.NodeID{source}, Cost: 0}, Stats{}, nil
 	}
-	n := acc.NumNodes()
-	distF := newDistSlice(n)
-	distB := newDistSlice(n)
-	parentF := newParentSlice(n)
-	parentB := newParentSlice(n)
-	settledF := make([]bool, n)
-	settledB := make([]bool, n)
-	var stats Stats
+	wf := AcquireWorkspace(acc.NumNodes())
+	defer wf.Release()
+	wb := AcquireWorkspace(rev.NumNodes())
+	defer wb.Release()
 
-	pqF := pqueue.NewWithCapacity(64)
-	pqB := pqueue.NewWithCapacity(64)
-	distF[source] = 0
-	distB[dest] = 0
-	pqF.Push(int32(source), 0)
-	pqB.Push(int32(dest), 0)
+	var stats Stats
+	wf.label(source, 0, roadnet.InvalidNode)
+	wb.label(dest, 0, roadnet.InvalidNode)
+	wf.heap.Push(int32(source), 0)
+	wb.heap.Push(int32(dest), 0)
 	stats.QueueOps += 2
 
 	best := math.Inf(1)
 	meet := roadnet.InvalidNode
 
-	relax := func(forward bool, u roadnet.NodeID) {
-		var a storage.Accessor
-		var dist []float64
-		var parent []roadnet.NodeID
-		var pq *pqueue.IndexedHeap
-		var otherDist []float64
-		if forward {
-			a, dist, parent, pq, otherDist = acc, distF, parentF, pqF, distB
-		} else {
-			a, dist, parent, pq, otherDist = rev, distB, parentB, pqB, distF
-		}
-		for _, arc := range a.Arcs(u) {
+	// The meeting-point update needs both label sets at once, so the relax
+	// closures are built per call (capturing best/meet/stats) instead of
+	// reusing the workspace-resident single-sided closures.
+	makeRelax := func(w, other *Workspace) func(roadnet.Arc) bool {
+		return func(a roadnet.Arc) bool {
 			stats.RelaxedArcs++
-			nd := dist[u] + arc.Cost
-			if nd < dist[arc.To] {
-				dist[arc.To] = nd
-				parent[arc.To] = u
-				pq.Push(int32(arc.To), nd)
+			nd := w.du + a.Cost
+			if nd < w.distOf(a.To) {
+				w.label(a.To, nd, w.u)
+				w.heap.Push(int32(a.To), nd)
 				stats.QueueOps++
 			}
-			if total := nd + otherDist[arc.To]; total < best {
+			if total := nd + other.distOf(a.To); total < best {
 				best = total
-				meet = arc.To
+				meet = a.To
 			}
+			return true
 		}
 	}
+	relaxF := makeRelax(wf, wb)
+	relaxB := makeRelax(wb, wf)
 
-	for !pqF.Empty() || !pqB.Empty() {
-		if pqF.Len()+pqB.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = pqF.Len() + pqB.Len()
+	for !wf.heap.Empty() || !wb.heap.Empty() {
+		if wf.heap.Len()+wb.heap.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = wf.heap.Len() + wb.heap.Len()
 		}
 		topF, topB := math.Inf(1), math.Inf(1)
-		if !pqF.Empty() {
-			topF = pqF.Peek().Priority
+		if !wf.heap.Empty() {
+			topF = wf.heap.Peek().Priority
 		}
-		if !pqB.Empty() {
-			topB = pqB.Peek().Priority
+		if !wb.heap.Empty() {
+			topB = wb.heap.Peek().Priority
 		}
 		// Standard stopping criterion: once the sum of the two frontier
 		// minima reaches the best meeting cost, no better path exists.
@@ -88,23 +78,25 @@ func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeI
 			break
 		}
 		if topF <= topB {
-			item := pqF.Pop()
+			item := wf.heap.Pop()
 			u := roadnet.NodeID(item.Value)
-			if settledF[u] || item.Priority > distF[u] {
+			if wf.settled(u) || item.Priority > wf.dist[u] {
 				continue
 			}
-			settledF[u] = true
+			wf.settle(u)
 			stats.SettledNodes++
-			relax(true, u)
+			wf.u, wf.du = u, wf.dist[u]
+			acc.ForEachArc(u, relaxF)
 		} else {
-			item := pqB.Pop()
+			item := wb.heap.Pop()
 			u := roadnet.NodeID(item.Value)
-			if settledB[u] || item.Priority > distB[u] {
+			if wb.settled(u) || item.Priority > wb.dist[u] {
 				continue
 			}
-			settledB[u] = true
+			wb.settle(u)
 			stats.SettledNodes++
-			relax(false, u)
+			wb.u, wb.du = u, wb.dist[u]
+			rev.ForEachArc(u, relaxB)
 		}
 	}
 
@@ -112,7 +104,7 @@ func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeI
 		return Path{}, stats, nil
 	}
 	// Stitch the forward path source->meet with the backward path meet->dest.
-	forward := reconstruct(parentF, distF, source, meet)
+	forward := wf.reconstruct(source, meet)
 	if forward.Empty() && source != meet {
 		return Path{}, stats, nil
 	}
@@ -120,12 +112,12 @@ func BidirectionalDijkstra(acc, rev storage.Accessor, source, dest roadnet.NodeI
 	if len(nodes) == 0 {
 		nodes = append(nodes, source)
 	}
-	for at := parentB[meet]; at != roadnet.InvalidNode; {
+	for at := wb.parentOf(meet); at != roadnet.InvalidNode; {
 		nodes = append(nodes, at)
 		if at == dest {
 			break
 		}
-		at = parentB[at]
+		at = wb.parentOf(at)
 	}
 	if nodes[len(nodes)-1] != dest {
 		// meet == dest case: the backward walk added nothing.

@@ -2,9 +2,7 @@ package search
 
 import (
 	"fmt"
-	"math"
 
-	"opaque/internal/pqueue"
 	"opaque/internal/roadnet"
 	"opaque/internal/storage"
 )
@@ -12,58 +10,26 @@ import (
 // Dijkstra computes the shortest path from source to dest on acc using
 // Dijkstra's algorithm with early termination when dest is settled. It
 // returns an empty path when dest is unreachable.
+//
+// This is a thin wrapper that checks an epoch-stamped Workspace out of the
+// package's shared pool for the duration of the query; callers that run many
+// searches on one goroutine can hold a Workspace (or a WorkspacePool) and
+// call its methods directly to skip even the pool round trip.
 func Dijkstra(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error) {
-	if err := checkEndpoints(acc, source, dest); err != nil {
-		return Path{}, Stats{}, err
-	}
-	n := acc.NumNodes()
-	dist := newDistSlice(n)
-	parent := newParentSlice(n)
-	var stats Stats
-
-	pq := pqueue.NewWithCapacity(64)
-	dist[source] = 0
-	pq.Push(int32(source), 0)
-	stats.QueueOps++
-
-	for !pq.Empty() {
-		if pq.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = pq.Len()
-		}
-		item := pq.Pop()
-		u := roadnet.NodeID(item.Value)
-		if item.Priority > dist[u] {
-			continue // stale entry
-		}
-		stats.SettledNodes++
-		if u == dest {
-			return reconstruct(parent, dist, source, dest), stats, nil
-		}
-		for _, a := range acc.Arcs(u) {
-			stats.RelaxedArcs++
-			nd := dist[u] + a.Cost
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				pq.Push(int32(a.To), nd)
-				stats.QueueOps++
-			}
-		}
-	}
-	return Path{}, stats, nil
+	w := AcquireWorkspace(acc.NumNodes())
+	defer w.Release()
+	return w.Dijkstra(acc, source, dest)
 }
 
 // DijkstraDistance returns only the shortest-path distance from source to
-// dest, or +Inf when unreachable.
+// dest, or +Inf when unreachable. Unlike Dijkstra it stops the moment dest
+// is settled and never reconstructs the path it would otherwise throw away,
+// so it allocates nothing in steady state.
 func DijkstraDistance(acc storage.Accessor, source, dest roadnet.NodeID) (float64, error) {
-	p, _, err := Dijkstra(acc, source, dest)
-	if err != nil {
-		return 0, err
-	}
-	if p.Empty() && source != dest {
-		return math.Inf(1), nil
-	}
-	return p.Cost, nil
+	w := AcquireWorkspace(acc.NumNodes())
+	defer w.Release()
+	d, _, err := w.DijkstraDistance(acc, source, dest)
+	return d, err
 }
 
 // SingleSourceTree computes shortest-path distances from source to every
@@ -71,48 +37,17 @@ func DijkstraDistance(acc storage.Accessor, source, dest roadnet.NodeID) (float6
 // the distance and parent arrays; unreachable nodes have distance +Inf. It is
 // used by experiments that need exact network distances as ground truth.
 func SingleSourceTree(acc storage.Accessor, source roadnet.NodeID) ([]float64, []roadnet.NodeID, Stats, error) {
-	if !validNode(acc, source) {
-		return nil, nil, Stats{}, fmt.Errorf("search: invalid source node %d", source)
-	}
-	n := acc.NumNodes()
-	dist := newDistSlice(n)
-	parent := newParentSlice(n)
-	var stats Stats
-
-	pq := pqueue.NewWithCapacity(64)
-	dist[source] = 0
-	pq.Push(int32(source), 0)
-	stats.QueueOps++
-	for !pq.Empty() {
-		if pq.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = pq.Len()
-		}
-		item := pq.Pop()
-		u := roadnet.NodeID(item.Value)
-		if item.Priority > dist[u] {
-			continue
-		}
-		stats.SettledNodes++
-		for _, a := range acc.Arcs(u) {
-			stats.RelaxedArcs++
-			nd := dist[u] + a.Cost
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				pq.Push(int32(a.To), nd)
-				stats.QueueOps++
-			}
-		}
-	}
-	return dist, parent, stats, nil
+	w := AcquireWorkspace(acc.NumNodes())
+	defer w.Release()
+	return w.SingleSourceTree(acc, source)
 }
 
 func checkEndpoints(acc storage.Accessor, source, dest roadnet.NodeID) error {
 	if !validNode(acc, source) {
-		return fmt.Errorf("search: invalid source node %d", source)
+		return errInvalidSource(source)
 	}
 	if !validNode(acc, dest) {
-		return fmt.Errorf("search: invalid destination node %d", dest)
+		return errInvalidDest(dest)
 	}
 	return nil
 }
@@ -121,18 +56,14 @@ func validNode(acc storage.Accessor, id roadnet.NodeID) bool {
 	return id >= 0 && int(id) < acc.NumNodes()
 }
 
-func newDistSlice(n int) []float64 {
-	dist := make([]float64, n)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-	}
-	return dist
+func errInvalidSource(id roadnet.NodeID) error {
+	return fmt.Errorf("search: invalid source node %d", id)
 }
 
-func newParentSlice(n int) []roadnet.NodeID {
-	parent := make([]roadnet.NodeID, n)
-	for i := range parent {
-		parent[i] = roadnet.InvalidNode
-	}
-	return parent
+func errInvalidDest(id roadnet.NodeID) error {
+	return fmt.Errorf("search: invalid destination node %d", id)
+}
+
+func errNoDestinations() error {
+	return fmt.Errorf("search: SSMD needs at least one destination")
 }

@@ -180,7 +180,17 @@ func containsID(ids []roadnet.NodeID, id roadnet.NodeID) bool {
 
 // AStarALT runs A* from source to dest using the ALT lower bound as the
 // heuristic. The landmark tables must have been prepared on the same graph.
+// The search runs on a pooled Workspace through the generic AStarHeuristic
+// core.
 func AStarALT(acc storage.Accessor, lm *Landmarks, source, dest roadnet.NodeID) (Path, Stats, error) {
+	w := AcquireWorkspace(acc.NumNodes())
+	defer w.Release()
+	return w.AStarALT(acc, lm, source, dest)
+}
+
+// AStarALT is the workspace form of the package-level AStarALT, letting a
+// worker reuse one workspace across many ALT searches.
+func (w *Workspace) AStarALT(acc storage.Accessor, lm *Landmarks, source, dest roadnet.NodeID) (Path, Stats, error) {
 	if lm == nil || len(lm.dist) == 0 {
 		return Path{}, Stats{}, fmt.Errorf("search: AStarALT needs prepared landmarks")
 	}
@@ -190,51 +200,7 @@ func AStarALT(acc storage.Accessor, lm *Landmarks, source, dest roadnet.NodeID) 
 	if len(lm.dist[0]) != acc.NumNodes() {
 		return Path{}, Stats{}, fmt.Errorf("search: landmark tables cover %d nodes, graph has %d", len(lm.dist[0]), acc.NumNodes())
 	}
-	return aStarWithHeuristic(acc, source, dest, func(v roadnet.NodeID) float64 {
+	return w.AStarHeuristic(acc, source, dest, func(v roadnet.NodeID) float64 {
 		return lm.LowerBound(v, dest)
 	})
-}
-
-// aStarWithHeuristic is the generic A* core shared by AStarALT; the plain
-// Euclidean A* keeps its own specialised loop in astar.go for clarity.
-func aStarWithHeuristic(acc storage.Accessor, source, dest roadnet.NodeID, h func(roadnet.NodeID) float64) (Path, Stats, error) {
-	n := acc.NumNodes()
-	dist := newDistSlice(n)
-	parent := newParentSlice(n)
-	settled := make([]bool, n)
-	var stats Stats
-
-	pq := newHeapForSearch()
-	dist[source] = 0
-	pq.Push(int32(source), h(source))
-	stats.QueueOps++
-	for !pq.Empty() {
-		if pq.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = pq.Len()
-		}
-		item := pq.Pop()
-		u := roadnet.NodeID(item.Value)
-		if settled[u] {
-			continue
-		}
-		settled[u] = true
-		stats.SettledNodes++
-		if u == dest {
-			return reconstruct(parent, dist, source, dest), stats, nil
-		}
-		for _, a := range acc.Arcs(u) {
-			stats.RelaxedArcs++
-			if settled[a.To] {
-				continue
-			}
-			nd := dist[u] + a.Cost
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				pq.Push(int32(a.To), nd+h(a.To))
-				stats.QueueOps++
-			}
-		}
-	}
-	return Path{}, stats, nil
 }

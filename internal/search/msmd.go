@@ -85,6 +85,11 @@ type Processor struct {
 	landmarks *Landmarks
 	cache     *TreeCache
 	gate      Gate
+	// wsPool supplies the epoch-stamped search workspaces the per-source
+	// searches run on: each evaluation row checks one workspace out for its
+	// whole lifetime (every destination of a pairwise row reuses the same
+	// workspace), so the steady-state hot path allocates no label arrays.
+	wsPool *WorkspacePool
 }
 
 // ProcessorOption customises a Processor.
@@ -128,9 +133,20 @@ func WithGate(g Gate) ProcessorOption {
 	return func(p *Processor) { p.gate = g }
 }
 
+// WithWorkspacePool shares a workspace pool with the processor, letting a
+// server reuse one pool across every processor, batch worker and query it
+// runs. The default is the package's shared pool.
+func WithWorkspacePool(wp *WorkspacePool) ProcessorOption {
+	return func(p *Processor) {
+		if wp != nil {
+			p.wsPool = wp
+		}
+	}
+}
+
 // NewProcessor builds a processor over acc.
 func NewProcessor(acc storage.Accessor, opts ...ProcessorOption) *Processor {
-	p := &Processor{acc: acc, strategy: StrategySSMD, workers: 1}
+	p := &Processor{acc: acc, strategy: StrategySSMD, workers: 1, wsPool: sharedWorkspaces}
 	for _, o := range opts {
 		o(p)
 	}
@@ -181,19 +197,25 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			var r SSMDResult
 			var err error
 			if p.cache != nil {
+				// Cached trees carry their own long-lived workspaces; no
+				// per-row checkout is needed.
 				r, err = p.cache.Evaluate(p.acc, s, dests)
 			} else {
-				r, err = SSMD(p.acc, s, dests)
+				w := p.wsPool.Get(p.acc.NumNodes())
+				r, err = w.SSMD(p.acc, s, dests)
+				w.Release()
 			}
 			if err != nil {
 				return rowResult{idx: i, err: err}
 			}
 			return rowResult{idx: i, paths: r.Paths, stats: r.Stats}
 		case StrategyPairwise:
+			w := p.wsPool.Get(p.acc.NumNodes())
+			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := Dijkstra(p.acc, s, t)
+				path, st, err := w.Dijkstra(p.acc, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -202,10 +224,12 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			}
 			return rowResult{idx: i, paths: paths, stats: stats}
 		case StrategyPairwiseAStar:
+			w := p.wsPool.Get(p.acc.NumNodes())
+			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := AStar(p.acc, s, t)
+				path, st, err := w.AStarScaled(p.acc, s, t, 0.8)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -217,10 +241,12 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			if p.landmarks == nil {
 				return rowResult{idx: i, err: fmt.Errorf("search: strategy %q requires WithLandmarks", StrategyPairwiseALT)}
 			}
+			w := p.wsPool.Get(p.acc.NumNodes())
+			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := AStarALT(p.acc, p.landmarks, s, t)
+				path, st, err := w.AStarALT(p.acc, p.landmarks, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}

@@ -9,6 +9,21 @@
 // measured both in memory and against the paged disk simulation, and every
 // search reports Stats (settled nodes, relaxed arcs, page I/O via the
 // accessor's buffer pool) that the experiments consume.
+//
+// # The query hot path
+//
+// All searches execute on an epoch-stamped Workspace: distance labels,
+// parent pointers, settled flags and the priority queue live in arrays whose
+// entries are valid only for the current epoch, so preparing a workspace for
+// the next query is a counter bump instead of an O(n) Inf-fill, and per-query
+// cost is proportional to the nodes the search actually touches. Workspaces
+// are checked out of a sync.Pool-backed WorkspacePool per query (the
+// package-level functions do this transparently); the inner relax loop
+// streams arcs through storage.Accessor.ForEachArc over the road network's
+// CSR arc array and allocates nothing in steady state. The pre-workspace
+// fresh-slice implementations are preserved in reference.go as the
+// executable specification the equivalence property tests and the E13
+// experiment compare against.
 package search
 
 import (

@@ -1,10 +1,8 @@
 package search
 
 import (
-	"fmt"
 	"math"
 
-	"opaque/internal/pqueue"
 	"opaque/internal/roadnet"
 	"opaque/internal/storage"
 )
@@ -38,83 +36,14 @@ func (r SSMDResult) PathTo(dest roadnet.NodeID) (Path, bool) {
 // is what Lemma 1 builds on.
 //
 // Duplicate destinations are allowed and each receives the same path.
+//
+// The wrapper borrows an epoch-stamped Workspace from the package pool; the
+// SSMD evaluation itself (tentative labels, settled set, pending-destination
+// set, priority queue) runs entirely on reused storage.
 func SSMD(acc storage.Accessor, source roadnet.NodeID, dests []roadnet.NodeID) (SSMDResult, error) {
-	if !validNode(acc, source) {
-		return SSMDResult{}, fmt.Errorf("search: invalid source node %d", source)
-	}
-	if len(dests) == 0 {
-		return SSMDResult{}, fmt.Errorf("search: SSMD needs at least one destination")
-	}
-	for _, d := range dests {
-		if !validNode(acc, d) {
-			return SSMDResult{}, fmt.Errorf("search: invalid destination node %d", d)
-		}
-	}
-	n := acc.NumNodes()
-	dist := newDistSlice(n)
-	parent := newParentSlice(n)
-	var stats Stats
-
-	// Count distinct destinations still unsettled.
-	pending := make(map[roadnet.NodeID]struct{}, len(dests))
-	for _, d := range dests {
-		pending[d] = struct{}{}
-	}
-
-	pq := pqueue.NewWithCapacity(64)
-	dist[source] = 0
-	pq.Push(int32(source), 0)
-	stats.QueueOps++
-	if _, ok := pending[source]; ok {
-		delete(pending, source)
-	}
-
-	for !pq.Empty() && len(pending) > 0 {
-		if pq.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = pq.Len()
-		}
-		item := pq.Pop()
-		u := roadnet.NodeID(item.Value)
-		if item.Priority > dist[u] {
-			continue
-		}
-		stats.SettledNodes++
-		if _, ok := pending[u]; ok {
-			delete(pending, u)
-			if len(pending) == 0 {
-				break
-			}
-		}
-		for _, a := range acc.Arcs(u) {
-			stats.RelaxedArcs++
-			nd := dist[u] + a.Cost
-			if nd < dist[a.To] {
-				dist[a.To] = nd
-				parent[a.To] = u
-				pq.Push(int32(a.To), nd)
-				stats.QueueOps++
-			}
-		}
-	}
-
-	res := SSMDResult{
-		Source: source,
-		Dests:  append([]roadnet.NodeID(nil), dests...),
-		Paths:  make([]Path, len(dests)),
-		Stats:  stats,
-	}
-	for i, d := range dests {
-		if d == source {
-			res.Paths[i] = Path{Nodes: []roadnet.NodeID{source}, Cost: 0}
-			continue
-		}
-		if math.IsInf(dist[d], 1) {
-			res.Paths[i] = Path{}
-			continue
-		}
-		res.Paths[i] = reconstruct(parent, dist, source, d)
-	}
-	return res, nil
+	w := AcquireWorkspace(acc.NumNodes())
+	defer w.Release()
+	return w.SSMD(acc, source, dests)
 }
 
 // SSMDDistances runs an SSMD search and returns only the distances to each

@@ -3,8 +3,8 @@ package search
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
-	"opaque/internal/pqueue"
 	"opaque/internal/roadnet"
 	"opaque/internal/storage"
 )
@@ -19,6 +19,14 @@ import (
 // deliberately reuses endpoints across users) reuse the settled prefix
 // instead of re-running Dijkstra from scratch.
 //
+// The tree's state lives in an epoch-stamped Workspace checked out of a
+// WorkspacePool for the tree's whole lifetime: creating a tree is O(1) — an
+// epoch bump on recycled arrays — instead of allocating and Inf-filling two
+// O(n) label arrays, and releasing the tree hands the arrays to the next
+// tree instead of the garbage collector. Release is refcounted so a cache
+// can drop its entry while a concurrent query is still reading the tree; the
+// workspace returns to the pool only when the last holder lets go.
+//
 // Growing the tree replays exactly the relaxation sequence an uninterrupted
 // search would perform: Paths stops, like cold SSMD, right after settling the
 // last requested destination (before expanding its arcs), records that node
@@ -30,13 +38,14 @@ import (
 // A Tree serialises its own growth with an internal mutex; concurrent Paths
 // calls are safe and each observes a tree at least as grown as it needs.
 type Tree struct {
-	mu      sync.Mutex
-	acc     storage.Accessor
-	source  roadnet.NodeID
-	dist    []float64
-	parent  []roadnet.NodeID
-	settled []bool
-	pq      *pqueue.IndexedHeap
+	mu     sync.Mutex
+	acc    storage.Accessor
+	source roadnet.NodeID
+	ws     *Workspace
+	// refs counts live holders of the tree: its creator (or the cache that
+	// adopted it) plus every in-flight Paths caller pinned via retain. The
+	// workspace is recycled when the count reaches zero.
+	refs atomic.Int32
 	// unexpanded is the most recently settled node whose arcs have not been
 	// relaxed yet (cold SSMD stops before expanding the last destination);
 	// InvalidNode when none is outstanding.
@@ -46,24 +55,31 @@ type Tree struct {
 	grown Stats
 }
 
-// NewTree initialises an empty spanning tree rooted at source. It performs no
-// search work; the first Paths call grows the tree.
+// NewTree initialises an empty spanning tree rooted at source, drawing its
+// workspace from the package's shared pool. It performs no search work; the
+// first Paths call grows the tree. Callers that are done with the tree may
+// call Release to recycle its workspace (the garbage collector reclaims
+// unreleased trees eventually, just without reuse).
 func NewTree(acc storage.Accessor, source roadnet.NodeID) (*Tree, error) {
+	return newTreeFromPool(sharedWorkspaces, acc, source)
+}
+
+// newTreeFromPool is NewTree with an explicit workspace pool.
+func newTreeFromPool(pool *WorkspacePool, acc storage.Accessor, source roadnet.NodeID) (*Tree, error) {
 	if !validNode(acc, source) {
-		return nil, fmt.Errorf("search: invalid source node %d", source)
+		return nil, errInvalidSource(source)
 	}
-	n := acc.NumNodes()
+	w := pool.Get(acc.NumNodes())
+	w.acc = acc
 	t := &Tree{
 		acc:        acc,
 		source:     source,
-		dist:       newDistSlice(n),
-		parent:     newParentSlice(n),
-		settled:    make([]bool, n),
-		pq:         pqueue.NewWithCapacity(64),
+		ws:         w,
 		unexpanded: roadnet.InvalidNode,
 	}
-	t.dist[source] = 0
-	t.pq.Push(int32(source), 0)
+	t.refs.Store(1)
+	w.label(source, 0, roadnet.InvalidNode)
+	w.heap.Push(int32(source), 0)
 	t.grown.QueueOps++
 	return t, nil
 }
@@ -78,6 +94,25 @@ func (t *Tree) GrownStats() Stats {
 	return t.grown
 }
 
+// retain pins the tree for a caller about to use it; pair with Release.
+func (t *Tree) retain() { t.refs.Add(1) }
+
+// Release drops one holder's reference. When the last reference is dropped
+// the tree's workspace is returned to its pool and the tree becomes
+// unusable; further Paths calls return an error.
+func (t *Tree) Release() {
+	if t.refs.Add(-1) != 0 {
+		return
+	}
+	t.mu.Lock()
+	w := t.ws
+	t.ws = nil
+	t.mu.Unlock()
+	if w != nil {
+		w.Release()
+	}
+}
+
 // Paths returns the shortest path from the tree's source to every requested
 // destination (empty when unreachable), growing the tree just far enough to
 // settle them all. The returned Stats count only the incremental work this
@@ -85,16 +120,19 @@ func (t *Tree) GrownStats() Stats {
 // exactly the saving the tree cache exists to harvest.
 func (t *Tree) Paths(dests []roadnet.NodeID) (SSMDResult, error) {
 	if len(dests) == 0 {
-		return SSMDResult{}, fmt.Errorf("search: SSMD needs at least one destination")
+		return SSMDResult{}, errNoDestinations()
 	}
 	for _, d := range dests {
 		if !validNode(t.acc, d) {
-			return SSMDResult{}, fmt.Errorf("search: invalid destination node %d", d)
+			return SSMDResult{}, errInvalidDest(d)
 		}
 	}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.ws == nil {
+		return SSMDResult{}, fmt.Errorf("search: Paths on a released tree (source %d)", t.source)
+	}
 
 	stats := t.grow(dests)
 
@@ -109,11 +147,11 @@ func (t *Tree) Paths(dests []roadnet.NodeID) (SSMDResult, error) {
 			res.Paths[i] = Path{Nodes: []roadnet.NodeID{t.source}, Cost: 0}
 			continue
 		}
-		if !t.settled[d] {
+		if !t.ws.settled(d) {
 			res.Paths[i] = Path{} // frontier exhausted without reaching d
 			continue
 		}
-		res.Paths[i] = reconstruct(t.parent, t.dist, t.source, d)
+		res.Paths[i] = t.ws.reconstruct(t.source, d)
 	}
 	return res, nil
 }
@@ -122,34 +160,38 @@ func (t *Tree) Paths(dests []roadnet.NodeID) (SSMDResult, error) {
 // the frontier is exhausted, returning the incremental work. Caller holds
 // t.mu.
 func (t *Tree) grow(dests []roadnet.NodeID) Stats {
-	pendingSet := make(map[roadnet.NodeID]struct{}, len(dests))
+	w := t.ws
+	w.stats = Stats{}
+	w.bumpMark()
+	pending := 0
 	for _, d := range dests {
-		if !t.settled[d] && d != t.source {
-			pendingSet[d] = struct{}{}
+		if d != t.source && !w.settled(d) && w.mark[d] != w.markEpoch {
+			w.mark[d] = w.markEpoch
+			pending++
 		}
 	}
-	var stats Stats
-	if len(pendingSet) == 0 {
-		return stats // fully served from the settled prefix
+	if pending == 0 {
+		return w.stats // fully served from the settled prefix
 	}
 	if t.unexpanded != roadnet.InvalidNode {
-		t.relax(t.unexpanded, &stats)
+		w.expand(t.unexpanded)
 		t.unexpanded = roadnet.InvalidNode
 	}
-	for len(pendingSet) > 0 && !t.pq.Empty() {
-		if t.pq.Len() > stats.MaxFrontier {
-			stats.MaxFrontier = t.pq.Len()
+	for pending > 0 && !w.heap.Empty() {
+		if w.heap.Len() > w.stats.MaxFrontier {
+			w.stats.MaxFrontier = w.heap.Len()
 		}
-		item := t.pq.Pop()
+		item := w.heap.Pop()
 		u := roadnet.NodeID(item.Value)
-		if item.Priority > t.dist[u] {
+		if item.Priority > w.dist[u] {
 			continue // stale entry
 		}
-		t.settled[u] = true
-		stats.SettledNodes++
-		if _, ok := pendingSet[u]; ok {
-			delete(pendingSet, u)
-			if len(pendingSet) == 0 {
+		w.settle(u)
+		w.stats.SettledNodes++
+		if w.mark[u] == w.markEpoch {
+			w.mark[u] = w.markEpoch - 1
+			pending--
+			if pending == 0 {
 				// Stop exactly where cold SSMD stops: after settling the
 				// last destination, before expanding its arcs. The next
 				// grow call performs the deferred expansion first.
@@ -157,22 +199,8 @@ func (t *Tree) grow(dests []roadnet.NodeID) Stats {
 				break
 			}
 		}
-		t.relax(u, &stats)
+		w.expand(u)
 	}
-	t.grown = t.grown.Add(stats)
-	return stats
-}
-
-// relax expands u's outgoing arcs, updating tentative distances.
-func (t *Tree) relax(u roadnet.NodeID, stats *Stats) {
-	for _, a := range t.acc.Arcs(u) {
-		stats.RelaxedArcs++
-		nd := t.dist[u] + a.Cost
-		if nd < t.dist[a.To] {
-			t.dist[a.To] = nd
-			t.parent[a.To] = u
-			t.pq.Push(int32(a.To), nd)
-			stats.QueueOps++
-		}
-	}
+	t.grown = t.grown.Add(w.stats)
+	return w.stats
 }

@@ -46,12 +46,21 @@ func (s TreeCacheStats) HitRatio() float64 {
 // coordination.
 //
 // TreeCache is safe for concurrent use. The cache lock is held only for
-// lookup bookkeeping — the O(n) label allocation of a new tree happens
-// outside it, and tree growth runs under the individual tree's lock — so
-// queries on distinct sources proceed in parallel while queries on the same
-// source serialise and share each other's work.
+// lookup bookkeeping — building a new tree (an O(1) epoch-stamped workspace
+// checkout) happens outside it, and tree growth runs under the individual
+// tree's lock — so queries on distinct sources proceed in parallel while
+// queries on the same source serialise and share each other's work.
+//
+// Cached trees hold their label arrays in pooled search workspaces rather
+// than private O(n) slices: the cache retains one reference per entry and
+// every Evaluate pins the tree for the duration of the call, so an eviction
+// or invalidation recycles the workspace to the pool as soon as the last
+// in-flight query on that tree finishes.
 type TreeCache struct {
 	capacity int
+	// wsPool supplies the workspaces new trees live on; evicted trees
+	// recycle theirs back into the same pool.
+	wsPool *WorkspacePool
 
 	mu      sync.Mutex
 	entries map[roadnet.NodeID]*list.Element // at most one entry per source
@@ -76,13 +85,25 @@ type cacheEntry struct {
 const DefaultTreeCacheSize = 256
 
 // NewTreeCache returns a cache holding at most capacity trees (values < 1 use
-// DefaultTreeCacheSize).
+// DefaultTreeCacheSize), drawing tree workspaces from the package's shared
+// pool.
 func NewTreeCache(capacity int) *TreeCache {
+	return NewTreeCacheWithPool(capacity, sharedWorkspaces)
+}
+
+// NewTreeCacheWithPool is NewTreeCache with an explicit workspace pool, so a
+// server can keep its cached spanning trees on the same pool its batch
+// workers draw per-query workspaces from.
+func NewTreeCacheWithPool(capacity int, wp *WorkspacePool) *TreeCache {
 	if capacity < 1 {
 		capacity = DefaultTreeCacheSize
 	}
+	if wp == nil {
+		wp = sharedWorkspaces
+	}
 	return &TreeCache{
 		capacity: capacity,
+		wsPool:   wp,
 		entries:  make(map[roadnet.NodeID]*list.Element, capacity),
 		lru:      list.New(),
 	}
@@ -118,6 +139,9 @@ func (c *TreeCache) Evaluate(acc storage.Accessor, source roadnet.NodeID, dests 
 	if err != nil {
 		return SSMDResult{}, err
 	}
+	// lookup pinned the tree for us; let go once the paths are extracted so
+	// an eviction that raced this call can recycle the tree's workspace.
+	defer tree.Release()
 	res, err := tree.Paths(dests)
 	if err != nil {
 		return SSMDResult{}, err
@@ -134,40 +158,59 @@ func (c *TreeCache) Evaluate(acc storage.Accessor, source roadnet.NodeID, dests 
 }
 
 // lookup returns the cached tree for (source, current generation), creating
-// it on a miss, and reports whether it was already present.
+// it on a miss, and reports whether it was already present. The returned
+// tree is pinned (reference held) for the caller, who must Release it.
 func (c *TreeCache) lookup(acc storage.Accessor, source roadnet.NodeID) (*Tree, bool, error) {
 	gen := storage.GenerationOf(acc)
-	if tree, ok := c.fetch(source, gen, false); ok {
+	if tree, ok := c.fetch(source, gen); ok {
 		return tree, true, nil
 	}
-	// Build outside the lock: NewTree allocates the O(n) distance and parent
-	// labels, which must not serialise unrelated lookups.
-	tree, err := NewTree(acc, source)
+	// Build outside the lock: checking the tree's workspace out of the pool
+	// (and any array growth it triggers) must not serialise unrelated
+	// lookups.
+	tree, err := newTreeFromPool(c.wsPool, acc, source)
 	if err != nil {
 		return nil, false, err
 	}
-	if shared, ok := c.fetch(source, gen, true); ok {
-		// A concurrent miss for the same source inserted first; share its
-		// tree (and whatever growth it has already paid for) instead.
-		return shared, true, nil
-	}
 
+	// Recheck and insert under ONE lock acquisition: with separate ones,
+	// two concurrent misses for the same source could both pass the recheck
+	// and both insert, stranding a duplicate LRU element whose eventual
+	// eviction would delete the live map entry.
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if el, ok := c.entries[source]; ok {
+		entry := el.Value.(*cacheEntry)
+		if entry.gen == gen {
+			// A concurrent miss for the same source inserted first; share
+			// its tree (and whatever growth it has already paid for), and
+			// recycle the tree we built for nothing.
+			c.lru.MoveToFront(el)
+			entry.tree.retain()
+			c.mu.Unlock()
+			tree.Release()
+			return entry.tree, true, nil
+		}
+		// Stale generation: drop it without recounting the invalidation the
+		// first fetch already charged.
+		c.removeLocked(el)
+	}
 	el := c.lru.PushFront(&cacheEntry{source: source, gen: gen, tree: tree})
 	c.entries[source] = el
+	// The creator reference now belongs to the cache entry; pin once more
+	// for the caller.
+	tree.retain()
 	for c.lru.Len() > c.capacity {
 		c.removeLocked(c.lru.Back())
 		c.evictions.Add(1)
 	}
+	c.mu.Unlock()
 	return tree, false, nil
 }
 
-// fetch returns the cached current-generation tree for source, dropping a
-// stale-generation entry when it finds one instead. The drop is recorded as
-// an invalidation unless this is the recheck after an unlocked tree build,
-// which must not double-count a bump the first fetch already charged.
-func (c *TreeCache) fetch(source roadnet.NodeID, gen uint64, recheck bool) (*Tree, bool) {
+// fetch returns the cached current-generation tree for source pinned for the
+// caller, dropping a stale-generation entry (recorded as an invalidation)
+// when it finds one instead.
+func (c *TreeCache) fetch(source roadnet.NodeID, gen uint64) (*Tree, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[source]
@@ -177,20 +220,24 @@ func (c *TreeCache) fetch(source roadnet.NodeID, gen uint64, recheck bool) (*Tre
 	entry := el.Value.(*cacheEntry)
 	if entry.gen != gen {
 		c.removeLocked(el)
-		if !recheck {
-			c.invalidations.Add(1)
-		}
+		c.invalidations.Add(1)
 		return nil, false
 	}
 	c.lru.MoveToFront(el)
+	// Pin under the cache lock: the cache's own reference is only ever
+	// dropped under the same lock, so the tree is guaranteed live here.
+	entry.tree.retain()
 	return entry.tree, true
 }
 
-// removeLocked removes one LRU element. Caller holds c.mu.
+// removeLocked removes one LRU element and drops the cache's reference to
+// its tree, recycling the tree's workspace once any in-flight queries are
+// done with it. Caller holds c.mu.
 func (c *TreeCache) removeLocked(el *list.Element) {
 	entry := el.Value.(*cacheEntry)
 	delete(c.entries, entry.source)
 	c.lru.Remove(el)
+	entry.tree.Release()
 }
 
 // Purge drops every cached tree (used by tests and by servers that swap
@@ -198,6 +245,9 @@ func (c *TreeCache) removeLocked(el *list.Element) {
 func (c *TreeCache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for _, el := range c.entries {
+		el.Value.(*cacheEntry).tree.Release()
+	}
 	c.entries = make(map[roadnet.NodeID]*list.Element, c.capacity)
 	c.lru.Init()
 }

@@ -1,0 +1,285 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/storage"
+)
+
+// testGraph generates a small frozen network for workspace tests.
+func testGraph(t testing.TB, nodes int, seed uint64) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Nodes = nodes
+	cfg.Seed = seed
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestWorkspaceReuseMatchesReference is the workspace-equivalence property
+// test: a single pooled workspace reused across a long randomized sequence
+// of queries — mixing algorithms, graphs of different sizes (simulating
+// graph-generation changes) and duplicate-destination SSMD sets — must
+// return byte-identical paths and statistics to the fresh-slice reference
+// implementations.
+func TestWorkspaceReuseMatchesReference(t *testing.T) {
+	graphs := []*roadnet.Graph{
+		testGraph(t, 300, 11),
+		testGraph(t, 900, 12), // larger: forces workspace growth mid-sequence
+		testGraph(t, 150, 13), // smaller again: stale labels must not leak
+	}
+	accs := make([]storage.Accessor, len(graphs))
+	for i, g := range graphs {
+		accs[i] = storage.NewMemoryGraph(g)
+	}
+
+	r := rand.New(rand.NewSource(99))
+	w := AcquireWorkspace(accs[0].NumNodes())
+	defer w.Release()
+
+	for iter := 0; iter < 400; iter++ {
+		gi := r.Intn(len(accs))
+		acc := accs[gi]
+		n := acc.NumNodes()
+		s := roadnet.NodeID(r.Intn(n))
+		d := roadnet.NodeID(r.Intn(n))
+		switch r.Intn(4) {
+		case 0:
+			got, gotStats, err := w.Dijkstra(acc, s, d)
+			want, wantStats, refErr := ReferenceDijkstra(acc, s, d)
+			if err != nil || refErr != nil {
+				t.Fatalf("iter %d: dijkstra errs %v / %v", iter, err, refErr)
+			}
+			if !reflect.DeepEqual(got, want) || gotStats != wantStats {
+				t.Fatalf("iter %d: Dijkstra(%d,%d) on graph %d diverged:\n got %v %+v\nwant %v %+v",
+					iter, s, d, gi, got, gotStats, want, wantStats)
+			}
+		case 1:
+			got, gotStats, err := w.AStarScaled(acc, s, d, 0.8)
+			want, wantStats, refErr := ReferenceAStarScaled(acc, s, d, 0.8)
+			if err != nil || refErr != nil {
+				t.Fatalf("iter %d: astar errs %v / %v", iter, err, refErr)
+			}
+			if !reflect.DeepEqual(got, want) || gotStats != wantStats {
+				t.Fatalf("iter %d: AStar(%d,%d) on graph %d diverged", iter, s, d, gi)
+			}
+		case 2:
+			dests := make([]roadnet.NodeID, 1+r.Intn(6))
+			for j := range dests {
+				dests[j] = roadnet.NodeID(r.Intn(n))
+			}
+			if r.Intn(3) == 0 { // duplicates must collapse identically
+				dests = append(dests, dests[0])
+			}
+			got, err := w.SSMD(acc, s, dests)
+			want, refErr := ReferenceSSMD(acc, s, dests)
+			if err != nil || refErr != nil {
+				t.Fatalf("iter %d: ssmd errs %v / %v", iter, err, refErr)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d: SSMD(%d,%v) on graph %d diverged:\n got %+v\nwant %+v",
+					iter, s, dests, gi, got, want)
+			}
+		case 3:
+			gd, _, err := w.DijkstraDistance(acc, s, d)
+			want, wantStats, refErr := ReferenceDijkstra(acc, s, d)
+			if err != nil || refErr != nil {
+				t.Fatalf("iter %d: distance errs %v / %v", iter, err, refErr)
+			}
+			_ = wantStats
+			if want.Empty() && s != d {
+				if !isInf(gd) {
+					t.Fatalf("iter %d: DijkstraDistance(%d,%d) = %v, want +Inf", iter, s, d, gd)
+				}
+			} else if gd != want.Cost {
+				t.Fatalf("iter %d: DijkstraDistance(%d,%d) = %v, want %v", iter, s, d, gd, want.Cost)
+			}
+		}
+	}
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+// TestWorkspacePoolConcurrentReuse hammers one shared pool (and one shared
+// FilteredGraph accessor, whose ForEachArc path must be concurrency-safe)
+// from many goroutines under the race detector, checking every result
+// against the fresh-slice reference.
+func TestWorkspacePoolConcurrentReuse(t *testing.T) {
+	g := testGraph(t, 500, 21)
+	mem := storage.NewMemoryGraph(g)
+	// A pass-all filter still exercises the streaming filter path.
+	filtered := storage.NewFilteredGraph(mem, func(roadnet.NodeID, roadnet.Arc) bool { return true })
+	pool := NewWorkspacePool()
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wk := wk
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(1000 + wk)))
+			for iter := 0; iter < 60; iter++ {
+				s := roadnet.NodeID(r.Intn(g.NumNodes()))
+				d := roadnet.NodeID(r.Intn(g.NumNodes()))
+				var acc storage.Accessor = mem
+				if iter%2 == 1 {
+					acc = filtered
+				}
+				w := pool.Get(acc.NumNodes())
+				got, gotStats, err := w.Dijkstra(acc, s, d)
+				w.Release()
+				if err != nil {
+					errs <- err
+					return
+				}
+				want, wantStats, err := ReferenceDijkstra(mem, s, d)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !reflect.DeepEqual(got, want) || gotStats != wantStats {
+					errs <- fmt.Errorf("worker %d iter %d: pooled Dijkstra(%d,%d) diverged from reference", wk, iter, s, d)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkspaceSurvivesGenerationBump checks the pool across accessor
+// generation changes: after BumpGeneration the tree cache rebuilds its trees
+// on recycled workspaces, and results still match cold reference SSMD runs.
+func TestWorkspaceSurvivesGenerationBump(t *testing.T) {
+	g := testGraph(t, 400, 31)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(4)
+	r := rand.New(rand.NewSource(7))
+
+	for round := 0; round < 5; round++ {
+		for q := 0; q < 20; q++ {
+			// Few distinct sources: cache hits within a round, guaranteed
+			// stale-generation lookups after each bump.
+			s := roadnet.NodeID(r.Intn(4))
+			dests := []roadnet.NodeID{
+				roadnet.NodeID(r.Intn(g.NumNodes())),
+				roadnet.NodeID(r.Intn(g.NumNodes())),
+			}
+			got, err := cache.Evaluate(acc, s, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ReferenceSSMD(acc, s, dests)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Paths, want.Paths) {
+				t.Fatalf("round %d: cached SSMD(%d,%v) paths diverge from reference", round, s, dests)
+			}
+		}
+		acc.BumpGeneration() // invalidate: next round must rebuild trees
+	}
+	if inv := cache.Stats().Invalidations; inv == 0 {
+		t.Fatal("expected generation bumps to invalidate cached trees")
+	}
+}
+
+// TestTreeCacheConcurrentMissSingleEntry hammers concurrent misses for the
+// same sources and checks the cache never double-inserts a source: the LRU
+// list and the entries map must stay the same size (one element per source)
+// and within capacity. Guards the recheck-and-insert critical section in
+// TreeCache.lookup.
+func TestTreeCacheConcurrentMissSingleEntry(t *testing.T) {
+	g := testGraph(t, 300, 51)
+	acc := storage.NewMemoryGraph(g)
+	cache := NewTreeCache(8)
+
+	const workers = 8
+	for round := 0; round < 20; round++ {
+		cache.Purge()
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wk := wk
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// All workers miss on the same few sources at once.
+				for s := roadnet.NodeID(0); s < 4; s++ {
+					d := roadnet.NodeID((int(s)*7 + wk + 13) % g.NumNodes())
+					if _, err := cache.Evaluate(acc, s, []roadnet.NodeID{d}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		cache.mu.Lock()
+		lruLen, mapLen := cache.lru.Len(), len(cache.entries)
+		cache.mu.Unlock()
+		if lruLen != mapLen {
+			t.Fatalf("round %d: LRU has %d elements, map has %d — duplicate insert", round, lruLen, mapLen)
+		}
+		if lruLen > cache.Capacity() {
+			t.Fatalf("round %d: %d entries exceed capacity %d", round, lruLen, cache.Capacity())
+		}
+	}
+}
+
+// TestTreeReleaseRecyclesWorkspace checks the refcounted release: a tree
+// evicted while a query is in flight keeps its workspace alive until the
+// query finishes, and a released tree reports an error instead of touching
+// recycled state.
+func TestTreeReleaseRecyclesWorkspace(t *testing.T) {
+	g := testGraph(t, 200, 41)
+	acc := storage.NewMemoryGraph(g)
+
+	tree, err := NewTree(acc, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.retain() // simulate an in-flight query pin
+	tree.Release()
+	if _, err := tree.Paths([]roadnet.NodeID{10}); err != nil {
+		t.Fatalf("pinned tree must stay usable: %v", err)
+	}
+	tree.Release() // drop the pin: workspace goes back to the pool
+	if _, err := tree.Paths([]roadnet.NodeID{10}); err == nil {
+		t.Fatal("released tree must refuse Paths")
+	}
+
+	// Eviction churn through a tiny cache: every evicted tree recycles its
+	// workspace, and the cache still answers correctly.
+	cache := NewTreeCache(2)
+	for s := roadnet.NodeID(0); s < 20; s++ {
+		res, err := cache.Evaluate(acc, s, []roadnet.NodeID{roadnet.NodeID(150)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ReferenceSSMD(acc, s, []roadnet.NodeID{roadnet.NodeID(150)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Paths, want.Paths) {
+			t.Fatalf("source %d: post-eviction cache result diverges", s)
+		}
+	}
+	if ev := cache.Stats().Evictions; ev == 0 {
+		t.Fatal("expected evictions in a capacity-2 cache fed 20 sources")
+	}
+}

@@ -18,6 +18,12 @@ import (
 // batch parallelism (Config.BatchWorkers) under the server-wide
 // Config.MaxConcurrentSearches gate, so total search concurrency stays
 // bounded no matter how many batches arrive at once.
+//
+// Each in-flight per-source search checks an epoch-stamped workspace out of
+// the server's shared search.WorkspacePool for its duration (the processor
+// does this per evaluation row), so a batch of any size reuses at most
+// (concurrent searches) workspaces and the steady-state engine allocates no
+// distance or parent arrays at all.
 
 // BatchResult pairs the reply for one query of a batch with its error.
 // Queries fail individually: one malformed query does not poison the batch.

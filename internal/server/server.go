@@ -9,8 +9,11 @@
 // query; EvaluateBatch (engine.go) answers a whole batch on a worker pool,
 // sharing SSMD spanning trees across queries through the tree cache and
 // composing per-query parallelism under a server-wide concurrency gate. The
-// hot path is free of global mutexes: the query log and statistics are
-// striped across shards and metrics use atomic counters.
+// hot path is free of global mutexes — the query log and statistics are
+// striped across shards and metrics use atomic counters — and free of
+// per-query label allocation: every search runs on an epoch-stamped
+// workspace checked out of the server's search.WorkspacePool (see the "query
+// hot path" notes in internal/search).
 package server
 
 import (
@@ -96,7 +99,12 @@ type Server struct {
 	processor *search.Processor
 	cache     *search.TreeCache
 	gate      search.Gate
-	cfg       Config
+	// wsPool owns the epoch-stamped search workspaces every query of this
+	// server runs on: batch workers and per-query source fan-out all check
+	// workspaces out of this one pool, so steady-state evaluation performs
+	// no per-query label allocation no matter how traffic is shaped.
+	wsPool *search.WorkspacePool
+	cfg    Config
 
 	log     shardedLog
 	queryID atomic.Uint64
@@ -150,12 +158,16 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	} else {
 		s.acc = storage.NewMemoryGraph(g)
 	}
-	opts := []search.ProcessorOption{search.WithStrategy(cfg.Strategy)}
+	s.wsPool = search.NewWorkspacePool()
+	opts := []search.ProcessorOption{
+		search.WithStrategy(cfg.Strategy),
+		search.WithWorkspacePool(s.wsPool),
+	}
 	if cfg.Workers > 1 {
 		opts = append(opts, search.WithWorkers(cfg.Workers))
 	}
 	if cfg.TreeCache > 0 {
-		s.cache = search.NewTreeCache(cfg.TreeCache)
+		s.cache = search.NewTreeCacheWithPool(cfg.TreeCache, s.wsPool)
 		opts = append(opts, search.WithTreeCache(s.cache))
 	}
 	if cfg.MaxConcurrentSearches > 0 {

@@ -13,11 +13,17 @@ type ArcFilter func(from roadnet.NodeID, arc roadnet.Arc) bool
 // charged when its adjacency list is read, regardless of how many arcs
 // survive the filter, matching how a real server would read the page and then
 // skip unwanted road segments.
+//
+// ForEachArc filters inline with no buffering and is safe for concurrent
+// use; since every search in internal/search iterates arcs through
+// ForEachArc, a single FilteredGraph can serve concurrent searches. Arcs, by
+// contrast, materialises the surviving arcs into a reused buffer and remains
+// unsafe for concurrent use — callers that need the slice form from multiple
+// goroutines must wrap each worker with its own instance.
 type FilteredGraph struct {
 	inner  Accessor
 	filter ArcFilter
-	// buf is reused across Arcs calls; FilteredGraph is therefore NOT safe
-	// for concurrent use — wrap each worker with its own instance.
+	// buf is reused across Arcs calls (not used by ForEachArc).
 	buf []roadnet.Arc
 }
 
@@ -66,6 +72,21 @@ func (f *FilteredGraph) Arcs(id roadnet.NodeID) []roadnet.Arc {
 		}
 	}
 	return f.buf
+}
+
+// ForEachArc implements Accessor, streaming only the arcs admitted by the
+// filter. No buffer is involved, so this path is safe for concurrent use.
+func (f *FilteredGraph) ForEachArc(id roadnet.NodeID, yield func(roadnet.Arc) bool) {
+	if f.filter == nil {
+		f.inner.ForEachArc(id, yield)
+		return
+	}
+	f.inner.ForEachArc(id, func(a roadnet.Arc) bool {
+		if !f.filter(id, a) {
+			return true
+		}
+		return yield(a)
+	})
 }
 
 // Euclid implements Accessor.

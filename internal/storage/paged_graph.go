@@ -13,6 +13,13 @@ type Accessor interface {
 	// Arcs returns the outgoing arcs of id, charging any I/O cost the
 	// implementation models.
 	Arcs(id roadnet.NodeID) []roadnet.Arc
+	// ForEachArc streams the outgoing arcs of id to yield in adjacency
+	// order, stopping early when yield returns false, and charges the same
+	// I/O as Arcs. This is the arc iteration the search hot path uses: it
+	// walks the graph's CSR arc array in place, never materialises an
+	// adjacency slice, and — unlike Arcs on buffering implementations such
+	// as FilteredGraph — is safe for concurrent use.
+	ForEachArc(id roadnet.NodeID, yield func(roadnet.Arc) bool)
 	// Euclid returns the Euclidean distance between two nodes (used as the
 	// A* heuristic); it is free of I/O charges because coordinates of the
 	// two query endpoints are known to the query itself.
@@ -38,6 +45,11 @@ func (m *MemoryGraph) NumNodes() int { return m.g.NumNodes() }
 
 // Arcs implements Accessor.
 func (m *MemoryGraph) Arcs(id roadnet.NodeID) []roadnet.Arc { return m.g.Arcs(id) }
+
+// ForEachArc implements Accessor by walking the graph's CSR arc array.
+func (m *MemoryGraph) ForEachArc(id roadnet.NodeID, yield func(roadnet.Arc) bool) {
+	m.g.ForEachArc(id, yield)
+}
 
 // Euclid implements Accessor.
 func (m *MemoryGraph) Euclid(a, b roadnet.NodeID) float64 { return m.g.Euclid(a, b) }
@@ -68,6 +80,13 @@ func (p *PagedGraph) NumNodes() int { return p.store.graph.NumNodes() }
 func (p *PagedGraph) Arcs(id roadnet.NodeID) []roadnet.Arc {
 	p.pool.Access(p.store.PageOf(id))
 	return p.store.graph.Arcs(id)
+}
+
+// ForEachArc implements Accessor. The node's page is charged once per
+// iteration, exactly like Arcs.
+func (p *PagedGraph) ForEachArc(id roadnet.NodeID, yield func(roadnet.Arc) bool) {
+	p.pool.Access(p.store.PageOf(id))
+	p.store.graph.ForEachArc(id, yield)
 }
 
 // Euclid implements Accessor.
