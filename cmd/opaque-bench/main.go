@@ -5,9 +5,11 @@
 // overhead, scaling, the fake-endpoint strategy ablation, the collusion
 // attack, the linkage and server-log analyses, the batch-engine throughput
 // measurement (E12, which also reports the SSMD tree cache hit ratio from
-// the server's metrics registry), and the workspace hot-path measurement
+// the server's metrics registry), the workspace hot-path measurement
 // (E13: epoch-stamped search workspaces vs the fresh-slice baseline,
-// allocs/query and queries/sec).
+// allocs/query and queries/sec), and the contraction-hierarchy measurement
+// (E14: offline contraction cost and overlay size versus point-query
+// speedup over Dijkstra and ALT).
 //
 // Usage:
 //
@@ -56,7 +58,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("opaque-bench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		expID  = fs.String("exp", "", "run a single experiment by id (E1..E13); empty runs all")
+		expID  = fs.String("exp", "", "run a single experiment by id (E1..E14); empty runs all")
 		scale  = fs.String("scale", "small", "experiment scale: small | full")
 		list   = fs.Bool("list", false, "list available experiments and exit")
 		csvDir = fs.String("csv", "", "directory to also write per-table CSV files into")

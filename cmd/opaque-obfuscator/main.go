@@ -14,7 +14,6 @@ import (
 	"log"
 	"math"
 	"net"
-	"os"
 	"time"
 
 	"opaque/internal/gen"
@@ -42,7 +41,7 @@ func main() {
 	)
 	flag.Parse()
 
-	g, err := loadOrGenerate(*networkFile, *generate, *nodes, *seed)
+	g, err := gen.LoadOrGenerate(*networkFile, *generate, *nodes, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,22 +88,4 @@ func buildSelector(g *roadnet.Graph, strategy string, seed uint64) (obfuscate.En
 	default:
 		return obfuscate.NewRingBandSelector(0.02*extent, 0.15*extent, seed)
 	}
-}
-
-func loadOrGenerate(networkFile, generate string, nodes int, seed uint64) (*roadnet.Graph, error) {
-	if networkFile != "" {
-		f, err := os.Open(networkFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return roadnet.ReadText(f)
-	}
-	cfg := gen.DefaultNetworkConfig()
-	if generate != "" {
-		cfg.Kind = gen.NetworkKind(generate)
-	}
-	cfg.Nodes = nodes
-	cfg.Seed = seed
-	return gen.Generate(cfg)
 }

@@ -1,0 +1,148 @@
+// Command opaque-preprocess runs the offline contraction-hierarchies pass
+// over a road network and persists the resulting overlay in the OCH1 binary
+// format (docs/FORMATS.md), so servers can load a prebuilt hierarchy instead
+// of contracting the map at startup:
+//
+//	opaque-preprocess -network network.txt -out network.och
+//	opaque-preprocess -generate tigerlike -nodes 50000 -out net.och -check 100
+//	opaque-server -network network.txt -strategy ch -ch-overlay network.och
+//
+// The overlay embeds a checksum of the graph it was built from; the server
+// refuses to install it against any other map.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	"opaque/internal/ch"
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opaque-preprocess: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if errors.Is(err, errUsage) {
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}
+
+// errUsage marks a command-line parse failure whose details the flag package
+// has already written to the diagnostic stream.
+var errUsage = errors.New("invalid command line")
+
+// run parses args, builds the overlay and writes it, reporting progress to
+// out. It is the testable core of the command.
+func run(args []string, out, errOut io.Writer) error {
+	fs := flag.NewFlagSet("opaque-preprocess", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		networkFile  = fs.String("network", "", "road network file in roadnet text format")
+		generate     = fs.String("generate", "", "generate a network instead of loading one: grid | geometric | ringradial | tigerlike")
+		nodes        = fs.Int("nodes", 10000, "node count when generating")
+		seed         = fs.Uint64("seed", 42, "generation seed")
+		outFile      = fs.String("out", "", "output overlay file (required)")
+		witnessLimit = fs.Int("witness-limit", 0, "witness search settle budget (0 = default; larger = slower build, fewer redundant shortcuts)")
+		check        = fs.Int("check", 0, "verify this many random queries against Dijkstra after building")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errUsage
+	}
+	if *outFile == "" {
+		fmt.Fprintln(errOut, "opaque-preprocess: -out is required")
+		return errUsage
+	}
+
+	g, err := gen.LoadOrGenerate(*networkFile, *generate, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "road network: %d nodes, %d arcs\n", g.NumNodes(), g.NumArcs())
+
+	cfg := ch.DefaultBuildConfig()
+	if *witnessLimit > 0 {
+		cfg.WitnessSettleLimit = *witnessLimit
+	}
+	start := time.Now()
+	overlay, err := ch.BuildWithConfig(g, cfg)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	fmt.Fprintf(out, "contracted in %v: %d shortcuts over %d original arcs (%.2fx), max level %d\n",
+		buildTime.Round(time.Millisecond), overlay.NumShortcuts(), overlay.NumOriginalArcs(),
+		float64(overlay.NumShortcuts())/float64(max(overlay.NumOriginalArcs(), 1)), overlay.MaxLevel())
+
+	if *check > 0 {
+		if err := verify(out, g, overlay, *check, *seed); err != nil {
+			return err
+		}
+	}
+
+	if err := ch.WriteFile(overlay, *outFile); err != nil {
+		return err
+	}
+	if info, err := os.Stat(*outFile); err == nil {
+		fmt.Fprintf(out, "overlay written to %s (%d bytes, checksum %016x)\n", *outFile, info.Size(), overlay.Checksum())
+	}
+	return nil
+}
+
+// verify cross-checks n random point queries between the overlay and plain
+// workspace Dijkstra and reports the observed speedup.
+func verify(out io.Writer, g *roadnet.Graph, overlay *ch.Overlay, n int, seed uint64) error {
+	acc := storage.NewMemoryGraph(g)
+	eng := ch.NewEngine(overlay, nil)
+	rng := rand.New(rand.NewSource(int64(seed) + 1))
+	var chTime, djTime time.Duration
+	for i := 0; i < n; i++ {
+		s := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		d := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		t0 := time.Now()
+		got, _, err := eng.Distance(s, d)
+		if err != nil {
+			return err
+		}
+		chTime += time.Since(t0)
+		t0 = time.Now()
+		want, err := search.DijkstraDistance(acc, s, d)
+		if err != nil {
+			return err
+		}
+		djTime += time.Since(t0)
+		// Compare reachability before applying the relative tolerance: with
+		// either side at +Inf the tolerance itself degenerates to +Inf and
+		// would wave any finite disagreement through.
+		if math.IsInf(got, 1) != math.IsInf(want, 1) {
+			return fmt.Errorf("verification failed: pair (%d,%d) CH distance %v, Dijkstra %v (reachability disagrees)", s, d, got, want)
+		}
+		if got != want && math.Abs(got-want) > 1e-9*(1+want) {
+			return fmt.Errorf("verification failed: pair (%d,%d) CH distance %v, Dijkstra %v", s, d, got, want)
+		}
+	}
+	speedup := 0.0
+	if chTime > 0 {
+		speedup = float64(djTime) / float64(chTime)
+	}
+	fmt.Fprintf(out, "verified %d random queries against Dijkstra (CH %.1fx faster on this sample)\n", n, speedup)
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"opaque/internal/ch"
+	"opaque/internal/gen"
+)
+
+// TestRunBuildsVerifiesAndWrites drives the whole command on a small
+// generated map: build, self-check against Dijkstra, persist, and reload the
+// written file against the same graph.
+func TestRunBuildsVerifiesAndWrites(t *testing.T) {
+	out := &bytes.Buffer{}
+	path := filepath.Join(t.TempDir(), "net.och")
+	err := run([]string{"-generate", "grid", "-nodes", "400", "-seed", "7", "-check", "20", "-out", path}, out, out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out)
+	}
+	for _, want := range []string{"contracted in", "verified 20 random queries", "overlay written"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	overlay, err := ch.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.Grid
+	cfg.Nodes = 400
+	cfg.Seed = 7
+	g := gen.MustGenerate(cfg)
+	if err := overlay.Matches(g); err != nil {
+		t.Fatalf("written overlay does not match its source graph: %v", err)
+	}
+}
+
+// TestRunUsageErrors covers the required-flag and bad-flag paths.
+func TestRunUsageErrors(t *testing.T) {
+	out := &bytes.Buffer{}
+	if err := run([]string{"-generate", "grid", "-nodes", "50"}, out, out); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, out, out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-network", "/nonexistent/net.txt", "-out", filepath.Join(t.TempDir(), "x.och")}, out, out); err == nil {
+		t.Fatal("nonexistent network file accepted")
+	}
+}

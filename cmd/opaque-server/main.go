@@ -6,16 +6,20 @@
 //
 //	opaque-server -network network.txt -listen :7001
 //	opaque-server -generate tigerlike -nodes 20000 -listen :7001
+//	opaque-server -network network.txt -strategy hybrid -ch-overlay network.och
+//
+// With -stats-interval the server periodically logs its throughput counters,
+// the SSMD tree cache hit ratio and the search workspace pool counters.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
-	"os"
+	"time"
 
+	"opaque/internal/ch"
 	"opaque/internal/gen"
-	"opaque/internal/roadnet"
 	"opaque/internal/search"
 	"opaque/internal/server"
 	"opaque/internal/storage"
@@ -26,23 +30,26 @@ func main() {
 	log.SetPrefix("opaque-server: ")
 
 	var (
-		networkFile = flag.String("network", "", "road network file in roadnet text format")
-		generate    = flag.String("generate", "", "generate a network instead of loading one: grid | geometric | ringradial | tigerlike")
-		nodes       = flag.Int("nodes", 10000, "node count when generating")
-		seed        = flag.Uint64("seed", 42, "generation seed")
-		listen      = flag.String("listen", ":7001", "TCP listen address for obfuscator connections")
-		strategy     = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar | pairwise-alt")
-		workers      = flag.Int("workers", 1, "concurrent per-source searches per query")
-		batchWorkers = flag.Int("batch-workers", 0, "concurrent queries per batch in the batch engine (0 = GOMAXPROCS)")
-		maxSearches  = flag.Int("max-searches", 0, "server-wide cap on concurrent per-source searches (0 = unbounded)")
-		treeCache    = flag.Int("tree-cache", 0, "SSMD tree cache capacity in trees (0 disables the cache)")
-		paged        = flag.Bool("paged", false, "simulate disk-resident storage with an LRU buffer pool")
-		bufferPages  = flag.Int("buffer-pages", 256, "buffer pool capacity in pages (with -paged)")
-		landmarks    = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
+		networkFile   = flag.String("network", "", "road network file in roadnet text format")
+		generate      = flag.String("generate", "", "generate a network instead of loading one: grid | geometric | ringradial | tigerlike")
+		nodes         = flag.Int("nodes", 10000, "node count when generating")
+		seed          = flag.Uint64("seed", 42, "generation seed")
+		listen        = flag.String("listen", ":7001", "TCP listen address for obfuscator connections")
+		strategy      = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar | pairwise-alt | ch | hybrid")
+		workers       = flag.Int("workers", 1, "concurrent per-source searches per query")
+		batchWorkers  = flag.Int("batch-workers", 0, "concurrent queries per batch in the batch engine (0 = GOMAXPROCS)")
+		maxSearches   = flag.Int("max-searches", 0, "server-wide cap on concurrent per-source searches (0 = unbounded)")
+		treeCache     = flag.Int("tree-cache", 0, "SSMD tree cache capacity in trees (0 disables the cache)")
+		paged         = flag.Bool("paged", false, "simulate disk-resident storage with an LRU buffer pool")
+		bufferPages   = flag.Int("buffer-pages", 256, "buffer pool capacity in pages (with -paged)")
+		landmarks     = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
+		chOverlay     = flag.String("ch-overlay", "", "contraction-hierarchy overlay file built by opaque-preprocess (with -strategy ch|hybrid; empty = contract at startup)")
+		chMaxPairs    = flag.Int("ch-max-pairs", 0, "hybrid cutover: queries with at most this many |S|·|T| pairs go to the CH overlay (0 = default)")
+		statsInterval = flag.Duration("stats-interval", 0, "periodically log query/cache/workspace-pool statistics (0 disables)")
 	)
 	flag.Parse()
 
-	g, err := loadOrGenerate(*networkFile, *generate, *nodes, *seed)
+	g, err := gen.LoadOrGenerate(*networkFile, *generate, *nodes, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,10 +65,50 @@ func main() {
 	cfg.PageConfig = storage.DefaultConfig()
 	cfg.BufferPages = *bufferPages
 	cfg.Landmarks = *landmarks
+	cfg.CHMaxPairs = *chMaxPairs
+	// Refuse misdirected CH flags rather than silently serve with them
+	// ignored: -ch-overlay needs a CH-capable strategy, and the pair cutover
+	// only exists in hybrid routing (-strategy ch sends everything to CH).
+	if *chOverlay != "" && cfg.Strategy != server.StrategyCH && cfg.Strategy != server.StrategyHybrid {
+		log.Fatalf("-ch-overlay requires -strategy ch or hybrid (got %q)", cfg.Strategy)
+	}
+	if *chMaxPairs != 0 && cfg.Strategy != server.StrategyHybrid {
+		log.Fatalf("-ch-max-pairs requires -strategy hybrid (got %q)", cfg.Strategy)
+	}
+	if *chMaxPairs < 0 {
+		log.Fatalf("-ch-max-pairs must be non-negative (got %d); server.New would silently fall back to the default cutover", *chMaxPairs)
+	}
+	if cfg.Strategy == server.StrategyCH || cfg.Strategy == server.StrategyHybrid {
+		if *chOverlay != "" {
+			overlay, err := ch.ReadFile(*chOverlay)
+			if err != nil {
+				log.Fatalf("loading CH overlay: %v", err)
+			}
+			log.Printf("CH overlay loaded from %s: %d shortcuts, max level %d", *chOverlay, overlay.NumShortcuts(), overlay.MaxLevel())
+			cfg.CHOverlay = overlay
+		} else {
+			// Contract here rather than through Config.BuildCH so the logged
+			// duration covers exactly the contraction pass, not the rest of
+			// server construction (page store, landmarks, …).
+			log.Printf("no -ch-overlay given; contracting the map at startup (persist one with opaque-preprocess to skip this)")
+			contractStart := time.Now()
+			overlay, err := ch.Build(g)
+			if err != nil {
+				log.Fatalf("contracting the map: %v", err)
+			}
+			log.Printf("CH overlay contracted in %v: %d shortcuts, max level %d",
+				time.Since(contractStart).Round(time.Millisecond), overlay.NumShortcuts(), overlay.MaxLevel())
+			cfg.CHOverlay = overlay
+		}
+	}
 
 	srv, err := server.New(g, cfg)
 	if err != nil {
 		log.Fatalf("building server: %v", err)
+	}
+
+	if *statsInterval > 0 {
+		go logStats(srv, *statsInterval)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -74,20 +121,20 @@ func main() {
 	}
 }
 
-func loadOrGenerate(networkFile, generate string, nodes int, seed uint64) (*roadnet.Graph, error) {
-	if networkFile != "" {
-		f, err := os.Open(networkFile)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return roadnet.ReadText(f)
+// logStats periodically prints the server's operational counters: query and
+// batch throughput, the SSMD tree cache hit ratio and the workspace pool's
+// checkout/reuse numbers — the at-a-glance health line for a long-running
+// deployment.
+func logStats(srv *server.Server, every time.Duration) {
+	for range time.Tick(every) {
+		m := srv.Metrics()
+		cache := srv.TreeCacheStats()
+		ws := srv.WorkspacePoolStats()
+		io := srv.IOStats()
+		log.Printf("stats: queries=%d failed=%d batches=%d ch=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
+			m.Counter("queries_processed"), m.Counter("queries_failed"), m.Counter("batches_processed"), m.Counter("ch_queries"),
+			cache.Hits, cache.Misses, cache.HitRatio(),
+			ws.Gets, ws.InFlight(), ws.Fresh, ws.ReuseRatio(),
+			io.Faults)
 	}
-	cfg := gen.DefaultNetworkConfig()
-	if generate != "" {
-		cfg.Kind = gen.NetworkKind(generate)
-	}
-	cfg.Nodes = nodes
-	cfg.Seed = seed
-	return gen.Generate(cfg)
 }

@@ -1,0 +1,60 @@
+package opaque
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocIntraRepoLinks fails when README.md, docs/ARCHITECTURE.md or
+// docs/FORMATS.md reference a repository file that does not exist — both
+// markdown links/images and the backtick-quoted file paths the prose leans
+// on. CI runs it as the docs job step, so a renamed file cannot silently
+// orphan the documentation that points at it.
+func TestDocIntraRepoLinks(t *testing.T) {
+	docs := []string{"README.md", "docs/ARCHITECTURE.md", "docs/FORMATS.md"}
+
+	// [text](target) and ![alt](target), excluding external schemes and
+	// pure intra-page anchors.
+	mdLink := regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+	// `path/to/file.ext` — backtick-quoted repo paths with a known source or
+	// doc extension; flags, code identifiers and commands don't match.
+	codePath := regexp.MustCompile("`([A-Za-z0-9_.\\-]+(?:/[A-Za-z0-9_.\\-]+)+\\.(?:go|md|yml|txt))`")
+
+	for _, doc := range docs {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("documentation file missing: %v", err)
+		}
+		text := string(data)
+		base := filepath.Dir(doc)
+
+		check := func(raw, kind string) {
+			target := strings.SplitN(raw, "#", 2)[0] // drop intra-page anchor
+			if target == "" {
+				return // pure anchor, nothing on disk to verify
+			}
+			rel := filepath.Join(base, filepath.FromSlash(target))
+			if _, err := os.Stat(rel); err != nil {
+				t.Errorf("%s: broken %s %q (resolved to %s)", doc, kind, raw, rel)
+			}
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			check(target, "link")
+		}
+		for _, m := range codePath.FindAllStringSubmatch(text, -1) {
+			// Backtick paths are written repo-relative regardless of which
+			// doc mentions them.
+			target := m[1]
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s: broken file reference `%s`", doc, target)
+			}
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package ch implements a contraction-hierarchies (CH) overlay for the
+// OPAQUE road network: an offline preprocessing pass that orders the nodes by
+// importance, contracts them in that order while inserting shortcut arcs that
+// preserve all shortest-path distances, and a bidirectional online query that
+// only ever relaxes arcs leading to more important nodes. On road-shaped
+// graphs the upward search spaces are tiny (hundreds of nodes on maps where
+// plain Dijkstra settles tens of thousands), which is what lets the
+// directions search server answer point queries orders of magnitude faster
+// than the flat-graph searches in internal/search — the same offline/online
+// trade the OPAQUE paper makes with its CCAM page layout, pushed one level
+// further up the stack.
+//
+// # The pieces
+//
+//   - Build (build.go) runs the offline pass over a frozen roadnet.Graph:
+//     lazy edge-difference node ordering, witness-search-guarded shortcut
+//     insertion, node levels. The result is an Overlay.
+//   - Overlay (this file) is the immutable preprocessed index: the node
+//     ranks, the upward forward/backward CSR adjacency, and the arc arena
+//     every shortcut can be recursively unpacked through.
+//   - Engine (query.go) answers point queries on the overlay with a
+//     bidirectional upward Dijkstra running on two pooled epoch-stamped
+//     search.Workspace instances — 0 allocs/op for distance queries in
+//     steady state, and full path unpacking for path queries. Engine
+//     implements search.PointEngine, which is how the server installs it.
+//   - Write/Read (io.go) persist an Overlay in the versioned, checksummed
+//     binary format documented in docs/FORMATS.md, so deployments build the
+//     hierarchy once (cmd/opaque-preprocess) and serve from it everywhere.
+//
+// # Correctness
+//
+// Contraction preserves shortest-path distances among the not-yet-contracted
+// nodes at every step: before node v is removed, a witness search checks for
+// every in-neighbour x and out-neighbour w whether a path x→…→w avoiding v
+// exists that is no longer than the path x→v→w; when none is found (or the
+// bounded search gives up looking), the shortcut x→w with cost
+// c(x,v)+c(v,w) is inserted. Witness searches are deliberately budgeted —
+// giving up early inserts a redundant (never a wrong) shortcut, trading
+// overlay size for preprocessing time. The query property tests assert CH
+// results equal search.ReferenceDijkstra across random graphs, including
+// after a save/load round-trip.
+package ch
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"opaque/internal/roadnet"
+)
+
+// arc is one entry of the overlay's arc arena: an original road segment or a
+// shortcut, in original traversal direction. Shortcuts reference the two
+// arena arcs they bypass (childA: from→via, childB: via→to), so any arc
+// recursively unpacks into the original-arc path it represents regardless of
+// how deeply shortcuts nest.
+type arc struct {
+	from, to       int32
+	childA, childB int32 // arena indices of the bypassed halves; <0 for original arcs
+	cost           float64
+}
+
+// Overlay is an immutable contraction-hierarchy over one frozen road
+// network. It stores the contraction order (rank), the hierarchy levels, the
+// arc arena, and two CSR adjacency views of the arena: the upward forward
+// view (out-arcs to higher-ranked nodes, relaxed by the forward search) and
+// the upward backward view (in-arcs from higher-ranked nodes, relaxed by the
+// backward search). Every arena arc appears in exactly one of the two views.
+//
+// An Overlay is safe for concurrent use — queries only read it; all mutable
+// per-query state lives in search workspaces. It is bound to the graph it
+// was built from by node/arc counts and a content checksum (Matches), so a
+// persisted overlay cannot silently be served against the wrong map.
+type Overlay struct {
+	n         int // node count
+	nOriginal int // arcs[:nOriginal] are original graph arcs (no children)
+	rank      []int32
+	level     []int32
+	arcs      []arc
+
+	// Upward CSR views over the arena. fwd holds, per node u, the arcs
+	// u→w with rank(w) > rank(u); bwd holds, per node u, the arcs x→u with
+	// rank(x) > rank(u), keyed by head x (the node the backward search
+	// steps to). The cost/head copies keep the query's inner loop on two
+	// flat arrays; the arena index is carried for path unpacking.
+	fwdOff, bwdOff   []int32
+	fwdTo, bwdTo     []roadnet.NodeID
+	fwdCost, bwdCost []float64
+	fwdArc, bwdArc   []int32
+
+	graphArcs int    // NumArcs of the source graph (self-loops included)
+	checksum  uint64 // GraphChecksum of the source graph
+}
+
+// NumNodes returns the number of nodes the overlay covers.
+func (o *Overlay) NumNodes() int { return o.n }
+
+// NumOriginalArcs returns how many arena arcs are original road segments.
+func (o *Overlay) NumOriginalArcs() int { return o.nOriginal }
+
+// NumShortcuts returns how many shortcut arcs contraction inserted.
+func (o *Overlay) NumShortcuts() int { return len(o.arcs) - o.nOriginal }
+
+// Rank returns v's contraction rank: 0 for the first node contracted, n-1
+// for the most important node. Both query searches only relax arcs toward
+// higher ranks.
+func (o *Overlay) Rank(v roadnet.NodeID) int { return int(o.rank[v]) }
+
+// Level returns v's hierarchy level — 0 for nodes contracted with no
+// previously contracted neighbour, and 1 + max(level of contracted
+// neighbours) otherwise. The maximum level bounds shortcut nesting depth.
+func (o *Overlay) Level(v roadnet.NodeID) int { return int(o.level[v]) }
+
+// MaxLevel returns the deepest hierarchy level in the overlay.
+func (o *Overlay) MaxLevel() int {
+	maxL := 0
+	for _, l := range o.level {
+		if int(l) > maxL {
+			maxL = int(l)
+		}
+	}
+	return maxL
+}
+
+// Checksum returns the content checksum of the graph the overlay was built
+// from (see GraphChecksum).
+func (o *Overlay) Checksum() uint64 { return o.checksum }
+
+// Matches verifies the overlay was built from exactly this graph — node
+// count, arc count and content checksum — and returns a descriptive error
+// when it was not. Servers call this before installing a persisted overlay.
+func (o *Overlay) Matches(g *roadnet.Graph) error {
+	if g == nil {
+		return fmt.Errorf("ch: overlay match check against nil graph")
+	}
+	if g.NumNodes() != o.n || g.NumArcs() != o.graphArcs {
+		return fmt.Errorf("ch: overlay was built for a %d-node/%d-arc graph, got %d nodes/%d arcs",
+			o.n, o.graphArcs, g.NumNodes(), g.NumArcs())
+	}
+	if sum := GraphChecksum(g); sum != o.checksum {
+		return fmt.Errorf("ch: overlay checksum %016x does not match graph checksum %016x (same shape, different content)", o.checksum, sum)
+	}
+	return nil
+}
+
+// GraphChecksum returns a content checksum of a frozen graph: FNV-1a over
+// the node count and every node's adjacency (head IDs and cost bit
+// patterns) in CSR order. Two graphs with the same checksum, node count and
+// arc count are treated as identical for overlay binding purposes.
+func GraphChecksum(g *roadnet.Graph) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v uint32) {
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(buf[:4])
+	}
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:8])
+	}
+	n := g.NumNodes()
+	put32(uint32(n))
+	for v := 0; v < n; v++ {
+		arcs := g.Arcs(roadnet.NodeID(v))
+		put32(uint32(len(arcs)))
+		for _, a := range arcs {
+			put32(uint32(a.To))
+			put64(math.Float64bits(a.Cost))
+		}
+	}
+	return h.Sum64()
+}
+
+// buildCSR derives the two upward CSR views from the arena and the ranks.
+// It is called by the builder and by Read, so the in-memory layout of a
+// loaded overlay is guaranteed identical to a freshly built one.
+func (o *Overlay) buildCSR() {
+	n := o.n
+	fwdCnt := make([]int32, n+1)
+	bwdCnt := make([]int32, n+1)
+	for i := range o.arcs {
+		a := &o.arcs[i]
+		if o.rank[a.to] > o.rank[a.from] {
+			fwdCnt[a.from+1]++
+		} else {
+			bwdCnt[a.to+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		fwdCnt[v+1] += fwdCnt[v]
+		bwdCnt[v+1] += bwdCnt[v]
+	}
+	o.fwdOff, o.bwdOff = fwdCnt, bwdCnt
+	nf, nb := o.fwdOff[n], o.bwdOff[n]
+	o.fwdTo = make([]roadnet.NodeID, nf)
+	o.fwdCost = make([]float64, nf)
+	o.fwdArc = make([]int32, nf)
+	o.bwdTo = make([]roadnet.NodeID, nb)
+	o.bwdCost = make([]float64, nb)
+	o.bwdArc = make([]int32, nb)
+	nextF := make([]int32, n)
+	nextB := make([]int32, n)
+	copy(nextF, o.fwdOff[:n])
+	copy(nextB, o.bwdOff[:n])
+	for i := range o.arcs {
+		a := &o.arcs[i]
+		if o.rank[a.to] > o.rank[a.from] {
+			j := nextF[a.from]
+			o.fwdTo[j] = roadnet.NodeID(a.to)
+			o.fwdCost[j] = a.cost
+			o.fwdArc[j] = int32(i)
+			nextF[a.from]++
+		} else {
+			j := nextB[a.to]
+			o.bwdTo[j] = roadnet.NodeID(a.from)
+			o.bwdCost[j] = a.cost
+			o.bwdArc[j] = int32(i)
+			nextB[a.to]++
+		}
+	}
+}
+
+// String summarises the overlay.
+func (o *Overlay) String() string {
+	return fmt.Sprintf("ch.Overlay{nodes: %d, original: %d, shortcuts: %d, maxLevel: %d}",
+		o.n, o.nOriginal, o.NumShortcuts(), o.MaxLevel())
+}

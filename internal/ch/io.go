@@ -1,0 +1,198 @@
+package ch
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"opaque/internal/storage"
+)
+
+// The persisted overlay format ("OCH1", version 1), documented with a worked
+// hex example in docs/FORMATS.md. The file stores exactly the preprocessing
+// products that cannot be recomputed cheaply — ranks, levels and the arc
+// arena — inside the storage layer's checksummed binary envelope
+// (storage.BinaryWriter); the two upward CSR views are derived
+// deterministically from the arena on load, so a loaded overlay is
+// bit-for-bit the structure the builder produced.
+const (
+	// OverlayMagic is the 4-byte magic of persisted CH overlays.
+	OverlayMagic = "OCH1"
+	// OverlayVersion is the newest overlay format version this build
+	// understands (and the one Write produces).
+	OverlayVersion = 1
+)
+
+// Write persists the overlay to w in the versioned OCH1 binary format.
+func Write(o *Overlay, w io.Writer) error {
+	bw, err := storage.NewBinaryWriter(w, OverlayMagic, OverlayVersion)
+	if err != nil {
+		return fmt.Errorf("ch: writing overlay header: %w", err)
+	}
+	bw.U32(uint32(o.n))
+	bw.U32(uint32(o.graphArcs))
+	bw.U64(o.checksum)
+	bw.U32(uint32(o.nOriginal))
+	bw.U32(uint32(len(o.arcs)))
+	for _, r := range o.rank {
+		bw.U32(uint32(r))
+	}
+	for _, l := range o.level {
+		bw.U32(uint32(l))
+	}
+	for i := range o.arcs {
+		a := &o.arcs[i]
+		bw.U32(uint32(a.from))
+		bw.U32(uint32(a.to))
+		bw.I32(a.childA)
+		bw.I32(a.childB)
+		bw.F64(a.cost)
+	}
+	if err := bw.Close(); err != nil {
+		return fmt.Errorf("ch: writing overlay: %w", err)
+	}
+	return nil
+}
+
+// Read loads an overlay previously persisted with Write, validating the
+// envelope (magic, version, checksum trailer) and every structural
+// invariant: in-range endpoints, ranks forming a permutation, finite
+// non-negative costs, and shortcut children that precede their shortcut in
+// the arena. The upward CSR views are rebuilt from the arena, so the result
+// is identical to the freshly built overlay. Bind it to a graph with
+// Overlay.Matches before serving queries.
+func Read(r io.Reader) (*Overlay, error) {
+	br, err := storage.NewBinaryReader(r, OverlayMagic, OverlayVersion)
+	if err != nil {
+		return nil, fmt.Errorf("ch: reading overlay header: %w", err)
+	}
+	// The envelope only rejects versions from the future; versions below the
+	// one this build writes do not exist (the format started at 1), so
+	// anything else is a crafted or corrupted header.
+	if br.Version() != OverlayVersion {
+		return nil, fmt.Errorf("ch: unsupported overlay version %d (this build reads version %d)", br.Version(), OverlayVersion)
+	}
+	n := int(br.U32())
+	graphArcs := int(br.U32())
+	checksum := br.U64()
+	nOriginal := int(br.U32())
+	totalArcs := int(br.U32())
+	if err := br.Err(); err != nil {
+		return nil, fmt.Errorf("ch: reading overlay counts: %w", err)
+	}
+	const maxReasonable = 1 << 30
+	if n <= 0 || n > maxReasonable || totalArcs < 0 || totalArcs > maxReasonable || nOriginal < 0 || nOriginal > totalArcs {
+		return nil, fmt.Errorf("ch: implausible overlay counts (nodes=%d, arcs=%d, original=%d)", n, totalArcs, nOriginal)
+	}
+	// The arrays below grow by append as records are actually decoded, with
+	// deliberately small initial capacities: a corrupted header whose count
+	// fields are garbage (but within maxReasonable) must fail on the stream
+	// running dry — a clean read error — instead of committing gigabytes up
+	// front for data the file never contained.
+	const initialCap = 1 << 16
+	o := &Overlay{
+		n:         n,
+		nOriginal: nOriginal,
+		rank:      make([]int32, 0, min(n, initialCap)),
+		level:     make([]int32, 0, min(n, initialCap)),
+		arcs:      make([]arc, 0, min(totalArcs, initialCap)),
+		graphArcs: graphArcs,
+		checksum:  checksum,
+	}
+	for v := 0; v < n; v++ {
+		rk := br.U32()
+		if br.Err() != nil {
+			break
+		}
+		if rk >= uint32(n) {
+			return nil, fmt.Errorf("ch: node %d has invalid rank %d", v, rk)
+		}
+		o.rank = append(o.rank, int32(rk))
+	}
+	if br.Err() == nil {
+		// Every rank is in range and on disk; now the O(n) permutation
+		// check is safe to allocate for.
+		seen := make([]bool, n)
+		for v, rk := range o.rank {
+			if seen[rk] {
+				return nil, fmt.Errorf("ch: node %d has duplicate rank %d", v, rk)
+			}
+			seen[rk] = true
+		}
+	}
+	for v := 0; v < n; v++ {
+		l := br.U32()
+		if br.Err() != nil {
+			break
+		}
+		o.level = append(o.level, int32(l))
+	}
+	for i := 0; i < totalArcs; i++ {
+		a := arc{
+			from:   int32(br.U32()),
+			to:     int32(br.U32()),
+			childA: br.I32(),
+			childB: br.I32(),
+			cost:   br.F64(),
+		}
+		if br.Err() != nil {
+			break
+		}
+		if a.from < 0 || int(a.from) >= n || a.to < 0 || int(a.to) >= n || a.from == a.to {
+			return nil, fmt.Errorf("ch: arc %d has invalid endpoints (%d→%d)", i, a.from, a.to)
+		}
+		if a.cost < 0 || math.IsNaN(a.cost) || math.IsInf(a.cost, 0) {
+			return nil, fmt.Errorf("ch: arc %d has invalid cost %v", i, a.cost)
+		}
+		original := a.childA < 0 && a.childB < 0
+		shortcut := a.childA >= 0 && a.childB >= 0 && int(a.childA) < i && int(a.childB) < i
+		if !original && !shortcut {
+			return nil, fmt.Errorf("ch: arc %d has invalid unpack children (%d, %d)", i, a.childA, a.childB)
+		}
+		if shortcut {
+			// The children must chain from→via→to, or unpacking would emit
+			// a disconnected node sequence.
+			ca, cb := &o.arcs[a.childA], &o.arcs[a.childB]
+			if ca.from != a.from || ca.to != cb.from || cb.to != a.to {
+				return nil, fmt.Errorf("ch: shortcut arc %d (%d→%d) has non-chaining children %d→%d, %d→%d",
+					i, a.from, a.to, ca.from, ca.to, cb.from, cb.to)
+			}
+		}
+		if original != (i < nOriginal) {
+			return nil, fmt.Errorf("ch: arc %d breaks the originals-then-shortcuts arena layout", i)
+		}
+		o.arcs = append(o.arcs, a)
+	}
+	if err := br.Close(); err != nil {
+		return nil, fmt.Errorf("ch: reading overlay: %w", err)
+	}
+	o.buildCSR()
+	return o, nil
+}
+
+// WriteFile persists the overlay to a file (created or truncated).
+func WriteFile(o *Overlay, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ch: creating overlay file: %w", err)
+	}
+	if err := Write(o, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("ch: closing overlay file: %w", err)
+	}
+	return nil
+}
+
+// ReadFile loads an overlay from a file written by WriteFile.
+func ReadFile(path string) (*Overlay, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ch: opening overlay file: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -140,6 +140,7 @@ func All() []Runner {
 		E11ServerLog{},
 		E12BatchThroughput{},
 		E13WorkspaceHotPath{},
+		E14ContractionHierarchy{},
 	}
 }
 

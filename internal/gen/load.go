@@ -1,0 +1,31 @@
+package gen
+
+import (
+	"os"
+
+	"opaque/internal/roadnet"
+)
+
+// LoadOrGenerate is the shared map-acquisition helper behind the cmd/
+// binaries' -network/-generate flags: a non-empty networkFile is read in the
+// roadnet text format, otherwise a network is generated with the given kind
+// (empty = the default kind), node count and seed. Every role of a
+// deployment resolves its map through this one function, so the same flags
+// describe the same graph to all of them.
+func LoadOrGenerate(networkFile, kind string, nodes int, seed uint64) (*roadnet.Graph, error) {
+	if networkFile != "" {
+		f, err := os.Open(networkFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return roadnet.ReadText(f)
+	}
+	cfg := DefaultNetworkConfig()
+	if kind != "" {
+		cfg.Kind = NetworkKind(kind)
+	}
+	cfg.Nodes = nodes
+	cfg.Seed = seed
+	return Generate(cfg)
+}

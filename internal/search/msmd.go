@@ -29,7 +29,29 @@ const (
 	// strongest per-pair engine, used by the ablation that asks whether a
 	// very good point-to-point search can close the gap to SSMD sharing.
 	StrategyPairwiseALT Strategy = "pairwise-alt"
+	// StrategyPointEngine runs an independent query per (s, t) pair on a
+	// pluggable point-to-point engine supplied with WithPointEngine. This is
+	// the hook the server uses to install the contraction-hierarchy overlay
+	// (internal/ch) without this package depending on it; any preprocessed
+	// point-to-point index can be threaded through the same option.
+	StrategyPointEngine Strategy = "point-engine"
 )
+
+// PointEngine is a pluggable point-to-point shortest-path engine the
+// processor can evaluate Q(S, T) pairwise on (StrategyPointEngine). The
+// contraction-hierarchy overlay of internal/ch implements it.
+//
+// ShortestPath must return results semantically identical to Dijkstra on the
+// same accessor: the shortest-path cost and one optimal path (an empty Path
+// when dest is unreachable). An engine backed by a preprocessed index must
+// verify the accessor presents exactly the data it was built from and return
+// an error otherwise, rather than answer from a stale or mismatched index
+// (internal/ch checksum-binds its overlay this way). Implementations must be
+// safe for concurrent use — the processor calls them from its per-source
+// worker fan-out.
+type PointEngine interface {
+	ShortestPath(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error)
+}
 
 // MSMDResult is the result of evaluating one obfuscated path query Q(S, T):
 // the |S|·|T| candidate result paths, addressable by (source, dest).
@@ -83,6 +105,7 @@ type Processor struct {
 	strategy  Strategy
 	workers   int
 	landmarks *Landmarks
+	engine    PointEngine
 	cache     *TreeCache
 	gate      Gate
 	// wsPool supplies the epoch-stamped search workspaces the per-source
@@ -115,6 +138,14 @@ func WithWorkers(n int) ProcessorOption {
 // StrategyPairwiseALT.
 func WithLandmarks(lm *Landmarks) ProcessorOption {
 	return func(p *Processor) { p.landmarks = lm }
+}
+
+// WithPointEngine installs a pluggable point-to-point engine, required by
+// StrategyPointEngine. The engine answers every (s, t) pair of an obfuscated
+// query independently; the processor contributes only the fan-out, the gate
+// and the statistics accounting.
+func WithPointEngine(pe PointEngine) ProcessorOption {
+	return func(p *Processor) { p.engine = pe }
 }
 
 // WithTreeCache installs an SSMD tree cache: StrategySSMD evaluations answer
@@ -230,6 +261,21 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			var stats Stats
 			for j, t := range dests {
 				path, st, err := w.AStarScaled(p.acc, s, t, 0.8)
+				if err != nil {
+					return rowResult{idx: i, err: err}
+				}
+				paths[j] = path
+				stats = stats.Add(st)
+			}
+			return rowResult{idx: i, paths: paths, stats: stats}
+		case StrategyPointEngine:
+			if p.engine == nil {
+				return rowResult{idx: i, err: fmt.Errorf("search: strategy %q requires WithPointEngine", StrategyPointEngine)}
+			}
+			paths := make([]Path, len(dests))
+			var stats Stats
+			for j, t := range dests {
+				path, st, err := p.engine.ShortestPath(p.acc, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}

@@ -24,6 +24,12 @@
 // fresh-slice implementations are preserved in reference.go as the
 // executable specification the equivalence property tests and the E13
 // experiment compare against.
+//
+// Preprocessed point-to-point engines plug into the Q(S, T) processor
+// through the PointEngine interface (StrategyPointEngine); the
+// contraction-hierarchy overlay of internal/ch is the first such engine,
+// and it composes its bidirectional search out of this package's exported
+// Workspace primitives (Heap, DistOf, Label, ParentOf).
 package search
 
 import (

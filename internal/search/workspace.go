@@ -3,6 +3,7 @@ package search
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"opaque/internal/pqueue"
 	"opaque/internal/roadnet"
@@ -164,6 +165,32 @@ func (w *Workspace) parentOf(v roadnet.NodeID) roadnet.NodeID {
 	}
 	return w.parent[v]
 }
+
+// Heap returns the workspace's dense priority queue. It is exposed for
+// algorithms composed outside this package (the contraction-hierarchy query
+// in internal/ch drives two workspaces directly); Reset empties it, so
+// callers that use Reset + Heap + Label + DistOf get the same O(1)
+// preparation cost as the built-in searches. The heap must not be used after
+// the workspace is released to its pool.
+func (w *Workspace) Heap() *pqueue.DenseHeap { return w.heap }
+
+// DistOf returns v's tentative distance this epoch, +Inf when unlabelled.
+// Exported for externally composed algorithms; identical to the check the
+// internal searches perform before relaxing an arc.
+func (w *Workspace) DistOf(v roadnet.NodeID) float64 { return w.distOf(v) }
+
+// Label records a tentative distance and parent pointer for v in the current
+// epoch. Exported counterpart of the internal labelling step for externally
+// composed algorithms; it does not touch the heap — callers push v with its
+// priority themselves.
+func (w *Workspace) Label(v roadnet.NodeID, d float64, parent roadnet.NodeID) {
+	w.label(v, d, parent)
+}
+
+// ParentOf returns v's parent pointer this epoch, roadnet.InvalidNode when v
+// is unlabelled. Exported so externally composed algorithms can walk the
+// shortest-path tree they built through Label.
+func (w *Workspace) ParentOf(v roadnet.NodeID) roadnet.NodeID { return w.parentOf(v) }
 
 // settled reports whether v has been marked settled this epoch.
 func (w *Workspace) settled(v roadnet.NodeID) bool { return w.done[v] == w.epoch }
@@ -456,18 +483,53 @@ func checkSSMDEndpoints(acc storage.Accessor, source roadnet.NodeID, dests []roa
 // guarantees no label from an earlier graph can leak into the next search.
 type WorkspacePool struct {
 	p sync.Pool
+
+	gets  atomic.Int64
+	puts  atomic.Int64
+	fresh atomic.Int64
+}
+
+// WorkspacePoolStats is a snapshot of a pool's checkout counters; the server
+// surfaces them as gauges and in its periodic stats log.
+type WorkspacePoolStats struct {
+	// Gets counts checkouts; Puts counts returns. Gets - Puts is the number
+	// of workspaces in flight at snapshot time — which, on a server with the
+	// tree cache enabled, includes the workspaces cached spanning trees
+	// deliberately hold for their cache lifetime, not just searches
+	// mid-query.
+	Gets, Puts int64
+	// Fresh counts Gets that had to construct a new workspace because the
+	// pool was empty (a cold start or GC reclaim). In steady state Fresh
+	// stays flat while Gets keeps climbing — the zero-allocation hot path.
+	Fresh int64
+}
+
+// InFlight returns the number of workspaces currently checked out.
+func (s WorkspacePoolStats) InFlight() int64 { return s.Gets - s.Puts }
+
+// ReuseRatio returns the fraction of checkouts served by a recycled
+// workspace, (Gets - Fresh) / Gets, or 0 before any checkout.
+func (s WorkspacePoolStats) ReuseRatio() float64 {
+	if s.Gets == 0 {
+		return 0
+	}
+	return float64(s.Gets-s.Fresh) / float64(s.Gets)
 }
 
 // NewWorkspacePool returns an empty pool.
 func NewWorkspacePool() *WorkspacePool {
 	wp := &WorkspacePool{}
-	wp.p.New = func() any { return NewWorkspace(0) }
+	wp.p.New = func() any {
+		wp.fresh.Add(1)
+		return NewWorkspace(0)
+	}
 	return wp
 }
 
 // Get checks a workspace out of the pool, reset and sized for an n-node
 // graph.
 func (wp *WorkspacePool) Get(n int) *Workspace {
+	wp.gets.Add(1)
 	w := wp.p.Get().(*Workspace)
 	w.pool = wp
 	w.Reset(n)
@@ -480,10 +542,20 @@ func (wp *WorkspacePool) Put(w *Workspace) {
 	if w == nil {
 		return
 	}
+	wp.puts.Add(1)
 	w.pool = nil
 	w.acc = nil // do not pin graphs from inside the pool
 	w.h = nil
 	wp.p.Put(w)
+}
+
+// Stats returns a snapshot of the pool's checkout counters.
+func (wp *WorkspacePool) Stats() WorkspacePoolStats {
+	return WorkspacePoolStats{
+		Gets:  wp.gets.Load(),
+		Puts:  wp.puts.Load(),
+		Fresh: wp.fresh.Load(),
+	}
 }
 
 // sharedWorkspaces backs the package-level wrappers (Dijkstra, SSMD, …) and

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/ch"
+	"opaque/internal/gen"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// chTestOverlay builds the overlay for testGraph once per test binary; the
+// contraction pass is the expensive part of these tests.
+func chTestOverlay(t testing.TB, g *roadnet.Graph) *ch.Overlay {
+	t.Helper()
+	o, err := ch.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// TestStrategyCHMatchesSSMD runs the same obfuscated queries through a CH
+// server and a plain SSMD server and asserts identical candidate costs and
+// reachability — the server-level face of the CH correctness property.
+func TestStrategyCHMatchesSSMD(t *testing.T) {
+	g := testGraph(t)
+	chCfg := DefaultConfig()
+	chCfg.Strategy = StrategyCH
+	chCfg.CHOverlay = chTestOverlay(t, g)
+	chSrv := MustNew(g, chCfg)
+	ssmdSrv := MustNew(g, DefaultConfig())
+
+	queries := []protocol.ServerQuery{
+		{QueryID: 1, Sources: []roadnet.NodeID{1, 50}, Dests: []roadnet.NodeID{200, 400, 600}},
+		{QueryID: 2, Sources: []roadnet.NodeID{700}, Dests: []roadnet.NodeID{3}},
+		{QueryID: 3, Sources: []roadnet.NodeID{10, 20, 30}, Dests: []roadnet.NodeID{11, 21, 31}},
+	}
+	for _, q := range queries {
+		got, err := chSrv.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ssmdSrv.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("query %d: %d paths vs %d", q.QueryID, len(got.Paths), len(want.Paths))
+		}
+		for i := range got.Paths {
+			gp, wp := got.Paths[i], want.Paths[i]
+			if gp.Source != wp.Source || gp.Dest != wp.Dest {
+				t.Fatalf("query %d: candidate %d is for (%d,%d), want (%d,%d)", q.QueryID, i, gp.Source, gp.Dest, wp.Source, wp.Dest)
+			}
+			if len(gp.Nodes) == 0 != (len(wp.Nodes) == 0) {
+				t.Fatalf("query %d pair (%d,%d): reachability disagrees", q.QueryID, gp.Source, gp.Dest)
+			}
+			if len(gp.Nodes) != 0 && math.Abs(gp.Cost-wp.Cost) > 1e-9*(1+wp.Cost) {
+				t.Fatalf("query %d pair (%d,%d): CH cost %v, SSMD cost %v", q.QueryID, gp.Source, gp.Dest, gp.Cost, wp.Cost)
+			}
+		}
+	}
+	if n := chSrv.Metrics().Counter("ch_queries"); n != int64(len(queries)) {
+		t.Fatalf("ch_queries = %d, want %d", n, len(queries))
+	}
+}
+
+// TestStrategyHybridRouting asserts the pair-count cutover: small queries
+// route to the overlay, large ones to the SSMD processor, and both produce
+// correct results.
+func TestStrategyHybridRouting(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyHybrid
+	cfg.CHOverlay = chTestOverlay(t, g)
+	cfg.CHMaxPairs = 4
+	cfg.TreeCache = 16
+	srv := MustNew(g, cfg)
+	acc := storage.NewMemoryGraph(g)
+
+	small := protocol.ServerQuery{QueryID: 1, Sources: []roadnet.NodeID{5}, Dests: []roadnet.NodeID{300, 301}}         // 2 pairs → CH
+	large := protocol.ServerQuery{QueryID: 2, Sources: []roadnet.NodeID{5, 6}, Dests: []roadnet.NodeID{300, 301, 302}} // 6 pairs → SSMD
+	for _, q := range []protocol.ServerQuery{small, large} {
+		reply, err := srv.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range reply.Paths {
+			want, _, err := search.Dijkstra(acc, c.Source, c.Dest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Nodes) != 0 && math.Abs(c.Cost-want.Cost) > 1e-9*(1+want.Cost) {
+				t.Fatalf("pair (%d,%d): hybrid cost %v, Dijkstra %v", c.Source, c.Dest, c.Cost, want.Cost)
+			}
+		}
+	}
+	if n := srv.Metrics().Counter("ch_queries"); n != 1 {
+		t.Fatalf("ch_queries = %d, want 1 (only the small query routes to CH)", n)
+	}
+	// The large query ran SSMD with the tree cache enabled.
+	if st := srv.TreeCacheStats(); st.Hits+st.Misses == 0 {
+		t.Fatal("large hybrid query bypassed the SSMD tree cache")
+	}
+}
+
+// TestCHStrategyConfigValidation covers the overlay requirements: missing
+// overlay without BuildCH, a mismatched overlay, and BuildCH building one.
+func TestCHStrategyConfigValidation(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyCH
+	if _, err := New(g, cfg); err == nil {
+		t.Fatal("StrategyCH without overlay or BuildCH accepted")
+	}
+	otherCfg := gen.DefaultNetworkConfig()
+	otherCfg.Nodes = 300
+	otherCfg.Seed = 1234
+	other := gen.MustGenerate(otherCfg)
+	cfg.CHOverlay = chTestOverlay(t, other)
+	if _, err := New(g, cfg); err == nil {
+		t.Fatal("overlay for a different graph accepted")
+	}
+	cfg.CHOverlay = nil
+	cfg.BuildCH = true
+	srv, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Overlay() == nil {
+		t.Fatal("BuildCH server has no overlay")
+	}
+	if srv.Overlay().NumNodes() != g.NumNodes() {
+		t.Fatalf("built overlay covers %d nodes, graph has %d", srv.Overlay().NumNodes(), g.NumNodes())
+	}
+}
+
+// TestWorkspacePoolStatsSurfaced asserts the pool counters climb with
+// traffic and are mirrored into the metrics registry the periodic stats log
+// reads.
+func TestWorkspacePoolStatsSurfaced(t *testing.T) {
+	g := testGraph(t)
+	srv := MustNew(g, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{roadnet.NodeID(i)}, Dests: []roadnet.NodeID{400}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := srv.WorkspacePoolStats()
+	if ws.Gets < 5 {
+		t.Fatalf("pool Gets = %d after 5 queries, want ≥ 5", ws.Gets)
+	}
+	if ws.InFlight() != 0 {
+		t.Fatalf("pool InFlight = %d at rest, want 0", ws.InFlight())
+	}
+	if ws.Puts != ws.Gets {
+		t.Fatalf("pool Puts = %d, Gets = %d — a workspace leaked", ws.Puts, ws.Gets)
+	}
+	m := srv.Metrics()
+	if got := m.Gauge("workspace_gets"); got != float64(ws.Gets) {
+		t.Fatalf("workspace_gets gauge = %v, pool says %d", got, ws.Gets)
+	}
+	if m.Gauge("workspace_reuse_ratio") < 0 || m.Gauge("workspace_reuse_ratio") > 1 {
+		t.Fatalf("workspace_reuse_ratio out of range: %v", m.Gauge("workspace_reuse_ratio"))
+	}
+}

@@ -78,7 +78,7 @@ func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
 	s.mBatchQueries.Add(int64(len(queries)))
 	s.hBatchLatency.Observe(time.Since(start))
 	s.metrics.SetGauge("last_batch_size", float64(len(queries)))
-	s.publishCacheMetrics()
+	s.publishDerivedMetrics()
 	return results
 }
 

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"opaque/internal/ch"
 	"opaque/internal/metrics"
 	"opaque/internal/protocol"
 	"opaque/internal/roadnet"
@@ -29,9 +30,28 @@ import (
 	"opaque/internal/storage"
 )
 
+// Server-level evaluation strategies layered on top of the search package's:
+// both require a contraction-hierarchy overlay (Config.CHOverlay or
+// Config.BuildCH).
+const (
+	// StrategyCH evaluates every (source, dest) pair of Q(S, T) on the
+	// contraction-hierarchy overlay — the preprocessed bidirectional search
+	// of internal/ch, typically an order of magnitude faster than flat
+	// Dijkstra per pair on large maps.
+	StrategyCH = search.Strategy("ch")
+	// StrategyHybrid routes each query by shape: point-ish queries (up to
+	// Config.CHMaxPairs candidate pairs) go pairwise to the CH overlay,
+	// larger obfuscated queries keep the SSMD spanning-tree sharing (and
+	// the tree cache, when enabled) that amortises work across many
+	// destinations per source.
+	StrategyHybrid = search.Strategy("hybrid")
+)
+
 // Config parameterises a Server.
 type Config struct {
 	// Strategy selects how Q(S,T) is evaluated (default: SSMD sharing).
+	// Besides the search-package strategies, the server accepts StrategyCH
+	// and StrategyHybrid, which run on the contraction-hierarchy overlay.
 	Strategy search.Strategy
 	// Workers bounds per-query source-level parallelism (default 1).
 	Workers int
@@ -67,7 +87,27 @@ type Config struct {
 	// |Landmarks| full Dijkstra trees at startup and is charged to the
 	// buffer pool when Paged is set, exactly like an offline index build.
 	Landmarks int
+	// CHOverlay installs a prebuilt contraction-hierarchy overlay (usually
+	// loaded from a cmd/opaque-preprocess file); it must Match the server's
+	// graph. Required by StrategyCH and StrategyHybrid unless BuildCH is
+	// set.
+	CHOverlay *ch.Overlay
+	// BuildCH contracts the graph at startup when no CHOverlay is given —
+	// the in-process equivalent of running cmd/opaque-preprocess. Expect
+	// seconds of startup work on large maps; persisted overlays skip it.
+	BuildCH bool
+	// CHMaxPairs is the StrategyHybrid cutover: queries with
+	// |S|·|T| ≤ CHMaxPairs are evaluated pairwise on the CH overlay,
+	// larger ones through the SSMD processor. 0 means
+	// DefaultCHMaxPairs. Ignored by other strategies.
+	CHMaxPairs int
 }
+
+// DefaultCHMaxPairs is the hybrid cutover used when Config.CHMaxPairs is 0:
+// obfuscated queries up to this many candidate pairs run on the CH overlay.
+// Beyond it, SSMD's per-source sharing usually beats |S|·|T| point queries
+// because destination balls overlap.
+const DefaultCHMaxPairs = 16
 
 // DefaultConfig returns an in-memory SSMD server with logging enabled. The
 // tree cache is off by default so single-query experiments report cold-search
@@ -97,8 +137,14 @@ type Server struct {
 	acc       storage.Accessor
 	pool      *storage.BufferPool
 	processor *search.Processor
-	cache     *search.TreeCache
-	gate      search.Gate
+	// chProcessor evaluates queries pairwise on the contraction-hierarchy
+	// overlay; non-nil only for StrategyCH/StrategyHybrid. Evaluate routes
+	// each query between processor and chProcessor (see chooseProcessor).
+	chProcessor *search.Processor
+	overlay     *ch.Overlay
+	chMaxPairs  int
+	cache       *search.TreeCache
+	gate        search.Gate
 	// wsPool owns the epoch-stamped search workspaces every query of this
 	// server runs on: batch workers and per-query source fan-out all check
 	// workspaces out of this one pool, so steady-state evaluation performs
@@ -119,6 +165,7 @@ type Server struct {
 	mSettled      *metrics.Counter
 	mBatches      *metrics.Counter
 	mBatchQueries *metrics.Counter
+	mCHQueries    *metrics.Counter
 	hLatency      *metrics.Histogram
 	hBatchLatency *metrics.Histogram
 }
@@ -138,6 +185,7 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	s.mSettled = s.metrics.CounterVar("nodes_settled")
 	s.mBatches = s.metrics.CounterVar("batches_processed")
 	s.mBatchQueries = s.metrics.CounterVar("batch_queries")
+	s.mCHQueries = s.metrics.CounterVar("ch_queries")
 	s.hLatency = s.metrics.HistogramVar("query_latency")
 	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
@@ -159,8 +207,18 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 		s.acc = storage.NewMemoryGraph(g)
 	}
 	s.wsPool = search.NewWorkspacePool()
+
+	// The CH strategies are server-level: queries route between a pairwise
+	// overlay processor and the regular multi-source processor, which falls
+	// back to SSMD sharing for whatever the overlay does not take.
+	useCH := cfg.Strategy == StrategyCH || cfg.Strategy == StrategyHybrid
+	procStrategy := cfg.Strategy
+	if useCH {
+		procStrategy = search.StrategySSMD
+	}
+
 	opts := []search.ProcessorOption{
-		search.WithStrategy(cfg.Strategy),
+		search.WithStrategy(procStrategy),
 		search.WithWorkspacePool(s.wsPool),
 	}
 	if cfg.Workers > 1 {
@@ -184,6 +242,40 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: strategy %q requires Landmarks > 0", cfg.Strategy)
 	}
 	s.processor = search.NewProcessor(s.acc, opts...)
+
+	if useCH {
+		overlay := cfg.CHOverlay
+		if overlay == nil {
+			if !cfg.BuildCH {
+				return nil, fmt.Errorf("server: strategy %q requires a CHOverlay (load one built by opaque-preprocess) or BuildCH", cfg.Strategy)
+			}
+			built, err := ch.Build(g)
+			if err != nil {
+				return nil, fmt.Errorf("server: building CH overlay: %w", err)
+			}
+			overlay = built
+		}
+		if err := overlay.Matches(g); err != nil {
+			return nil, fmt.Errorf("server: installing CH overlay: %w", err)
+		}
+		s.overlay = overlay
+		s.chMaxPairs = cfg.CHMaxPairs
+		if s.chMaxPairs <= 0 {
+			s.chMaxPairs = DefaultCHMaxPairs
+		}
+		chOpts := []search.ProcessorOption{
+			search.WithStrategy(search.StrategyPointEngine),
+			search.WithPointEngine(ch.NewEngine(overlay, s.wsPool)),
+			search.WithWorkspacePool(s.wsPool),
+		}
+		if cfg.Workers > 1 {
+			chOpts = append(chOpts, search.WithWorkers(cfg.Workers))
+		}
+		if s.gate != nil {
+			chOpts = append(chOpts, search.WithGate(s.gate))
+		}
+		s.chProcessor = search.NewProcessor(s.acc, chOpts...)
+	}
 	return s, nil
 }
 
@@ -226,7 +318,7 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		faultsBefore = s.pool.Stats().Faults
 	}
 	start := time.Now()
-	res, err := s.processor.Evaluate(q.Sources, q.Dests)
+	res, err := s.chooseProcessor(q).Evaluate(q.Sources, q.Dests)
 	if err != nil {
 		s.mFailed.Add(1)
 		return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
@@ -254,6 +346,33 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 	}
 	s.stats.add(id, res.Stats)
 	return reply, nil
+}
+
+// chooseProcessor routes one query between the regular processor and the
+// contraction-hierarchy processor: StrategyCH sends everything to the
+// overlay, StrategyHybrid only queries small enough (|S|·|T| ≤ CHMaxPairs)
+// that per-pair overlay searches beat SSMD's per-source sharing. Other
+// strategies never see a CH processor.
+func (s *Server) chooseProcessor(q protocol.ServerQuery) *search.Processor {
+	if s.chProcessor == nil {
+		return s.processor
+	}
+	if s.cfg.Strategy == StrategyCH || len(q.Sources)*len(q.Dests) <= s.chMaxPairs {
+		s.mCHQueries.Add(1)
+		return s.chProcessor
+	}
+	return s.processor
+}
+
+// Overlay returns the installed contraction-hierarchy overlay, or nil when
+// the server runs without one.
+func (s *Server) Overlay() *ch.Overlay { return s.overlay }
+
+// WorkspacePoolStats returns the checkout counters of the server's search
+// workspace pool — every query, batch worker, cached tree and CH search of
+// this server draws from it.
+func (s *Server) WorkspacePoolStats() search.WorkspacePoolStats {
+	return s.wsPool.Stats()
 }
 
 // QueryLog returns a copy of the queries the server has observed, ordered by
@@ -295,26 +414,31 @@ func (s *Server) ResetStats() {
 	}
 }
 
-// publishCacheMetrics mirrors the tree cache counters into the metrics
-// registry. Called per batch and on Metrics() reads rather than per query, so
-// the per-query hot path stays free of the registry's gauge lock.
-func (s *Server) publishCacheMetrics() {
-	if s.cache == nil {
-		return
+// publishDerivedMetrics mirrors the tree cache and workspace pool counters
+// into the metrics registry. Called per batch and on Metrics() reads rather
+// than per query, so the per-query hot path stays free of the registry's
+// gauge lock.
+func (s *Server) publishDerivedMetrics() {
+	if s.cache != nil {
+		st := s.cache.Stats()
+		s.metrics.SetGauge("tree_cache_hit_ratio", st.HitRatio())
+		s.metrics.SetGauge("tree_cache_hits", float64(st.Hits))
+		s.metrics.SetGauge("tree_cache_misses", float64(st.Misses))
+		s.metrics.SetGauge("tree_cache_resumes", float64(st.Resumes))
+		s.metrics.SetGauge("tree_cache_evictions", float64(st.Evictions))
+		s.metrics.SetGauge("tree_cache_invalidations", float64(st.Invalidations))
 	}
-	st := s.cache.Stats()
-	s.metrics.SetGauge("tree_cache_hit_ratio", st.HitRatio())
-	s.metrics.SetGauge("tree_cache_hits", float64(st.Hits))
-	s.metrics.SetGauge("tree_cache_misses", float64(st.Misses))
-	s.metrics.SetGauge("tree_cache_resumes", float64(st.Resumes))
-	s.metrics.SetGauge("tree_cache_evictions", float64(st.Evictions))
-	s.metrics.SetGauge("tree_cache_invalidations", float64(st.Invalidations))
+	ws := s.wsPool.Stats()
+	s.metrics.SetGauge("workspace_gets", float64(ws.Gets))
+	s.metrics.SetGauge("workspace_in_flight", float64(ws.InFlight()))
+	s.metrics.SetGauge("workspace_fresh", float64(ws.Fresh))
+	s.metrics.SetGauge("workspace_reuse_ratio", ws.ReuseRatio())
 }
 
 // Metrics returns the server's instrumentation registry (query counters,
-// latency histograms, I/O and cache gauges).
+// latency histograms, I/O, cache and workspace pool gauges).
 func (s *Server) Metrics() *metrics.Registry {
-	s.publishCacheMetrics()
+	s.publishDerivedMetrics()
 	return s.metrics
 }
 
