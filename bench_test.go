@@ -1,6 +1,6 @@
 // Benchmark harness for the OPAQUE reproduction.
 //
-// One benchmark per experiment of DESIGN.md §5 / EXPERIMENTS.md (E1–E14): each
+// One benchmark per experiment of DESIGN.md §5 / EXPERIMENTS.md (E1–E15): each
 // runs the corresponding experiment at small scale and reports the table it
 // produces (with -v, via b.Log), so `go test -bench=.` regenerates every
 // figure of the reproduction. Micro-benchmarks of the underlying primitives
@@ -70,6 +70,7 @@ func BenchmarkE11ServerLog(b *testing.B)            { benchmarkExperiment(b, "E1
 func BenchmarkE12BatchThroughput(b *testing.B)      { benchmarkExperiment(b, "E12") }
 func BenchmarkE13WorkspaceHotPath(b *testing.B)     { benchmarkExperiment(b, "E13") }
 func BenchmarkE14ContractionHierarchy(b *testing.B) { benchmarkExperiment(b, "E14") }
+func BenchmarkE15ManyToMany(b *testing.B)           { benchmarkExperiment(b, "E15") }
 
 // Micro-benchmarks of the primitives behind the experiments.
 
@@ -495,6 +496,83 @@ func BenchmarkCHQuery(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pr := wl[i%len(wl)]
 			if _, _, err := eng.Path(pr.Source, pr.Dest); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMTMTable is the headline many-to-many measurement: a wide 64×64
+// candidate table on the 50k-node benchmark graph, evaluated the four ways
+// the server can.
+//
+//   - hybrid-pr3 is what the pre-MTM hybrid strategy routed a 64×64 table
+//     to: the SSMD processor, one spanning tree per source;
+//   - pairwise-ch runs all 4096 pairs through the bidirectional overlay
+//     engine — the other pre-MTM option;
+//   - mtm-table runs the many-to-many bucket engine with per-cell path
+//     recording (what the server's ch-mtm strategy and wide hybrid queries
+//     use);
+//   - mtm-distance is the distance-only fast path on a reused output
+//     buffer.
+//
+// Expectation (the PR's acceptance bar): mtm-table beats hybrid-pr3 — and
+// pairwise-ch — by well over 3x, and mtm-distance reports 0 allocs/op in
+// steady state.
+func BenchmarkMTMTable(b *testing.B) {
+	g, wl, overlay := chBenchSetup(b)
+	acc := storage.NewMemoryGraph(g)
+	const k = 64
+	sources := make([]NodeID, k)
+	targets := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		sources[i] = wl[i%len(wl)].Source
+		targets[i] = wl[(i+37)%len(wl)].Dest
+	}
+
+	b.Run("hybrid-pr3/64x64", func(b *testing.B) {
+		proc := search.NewProcessor(acc, search.WithStrategy(search.StrategySSMD))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := proc.Evaluate(sources, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pairwise-ch/64x64", func(b *testing.B) {
+		proc := search.NewProcessor(acc,
+			search.WithStrategy(search.StrategyPointEngine),
+			search.WithPointEngine(ch.NewEngine(overlay, nil)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := proc.Evaluate(sources, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mtm-table/64x64", func(b *testing.B) {
+		m := ch.NewMTM(overlay, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Table(sources, targets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mtm-distance/64x64", func(b *testing.B) {
+		m := ch.NewMTM(overlay, nil)
+		var dst []float64
+		var err error
+		if dst, _, err = m.DistancesInto(dst, sources, targets); err != nil {
+			b.Fatal(err) // warm the state pool so the loop is steady state
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dst, _, err = m.DistancesInto(dst, sources, targets); err != nil {
 				b.Fatal(err)
 			}
 		}

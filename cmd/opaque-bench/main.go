@@ -7,20 +7,25 @@
 // measurement (E12, which also reports the SSMD tree cache hit ratio from
 // the server's metrics registry), the workspace hot-path measurement
 // (E13: epoch-stamped search workspaces vs the fresh-slice baseline,
-// allocs/query and queries/sec), and the contraction-hierarchy measurement
+// allocs/query and queries/sec), the contraction-hierarchy measurement
 // (E14: offline contraction cost and overlay size versus point-query
-// speedup over Dijkstra and ALT).
+// speedup over Dijkstra and ALT), and the many-to-many table measurement
+// (E15: bucket-algorithm Q(S,T) tables vs pairwise CH and SSMD across
+// |S|×|T| shapes, the crossover behind the server's hybrid cutover).
 //
 // Usage:
 //
 //	opaque-bench                 # run every experiment at small scale
 //	opaque-bench -scale full     # paper-scale parameters (slower)
 //	opaque-bench -exp E5         # run a single experiment
+//	opaque-bench -exp E13,E15    # run several
 //	opaque-bench -list           # list experiments
 //	opaque-bench -csv dir/       # also write each table as CSV
+//	opaque-bench -json dir/      # also record a BENCH_<date>.json perf file
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,7 +33,9 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"opaque/internal/experiments"
 )
@@ -58,10 +65,11 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("opaque-bench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		expID  = fs.String("exp", "", "run a single experiment by id (E1..E14); empty runs all")
-		scale  = fs.String("scale", "small", "experiment scale: small | full")
-		list   = fs.Bool("list", false, "list available experiments and exit")
-		csvDir = fs.String("csv", "", "directory to also write per-table CSV files into")
+		expID   = fs.String("exp", "", "run experiments by id (E1..E15), comma-separated; empty runs all")
+		scale   = fs.String("scale", "small", "experiment scale: small | full")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
+		jsonDir = fs.String("json", "", "directory to also write a machine-readable BENCH_<date>.json perf record into")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -86,22 +94,39 @@ func run(args []string, out, errOut io.Writer) error {
 	if *expID == "" {
 		runners = experiments.All()
 	} else {
-		r, err := experiments.ByID(*expID)
-		if err != nil {
-			return err
+		for _, id := range strings.Split(*expID, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			runners = append(runners, r)
 		}
-		runners = []experiments.Runner{r}
 	}
 
+	var records []benchRecord
 	for _, r := range runners {
 		// Progress goes to the diagnostic stream so stdout stays pure
 		// machine-readable table output.
 		fmt.Fprintf(errOut, "running %s: %s\n", r.ID(), r.Description())
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
 		tables, err := r.Run(sc)
 		if err != nil {
 			return fmt.Errorf("%s failed: %w", r.ID(), err)
 		}
+		elapsed := time.Since(start)
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		rec := benchRecord{
+			Name:        r.ID(),
+			Description: r.Description(),
+			Scale:       string(sc),
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		}
 		for _, t := range tables {
+			rec.Tables = append(rec.Tables, tableShape{ID: t.ID, Rows: len(t.Rows), Cols: len(t.Columns)})
 			if err := t.Render(out); err != nil {
 				return fmt.Errorf("rendering %s: %w", t.ID, err)
 			}
@@ -115,6 +140,65 @@ func run(args []string, out, errOut io.Writer) error {
 				}
 			}
 		}
+		records = append(records, rec)
+	}
+
+	if *jsonDir != "" {
+		name, err := writeBenchJSON(*jsonDir, records)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(errOut, "bench record written to %s\n", name)
 	}
 	return nil
+}
+
+// benchRecord is one experiment's entry in the BENCH_<date>.json perf file:
+// enough to plot the performance trajectory across PRs (one run = one op;
+// allocations measured via runtime.MemStats deltas) and to sanity-check the
+// table shapes the run produced.
+type benchRecord struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description"`
+	Scale       string       `json:"scale"`
+	NsPerOp     int64        `json:"ns_per_op"`
+	AllocsPerOp int64        `json:"allocs_per_op"`
+	Tables      []tableShape `json:"tables"`
+}
+
+// tableShape records the dimensions of one produced table.
+type tableShape struct {
+	ID   string `json:"id"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+// benchFile is the envelope of a BENCH_<date>.json file.
+type benchFile struct {
+	GeneratedAt string        `json:"generated_at"`
+	GoVersion   string        `json:"go_version"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
+// writeBenchJSON persists the run's records as <dir>/BENCH_<YYYY-MM-DD>.json
+// and returns the file name. CI uploads the file as an artifact, so the
+// repository accumulates a machine-readable perf history.
+func writeBenchJSON(dir string, records []benchRecord) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("creating %s: %w", dir, err)
+	}
+	now := time.Now().UTC()
+	name := filepath.Join(dir, "BENCH_"+now.Format("2006-01-02")+".json")
+	payload, err := json.MarshalIndent(benchFile{
+		GeneratedAt: now.Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Experiments: records,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(name, append(payload, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("writing %s: %w", name, err)
+	}
+	return name, nil
 }

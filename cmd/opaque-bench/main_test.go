@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -70,5 +71,53 @@ func TestRunSingleExperimentWithCSV(t *testing.T) {
 	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
 	if len(lines) < 2 {
 		t.Fatalf("CSV export has %d lines, want header plus rows", len(lines))
+	}
+}
+
+// TestRunJSONBenchRecord runs two experiments through the comma-separated
+// -exp form with -json and checks the emitted BENCH_<date>.json perf record:
+// one entry per experiment, plausible timings and table shapes.
+func TestRunJSONBenchRecord(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment run skipped in -short mode")
+	}
+	dir := t.TempDir()
+	var out, diag strings.Builder
+	if err := run([]string{"-exp", "E2, E3", "-scale", "small", "-json", dir}, &out, &diag); err != nil {
+		t.Fatalf("run -exp E2,E3 -json: %v", err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("BENCH files written: %v (err %v), want exactly one", matches, err)
+	}
+	raw, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchFile
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("BENCH file is not valid JSON: %v", err)
+	}
+	if rec.GeneratedAt == "" || rec.GoVersion == "" {
+		t.Fatalf("BENCH envelope incomplete: %+v", rec)
+	}
+	if len(rec.Experiments) != 2 || rec.Experiments[0].Name != "E2" || rec.Experiments[1].Name != "E3" {
+		t.Fatalf("BENCH experiments = %+v, want E2 then E3", rec.Experiments)
+	}
+	for _, e := range rec.Experiments {
+		if e.NsPerOp <= 0 {
+			t.Errorf("%s: ns_per_op = %d, want > 0", e.Name, e.NsPerOp)
+		}
+		if e.Scale != "small" {
+			t.Errorf("%s: scale = %q", e.Name, e.Scale)
+		}
+		if len(e.Tables) == 0 {
+			t.Errorf("%s: no table shapes recorded", e.Name)
+		}
+		for _, tb := range e.Tables {
+			if tb.ID == "" || tb.Rows <= 0 || tb.Cols <= 0 {
+				t.Errorf("%s: implausible table shape %+v", e.Name, tb)
+			}
+		}
 	}
 }

@@ -108,7 +108,9 @@ func run(args []string, out, errOut io.Writer) error {
 }
 
 // verify cross-checks n random point queries between the overlay and plain
-// workspace Dijkstra and reports the observed speedup.
+// workspace Dijkstra and reports the observed speedup, then runs a small
+// many-to-many self-check so a shipped overlay is validated for both query
+// modes (the bidirectional point engine and the bucket table engine).
 func verify(out io.Writer, g *roadnet.Graph, overlay *ch.Overlay, n int, seed uint64) error {
 	acc := storage.NewMemoryGraph(g)
 	eng := ch.NewEngine(overlay, nil)
@@ -144,5 +146,30 @@ func verify(out io.Writer, g *roadnet.Graph, overlay *ch.Overlay, n int, seed ui
 		speedup = float64(djTime) / float64(chTime)
 	}
 	fmt.Fprintf(out, "verified %d random queries against Dijkstra (CH %.1fx faster on this sample)\n", n, speedup)
+
+	// Many-to-many self-check: one 2×2 table against per-pair Dijkstra.
+	mtm := ch.NewMTM(overlay, nil)
+	sources := []roadnet.NodeID{roadnet.NodeID(rng.Intn(g.NumNodes())), roadnet.NodeID(rng.Intn(g.NumNodes()))}
+	targets := []roadnet.NodeID{roadnet.NodeID(rng.Intn(g.NumNodes())), roadnet.NodeID(rng.Intn(g.NumNodes()))}
+	table, _, err := mtm.Distances(sources, targets)
+	if err != nil {
+		return fmt.Errorf("mtm self-check failed: %w", err)
+	}
+	for i, s := range sources {
+		for j, d := range targets {
+			want, err := search.DijkstraDistance(acc, s, d)
+			if err != nil {
+				return err
+			}
+			got := table[i*len(targets)+j]
+			if math.IsInf(got, 1) != math.IsInf(want, 1) {
+				return fmt.Errorf("mtm self-check failed: pair (%d,%d) MTM distance %v, Dijkstra %v (reachability disagrees)", s, d, got, want)
+			}
+			if got != want && math.Abs(got-want) > 1e-9*(1+want) {
+				return fmt.Errorf("mtm self-check failed: pair (%d,%d) MTM distance %v, Dijkstra %v", s, d, got, want)
+			}
+		}
+	}
+	fmt.Fprintf(out, "verified mtm 2x2 table against Dijkstra (many-to-many query mode ok)\n")
 	return nil
 }

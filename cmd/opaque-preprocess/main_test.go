@@ -20,7 +20,7 @@ func TestRunBuildsVerifiesAndWrites(t *testing.T) {
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out)
 	}
-	for _, want := range []string{"contracted in", "verified 20 random queries", "overlay written"} {
+	for _, want := range []string{"contracted in", "verified 20 random queries", "verified mtm 2x2 table", "overlay written"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

@@ -7,9 +7,12 @@
 //	opaque-server -network network.txt -listen :7001
 //	opaque-server -generate tigerlike -nodes 20000 -listen :7001
 //	opaque-server -network network.txt -strategy hybrid -ch-overlay network.och
+//	opaque-server -network network.txt -strategy ch-mtm -ch-overlay network.och
 //
 // With -stats-interval the server periodically logs its throughput counters,
-// the SSMD tree cache hit ratio and the search workspace pool counters.
+// the strategy routing split (pairwise CH / many-to-many / flat fallback),
+// the many-to-many bucket engine gauges, the SSMD tree cache hit ratio and
+// the search workspace pool counters.
 package main
 
 import (
@@ -35,7 +38,7 @@ func main() {
 		nodes         = flag.Int("nodes", 10000, "node count when generating")
 		seed          = flag.Uint64("seed", 42, "generation seed")
 		listen        = flag.String("listen", ":7001", "TCP listen address for obfuscator connections")
-		strategy      = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar | pairwise-alt | ch | hybrid")
+		strategy      = flag.String("strategy", "ssmd", "query evaluation strategy: ssmd | pairwise | pairwise-astar | pairwise-alt | ch | ch-mtm | hybrid")
 		workers       = flag.Int("workers", 1, "concurrent per-source searches per query")
 		batchWorkers  = flag.Int("batch-workers", 0, "concurrent queries per batch in the batch engine (0 = GOMAXPROCS)")
 		maxSearches   = flag.Int("max-searches", 0, "server-wide cap on concurrent per-source searches (0 = unbounded)")
@@ -69,8 +72,8 @@ func main() {
 	// Refuse misdirected CH flags rather than silently serve with them
 	// ignored: -ch-overlay needs a CH-capable strategy, and the pair cutover
 	// only exists in hybrid routing (-strategy ch sends everything to CH).
-	if *chOverlay != "" && cfg.Strategy != server.StrategyCH && cfg.Strategy != server.StrategyHybrid {
-		log.Fatalf("-ch-overlay requires -strategy ch or hybrid (got %q)", cfg.Strategy)
+	if *chOverlay != "" && cfg.Strategy != server.StrategyCH && cfg.Strategy != server.StrategyCHMTM && cfg.Strategy != server.StrategyHybrid {
+		log.Fatalf("-ch-overlay requires -strategy ch, ch-mtm or hybrid (got %q)", cfg.Strategy)
 	}
 	if *chMaxPairs != 0 && cfg.Strategy != server.StrategyHybrid {
 		log.Fatalf("-ch-max-pairs requires -strategy hybrid (got %q)", cfg.Strategy)
@@ -78,7 +81,7 @@ func main() {
 	if *chMaxPairs < 0 {
 		log.Fatalf("-ch-max-pairs must be non-negative (got %d); server.New would silently fall back to the default cutover", *chMaxPairs)
 	}
-	if cfg.Strategy == server.StrategyCH || cfg.Strategy == server.StrategyHybrid {
+	if cfg.Strategy == server.StrategyCH || cfg.Strategy == server.StrategyCHMTM || cfg.Strategy == server.StrategyHybrid {
 		if *chOverlay != "" {
 			overlay, err := ch.ReadFile(*chOverlay)
 			if err != nil {
@@ -122,17 +125,21 @@ func main() {
 }
 
 // logStats periodically prints the server's operational counters: query and
-// batch throughput, the SSMD tree cache hit ratio and the workspace pool's
-// checkout/reuse numbers — the at-a-glance health line for a long-running
-// deployment.
+// batch throughput, the strategy routing split, the many-to-many bucket
+// engine's arena gauges, the SSMD tree cache hit ratio and the workspace
+// pool's checkout/reuse numbers — the at-a-glance health line for a
+// long-running deployment.
 func logStats(srv *server.Server, every time.Duration) {
 	for range time.Tick(every) {
 		m := srv.Metrics()
 		cache := srv.TreeCacheStats()
 		ws := srv.WorkspacePoolStats()
 		io := srv.IOStats()
-		log.Printf("stats: queries=%d failed=%d batches=%d ch=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
-			m.Counter("queries_processed"), m.Counter("queries_failed"), m.Counter("batches_processed"), m.Counter("ch_queries"),
+		mt := srv.MTMStats()
+		log.Printf("stats: queries=%d failed=%d batches=%d | route ch=%d mtm=%d fallback=%d | mtm tables=%d bucket-entries=%d scanned=%d arena-high-water=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
+			m.Counter("queries_processed"), m.Counter("queries_failed"), m.Counter("batches_processed"),
+			m.Counter("ch_queries"), m.Counter("mtm_queries"), m.Counter("fallback_queries"),
+			mt.Tables, mt.BucketEntries, mt.BucketEntriesScanned, mt.ArenaHighWater,
 			cache.Hits, cache.Misses, cache.HitRatio(),
 			ws.Gets, ws.InFlight(), ws.Fresh, ws.ReuseRatio(),
 			io.Faults)

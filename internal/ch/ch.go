@@ -23,6 +23,11 @@
 //     search.Workspace instances — 0 allocs/op for distance queries in
 //     steady state, and full path unpacking for path queries. Engine
 //     implements search.PointEngine, which is how the server installs it.
+//   - MTM (mtm.go) answers whole Q(S, T) tables with the many-to-many
+//     bucket algorithm — |S|+|T| upward sweeps joined at per-node bucket
+//     entries instead of |S|·|T| point queries, 0 allocs/op for
+//     distance-only tables. MTM implements search.TableEngine, which is
+//     how the server routes wide obfuscated queries to it.
 //   - Write/Read (io.go) persist an Overlay in the versioned, checksummed
 //     binary format documented in docs/FORMATS.md, so deployments build the
 //     hierarchy once (cmd/opaque-preprocess) and serve from it everywhere.

@@ -1,0 +1,575 @@
+package ch
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// This file implements the many-to-many bucket algorithm on the CH overlay —
+// the evaluation engine for *wide* obfuscated queries. Where the pairwise
+// Engine answers Q(S, T) with |S|·|T| bidirectional searches, MTM computes
+// the whole |S|×|T| distance table in |S| + |T| upward sweeps:
+//
+//  1. One backward upward search per target t_j deposits a bucket entry
+//     (j, d↑(u, t_j)) at every node u it settles. Buckets live in a flat,
+//     epoch-stamped arena (per-node chain heads into one entries array), so
+//     the deposit phase allocates nothing once the arena has grown to its
+//     working size.
+//  2. One forward upward search per source s_i scans the bucket of every
+//     node u it settles and relaxes table cells:
+//     dist[i][j] = min(dist[i][j], d↑(s_i, u) + d↑(u, t_j)).
+//
+// Correctness rests on the standard CH theorem the bidirectional query
+// already relies on: for every pair (s, t) some shortest path is an up-down
+// path, its apex is settled by both the forward sweep from s and the
+// backward sweep from t with exact prefix/suffix distances, so the minimum
+// over meeting nodes equals the true distance. Meeting nodes whose upward
+// labels exceed the true distance only ever produce over-estimates, never
+// under-estimates, so they cannot corrupt the minimum.
+//
+// Distance-only callers (candidate filtering, experiments) use DistancesInto
+// with a reused output buffer: the steady-state evaluation performs zero
+// heap allocations. Path callers use Table, which additionally records, per
+// cell, the overlay arc chain source→apex→target; the expensive part — the
+// recursive shortcut unpacking into original-arc node sequences — happens
+// lazily in Table.Path, so even a path-capable table only materialises the
+// cells actually read.
+
+// bucketEntry is one deposit of a backward sweep: "target tgt is reachable
+// downward from this node at cost dist". Entries for one node form a chain
+// through next (-1 terminates) in the state's flat arena. via is the arena
+// arc the backward search relaxed to reach this node (-1 at the target
+// itself, and in distance-only sweeps, which skip via recovery entirely);
+// it is what lets Table.Path walk the apex→target half of a route without
+// retaining |T| search trees.
+type bucketEntry struct {
+	next   int32
+	target int32
+	via    int32
+	dist   float64
+}
+
+// mtmState is the reusable per-evaluation state of one many-to-many table:
+// the bucket arena and the per-row reduction scratch. Like search.Workspace
+// it is epoch-stamped — resetting the per-node chain heads for the next
+// table is a counter bump, not an O(n) fill — and pooled, so steady-state
+// tables allocate nothing.
+type mtmState struct {
+	epoch   uint32
+	stamp   []uint32 // head[v] valid iff stamp[v] == epoch
+	head    []int32
+	entries []bucketEntry
+
+	// Per-row scratch for path-recording sweeps: the bucket entry and
+	// meeting node realising the current best of each cell. Only read for
+	// cells whose distance is finite, so no per-row reset is needed.
+	bestEntry []int32
+	bestMeet  []roadnet.NodeID
+	chain     []roadnet.NodeID // forward parent-chain scratch
+}
+
+// reset prepares the state for the next table over an n-node overlay.
+func (st *mtmState) reset(n int) {
+	if n > len(st.stamp) {
+		grow := n - len(st.stamp)
+		st.stamp = append(st.stamp, make([]uint32, grow)...)
+		st.head = append(st.head, make([]int32, grow)...)
+	}
+	if st.epoch == ^uint32(0) {
+		for i := range st.stamp {
+			st.stamp[i] = 0
+		}
+		st.epoch = 0
+	}
+	st.epoch++
+	st.entries = st.entries[:0]
+}
+
+// ensureRow sizes the per-row scratch for t targets.
+func (st *mtmState) ensureRow(t int) {
+	if t > len(st.bestEntry) {
+		grow := t - len(st.bestEntry)
+		st.bestEntry = append(st.bestEntry, make([]int32, grow)...)
+		st.bestMeet = append(st.bestMeet, make([]roadnet.NodeID, grow)...)
+	}
+}
+
+// deposit appends a bucket entry for node u and links it as u's chain head.
+func (st *mtmState) deposit(u roadnet.NodeID, target, via int32, dist float64) {
+	prev := int32(-1)
+	if st.stamp[u] == st.epoch {
+		prev = st.head[u]
+	}
+	st.entries = append(st.entries, bucketEntry{next: prev, target: target, via: via, dist: dist})
+	st.head[u] = int32(len(st.entries) - 1)
+	st.stamp[u] = st.epoch
+}
+
+// headOf returns the first entry index of u's bucket chain, -1 when empty.
+func (st *mtmState) headOf(u roadnet.NodeID) int32 {
+	if st.stamp[u] != st.epoch {
+		return -1
+	}
+	return st.head[u]
+}
+
+// findEntry returns the index of target's entry in u's bucket, -1 when the
+// backward sweep never settled u — which, for nodes on a recorded route, is
+// an internal invariant violation.
+func (st *mtmState) findEntry(u roadnet.NodeID, target int32) int32 {
+	for e := st.headOf(u); e >= 0; e = st.entries[e].next {
+		if st.entries[e].target == target {
+			return e
+		}
+	}
+	return -1
+}
+
+// MTMStats is a snapshot of an MTM engine's lifetime instrumentation; the
+// server mirrors it into its metrics registry and -stats-interval log.
+type MTMStats struct {
+	// Tables counts completed many-to-many evaluations.
+	Tables int64
+	// BucketEntries counts entries deposited by backward sweeps.
+	BucketEntries int64
+	// BucketEntriesScanned counts entries examined by forward sweeps — the
+	// join cost the bucket layout is meant to keep proportional to the
+	// upward search spaces, not to |S|·|T|.
+	BucketEntriesScanned int64
+	// ArenaHighWater is the largest bucket arena (entries in one table)
+	// observed, i.e. the steady-state memory the pooled state retains.
+	ArenaHighWater int64
+}
+
+// MTM is the many-to-many table engine on an Overlay. It is safe for
+// concurrent use: every evaluation checks a private mtmState out of the
+// engine's pool and a search workspace out of the shared WorkspacePool, and
+// the overlay itself is read-only.
+//
+// MTM implements search.TableEngine, which is how the server installs it for
+// the "ch-mtm" strategy and the wide half of "hybrid" routing.
+type MTM struct {
+	o      *Overlay
+	pool   *search.WorkspacePool
+	states sync.Pool
+	// verified memoises the accessor graph proven to match the overlay,
+	// exactly like Engine.verified.
+	verified atomic.Pointer[roadnet.Graph]
+
+	tables    atomic.Int64
+	deposited atomic.Int64
+	scanned   atomic.Int64
+	highWater atomic.Int64
+}
+
+// NewMTM returns a many-to-many engine over o drawing search workspaces from
+// wp. A nil wp gets a private pool; servers pass their own so MTM sweeps,
+// pairwise CH queries and SSMD searches all recycle the same workspaces.
+func NewMTM(o *Overlay, wp *search.WorkspacePool) *MTM {
+	if wp == nil {
+		wp = search.NewWorkspacePool()
+	}
+	m := &MTM{o: o, pool: wp}
+	m.states.New = func() any { return &mtmState{} }
+	return m
+}
+
+// Overlay returns the overlay the engine evaluates on.
+func (m *MTM) Overlay() *Overlay { return m.o }
+
+// Stats returns a snapshot of the engine's lifetime counters.
+func (m *MTM) Stats() MTMStats {
+	return MTMStats{
+		Tables:               m.tables.Load(),
+		BucketEntries:        m.deposited.Load(),
+		BucketEntriesScanned: m.scanned.Load(),
+		ArenaHighWater:       m.highWater.Load(),
+	}
+}
+
+// DistancesInto computes the |S|×|T| distance table into dst (grown as
+// needed and returned; row-major: dst[i*|T|+j] is sources[i]→targets[j],
+// +Inf when unreachable). Passing a previously returned dst makes the
+// steady-state evaluation allocation-free — this is the hot path wide
+// obfuscated queries are routed through when candidate paths are not
+// needed.
+func (m *MTM) DistancesInto(dst []float64, sources, targets []roadnet.NodeID) ([]float64, search.Stats, error) {
+	cells := len(sources) * len(targets)
+	if cap(dst) < cells {
+		dst = make([]float64, cells)
+	}
+	dst = dst[:cells]
+	stats, _, err := m.evaluate(dst, sources, targets, false)
+	return dst, stats, err
+}
+
+// Distances is DistancesInto with a freshly allocated output table.
+func (m *MTM) Distances(sources, targets []roadnet.NodeID) ([]float64, search.Stats, error) {
+	return m.DistancesInto(nil, sources, targets)
+}
+
+// Table computes the full |S|×|T| table with per-cell path support: the
+// distances are computed exactly as DistancesInto does, and each reachable
+// cell additionally records its overlay arc chain so Table.Path can unpack
+// the route lazily. The returned table is self-contained — it shares no
+// state with the engine and stays valid indefinitely.
+func (m *MTM) Table(sources, targets []roadnet.NodeID) (*Table, error) {
+	tbl := &Table{
+		o:       m.o,
+		sources: append([]roadnet.NodeID(nil), sources...),
+		targets: append([]roadnet.NodeID(nil), targets...),
+		dist:    make([]float64, len(sources)*len(targets)),
+	}
+	stats, arcs, err := m.evaluate(tbl.dist, sources, targets, true)
+	if err != nil {
+		return nil, err
+	}
+	tbl.stats = stats
+	tbl.arcs = arcs.arcs
+	tbl.cellOff = arcs.cellOff
+	return tbl, nil
+}
+
+// cellChains is the per-cell overlay arc recording a path-capable evaluation
+// produces: cell c's chain is arcs[cellOff[c]:cellOff[c+1]], in travel order
+// source→apex→target.
+type cellChains struct {
+	arcs    []int32
+	cellOff []int32
+}
+
+// evaluate is the shared core: the backward deposit phase followed by the
+// forward scan phase. dist must have len(sources)*len(targets) cells; it is
+// +Inf-initialised here. When needPaths is set, each finite cell's overlay
+// arc chain is recorded and returned.
+func (m *MTM) evaluate(dist []float64, sources, targets []roadnet.NodeID, needPaths bool) (search.Stats, cellChains, error) {
+	o := m.o
+	var stats search.Stats
+	var chains cellChains
+	if len(sources) == 0 || len(targets) == 0 {
+		return stats, chains, fmt.Errorf("ch: many-to-many table needs at least one source and one target (got |S|=%d, |T|=%d)", len(sources), len(targets))
+	}
+	for _, s := range sources {
+		if !validNode(o, s) {
+			return stats, chains, fmt.Errorf("ch: invalid source node %d", s)
+		}
+	}
+	for _, t := range targets {
+		if !validNode(o, t) {
+			return stats, chains, fmt.Errorf("ch: invalid target node %d", t)
+		}
+	}
+
+	st := m.states.Get().(*mtmState)
+	defer m.states.Put(st)
+	st.reset(o.n)
+	w := m.pool.Get(o.n)
+	defer w.Release()
+
+	// Phase 1: one backward upward sweep per target deposits buckets.
+	for j, t := range targets {
+		if err := m.backwardSweep(st, w, t, int32(j), needPaths, &stats); err != nil {
+			return stats, chains, err
+		}
+	}
+	m.deposited.Add(int64(len(st.entries)))
+	for {
+		cur := m.highWater.Load()
+		if int64(len(st.entries)) <= cur || m.highWater.CompareAndSwap(cur, int64(len(st.entries))) {
+			break
+		}
+	}
+
+	if needPaths {
+		st.ensureRow(len(targets))
+		chains.cellOff = make([]int32, 1, len(dist)+1)
+	}
+
+	// Phase 2: one forward upward sweep per source scans buckets and, when
+	// paths were requested, records each finite cell's arc chain while the
+	// forward tree is still on the workspace.
+	scanned := int64(0)
+	for i, s := range sources {
+		row := dist[i*len(targets) : (i+1)*len(targets)]
+		for j := range row {
+			row[j] = math.Inf(1)
+		}
+		scanned += m.forwardSweep(st, w, s, row, needPaths, &stats)
+		if needPaths {
+			var err error
+			chains.arcs, chains.cellOff, err = m.recordChains(st, w, s, row, chains.arcs, chains.cellOff)
+			if err != nil {
+				return stats, chains, err
+			}
+		}
+	}
+	m.scanned.Add(scanned)
+	m.tables.Add(1)
+	return stats, chains, nil
+}
+
+// backwardSweep runs the upward search from target t over the backward CSR
+// view, depositing a bucket entry at every settled node. In path mode each
+// deposit carries the arena arc the search stepped through, recovered from
+// the parent label the same way the bidirectional query's unpacking does.
+func (m *MTM) backwardSweep(st *mtmState, w *search.Workspace, t roadnet.NodeID, j int32, needPaths bool, stats *search.Stats) error {
+	o := m.o
+	w.Reset(o.n)
+	w.Label(t, 0, roadnet.InvalidNode)
+	h := w.Heap()
+	h.Push(int32(t), 0)
+	stats.QueueOps++
+	for !h.Empty() {
+		if h.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = h.Len()
+		}
+		item := h.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > w.DistOf(u) {
+			continue // stale entry
+		}
+		stats.SettledNodes++
+		via := int32(-1)
+		if needPaths {
+			if p := w.ParentOf(u); p != roadnet.InvalidNode {
+				via = o.findArc(o.bwdOff, o.bwdTo, o.bwdCost, o.bwdArc, p, u, w.DistOf(p), item.Priority)
+				if via < 0 {
+					return fmt.Errorf("ch: internal error: no upward arc %d→%d on backward sweep for target %d", u, p, t)
+				}
+			}
+		}
+		st.deposit(u, j, via, item.Priority)
+		for i := o.bwdOff[u]; i < o.bwdOff[u+1]; i++ {
+			stats.RelaxedArcs++
+			head := o.bwdTo[i]
+			nd := item.Priority + o.bwdCost[i]
+			if nd < w.DistOf(head) {
+				w.Label(head, nd, u)
+				h.Push(int32(head), nd)
+				stats.QueueOps++
+			}
+		}
+	}
+	return nil
+}
+
+// forwardSweep runs the upward search from source s over the forward CSR
+// view, scanning the bucket of every settled node to relax the row's cells.
+// It returns the number of bucket entries examined. In path mode the best
+// entry and meeting node of each improved cell are recorded in the row
+// scratch; the forward tree is left on w for recordChains.
+func (m *MTM) forwardSweep(st *mtmState, w *search.Workspace, s roadnet.NodeID, row []float64, needPaths bool, stats *search.Stats) int64 {
+	o := m.o
+	w.Reset(o.n)
+	w.Label(s, 0, roadnet.InvalidNode)
+	h := w.Heap()
+	h.Push(int32(s), 0)
+	stats.QueueOps++
+	scanned := int64(0)
+	for !h.Empty() {
+		if h.Len() > stats.MaxFrontier {
+			stats.MaxFrontier = h.Len()
+		}
+		item := h.Pop()
+		u := roadnet.NodeID(item.Value)
+		if item.Priority > w.DistOf(u) {
+			continue
+		}
+		stats.SettledNodes++
+		for e := st.headOf(u); e >= 0; e = st.entries[e].next {
+			scanned++
+			en := &st.entries[e]
+			if nd := item.Priority + en.dist; nd < row[en.target] {
+				row[en.target] = nd
+				if needPaths {
+					st.bestEntry[en.target] = e
+					st.bestMeet[en.target] = u
+				}
+			}
+		}
+		for i := o.fwdOff[u]; i < o.fwdOff[u+1]; i++ {
+			stats.RelaxedArcs++
+			head := o.fwdTo[i]
+			nd := item.Priority + o.fwdCost[i]
+			if nd < w.DistOf(head) {
+				w.Label(head, nd, u)
+				h.Push(int32(head), nd)
+				stats.QueueOps++
+			}
+		}
+	}
+	return scanned
+}
+
+// recordChains appends, for every finite cell of s's row, the overlay arc
+// chain source→apex (walked off the forward tree still on w) followed by
+// apex→target (walked through the bucket entries' via arcs), and closes the
+// row's cell offsets.
+func (m *MTM) recordChains(st *mtmState, w *search.Workspace, s roadnet.NodeID, row []float64, arcs []int32, cellOff []int32) ([]int32, []int32, error) {
+	o := m.o
+	for j := range row {
+		if !math.IsInf(row[j], 1) {
+			meet := st.bestMeet[j]
+			// Forward half: meet→source through the forward parents, emitted
+			// in source→meet travel order.
+			st.chain = st.chain[:0]
+			for at := meet; at != roadnet.InvalidNode; at = w.ParentOf(at) {
+				st.chain = append(st.chain, at)
+			}
+			if st.chain[len(st.chain)-1] != s {
+				return nil, nil, fmt.Errorf("ch: internal error: forward sweep tree does not reach source %d", s)
+			}
+			for k := len(st.chain) - 1; k > 0; k-- {
+				from, to := st.chain[k], st.chain[k-1]
+				idx := o.findArc(o.fwdOff, o.fwdTo, o.fwdCost, o.fwdArc, from, to, w.DistOf(from), w.DistOf(to))
+				if idx < 0 {
+					return nil, nil, fmt.Errorf("ch: internal error: no upward arc %d→%d on forward sweep from %d", from, to, s)
+				}
+				arcs = append(arcs, idx)
+			}
+			// Backward half: follow the via arcs from the meeting node's
+			// bucket entry down to the target.
+			for e := st.bestEntry[j]; ; {
+				en := st.entries[e]
+				if en.via < 0 {
+					break
+				}
+				arcs = append(arcs, en.via)
+				next := roadnet.NodeID(o.arcs[en.via].to)
+				if e = st.findEntry(next, en.target); e < 0 {
+					return nil, nil, fmt.Errorf("ch: internal error: backward sweep chain broken at node %d", next)
+				}
+			}
+		}
+		cellOff = append(cellOff, int32(len(arcs)))
+	}
+	return arcs, cellOff, nil
+}
+
+// Table is a completed many-to-many result: the distance matrix plus the
+// per-cell overlay arc chains path reconstruction needs. Distances are
+// available immediately; Path unpacks a cell's shortcut chain into the
+// original-arc route on demand, so callers that read only a few cells (or
+// none) never pay for the rest.
+type Table struct {
+	o                *Overlay
+	sources, targets []roadnet.NodeID
+	dist             []float64
+	arcs             []int32
+	cellOff          []int32
+	stats            search.Stats
+}
+
+// NumSources returns |S|.
+func (t *Table) NumSources() int { return len(t.sources) }
+
+// NumTargets returns |T|.
+func (t *Table) NumTargets() int { return len(t.targets) }
+
+// Sources returns the source set the table was computed for.
+func (t *Table) Sources() []roadnet.NodeID { return t.sources }
+
+// Targets returns the target set the table was computed for.
+func (t *Table) Targets() []roadnet.NodeID { return t.targets }
+
+// Stats returns the search work the evaluation performed.
+func (t *Table) Stats() search.Stats { return t.stats }
+
+// Dist returns the shortest-path distance sources[i]→targets[j], +Inf when
+// unreachable.
+func (t *Table) Dist(i, j int) float64 { return t.dist[i*len(t.targets)+j] }
+
+// Path unpacks and returns the shortest path for cell (i, j), or an empty
+// path when the target is unreachable. Each call materialises the route
+// afresh from the recorded arc chain.
+func (t *Table) Path(i, j int) search.Path {
+	cell := i*len(t.targets) + j
+	d := t.dist[cell]
+	if math.IsInf(d, 1) {
+		return search.Path{}
+	}
+	chain := t.arcs[t.cellOff[cell]:t.cellOff[cell+1]]
+	nodes := make([]roadnet.NodeID, 1, len(chain)+1)
+	nodes[0] = t.sources[i]
+	emit := func(v roadnet.NodeID) { nodes = append(nodes, v) }
+	for _, a := range chain {
+		t.o.unpackArc(a, emit)
+	}
+	return search.Path{Nodes: nodes, Cost: d}
+}
+
+// verifyAccessor mirrors Engine.ShortestPath's binding rules: filtered
+// accessors are rejected outright and any other accessor's graph must
+// checksum-match the overlay (memoised per graph).
+func (m *MTM) verifyAccessor(acc storage.Accessor) error {
+	if acc == nil {
+		return nil
+	}
+	if _, filtered := acc.(*storage.FilteredGraph); filtered {
+		return fmt.Errorf("ch: overlay cannot serve a filtered accessor — the hierarchy was contracted over the unfiltered arcs; query the filtered graph with the flat searches instead")
+	}
+	g := acc.Graph()
+	if m.verified.Load() != g {
+		if err := m.o.Matches(g); err != nil {
+			return fmt.Errorf("ch: accessor does not present the overlay's graph: %w", err)
+		}
+		m.verified.Store(g)
+	}
+	return nil
+}
+
+// EvaluateTable implements search.TableEngine: the full Q(S, T) result with
+// candidate paths materialised (the wire reply needs every cell) and the
+// distance matrix filled.
+func (m *MTM) EvaluateTable(acc storage.Accessor, sources, dests []roadnet.NodeID) (search.MSMDResult, error) {
+	if err := m.verifyAccessor(acc); err != nil {
+		return search.MSMDResult{}, err
+	}
+	tbl, err := m.Table(sources, dests)
+	if err != nil {
+		return search.MSMDResult{}, err
+	}
+	res := search.MSMDResult{
+		Sources: tbl.sources,
+		Dests:   tbl.targets,
+		Paths:   make([][]search.Path, len(sources)),
+		Dists:   make([][]float64, len(sources)),
+		Stats:   tbl.stats,
+	}
+	for i := range sources {
+		res.Paths[i] = make([]search.Path, len(dests))
+		res.Dists[i] = tbl.dist[i*len(dests) : (i+1)*len(dests)]
+		for j := range dests {
+			res.Paths[i][j] = tbl.Path(i, j)
+		}
+	}
+	return res, nil
+}
+
+// EvaluateDistances implements search.TableEngine's distance-only fast path:
+// Dists is filled, Paths stays nil, and no route is ever unpacked.
+func (m *MTM) EvaluateDistances(acc storage.Accessor, sources, dests []roadnet.NodeID) (search.MSMDResult, error) {
+	if err := m.verifyAccessor(acc); err != nil {
+		return search.MSMDResult{}, err
+	}
+	flat, stats, err := m.Distances(sources, dests)
+	if err != nil {
+		return search.MSMDResult{}, err
+	}
+	res := search.MSMDResult{
+		Sources: append([]roadnet.NodeID(nil), sources...),
+		Dests:   append([]roadnet.NodeID(nil), dests...),
+		Dists:   make([][]float64, len(sources)),
+		Stats:   stats,
+	}
+	for i := range sources {
+		res.Dists[i] = flat[i*len(dests) : (i+1)*len(dests)]
+	}
+	return res, nil
+}

@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"opaque/internal/baseline"
 	"opaque/internal/client"
@@ -204,6 +205,7 @@ func (s *System) EvaluateObfuscatedQuery(q obfuscate.ObfuscatedQuery) (search.MS
 		Sources: append([]roadnet.NodeID(nil), q.Sources...),
 		Dests:   append([]roadnet.NodeID(nil), q.Dests...),
 		Paths:   make([][]search.Path, len(q.Sources)),
+		Dists:   make([][]float64, len(q.Sources)),
 	}
 	res.Stats.SettledNodes = reply.SettledNodes
 	index := make(map[[2]roadnet.NodeID]search.Path, len(reply.Paths))
@@ -212,8 +214,17 @@ func (s *System) EvaluateObfuscatedQuery(q obfuscate.ObfuscatedQuery) (search.MS
 	}
 	for i, src := range q.Sources {
 		res.Paths[i] = make([]search.Path, len(q.Dests))
+		res.Dists[i] = make([]float64, len(q.Dests))
 		for j, dst := range q.Dests {
-			res.Paths[i][j] = index[[2]roadnet.NodeID{src, dst}]
+			p := index[[2]roadnet.NodeID{src, dst}]
+			res.Paths[i][j] = p
+			// Wire candidates carry no cost for unreachable pairs; mirror
+			// the processor's Dists convention (+Inf, 0 for s == t).
+			if p.Empty() && src != dst {
+				res.Dists[i][j] = math.Inf(1)
+			} else {
+				res.Dists[i][j] = p.Cost
+			}
 		}
 	}
 	return res, nil

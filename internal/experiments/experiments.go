@@ -141,6 +141,7 @@ func All() []Runner {
 		E12BatchThroughput{},
 		E13WorkspaceHotPath{},
 		E14ContractionHierarchy{},
+		E15ManyToMany{},
 	}
 }
 

@@ -428,20 +428,28 @@ func (s *Service) Serve(ln net.Listener) error {
 }
 
 // candidateSet adapts a ServerReply to the filter.CandidateSet interface.
+// It indexes the wire candidates as-is and converts a candidate to a
+// search.Path (which copies the node sequence) only when the filter actually
+// extracts it — so the |S|·|T| − |members| candidate paths every obfuscated
+// query is padded with are discarded without ever being materialised on
+// this side of the wire.
 type candidateSet struct {
-	paths map[[2]roadnet.NodeID]search.Path
+	candidates map[[2]roadnet.NodeID]protocol.CandidatePath
 }
 
 func newCandidateSet(reply protocol.ServerReply) candidateSet {
-	set := candidateSet{paths: make(map[[2]roadnet.NodeID]search.Path, len(reply.Paths))}
+	set := candidateSet{candidates: make(map[[2]roadnet.NodeID]protocol.CandidatePath, len(reply.Paths))}
 	for _, c := range reply.Paths {
-		set.paths[[2]roadnet.NodeID{c.Source, c.Dest}] = protocol.PathFromCandidate(c)
+		set.candidates[[2]roadnet.NodeID{c.Source, c.Dest}] = c
 	}
 	return set
 }
 
-// Path implements filter.CandidateSet.
+// Path implements filter.CandidateSet, materialising lazily.
 func (c candidateSet) Path(source, dest roadnet.NodeID) (search.Path, bool) {
-	p, ok := c.paths[[2]roadnet.NodeID{source, dest}]
-	return p, ok
+	cp, ok := c.candidates[[2]roadnet.NodeID{source, dest}]
+	if !ok {
+		return search.Path{}, false
+	}
+	return protocol.PathFromCandidate(cp), true
 }

@@ -2,6 +2,7 @@ package search
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"opaque/internal/roadnet"
@@ -35,6 +36,12 @@ const (
 	// (internal/ch) without this package depending on it; any preprocessed
 	// point-to-point index can be threaded through the same option.
 	StrategyPointEngine Strategy = "point-engine"
+	// StrategyTableEngine evaluates the whole Q(S, T) table in one shot on a
+	// pluggable many-to-many engine supplied with WithTableEngine — no
+	// per-source fan-out, the engine owns the entire evaluation. This is how
+	// the server installs the CH many-to-many bucket engine (internal/ch's
+	// MTM) for wide obfuscated queries.
+	StrategyTableEngine Strategy = "table-engine"
 )
 
 // PointEngine is a pluggable point-to-point shortest-path engine the
@@ -53,27 +60,66 @@ type PointEngine interface {
 	ShortestPath(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error)
 }
 
+// TableEngine is a pluggable many-to-many engine the processor can hand a
+// whole Q(S, T) evaluation to (StrategyTableEngine). The contraction-
+// hierarchy bucket engine (internal/ch's MTM) implements it.
+//
+// EvaluateTable must return an MSMDResult whose Paths and Dists agree with
+// per-pair Dijkstra on the same accessor; EvaluateDistances is the
+// distance-only fast path — Dists filled, Paths nil — for callers that
+// never read routes. Like PointEngine, an implementation backed by a
+// preprocessed index must verify the accessor presents exactly the data it
+// was built from, and must be safe for concurrent use.
+type TableEngine interface {
+	EvaluateTable(acc storage.Accessor, sources, dests []roadnet.NodeID) (MSMDResult, error)
+	EvaluateDistances(acc storage.Accessor, sources, dests []roadnet.NodeID) (MSMDResult, error)
+}
+
 // MSMDResult is the result of evaluating one obfuscated path query Q(S, T):
-// the |S|·|T| candidate result paths, addressable by (source, dest).
+// the |S|·|T| candidate result paths and distances, addressable by
+// (source, dest).
 type MSMDResult struct {
 	Sources []roadnet.NodeID
 	Dests   []roadnet.NodeID
 	// Paths[i][j] is the path from Sources[i] to Dests[j]; empty when
-	// unreachable.
+	// unreachable. Nil (no rows at all) on distance-only evaluations
+	// (EvaluateDistances), whose callers never pay for path
+	// materialisation.
 	Paths [][]Path
+	// Dists[i][j] is the shortest-path distance from Sources[i] to
+	// Dests[j], +Inf when unreachable. Filled by every evaluation, so
+	// distance-only consumers (candidate filtering, cost experiments) need
+	// not walk Paths.
+	Dists [][]float64
 	Stats Stats
 }
 
 // Path returns the candidate path for the (source, dest) pair and whether the
-// pair belongs to the query.
+// pair belongs to the query. The second return is false for distance-only
+// results, which carry no paths.
 func (r MSMDResult) Path(source, dest roadnet.NodeID) (Path, bool) {
 	si, sok := indexOf(r.Sources, source)
 	di, dok := indexOf(r.Dests, dest)
-	if !sok || !dok {
+	if !sok || !dok || r.Paths == nil {
 		return Path{}, false
 	}
 	return r.Paths[si][di], true
 }
+
+// Distance returns the candidate distance for the (source, dest) pair (+Inf
+// when unreachable) and whether the pair belongs to the query.
+func (r MSMDResult) Distance(source, dest roadnet.NodeID) (float64, bool) {
+	si, sok := indexOf(r.Sources, source)
+	di, dok := indexOf(r.Dests, dest)
+	if !sok || !dok || r.Dists == nil {
+		return 0, false
+	}
+	return r.Dists[si][di], true
+}
+
+// HasPaths reports whether the result carries materialised candidate paths
+// (false for distance-only evaluations).
+func (r MSMDResult) HasPaths() bool { return r.Paths != nil }
 
 // NumCandidates returns the number of candidate result paths (|S|·|T|).
 func (r MSMDResult) NumCandidates() int { return len(r.Sources) * len(r.Dests) }
@@ -101,13 +147,14 @@ func indexOf(ids []roadnet.NodeID, id roadnet.NodeID) (int, bool) {
 // queries against an Accessor using a configurable strategy, optionally
 // fanning the per-source searches out over a bounded number of goroutines.
 type Processor struct {
-	acc       storage.Accessor
-	strategy  Strategy
-	workers   int
-	landmarks *Landmarks
-	engine    PointEngine
-	cache     *TreeCache
-	gate      Gate
+	acc         storage.Accessor
+	strategy    Strategy
+	workers     int
+	landmarks   *Landmarks
+	engine      PointEngine
+	tableEngine TableEngine
+	cache       *TreeCache
+	gate        Gate
 	// wsPool supplies the epoch-stamped search workspaces the per-source
 	// searches run on: each evaluation row checks one workspace out for its
 	// whole lifetime (every destination of a pairwise row reuses the same
@@ -146,6 +193,13 @@ func WithLandmarks(lm *Landmarks) ProcessorOption {
 // and the statistics accounting.
 func WithPointEngine(pe PointEngine) ProcessorOption {
 	return func(p *Processor) { p.engine = pe }
+}
+
+// WithTableEngine installs a pluggable many-to-many engine, required by
+// StrategyTableEngine. The engine evaluates the whole Q(S, T) table in one
+// call; the processor contributes validation, the gate and nothing else.
+func WithTableEngine(te TableEngine) ProcessorOption {
+	return func(p *Processor) { p.tableEngine = te }
 }
 
 // WithTreeCache installs an SSMD tree cache: StrategySSMD evaluations answer
@@ -190,21 +244,63 @@ func (p *Processor) Strategy() Strategy { return p.strategy }
 // Accessor returns the graph accessor the processor evaluates against.
 func (p *Processor) Accessor() storage.Accessor { return p.acc }
 
-// Evaluate processes the obfuscated path query Q(sources, dests) and returns
-// every candidate result path.
-func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error) {
+// validateQuery rejects empty or out-of-range endpoint sets.
+func (p *Processor) validateQuery(sources, dests []roadnet.NodeID) error {
 	if len(sources) == 0 || len(dests) == 0 {
-		return MSMDResult{}, fmt.Errorf("search: obfuscated query needs at least one source and one destination (got |S|=%d, |T|=%d)", len(sources), len(dests))
+		return fmt.Errorf("search: obfuscated query needs at least one source and one destination (got |S|=%d, |T|=%d)", len(sources), len(dests))
 	}
 	for _, s := range sources {
 		if !validNode(p.acc, s) {
-			return MSMDResult{}, fmt.Errorf("search: invalid source node %d", s)
+			return fmt.Errorf("search: invalid source node %d", s)
 		}
 	}
 	for _, t := range dests {
 		if !validNode(p.acc, t) {
-			return MSMDResult{}, fmt.Errorf("search: invalid destination node %d", t)
+			return fmt.Errorf("search: invalid destination node %d", t)
 		}
+	}
+	return nil
+}
+
+// evaluateOnTableEngine hands the whole query to the installed TableEngine
+// under one gate slot, distance-only or with paths.
+func (p *Processor) evaluateOnTableEngine(sources, dests []roadnet.NodeID, distancesOnly bool) (MSMDResult, error) {
+	if p.tableEngine == nil {
+		return MSMDResult{}, fmt.Errorf("search: strategy %q requires WithTableEngine", StrategyTableEngine)
+	}
+	p.gate.Acquire()
+	defer p.gate.Release()
+	if distancesOnly {
+		return p.tableEngine.EvaluateDistances(p.acc, sources, dests)
+	}
+	return p.tableEngine.EvaluateTable(p.acc, sources, dests)
+}
+
+// fillDists derives the distance matrix from materialised paths: the path
+// cost, or +Inf for an empty path of a non-degenerate pair.
+func fillDists(res *MSMDResult) {
+	res.Dists = make([][]float64, len(res.Sources))
+	for i := range res.Paths {
+		row := make([]float64, len(res.Dests))
+		for j, pth := range res.Paths[i] {
+			if pth.Empty() && res.Sources[i] != res.Dests[j] {
+				row[j] = math.Inf(1)
+			} else {
+				row[j] = pth.Cost
+			}
+		}
+		res.Dists[i] = row
+	}
+}
+
+// Evaluate processes the obfuscated path query Q(sources, dests) and returns
+// every candidate result path (and the derived distance matrix).
+func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error) {
+	if err := p.validateQuery(sources, dests); err != nil {
+		return MSMDResult{}, err
+	}
+	if p.strategy == StrategyTableEngine {
+		return p.evaluateOnTableEngine(sources, dests, false)
 	}
 	res := MSMDResult{
 		Sources: append([]roadnet.NodeID(nil), sources...),
@@ -314,6 +410,7 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			res.Paths[rr.idx] = rr.paths
 			res.Stats = res.Stats.Add(rr.stats)
 		}
+		fillDists(&res)
 		return res, nil
 	}
 
@@ -354,5 +451,21 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 	if firstErr != nil {
 		return MSMDResult{}, firstErr
 	}
+	fillDists(&res)
 	return res, nil
+}
+
+// EvaluateDistances processes Q(sources, dests) for callers that only need
+// the |S|×|T| distance matrix. With a table engine installed
+// (StrategyTableEngine) this is a genuine fast path — no route is unpacked
+// or materialised anywhere; other strategies fall back to Evaluate, whose
+// result already carries Dists alongside the paths.
+func (p *Processor) EvaluateDistances(sources, dests []roadnet.NodeID) (MSMDResult, error) {
+	if p.strategy == StrategyTableEngine {
+		if err := p.validateQuery(sources, dests); err != nil {
+			return MSMDResult{}, err
+		}
+		return p.evaluateOnTableEngine(sources, dests, true)
+	}
+	return p.Evaluate(sources, dests)
 }

@@ -70,20 +70,19 @@ func TestStrategyCHMatchesSSMD(t *testing.T) {
 }
 
 // TestStrategyHybridRouting asserts the pair-count cutover: small queries
-// route to the overlay, large ones to the SSMD processor, and both produce
-// correct results.
+// route pairwise to the overlay, wide ones to the many-to-many bucket
+// engine, and both produce correct results.
 func TestStrategyHybridRouting(t *testing.T) {
 	g := testGraph(t)
 	cfg := DefaultConfig()
 	cfg.Strategy = StrategyHybrid
 	cfg.CHOverlay = chTestOverlay(t, g)
 	cfg.CHMaxPairs = 4
-	cfg.TreeCache = 16
 	srv := MustNew(g, cfg)
 	acc := storage.NewMemoryGraph(g)
 
-	small := protocol.ServerQuery{QueryID: 1, Sources: []roadnet.NodeID{5}, Dests: []roadnet.NodeID{300, 301}}         // 2 pairs → CH
-	large := protocol.ServerQuery{QueryID: 2, Sources: []roadnet.NodeID{5, 6}, Dests: []roadnet.NodeID{300, 301, 302}} // 6 pairs → SSMD
+	small := protocol.ServerQuery{QueryID: 1, Sources: []roadnet.NodeID{5}, Dests: []roadnet.NodeID{300, 301}}         // 2 pairs → pairwise CH
+	large := protocol.ServerQuery{QueryID: 2, Sources: []roadnet.NodeID{5, 6}, Dests: []roadnet.NodeID{300, 301, 302}} // 6 pairs → MTM
 	for _, q := range []protocol.ServerQuery{small, large} {
 		reply, err := srv.Evaluate(q)
 		if err != nil {
@@ -100,11 +99,13 @@ func TestStrategyHybridRouting(t *testing.T) {
 		}
 	}
 	if n := srv.Metrics().Counter("ch_queries"); n != 1 {
-		t.Fatalf("ch_queries = %d, want 1 (only the small query routes to CH)", n)
+		t.Fatalf("ch_queries = %d, want 1 (only the small query routes to pairwise CH)", n)
 	}
-	// The large query ran SSMD with the tree cache enabled.
-	if st := srv.TreeCacheStats(); st.Hits+st.Misses == 0 {
-		t.Fatal("large hybrid query bypassed the SSMD tree cache")
+	if n := srv.Metrics().Counter("mtm_queries"); n != 1 {
+		t.Fatalf("mtm_queries = %d, want 1 (the wide query routes to the bucket engine)", n)
+	}
+	if st := srv.MTMStats(); st.Tables != 1 || st.BucketEntries == 0 {
+		t.Fatalf("MTM engine stats do not reflect the wide query: %+v", st)
 	}
 }
 

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+)
+
+// TestStrategyCHMTMMatchesSSMD runs the same obfuscated queries through a
+// ch-mtm server and a plain SSMD server and asserts identical candidate
+// costs and reachability — the server-level face of the many-to-many
+// correctness property.
+func TestStrategyCHMTMMatchesSSMD(t *testing.T) {
+	g := testGraph(t)
+	mtmCfg := DefaultConfig()
+	mtmCfg.Strategy = StrategyCHMTM
+	mtmCfg.CHOverlay = chTestOverlay(t, g)
+	mtmSrv := MustNew(g, mtmCfg)
+	ssmdSrv := MustNew(g, DefaultConfig())
+
+	queries := []protocol.ServerQuery{
+		{QueryID: 1, Sources: []roadnet.NodeID{1, 50}, Dests: []roadnet.NodeID{200, 400, 600}},
+		{QueryID: 2, Sources: []roadnet.NodeID{700}, Dests: []roadnet.NodeID{3}},
+		{QueryID: 3, Sources: []roadnet.NodeID{10, 20, 30, 40}, Dests: []roadnet.NodeID{11, 21, 31, 41, 51, 61}},
+		{QueryID: 4, Sources: []roadnet.NodeID{5, 5}, Dests: []roadnet.NodeID{5, 9}}, // duplicates and s==t cells
+	}
+	for _, q := range queries {
+		got, err := mtmSrv.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ssmdSrv.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Paths) != len(want.Paths) {
+			t.Fatalf("query %d: %d paths vs %d", q.QueryID, len(got.Paths), len(want.Paths))
+		}
+		for i := range got.Paths {
+			gp, wp := got.Paths[i], want.Paths[i]
+			if gp.Source != wp.Source || gp.Dest != wp.Dest {
+				t.Fatalf("query %d: candidate %d is for (%d,%d), want (%d,%d)", q.QueryID, i, gp.Source, gp.Dest, wp.Source, wp.Dest)
+			}
+			if (len(gp.Nodes) == 0) != (len(wp.Nodes) == 0) {
+				t.Fatalf("query %d pair (%d,%d): reachability disagrees", q.QueryID, gp.Source, gp.Dest)
+			}
+			if len(gp.Nodes) != 0 && math.Abs(gp.Cost-wp.Cost) > 1e-9*(1+wp.Cost) {
+				t.Fatalf("query %d pair (%d,%d): MTM cost %v, SSMD cost %v", q.QueryID, gp.Source, gp.Dest, gp.Cost, wp.Cost)
+			}
+		}
+	}
+	if n := mtmSrv.Metrics().Counter("mtm_queries"); n != int64(len(queries)) {
+		t.Fatalf("mtm_queries = %d, want %d", n, len(queries))
+	}
+	if st := mtmSrv.MTMStats(); st.Tables != int64(len(queries)) {
+		t.Fatalf("MTM Tables = %d, want %d", st.Tables, len(queries))
+	}
+}
+
+// TestHybridCutoverBoundary pins the Config.CHMaxPairs routing semantics at
+// the boundary: |S|·|T| of CHMaxPairs−1 and CHMaxPairs route pairwise to
+// the overlay (the cutover is inclusive), CHMaxPairs+1 routes to the
+// many-to-many engine.
+func TestHybridCutoverBoundary(t *testing.T) {
+	g := testGraph(t)
+	overlay := chTestOverlay(t, g)
+	const maxPairs = 6
+	cases := []struct {
+		name            string
+		sources, dests  []roadnet.NodeID
+		wantCH, wantMTM int64
+	}{
+		{"below (5 = CHMaxPairs-1)", []roadnet.NodeID{10}, []roadnet.NodeID{20, 30, 40, 50, 60}, 1, 0},
+		{"at (6 = CHMaxPairs)", []roadnet.NodeID{10, 11}, []roadnet.NodeID{20, 30, 40}, 1, 0},
+		{"above (7 = CHMaxPairs+1)", []roadnet.NodeID{10}, []roadnet.NodeID{20, 30, 40, 50, 60, 70, 80}, 0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Strategy = StrategyHybrid
+			cfg.CHOverlay = overlay
+			cfg.CHMaxPairs = maxPairs
+			srv := MustNew(g, cfg)
+			if _, err := srv.Evaluate(protocol.ServerQuery{Sources: tc.sources, Dests: tc.dests}); err != nil {
+				t.Fatal(err)
+			}
+			if n := srv.Metrics().Counter("ch_queries"); n != tc.wantCH {
+				t.Fatalf("ch_queries = %d, want %d", n, tc.wantCH)
+			}
+			if n := srv.Metrics().Counter("mtm_queries"); n != tc.wantMTM {
+				t.Fatalf("mtm_queries = %d, want %d", n, tc.wantMTM)
+			}
+			if n := srv.Metrics().Counter("fallback_queries"); n != 0 {
+				t.Fatalf("fallback_queries = %d, want 0 (hybrid with an overlay never routes to SSMD)", n)
+			}
+		})
+	}
+}
+
+// TestHybridWithoutOverlayFallsBackToSSMD asserts the degraded hybrid mode:
+// no overlay, no BuildCH — the server still comes up, every query runs on
+// the SSMD processor (tree cache included), and the routing counters say so.
+func TestHybridWithoutOverlayFallsBackToSSMD(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyHybrid
+	cfg.TreeCache = 16
+	srv, err := New(g, cfg)
+	if err != nil {
+		t.Fatalf("hybrid without overlay must degrade to SSMD, got error: %v", err)
+	}
+	if srv.Overlay() != nil {
+		t.Fatal("server reports an overlay it was never given")
+	}
+	q := protocol.ServerQuery{Sources: []roadnet.NodeID{5, 6}, Dests: []roadnet.NodeID{300, 301, 302, 303, 304, 305, 306, 307, 308}}
+	if _, err := srv.Evaluate(q); err != nil {
+		t.Fatal(err)
+	}
+	if n := srv.Metrics().Counter("fallback_queries"); n != 1 {
+		t.Fatalf("fallback_queries = %d, want 1", n)
+	}
+	if n := srv.Metrics().Counter("ch_queries") + srv.Metrics().Counter("mtm_queries"); n != 0 {
+		t.Fatalf("overlay routing counters moved without an overlay: %d", n)
+	}
+	if st := srv.TreeCacheStats(); st.Hits+st.Misses == 0 {
+		t.Fatal("fallback query bypassed the SSMD tree cache")
+	}
+	if st := srv.MTMStats(); st.Tables != 0 || st.BucketEntries != 0 {
+		t.Fatalf("MTMStats without an overlay = %+v, want zeroes", st)
+	}
+}
+
+// TestMTMMetricsSurfaced asserts the bucket-engine instrumentation reaches
+// the metrics registry the periodic stats log reads.
+func TestMTMMetricsSurfaced(t *testing.T) {
+	g := testGraph(t)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyCHMTM
+	cfg.CHOverlay = chTestOverlay(t, g)
+	srv := MustNew(g, cfg)
+	if _, err := srv.Evaluate(protocol.ServerQuery{Sources: []roadnet.NodeID{1, 2, 3}, Dests: []roadnet.NodeID{500, 501, 502, 503}}); err != nil {
+		t.Fatal(err)
+	}
+	m := srv.Metrics()
+	st := srv.MTMStats()
+	if st.Tables != 1 || st.BucketEntries == 0 || st.BucketEntriesScanned == 0 || st.ArenaHighWater == 0 {
+		t.Fatalf("MTM stats after one table: %+v", st)
+	}
+	if got := m.Gauge("mtm_tables"); got != float64(st.Tables) {
+		t.Fatalf("mtm_tables gauge = %v, engine says %d", got, st.Tables)
+	}
+	if got := m.Gauge("mtm_bucket_entries"); got != float64(st.BucketEntries) {
+		t.Fatalf("mtm_bucket_entries gauge = %v, engine says %d", got, st.BucketEntries)
+	}
+	if got := m.Gauge("mtm_bucket_entries_scanned"); got != float64(st.BucketEntriesScanned) {
+		t.Fatalf("mtm_bucket_entries_scanned gauge = %v, engine says %d", got, st.BucketEntriesScanned)
+	}
+	if got := m.Gauge("mtm_arena_high_water"); got != float64(st.ArenaHighWater) {
+		t.Fatalf("mtm_arena_high_water gauge = %v, engine says %d", got, st.ArenaHighWater)
+	}
+}

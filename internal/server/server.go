@@ -30,28 +30,35 @@ import (
 	"opaque/internal/storage"
 )
 
-// Server-level evaluation strategies layered on top of the search package's:
-// both require a contraction-hierarchy overlay (Config.CHOverlay or
-// Config.BuildCH).
+// Server-level evaluation strategies layered on top of the search package's.
+// StrategyCH and StrategyCHMTM require a contraction-hierarchy overlay
+// (Config.CHOverlay or Config.BuildCH); StrategyHybrid uses one when
+// available and degrades to pure SSMD sharing when not.
 const (
 	// StrategyCH evaluates every (source, dest) pair of Q(S, T) on the
 	// contraction-hierarchy overlay — the preprocessed bidirectional search
 	// of internal/ch, typically an order of magnitude faster than flat
 	// Dijkstra per pair on large maps.
 	StrategyCH = search.Strategy("ch")
+	// StrategyCHMTM evaluates every query with the many-to-many bucket
+	// algorithm on the overlay (internal/ch's MTM): |S|+|T| upward sweeps
+	// joined at bucket entries instead of |S|·|T| bidirectional searches —
+	// the fastest engine for wide candidate tables.
+	StrategyCHMTM = search.Strategy("ch-mtm")
 	// StrategyHybrid routes each query by shape: point-ish queries (up to
 	// Config.CHMaxPairs candidate pairs) go pairwise to the CH overlay,
-	// larger obfuscated queries keep the SSMD spanning-tree sharing (and
-	// the tree cache, when enabled) that amortises work across many
-	// destinations per source.
+	// wider obfuscated queries go to the many-to-many bucket engine. When
+	// the server has no overlay at all, every query falls back to the SSMD
+	// spanning-tree sharing (and the tree cache, when enabled).
 	StrategyHybrid = search.Strategy("hybrid")
 )
 
 // Config parameterises a Server.
 type Config struct {
 	// Strategy selects how Q(S,T) is evaluated (default: SSMD sharing).
-	// Besides the search-package strategies, the server accepts StrategyCH
-	// and StrategyHybrid, which run on the contraction-hierarchy overlay.
+	// Besides the search-package strategies, the server accepts StrategyCH,
+	// StrategyCHMTM and StrategyHybrid, which run on the
+	// contraction-hierarchy overlay.
 	Strategy search.Strategy
 	// Workers bounds per-query source-level parallelism (default 1).
 	Workers int
@@ -89,25 +96,34 @@ type Config struct {
 	Landmarks int
 	// CHOverlay installs a prebuilt contraction-hierarchy overlay (usually
 	// loaded from a cmd/opaque-preprocess file); it must Match the server's
-	// graph. Required by StrategyCH and StrategyHybrid unless BuildCH is
-	// set.
+	// graph. Required by StrategyCH and StrategyCHMTM unless BuildCH is
+	// set; optional for StrategyHybrid, which falls back to pure SSMD
+	// sharing without one.
 	CHOverlay *ch.Overlay
 	// BuildCH contracts the graph at startup when no CHOverlay is given —
 	// the in-process equivalent of running cmd/opaque-preprocess. Expect
 	// seconds of startup work on large maps; persisted overlays skip it.
 	BuildCH bool
-	// CHMaxPairs is the StrategyHybrid cutover: queries with
-	// |S|·|T| ≤ CHMaxPairs are evaluated pairwise on the CH overlay,
-	// larger ones through the SSMD processor. 0 means
-	// DefaultCHMaxPairs. Ignored by other strategies.
+	// CHMaxPairs is the StrategyHybrid cutover, with *inclusive* pairwise
+	// semantics: queries with |S|·|T| ≤ CHMaxPairs are evaluated pairwise
+	// on the CH overlay, queries with |S|·|T| > CHMaxPairs go to the
+	// many-to-many bucket engine (or to the SSMD processor when the server
+	// has no overlay). 0 means DefaultCHMaxPairs. Ignored by other
+	// strategies.
 	CHMaxPairs int
 }
 
 // DefaultCHMaxPairs is the hybrid cutover used when Config.CHMaxPairs is 0:
-// obfuscated queries up to this many candidate pairs run on the CH overlay.
-// Beyond it, SSMD's per-source sharing usually beats |S|·|T| point queries
-// because destination balls overlap.
-const DefaultCHMaxPairs = 16
+// obfuscated queries up to this many candidate pairs (inclusive) run
+// pairwise on the CH overlay, whose bidirectional stopping rule prunes each
+// individual search; strictly wider tables go to the many-to-many bucket
+// engine, whose |S|+|T| exhaustive sweeps amortise across cells. Experiment
+// E15 measures the crossover this constant encodes: MTM is fastest from
+// 2×2 tables upward on both measured graph scales and pairwise wins only
+// true point queries, so the default keeps just the point-ish shapes
+// (1×1 … 2×2, where the two engines are within noise of each other)
+// on the pairwise engine.
+const DefaultCHMaxPairs = 4
 
 // DefaultConfig returns an in-memory SSMD server with logging enabled. The
 // tree cache is off by default so single-query experiments report cold-search
@@ -138,13 +154,17 @@ type Server struct {
 	pool      *storage.BufferPool
 	processor *search.Processor
 	// chProcessor evaluates queries pairwise on the contraction-hierarchy
-	// overlay; non-nil only for StrategyCH/StrategyHybrid. Evaluate routes
-	// each query between processor and chProcessor (see chooseProcessor).
-	chProcessor *search.Processor
-	overlay     *ch.Overlay
-	chMaxPairs  int
-	cache       *search.TreeCache
-	gate        search.Gate
+	// overlay and mtmProcessor evaluates them with the many-to-many bucket
+	// engine; both are non-nil exactly when an overlay is installed.
+	// Evaluate routes each query between processor, chProcessor and
+	// mtmProcessor (see chooseProcessor).
+	chProcessor  *search.Processor
+	mtmProcessor *search.Processor
+	mtm          *ch.MTM
+	overlay      *ch.Overlay
+	chMaxPairs   int
+	cache        *search.TreeCache
+	gate         search.Gate
 	// wsPool owns the epoch-stamped search workspaces every query of this
 	// server runs on: batch workers and per-query source fan-out all check
 	// workspaces out of this one pool, so steady-state evaluation performs
@@ -166,6 +186,8 @@ type Server struct {
 	mBatches      *metrics.Counter
 	mBatchQueries *metrics.Counter
 	mCHQueries    *metrics.Counter
+	mMTMQueries   *metrics.Counter
+	mFallback     *metrics.Counter
 	hLatency      *metrics.Histogram
 	hBatchLatency *metrics.Histogram
 }
@@ -186,6 +208,8 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	s.mBatches = s.metrics.CounterVar("batches_processed")
 	s.mBatchQueries = s.metrics.CounterVar("batch_queries")
 	s.mCHQueries = s.metrics.CounterVar("ch_queries")
+	s.mMTMQueries = s.metrics.CounterVar("mtm_queries")
+	s.mFallback = s.metrics.CounterVar("fallback_queries")
 	s.hLatency = s.metrics.HistogramVar("query_latency")
 	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
@@ -208,10 +232,11 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	}
 	s.wsPool = search.NewWorkspacePool()
 
-	// The CH strategies are server-level: queries route between a pairwise
-	// overlay processor and the regular multi-source processor, which falls
-	// back to SSMD sharing for whatever the overlay does not take.
-	useCH := cfg.Strategy == StrategyCH || cfg.Strategy == StrategyHybrid
+	// The CH strategies are server-level: queries route between the pairwise
+	// overlay processor, the many-to-many overlay processor and the regular
+	// multi-source processor, which keeps SSMD sharing for whatever the
+	// overlay does not take (and for hybrid servers running without one).
+	useCH := cfg.Strategy == StrategyCH || cfg.Strategy == StrategyCHMTM || cfg.Strategy == StrategyHybrid
 	procStrategy := cfg.Strategy
 	if useCH {
 		procStrategy = search.StrategySSMD
@@ -245,36 +270,53 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 
 	if useCH {
 		overlay := cfg.CHOverlay
-		if overlay == nil {
-			if !cfg.BuildCH {
-				return nil, fmt.Errorf("server: strategy %q requires a CHOverlay (load one built by opaque-preprocess) or BuildCH", cfg.Strategy)
-			}
+		if overlay == nil && cfg.BuildCH {
 			built, err := ch.Build(g)
 			if err != nil {
 				return nil, fmt.Errorf("server: building CH overlay: %w", err)
 			}
 			overlay = built
 		}
-		if err := overlay.Matches(g); err != nil {
-			return nil, fmt.Errorf("server: installing CH overlay: %w", err)
+		if overlay == nil {
+			// Hybrid degrades gracefully to the SSMD processor — a replica
+			// can come up before its overlay file is provisioned. The pure
+			// overlay strategies have nothing to run on and must refuse.
+			if cfg.Strategy != StrategyHybrid {
+				return nil, fmt.Errorf("server: strategy %q requires a CHOverlay (load one built by opaque-preprocess) or BuildCH", cfg.Strategy)
+			}
+		} else {
+			if err := overlay.Matches(g); err != nil {
+				return nil, fmt.Errorf("server: installing CH overlay: %w", err)
+			}
+			s.overlay = overlay
+			s.chMaxPairs = cfg.CHMaxPairs
+			if s.chMaxPairs <= 0 {
+				s.chMaxPairs = DefaultCHMaxPairs
+			}
+			chOpts := []search.ProcessorOption{
+				search.WithStrategy(search.StrategyPointEngine),
+				search.WithPointEngine(ch.NewEngine(overlay, s.wsPool)),
+				search.WithWorkspacePool(s.wsPool),
+			}
+			if cfg.Workers > 1 {
+				chOpts = append(chOpts, search.WithWorkers(cfg.Workers))
+			}
+			if s.gate != nil {
+				chOpts = append(chOpts, search.WithGate(s.gate))
+			}
+			s.chProcessor = search.NewProcessor(s.acc, chOpts...)
+
+			s.mtm = ch.NewMTM(overlay, s.wsPool)
+			mtmOpts := []search.ProcessorOption{
+				search.WithStrategy(search.StrategyTableEngine),
+				search.WithTableEngine(s.mtm),
+				search.WithWorkspacePool(s.wsPool),
+			}
+			if s.gate != nil {
+				mtmOpts = append(mtmOpts, search.WithGate(s.gate))
+			}
+			s.mtmProcessor = search.NewProcessor(s.acc, mtmOpts...)
 		}
-		s.overlay = overlay
-		s.chMaxPairs = cfg.CHMaxPairs
-		if s.chMaxPairs <= 0 {
-			s.chMaxPairs = DefaultCHMaxPairs
-		}
-		chOpts := []search.ProcessorOption{
-			search.WithStrategy(search.StrategyPointEngine),
-			search.WithPointEngine(ch.NewEngine(overlay, s.wsPool)),
-			search.WithWorkspacePool(s.wsPool),
-		}
-		if cfg.Workers > 1 {
-			chOpts = append(chOpts, search.WithWorkers(cfg.Workers))
-		}
-		if s.gate != nil {
-			chOpts = append(chOpts, search.WithGate(s.gate))
-		}
-		s.chProcessor = search.NewProcessor(s.acc, chOpts...)
 	}
 	return s, nil
 }
@@ -348,25 +390,50 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 	return reply, nil
 }
 
-// chooseProcessor routes one query between the regular processor and the
-// contraction-hierarchy processor: StrategyCH sends everything to the
-// overlay, StrategyHybrid only queries small enough (|S|·|T| ≤ CHMaxPairs)
-// that per-pair overlay searches beat SSMD's per-source sharing. Other
-// strategies never see a CH processor.
+// chooseProcessor routes one query between the regular processor and the two
+// overlay processors. StrategyCH sends everything pairwise to the overlay
+// and StrategyCHMTM everything to the many-to-many bucket engine.
+// StrategyHybrid routes by shape: queries small enough
+// (|S|·|T| ≤ CHMaxPairs, inclusive) that per-pair bidirectional searches
+// prune hardest go pairwise, strictly wider tables go to the many-to-many
+// engine, and — when the server has no overlay at all — everything keeps
+// SSMD's per-source sharing. The ch_queries / mtm_queries / fallback_queries
+// counters record the routing decisions.
 func (s *Server) chooseProcessor(q protocol.ServerQuery) *search.Processor {
 	if s.chProcessor == nil {
+		s.mFallback.Add(1)
 		return s.processor
 	}
-	if s.cfg.Strategy == StrategyCH || len(q.Sources)*len(q.Dests) <= s.chMaxPairs {
+	switch s.cfg.Strategy {
+	case StrategyCH:
 		s.mCHQueries.Add(1)
 		return s.chProcessor
+	case StrategyCHMTM:
+		s.mMTMQueries.Add(1)
+		return s.mtmProcessor
+	default: // StrategyHybrid
+		if len(q.Sources)*len(q.Dests) <= s.chMaxPairs {
+			s.mCHQueries.Add(1)
+			return s.chProcessor
+		}
+		s.mMTMQueries.Add(1)
+		return s.mtmProcessor
 	}
-	return s.processor
 }
 
 // Overlay returns the installed contraction-hierarchy overlay, or nil when
 // the server runs without one.
 func (s *Server) Overlay() *ch.Overlay { return s.overlay }
+
+// MTMStats returns the many-to-many bucket engine's counters (tables
+// evaluated, bucket entries deposited/scanned, arena high-water mark), or
+// zeroes when the server has no overlay installed.
+func (s *Server) MTMStats() ch.MTMStats {
+	if s.mtm == nil {
+		return ch.MTMStats{}
+	}
+	return s.mtm.Stats()
+}
 
 // WorkspacePoolStats returns the checkout counters of the server's search
 // workspace pool — every query, batch worker, cached tree and CH search of
@@ -427,6 +494,13 @@ func (s *Server) publishDerivedMetrics() {
 		s.metrics.SetGauge("tree_cache_resumes", float64(st.Resumes))
 		s.metrics.SetGauge("tree_cache_evictions", float64(st.Evictions))
 		s.metrics.SetGauge("tree_cache_invalidations", float64(st.Invalidations))
+	}
+	if s.mtm != nil {
+		mt := s.mtm.Stats()
+		s.metrics.SetGauge("mtm_tables", float64(mt.Tables))
+		s.metrics.SetGauge("mtm_bucket_entries", float64(mt.BucketEntries))
+		s.metrics.SetGauge("mtm_bucket_entries_scanned", float64(mt.BucketEntriesScanned))
+		s.metrics.SetGauge("mtm_arena_high_water", float64(mt.ArenaHighWater))
 	}
 	ws := s.wsPool.Stats()
 	s.metrics.SetGauge("workspace_gets", float64(ws.Gets))
