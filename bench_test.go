@@ -71,6 +71,7 @@ func BenchmarkE12BatchThroughput(b *testing.B)      { benchmarkExperiment(b, "E1
 func BenchmarkE13WorkspaceHotPath(b *testing.B)     { benchmarkExperiment(b, "E13") }
 func BenchmarkE14ContractionHierarchy(b *testing.B) { benchmarkExperiment(b, "E14") }
 func BenchmarkE15ManyToMany(b *testing.B)           { benchmarkExperiment(b, "E15") }
+func BenchmarkE16LiveUpdates(b *testing.B)          { benchmarkExperiment(b, "E16") }
 
 // Micro-benchmarks of the primitives behind the experiments.
 

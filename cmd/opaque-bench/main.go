@@ -9,9 +9,12 @@
 // (E13: epoch-stamped search workspaces vs the fresh-slice baseline,
 // allocs/query and queries/sec), the contraction-hierarchy measurement
 // (E14: offline contraction cost and overlay size versus point-query
-// speedup over Dijkstra and ALT), and the many-to-many table measurement
+// speedup over Dijkstra and ALT), the many-to-many table measurement
 // (E15: bucket-algorithm Q(S,T) tables vs pairwise CH and SSMD across
-// |S|×|T| shapes, the crossover behind the server's hybrid cutover).
+// |S|×|T| shapes, the crossover behind the server's hybrid cutover), and
+// the live weight update measurement (E16: copy-on-write apply cost and CH
+// re-customization versus the full-rebuild baselines, per update batch
+// size).
 //
 // Usage:
 //
@@ -65,7 +68,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("opaque-bench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		expID   = fs.String("exp", "", "run experiments by id (E1..E15), comma-separated; empty runs all")
+		expID   = fs.String("exp", "", "run experiments by id (E1..E16), comma-separated; empty runs all")
 		scale   = fs.String("scale", "small", "experiment scale: small | full")
 		list    = fs.Bool("list", false, "list available experiments and exit")
 		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")
@@ -126,7 +129,13 @@ func run(args []string, out, errOut io.Writer) error {
 			AllocsPerOp: int64(after.Mallocs - before.Mallocs),
 		}
 		for _, t := range tables {
-			rec.Tables = append(rec.Tables, tableShape{ID: t.ID, Rows: len(t.Rows), Cols: len(t.Columns)})
+			rec.Tables = append(rec.Tables, tableShape{
+				ID:      t.ID,
+				Rows:    len(t.Rows),
+				Cols:    len(t.Columns),
+				Columns: t.Columns,
+				Cells:   t.Rows,
+			})
 			if err := t.Render(out); err != nil {
 				return fmt.Errorf("rendering %s: %w", t.ID, err)
 			}
@@ -166,11 +175,16 @@ type benchRecord struct {
 	Tables      []tableShape `json:"tables"`
 }
 
-// tableShape records the dimensions of one produced table.
+// tableShape records the dimensions *and content* of one produced table:
+// the column headers and every row's cells, so downstream tooling can read
+// measured values (E16's per-batch update costs, E15's crossover times)
+// straight out of the artifact instead of re-parsing rendered text.
 type tableShape struct {
-	ID   string `json:"id"`
-	Rows int    `json:"rows"`
-	Cols int    `json:"cols"`
+	ID      string     `json:"id"`
+	Rows    int        `json:"rows"`
+	Cols    int        `json:"cols"`
+	Columns []string   `json:"columns"`
+	Cells   [][]string `json:"cells"`
 }
 
 // benchFile is the envelope of a BENCH_<date>.json file.

@@ -59,6 +59,7 @@ func run(args []string, out, errOut io.Writer) error {
 		seed         = fs.Uint64("seed", 42, "generation seed")
 		outFile      = fs.String("out", "", "output overlay file (required)")
 		witnessLimit = fs.Int("witness-limit", 0, "witness search settle budget (0 = default; larger = slower build, fewer redundant shortcuts)")
+		customizable = fs.Bool("customizable", false, "contract metric-independently: the overlay absorbs live weight updates via re-customization (larger file, required for opaque-server deployments that call UpdateWeights)")
 		check        = fs.Int("check", 0, "verify this many random queries against Dijkstra after building")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,14 +83,19 @@ func run(args []string, out, errOut io.Writer) error {
 	if *witnessLimit > 0 {
 		cfg.WitnessSettleLimit = *witnessLimit
 	}
+	cfg.Customizable = *customizable
 	start := time.Now()
 	overlay, err := ch.BuildWithConfig(g, cfg)
 	if err != nil {
 		return err
 	}
 	buildTime := time.Since(start)
-	fmt.Fprintf(out, "contracted in %v: %d shortcuts over %d original arcs (%.2fx), max level %d\n",
-		buildTime.Round(time.Millisecond), overlay.NumShortcuts(), overlay.NumOriginalArcs(),
+	mode := "witness-pruned"
+	if overlay.Customizable() {
+		mode = "customizable (absorbs live weight updates)"
+	}
+	fmt.Fprintf(out, "contracted in %v (%s): %d shortcuts over %d original arcs (%.2fx), max level %d\n",
+		buildTime.Round(time.Millisecond), mode, overlay.NumShortcuts(), overlay.NumOriginalArcs(),
 		float64(overlay.NumShortcuts())/float64(max(overlay.NumOriginalArcs(), 1)), overlay.MaxLevel())
 
 	if *check > 0 {

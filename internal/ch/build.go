@@ -16,8 +16,19 @@ type BuildConfig struct {
 	// inserts it anyway — a correct but possibly redundant arc — so the
 	// limit trades overlay size for preprocessing time. Values below 1 use
 	// the default (64, plenty on road-shaped graphs whose witness paths are
-	// short detours).
+	// short detours). Ignored when Customizable is set (no witness searches
+	// run at all).
 	WitnessSettleLimit int
+	// Customizable switches the contraction to metric-independent mode:
+	// every in/out neighbour pair of a contracted node gets a shortcut
+	// (unless an arc between the pair already exists), with no witness
+	// pruning, and the arc weights are derived afterwards by the bottom-up
+	// customization pass (customize.go). The overlay carries more shortcuts
+	// than a witness-pruned one, but its shortcut *structure* is valid for
+	// any weight assignment on the same topology — a live weight update is
+	// absorbed by Overlay.Recustomize in milliseconds instead of a full
+	// re-contraction.
+	Customizable bool
 }
 
 // DefaultBuildConfig returns the contraction parameters used when none are
@@ -32,6 +43,16 @@ func DefaultBuildConfig() BuildConfig {
 // networks it contracts tens of thousands of nodes per second.
 func Build(g *roadnet.Graph) (*Overlay, error) {
 	return BuildWithConfig(g, DefaultBuildConfig())
+}
+
+// BuildCustomizable runs the metric-independent contraction pass (see
+// BuildConfig.Customizable): the returned overlay answers queries exactly
+// like a witness-pruned one, and additionally supports Recustomize after
+// live weight updates.
+func BuildCustomizable(g *roadnet.Graph) (*Overlay, error) {
+	cfg := DefaultBuildConfig()
+	cfg.Customizable = true
+	return BuildWithConfig(g, cfg)
 }
 
 // BuildWithConfig is Build with explicit contraction parameters.
@@ -58,9 +79,10 @@ type builder struct {
 	n   int
 	cfg BuildConfig
 
-	arcs []arc     // arena: original arcs first, shortcuts appended
-	out  [][]int32 // per node: arena indices of out-arcs (stale entries allowed)
-	in   [][]int32 // per node: arena indices of in-arcs
+	arcs      []arc     // arena: original arcs first, shortcuts appended
+	nOriginal int       // seeded original-arc count (arena prefix length)
+	out       [][]int32 // per node: arena indices of out-arcs (stale entries allowed)
+	in        [][]int32 // per node: arena indices of in-arcs
 
 	contracted []bool
 	rank       []int32
@@ -132,6 +154,7 @@ func newBuilder(g *roadnet.Graph, cfg BuildConfig) *builder {
 			b.in[a.To] = append(b.in[a.To], idx)
 		}
 	}
+	b.nOriginal = len(b.arcs)
 	return b
 }
 
@@ -251,17 +274,32 @@ func containsNeighbour(set []neighbour, id int32) bool {
 	return false
 }
 
-// simulate enumerates the shortcuts contracting v requires right now —
-// pairs (x, w) of in/out neighbours whose best path through v is not
-// witnessed by a path avoiding v — into b.pending, leaving the graph
-// untouched, and returns their count. It fills b.ins/b.outs as a side
-// effect; contract consumes both.
+// simulate enumerates the shortcuts contracting v requires right now into
+// b.pending, leaving the graph untouched, and returns their count. In the
+// default (witness-pruned) mode those are the pairs (x, w) of in/out
+// neighbours whose best path through v is not witnessed by a path avoiding
+// v. In customizable mode no witness searches run: every pair without an
+// existing live arc x→w needs a shortcut, because the structure must
+// preserve distances under *any* future weight assignment, and the cheapest
+// witness under one metric proves nothing about the next. simulate fills
+// b.ins/b.outs as a side effect; contract consumes both.
 func (b *builder) simulate(v int32) int {
 	b.pending = b.pending[:0]
 	b.simNode = v
 	b.gatherNeighbours(v)
 	if len(b.ins) == 0 || len(b.outs) == 0 {
 		return 0
+	}
+	if b.cfg.Customizable {
+		for _, x := range b.ins {
+			for _, w := range b.outs {
+				if w.id == x.id || b.arcExists(x.id, w.id) {
+					continue
+				}
+				b.pending = append(b.pending, pendingShortcut{x: x, w: w, cost: x.cost + w.cost})
+			}
+		}
+		return len(b.pending)
 	}
 	maxOut := 0.0
 	for _, nb := range b.outs {
@@ -283,6 +321,19 @@ func (b *builder) simulate(v int32) int {
 		}
 	}
 	return len(b.pending)
+}
+
+// arcExists reports whether any arena arc x→w exists, whatever its cost.
+// Customizable contraction needs existence only: the customization pass
+// assigns the final weight as a minimum over all lower triangles, so one arc
+// per pair suffices and parallels would only inflate the arena.
+func (b *builder) arcExists(x, w int32) bool {
+	for _, ai := range b.out[x] {
+		if b.arcs[ai].to == w {
+			return true
+		}
+	}
+	return false
 }
 
 // addShortcut inserts the shortcut x→w with the given cost unless a live arc
@@ -358,22 +409,25 @@ func (b *builder) witnessDist(w int32) float64 {
 	return b.wdist[w]
 }
 
-// finish freezes the builder's output into an immutable Overlay.
+// finish freezes the builder's output into an immutable Overlay. For a
+// customizable build the contraction above fixed only the structure; the
+// weight layer (arc costs and unpack children) is derived here by the same
+// customization pass a live weight update reruns.
 func (b *builder) finish() *Overlay {
 	o := &Overlay{
-		n:         b.n,
-		nOriginal: 0,
-		rank:      b.rank,
-		level:     b.level,
-		arcs:      b.arcs,
-		graphArcs: b.g.NumArcs(),
-		checksum:  GraphChecksum(b.g),
-	}
-	for i := range o.arcs {
-		if o.arcs[i].childA < 0 {
-			o.nOriginal++
-		}
+		n:            b.n,
+		nOriginal:    b.nOriginal,
+		rank:         b.rank,
+		level:        b.level,
+		arcs:         b.arcs,
+		graphArcs:    b.g.NumArcs(),
+		checksum:     GraphChecksum(b.g),
+		topoSum:      b.g.TopologyChecksum(),
+		customizable: b.cfg.Customizable,
 	}
 	o.buildCSR()
+	if o.customizable {
+		o.customizeInPlace(b.g)
+	}
 	return o
 }

@@ -28,6 +28,11 @@
 //     entries instead of |S|·|T| point queries, 0 allocs/op for
 //     distance-only tables. MTM implements search.TableEngine, which is
 //     how the server routes wide obfuscated queries to it.
+//   - Recustomize (customize.go) is the live-update half: a customizable
+//     overlay (BuildCustomizable) separates the metric-independent
+//     contraction structure from a weight layer that a bottom-up triangle
+//     pass recomputes in milliseconds after arc costs change — no
+//     re-contraction, same query engines.
 //   - Write/Read (io.go) persist an Overlay in the versioned, checksummed
 //     binary format documented in docs/FORMATS.md, so deployments build the
 //     hierarchy once (cmd/opaque-preprocess) and serve from it everywhere.
@@ -48,8 +53,6 @@ package ch
 
 import (
 	"fmt"
-	"hash/fnv"
-	"math"
 
 	"opaque/internal/roadnet"
 )
@@ -94,7 +97,19 @@ type Overlay struct {
 	fwdArc, bwdArc   []int32
 
 	graphArcs int    // NumArcs of the source graph (self-loops included)
-	checksum  uint64 // GraphChecksum of the source graph
+	checksum  uint64 // GraphChecksum (content) of the source graph
+	// topoSum is the weight-independent topology checksum of the source
+	// graph (roadnet.Graph.TopologyChecksum). It is what the frozen half of
+	// the overlay — contraction order and shortcut structure — is bound to:
+	// a weight update moves checksum but not topoSum, and Recustomize
+	// accepts any graph whose topoSum matches.
+	topoSum uint64
+	// customizable marks overlays whose contraction inserted a shortcut for
+	// every in/out neighbour pair (no witness pruning), making the shortcut
+	// structure metric-independent: after a weight update, Recustomize can
+	// recompute the weight layer bottom-up instead of re-contracting.
+	// Witness-pruned overlays are smaller but bound to one metric forever.
+	customizable bool
 }
 
 // NumNodes returns the number of nodes the overlay covers.
@@ -127,9 +142,20 @@ func (o *Overlay) MaxLevel() int {
 	return maxL
 }
 
-// Checksum returns the content checksum of the graph the overlay was built
-// from (see GraphChecksum).
+// Checksum returns the content checksum of the graph the overlay's weights
+// were (re)customized for (see GraphChecksum). A weight update on the served
+// graph moves the graph's checksum away from this value; serving the overlay
+// past that point returns distances from a dead metric.
 func (o *Overlay) Checksum() uint64 { return o.checksum }
+
+// TopologyChecksum returns the weight-independent topology checksum of the
+// source graph — the identity of the overlay's frozen half.
+func (o *Overlay) TopologyChecksum() uint64 { return o.topoSum }
+
+// Customizable reports whether the overlay's shortcut structure is
+// metric-independent, i.e. whether Recustomize can refresh its weights after
+// a weight update without re-contracting.
+func (o *Overlay) Customizable() bool { return o.customizable }
 
 // Matches verifies the overlay was built from exactly this graph — node
 // count, arc count and content checksum — and returns a descriptive error
@@ -148,35 +174,14 @@ func (o *Overlay) Matches(g *roadnet.Graph) error {
 	return nil
 }
 
-// GraphChecksum returns a content checksum of a frozen graph: FNV-1a over
-// the node count and every node's adjacency (head IDs and cost bit
-// patterns) in CSR order. Two graphs with the same checksum, node count and
-// arc count are treated as identical for overlay binding purposes.
-func GraphChecksum(g *roadnet.Graph) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put32 := func(v uint32) {
-		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
-		h.Write(buf[:4])
-	}
-	put64 := func(v uint64) {
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:8])
-	}
-	n := g.NumNodes()
-	put32(uint32(n))
-	for v := 0; v < n; v++ {
-		arcs := g.Arcs(roadnet.NodeID(v))
-		put32(uint32(len(arcs)))
-		for _, a := range arcs {
-			put32(uint32(a.To))
-			put64(math.Float64bits(a.Cost))
-		}
-	}
-	return h.Sum64()
-}
+// GraphChecksum returns the content checksum overlays bind to: the graph's
+// cached roadnet ContentChecksum, which covers node count, every node's
+// adjacency heads and every arc's cost bit pattern. Two graphs with the same
+// checksum, node count and arc count are treated as identical for overlay
+// binding purposes. The value is maintained incrementally across live weight
+// updates (roadnet.Graph.WithUpdatedWeights), so comparing it per query is
+// O(1), not O(arcs).
+func GraphChecksum(g *roadnet.Graph) uint64 { return g.ContentChecksum() }
 
 // buildCSR derives the two upward CSR views from the arena and the ranks.
 // It is called by the builder and by Read, so the in-memory layout of a
@@ -224,6 +229,30 @@ func (o *Overlay) buildCSR() {
 			o.bwdArc[j] = int32(i)
 			nextB[a.to]++
 		}
+	}
+	// Sort each node's segment by head. Queries scan whole segments, so the
+	// order is semantically free — sorted segments are what lets the
+	// customization pass binary-search "the arc u→w" out of tens of millions
+	// of triangle relaxations instead of scanning adjacency linearly.
+	for v := 0; v < n; v++ {
+		sortSegmentByHead(o.fwdTo, o.fwdCost, o.fwdArc, int(o.fwdOff[v]), int(o.fwdOff[v+1]))
+		sortSegmentByHead(o.bwdTo, o.bwdCost, o.bwdArc, int(o.bwdOff[v]), int(o.bwdOff[v+1]))
+	}
+}
+
+// sortSegmentByHead insertion-sorts the CSR triple (heads, costs, arcIDs) on
+// heads within [lo, hi). Segments are node degrees — small — and nearly
+// sorted already (the arena seeds originals in adjacency order), which is
+// insertion sort's best case.
+func sortSegmentByHead(heads []roadnet.NodeID, costs []float64, arcIDs []int32, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		h, c, a := heads[i], costs[i], arcIDs[i]
+		j := i
+		for j > lo && heads[j-1] > h {
+			heads[j], costs[j], arcIDs[j] = heads[j-1], costs[j-1], arcIDs[j-1]
+			j--
+		}
+		heads[j], costs[j], arcIDs[j] = h, c, a
 	}
 }
 

@@ -1,0 +1,254 @@
+package ch
+
+import (
+	"fmt"
+	"math"
+
+	"opaque/internal/roadnet"
+)
+
+// This file is the re-customizable weight layer of the overlay — the half a
+// live weight update refreshes. The frozen half (contraction order, shortcut
+// structure, the two upward CSR views) never changes after Build; what a
+// weight update invalidates is every arc cost and every shortcut's unpack
+// provenance, and both are recomputed here with the bottom-up triangle pass
+// of customizable contraction hierarchies:
+//
+//	for each node v in increasing contraction rank:
+//	    for each arena arc u→v with rank(u) > rank(v)   (v's upward in-arcs)
+//	    for each arena arc v→w with rank(w) > rank(v)   (v's upward out-arcs)
+//	        relax every arena arc u→w with cost(u→v) + cost(v→w)
+//
+// Processing nodes bottom-up makes every arc final before it is used as a
+// triangle leg: the legs u→v and v→w have lower endpoint v, and all
+// triangles that could still improve them route through nodes ranked below
+// v, which were already processed. Customizable contraction guarantees the
+// structure is closed under these triangles (contracting v inserted an arc
+// x→w for every in/out pair), which is exactly the property that makes the
+// relaxation sufficient for any weight assignment: after the pass, every
+// shortest path of the current graph is realised by an up-down path over
+// the overlay, so the bidirectional query and the many-to-many sweeps
+// return current-graph distances.
+//
+// When a relaxation improves an arc it also rewrites the arc's unpack
+// children to the two triangle legs, so path unpacking follows the metric:
+// a "direct" road segment undercut by a detour through a lower-ranked node
+// unpacks into that detour. Recursion terminates because a child's via node
+// is always ranked below both of its endpoints.
+//
+// The pass is linear in the number of triangles of the structure — on
+// road-shaped graphs a few multiples of the arena size — and runs orders of
+// magnitude faster than a re-contraction (experiment E16 measures the
+// ratio), which is the whole point: weight updates cost milliseconds, not a
+// rebuild.
+
+// Recustomize derives a fresh overlay whose weight layer matches g's current
+// arc costs, sharing the frozen topology (ranks, levels, CSR structure) with
+// the receiver. The receiver is not modified and keeps serving its own
+// metric; callers swap the returned overlay in atomically.
+//
+// g must be weight-update-compatible with the overlay's source graph: same
+// node count, same arc structure (topology checksum), only costs may differ.
+// The overlay must have been built customizable (BuildCustomizable); a
+// witness-pruned overlay's shortcut set is bound to the metric it was
+// contracted under and cannot be refreshed without a full Build.
+func (o *Overlay) Recustomize(g *roadnet.Graph) (*Overlay, error) {
+	if !o.customizable {
+		return nil, fmt.Errorf("ch: overlay was built witness-pruned and cannot be re-customized; rebuild with BuildCustomizable to absorb weight updates")
+	}
+	if g == nil {
+		return nil, fmt.Errorf("ch: recustomize against nil graph")
+	}
+	if g.NumNodes() != o.n || g.NumArcs() != o.graphArcs {
+		return nil, fmt.Errorf("ch: overlay topology is %d nodes/%d arcs, graph has %d/%d",
+			o.n, o.graphArcs, g.NumNodes(), g.NumArcs())
+	}
+	if ts := g.TopologyChecksum(); ts != o.topoSum {
+		return nil, fmt.Errorf("ch: graph topology checksum %016x does not match overlay topology %016x (arc structure changed; weight updates may only change costs)", ts, o.topoSum)
+	}
+	out := &Overlay{
+		n:            o.n,
+		nOriginal:    o.nOriginal,
+		rank:         o.rank,
+		level:        o.level,
+		arcs:         append([]arc(nil), o.arcs...),
+		fwdOff:       o.fwdOff,
+		bwdOff:       o.bwdOff,
+		fwdTo:        o.fwdTo,
+		bwdTo:        o.bwdTo,
+		fwdArc:       o.fwdArc,
+		bwdArc:       o.bwdArc,
+		fwdCost:      make([]float64, len(o.fwdCost)),
+		bwdCost:      make([]float64, len(o.bwdCost)),
+		graphArcs:    o.graphArcs,
+		checksum:     GraphChecksum(g),
+		topoSum:      o.topoSum,
+		customizable: true,
+	}
+	if err := out.customize(g); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// customizeInPlace is the build-time variant: the overlay is still private
+// to the builder, so the pass runs directly on its arrays. It panics on the
+// structural errors customize reports, which for a freshly contracted arena
+// are internal invariant violations.
+func (o *Overlay) customizeInPlace(g *roadnet.Graph) {
+	if err := o.customize(g); err != nil {
+		panic(err)
+	}
+}
+
+// customize recomputes o.arcs costs and children for g's weights and
+// refreshes the CSR cost copies. The caller owns o.arcs, o.fwdCost and
+// o.bwdCost exclusively; all other arrays are only read.
+func (o *Overlay) customize(g *roadnet.Graph) error {
+	// Base weights: original arena arcs take their road segment's current
+	// cost, shortcuts start unreachable. The arena seeded originals in CSR
+	// order with self-loops dropped, which is re-walked here — and verified
+	// arc by arc, so a mismatched graph fails loudly instead of producing a
+	// silently wrong metric.
+	idx := 0
+	for v := 0; v < o.n; v++ {
+		for _, ga := range g.Arcs(roadnet.NodeID(v)) {
+			if ga.To == roadnet.NodeID(v) {
+				continue // self-loops never enter the arena
+			}
+			if idx >= o.nOriginal {
+				return fmt.Errorf("ch: customize: graph has more non-loop arcs than the overlay's %d originals", o.nOriginal)
+			}
+			a := &o.arcs[idx]
+			if a.from != int32(v) || a.to != int32(ga.To) {
+				return fmt.Errorf("ch: customize: arena arc %d is %d→%d but graph walk expects %d→%d", idx, a.from, a.to, v, ga.To)
+			}
+			a.cost = ga.Cost
+			a.childA, a.childB = -1, -1
+			idx++
+		}
+	}
+	if idx != o.nOriginal {
+		return fmt.Errorf("ch: customize: graph has %d non-loop arcs, overlay has %d originals", idx, o.nOriginal)
+	}
+	for i := o.nOriginal; i < len(o.arcs); i++ {
+		o.arcs[i].cost = math.Inf(1)
+	}
+
+	// Bottom-up triangle relaxation in contraction order. byRank inverts the
+	// rank permutation: byRank[r] is the node contracted r-th.
+	byRank := make([]int32, o.n)
+	for v, r := range o.rank {
+		byRank[r] = int32(v)
+	}
+	// Each triangle (u→v, v→w) relaxes the arena arc u→w, which is stored
+	// under its lower-ranked endpoint: in fwd[u] when rank(w) > rank(u), in
+	// bwd[w] otherwise. Both cases are handled as sorted merge-joins against
+	// v's own segments (buildCSR keeps every segment head-sorted), so the
+	// pass streams contiguous CSR ranges instead of performing a random
+	// lookup per triangle — the difference between a memory-latency-bound
+	// and a bandwidth-bound customization on tens of millions of triangles.
+	for _, v := range byRank {
+		bw0, bw1 := o.bwdOff[v], o.bwdOff[v+1]
+		fw0, fw1 := o.fwdOff[v], o.fwdOff[v+1]
+		if bw0 == bw1 || fw0 == fw1 {
+			continue
+		}
+		// Arcs u→w with rank(u) < rank(w): merge fwd[u] with fwd[v];
+		// childA is the in-leg u→v, childB the matched out-leg v→w.
+		for j := bw0; j < bw1; j++ {
+			u := o.bwdTo[j]
+			aUV := o.bwdArc[j]
+			cUV := o.arcs[aUV].cost
+			if math.IsInf(cUV, 1) {
+				continue
+			}
+			o.mergeRelax(
+				o.fwdTo[o.fwdOff[u]:o.fwdOff[u+1]], o.fwdArc[o.fwdOff[u]:o.fwdOff[u+1]],
+				o.fwdTo[fw0:fw1], o.fwdArc[fw0:fw1],
+				cUV, aUV, true)
+		}
+		// Arcs u→w with rank(u) > rank(w): merge bwd[w] with bwd[v];
+		// childA is the matched in-leg u→v, childB the out-leg v→w.
+		for k := fw0; k < fw1; k++ {
+			w := o.fwdTo[k]
+			aVW := o.fwdArc[k]
+			cVW := o.arcs[aVW].cost
+			if math.IsInf(cVW, 1) {
+				continue
+			}
+			o.mergeRelax(
+				o.bwdTo[o.bwdOff[w]:o.bwdOff[w+1]], o.bwdArc[o.bwdOff[w]:o.bwdOff[w+1]],
+				o.bwdTo[bw0:bw1], o.bwdArc[bw0:bw1],
+				cVW, aVW, false)
+		}
+	}
+
+	// A customizable arena cannot hold an unreachable shortcut: the shortcut
+	// x→w inserted when contracting v coexists with arena arcs x→v and v→w,
+	// so its own triangle always relaxes it to a finite cost.
+	for i := o.nOriginal; i < len(o.arcs); i++ {
+		if math.IsInf(o.arcs[i].cost, 1) {
+			return fmt.Errorf("ch: customize: shortcut %d (%d→%d) has no supporting triangle", i, o.arcs[i].from, o.arcs[i].to)
+		}
+	}
+
+	// Refresh the flat CSR cost copies the query inner loops read.
+	for i, ai := range o.fwdArc {
+		o.fwdCost[i] = o.arcs[ai].cost
+	}
+	for i, ai := range o.bwdArc {
+		o.bwdCost[i] = o.arcs[ai].cost
+	}
+	return nil
+}
+
+// mergeRelax walks two head-sorted CSR segments in lockstep — the *target*
+// segment holding the arcs to relax and the *leg* segment holding v's arcs
+// supplying the triangle's second edge — and, for every common head, lowers
+// each target arc to base + leg cost. fixedLeg is the triangle edge shared
+// by every relaxation of this call (the u→v in-leg when targets are fwd[u],
+// the v→w out-leg when targets are bwd[w]); fixedIsA says whether it becomes
+// childA (travel-order first half) or childB of an improved arc. Duplicate
+// heads on either side (parallel arcs) are cross-relaxed blockwise.
+func (o *Overlay) mergeRelax(tHeads []roadnet.NodeID, tArcs []int32,
+	lHeads []roadnet.NodeID, lArcs []int32,
+	base float64, fixedLeg int32, fixedIsA bool) {
+	i, j := 0, 0
+	for i < len(tHeads) && j < len(lHeads) {
+		switch {
+		case tHeads[i] < lHeads[j]:
+			i++
+		case tHeads[i] > lHeads[j]:
+			j++
+		default:
+			h := tHeads[i]
+			i2 := i + 1
+			for i2 < len(tHeads) && tHeads[i2] == h {
+				i2++
+			}
+			j2 := j + 1
+			for j2 < len(lHeads) && lHeads[j2] == h {
+				j2++
+			}
+			for jj := j; jj < j2; jj++ {
+				leg := lArcs[jj]
+				cand := base + o.arcs[leg].cost
+				if math.IsInf(cand, 1) {
+					continue
+				}
+				for ii := i; ii < i2; ii++ {
+					if a := &o.arcs[tArcs[ii]]; cand < a.cost {
+						a.cost = cand
+						if fixedIsA {
+							a.childA, a.childB = fixedLeg, leg
+						} else {
+							a.childA, a.childB = leg, fixedLeg
+						}
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package ch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// randomWeightChanges picks k existing arcs of g uniformly and assigns them
+// fresh small-integer costs.
+func randomWeightChanges(g *roadnet.Graph, rng *rand.Rand, k int) []roadnet.ArcWeightChange {
+	changes := make([]roadnet.ArcWeightChange, 0, k)
+	n := g.NumNodes()
+	for len(changes) < k {
+		v := roadnet.NodeID(rng.Intn(n))
+		arcs := g.Arcs(v)
+		if len(arcs) == 0 {
+			continue
+		}
+		a := arcs[rng.Intn(len(arcs))]
+		changes = append(changes, roadnet.ArcWeightChange{From: v, To: a.To, NewCost: float64(1 + rng.Intn(30))})
+	}
+	return changes
+}
+
+// checkAgainstReference asserts, for sampled pairs, that the engine's
+// distances and the MTM engine's table cells equal reference Dijkstra on
+// exactly the graph acc presents — the current metric, never a stale one.
+// Integer costs make the comparison exact.
+func checkAgainstReference(t *testing.T, acc storage.Accessor, o *Overlay, queries int, seed int64) {
+	t.Helper()
+	g := acc.Graph()
+	eng := NewEngine(o, nil)
+	mtm := NewMTM(o, nil)
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumNodes()
+	S := make([]roadnet.NodeID, 4)
+	T := make([]roadnet.NodeID, 4)
+	for i := range S {
+		S[i] = roadnet.NodeID(rng.Intn(n))
+		T[i] = roadnet.NodeID(rng.Intn(n))
+	}
+	tbl, _, err := mtm.Distances(S, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range S {
+		for j, d := range T {
+			want, _, err := search.ReferenceDijkstra(acc, s, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantDist := want.Cost
+			if len(want.Nodes) == 0 && s != d {
+				wantDist = math.Inf(1)
+			}
+			if got := tbl[i*len(T)+j]; got != wantDist {
+				t.Fatalf("MTM cell (%d,%d): got %v, reference %v", s, d, got, wantDist)
+			}
+		}
+	}
+	for q := 0; q < queries; q++ {
+		s := roadnet.NodeID(rng.Intn(n))
+		d := roadnet.NodeID(rng.Intn(n))
+		want, _, err := search.ReferenceDijkstra(acc, s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantDist := want.Cost
+		if len(want.Nodes) == 0 && s != d {
+			wantDist = math.Inf(1)
+		}
+		gotDist, _, err := eng.Distance(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotDist != wantDist {
+			t.Fatalf("pair (%d,%d): CH distance %v, reference %v", s, d, gotDist, wantDist)
+		}
+		if math.IsInf(wantDist, 1) {
+			continue
+		}
+		gotPath, _, err := eng.Path(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotPath.Cost != wantDist {
+			t.Fatalf("pair (%d,%d): CH path cost %v, reference %v", s, d, gotPath.Cost, wantDist)
+		}
+		checkPathValid(t, g, s, d, gotPath)
+	}
+}
+
+// TestCustomizableBuildMatchesReference: a customizable overlay (structure
+// from metric-independent contraction, weights from the customization pass)
+// answers exactly like the witness-pruned one — equal to reference Dijkstra.
+func TestCustomizableBuildMatchesReference(t *testing.T) {
+	cases := []struct {
+		n, extra int
+		seed     int64
+	}{
+		{n: 30, extra: 40, seed: 11},
+		{n: 120, extra: 150, seed: 12},
+		{n: 80, extra: 0, seed: 13},   // tree-ish: unique paths
+		{n: 50, extra: 400, seed: 14}, // dense: many triangles
+	}
+	for _, tc := range cases {
+		g := randomIntCostGraph(t, tc.n, tc.extra, tc.seed)
+		o, err := BuildCustomizable(g)
+		if err != nil {
+			t.Fatalf("BuildCustomizable(n=%d): %v", tc.n, err)
+		}
+		if !o.Customizable() {
+			t.Fatal("BuildCustomizable produced a non-customizable overlay")
+		}
+		if o.Checksum() != GraphChecksum(g) || o.TopologyChecksum() != g.TopologyChecksum() {
+			t.Fatal("customizable overlay checksums do not bind to the source graph")
+		}
+		checkAgainstReference(t, storage.NewMemoryGraph(g), o, 120, tc.seed*31)
+	}
+}
+
+// TestRecustomizeTracksWeightUpdates is the acceptance property: after a
+// random sequence of weight updates, a re-customized overlay answers every
+// sampled query (point engine and many-to-many engine) exactly like
+// reference Dijkstra on the *current* graph — never the pre-update one —
+// including save/load round-trips between updates.
+func TestRecustomizeTracksWeightUpdates(t *testing.T) {
+	for _, tc := range []struct {
+		n, extra int
+		seed     int64
+	}{
+		{n: 60, extra: 80, seed: 21},
+		{n: 150, extra: 200, seed: 22},
+	} {
+		g := randomIntCostGraph(t, tc.n, tc.extra, tc.seed)
+		o, err := BuildCustomizable(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(tc.seed * 101))
+		for round := 0; round < 6; round++ {
+			g2, err := g.WithUpdatedWeights(randomWeightChanges(g, rng, 1+rng.Intn(12)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The pre-update overlay must refuse to serve the new graph.
+			if err := o.Matches(g2); err == nil {
+				t.Fatal("stale overlay claims to match the updated graph")
+			}
+			o2, err := o.Recustomize(g2)
+			if err != nil {
+				t.Fatalf("round %d: Recustomize: %v", round, err)
+			}
+			if err := o2.Matches(g2); err != nil {
+				t.Fatalf("round %d: recustomized overlay does not match updated graph: %v", round, err)
+			}
+			checkAgainstReference(t, storage.NewMemoryGraph(g2), o2, 60, tc.seed*7+int64(round))
+			// The old overlay still matches — and answers for — its own graph.
+			if err := o.Matches(g); err != nil {
+				t.Fatalf("round %d: old overlay lost its own graph: %v", round, err)
+			}
+			if round == 3 {
+				// Round-trip the recustomized overlay through persistence.
+				var buf bytes.Buffer
+				if err := Write(o2, &buf); err != nil {
+					t.Fatal(err)
+				}
+				loaded, err := Read(&buf)
+				if err != nil {
+					t.Fatalf("round %d: reading recustomized overlay: %v", round, err)
+				}
+				if !loaded.Customizable() {
+					t.Fatal("customizable flag lost in round-trip")
+				}
+				checkAgainstReference(t, storage.NewMemoryGraph(g2), loaded, 30, tc.seed*13)
+				o2 = loaded
+			}
+			g, o = g2, o2
+		}
+	}
+}
+
+// TestRecustomizeRejectsMisuse pins the error paths: witness-pruned overlays
+// cannot re-customize, and topology changes are refused.
+func TestRecustomizeRejectsMisuse(t *testing.T) {
+	g := randomIntCostGraph(t, 40, 60, 31)
+	witness, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if witness.Customizable() {
+		t.Fatal("witness-pruned build claims to be customizable")
+	}
+	if _, err := witness.Recustomize(g); err == nil || !strings.Contains(err.Error(), "witness-pruned") {
+		t.Fatalf("witness overlay Recustomize: got %v, want witness-pruned refusal", err)
+	}
+
+	o, err := BuildCustomizable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Recustomize(nil); err == nil {
+		t.Fatal("Recustomize(nil) succeeded")
+	}
+	other := randomIntCostGraph(t, 40, 60, 32) // same sizes, different topology
+	if other.NumArcs() == g.NumArcs() {
+		if _, err := o.Recustomize(other); err == nil {
+			t.Fatal("Recustomize accepted a graph with different topology")
+		}
+	}
+}
+
+// TestIncrementalChecksumMatchesRecompute: the checksum carried across
+// WithUpdatedWeights (XOR-fold delta) equals a from-scratch recompute of the
+// updated graph, and the topology checksum never moves.
+func TestIncrementalChecksumMatchesRecompute(t *testing.T) {
+	g := randomIntCostGraph(t, 80, 120, 41)
+	topo := g.TopologyChecksum()
+	rng := rand.New(rand.NewSource(42))
+	cur := g
+	for round := 0; round < 10; round++ {
+		next, err := cur.WithUpdatedWeights(randomWeightChanges(cur, rng, 1+rng.Intn(8)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rebuild an identical graph from scratch and compare checksums.
+		fresh := next.Clone()
+		fresh.Freeze()
+		if got, want := next.ContentChecksum(), fresh.ContentChecksum(); got != want {
+			t.Fatalf("round %d: incremental checksum %016x, recomputed %016x", round, got, want)
+		}
+		if next.TopologyChecksum() != topo {
+			t.Fatalf("round %d: topology checksum moved on a weight-only update", round)
+		}
+		cur = next
+	}
+	// A no-op update (same costs) must not move the content checksum.
+	arcs := cur.Arcs(0)
+	if len(arcs) > 0 {
+		same, err := cur.WithUpdatedWeights([]roadnet.ArcWeightChange{{From: 0, To: arcs[0].To, NewCost: arcs[0].Cost}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if same.ContentChecksum() != cur.ContentChecksum() {
+			t.Fatal("no-op weight update moved the content checksum")
+		}
+	}
+}

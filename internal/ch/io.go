@@ -9,20 +9,30 @@ import (
 	"opaque/internal/storage"
 )
 
-// The persisted overlay format ("OCH1", version 1), documented with a worked
+// The persisted overlay format ("OCH1", version 2), documented with a worked
 // hex example in docs/FORMATS.md. The file stores exactly the preprocessing
 // products that cannot be recomputed cheaply — ranks, levels and the arc
 // arena — inside the storage layer's checksummed binary envelope
 // (storage.BinaryWriter); the two upward CSR views are derived
 // deterministically from the arena on load, so a loaded overlay is
 // bit-for-bit the structure the builder produced.
+//
+// Version 2 added the topology checksum and the customizable flag (live
+// weight updates), and moved the graph-binding checksum to the incremental
+// roadnet content checksum. Version 1 files bind with the retired checksum
+// algorithm and cannot be verified against a graph any more; they are
+// rejected by version, and re-running cmd/opaque-preprocess regenerates
+// them.
 const (
 	// OverlayMagic is the 4-byte magic of persisted CH overlays.
 	OverlayMagic = "OCH1"
 	// OverlayVersion is the newest overlay format version this build
 	// understands (and the one Write produces).
-	OverlayVersion = 1
+	OverlayVersion = 2
 )
+
+// Flag bits of the v2 flags byte.
+const flagCustomizable = 1 << 0
 
 // Write persists the overlay to w in the versioned OCH1 binary format.
 func Write(o *Overlay, w io.Writer) error {
@@ -33,6 +43,12 @@ func Write(o *Overlay, w io.Writer) error {
 	bw.U32(uint32(o.n))
 	bw.U32(uint32(o.graphArcs))
 	bw.U64(o.checksum)
+	bw.U64(o.topoSum)
+	flags := uint32(0)
+	if o.customizable {
+		flags |= flagCustomizable
+	}
+	bw.U32(flags)
 	bw.U32(uint32(o.nOriginal))
 	bw.U32(uint32(len(o.arcs)))
 	for _, r := range o.rank {
@@ -76,6 +92,8 @@ func Read(r io.Reader) (*Overlay, error) {
 	n := int(br.U32())
 	graphArcs := int(br.U32())
 	checksum := br.U64()
+	topoSum := br.U64()
+	flags := br.U32()
 	nOriginal := int(br.U32())
 	totalArcs := int(br.U32())
 	if err := br.Err(); err != nil {
@@ -92,13 +110,15 @@ func Read(r io.Reader) (*Overlay, error) {
 	// front for data the file never contained.
 	const initialCap = 1 << 16
 	o := &Overlay{
-		n:         n,
-		nOriginal: nOriginal,
-		rank:      make([]int32, 0, min(n, initialCap)),
-		level:     make([]int32, 0, min(n, initialCap)),
-		arcs:      make([]arc, 0, min(totalArcs, initialCap)),
-		graphArcs: graphArcs,
-		checksum:  checksum,
+		n:            n,
+		nOriginal:    nOriginal,
+		rank:         make([]int32, 0, min(n, initialCap)),
+		level:        make([]int32, 0, min(n, initialCap)),
+		arcs:         make([]arc, 0, min(totalArcs, initialCap)),
+		graphArcs:    graphArcs,
+		checksum:     checksum,
+		topoSum:      topoSum,
+		customizable: flags&flagCustomizable != 0,
 	}
 	for v := 0; v < n; v++ {
 		rk := br.U32()
@@ -145,27 +165,48 @@ func Read(r io.Reader) (*Overlay, error) {
 		if a.cost < 0 || math.IsNaN(a.cost) || math.IsInf(a.cost, 0) {
 			return nil, fmt.Errorf("ch: arc %d has invalid cost %v", i, a.cost)
 		}
-		original := a.childA < 0 && a.childB < 0
-		shortcut := a.childA >= 0 && a.childB >= 0 && int(a.childA) < i && int(a.childB) < i
-		if !original && !shortcut {
-			return nil, fmt.Errorf("ch: arc %d has invalid unpack children (%d, %d)", i, a.childA, a.childB)
-		}
-		if shortcut {
-			// The children must chain from→via→to, or unpacking would emit
-			// a disconnected node sequence.
-			ca, cb := &o.arcs[a.childA], &o.arcs[a.childB]
-			if ca.from != a.from || ca.to != cb.from || cb.to != a.to {
-				return nil, fmt.Errorf("ch: shortcut arc %d (%d→%d) has non-chaining children %d→%d, %d→%d",
-					i, a.from, a.to, ca.from, ca.to, cb.from, cb.to)
-			}
-		}
-		if original != (i < nOriginal) {
-			return nil, fmt.Errorf("ch: arc %d breaks the originals-then-shortcuts arena layout", i)
-		}
 		o.arcs = append(o.arcs, a)
 	}
 	if err := br.Close(); err != nil {
 		return nil, fmt.Errorf("ch: reading overlay: %w", err)
+	}
+	// Unpack provenance is validated after the whole arena is in memory:
+	// customization may point an arc's children at *later* arena entries
+	// (the triangle legs of a cheaper detour), so child references cannot be
+	// checked while streaming. Termination of the unpack recursion is
+	// guaranteed structurally instead — every child pair's via node ranks
+	// strictly below both of the parent's endpoints.
+	for i := range o.arcs {
+		a := &o.arcs[i]
+		hasChildren := a.childA >= 0 && a.childB >= 0
+		if !hasChildren {
+			if a.childA >= 0 || a.childB >= 0 {
+				return nil, fmt.Errorf("ch: arc %d has half-set unpack children (%d, %d)", i, a.childA, a.childB)
+			}
+			if i >= nOriginal {
+				return nil, fmt.Errorf("ch: shortcut arc %d has no unpack children", i)
+			}
+			continue
+		}
+		if i < nOriginal && !o.customizable {
+			// Only customization reroutes original arcs through detours; a
+			// witness-pruned arena keeps originals child-free.
+			return nil, fmt.Errorf("ch: arc %d breaks the originals-then-shortcuts arena layout", i)
+		}
+		if int(a.childA) >= totalArcs || int(a.childB) >= totalArcs {
+			return nil, fmt.Errorf("ch: arc %d has out-of-range unpack children (%d, %d)", i, a.childA, a.childB)
+		}
+		// The children must chain from→via→to, or unpacking would emit a
+		// disconnected node sequence; the via must rank below both endpoints,
+		// or unpacking could recurse forever.
+		ca, cb := &o.arcs[a.childA], &o.arcs[a.childB]
+		if ca.from != a.from || ca.to != cb.from || cb.to != a.to {
+			return nil, fmt.Errorf("ch: arc %d (%d→%d) has non-chaining children %d→%d, %d→%d",
+				i, a.from, a.to, ca.from, ca.to, cb.from, cb.to)
+		}
+		if via := ca.to; o.rank[via] >= o.rank[a.from] || o.rank[via] >= o.rank[a.to] {
+			return nil, fmt.Errorf("ch: arc %d (%d→%d) unpacks via node %d, which does not rank below both endpoints", i, a.from, a.to, ca.to)
+		}
 	}
 	o.buildCSR()
 	return o, nil

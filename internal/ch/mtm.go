@@ -161,6 +161,9 @@ type MTM struct {
 	// verified memoises the accessor graph proven to match the overlay,
 	// exactly like Engine.verified.
 	verified atomic.Pointer[roadnet.Graph]
+	// gen is the accessor data generation the overlay's weights are valid
+	// for, exactly like Engine.gen (search.Generational).
+	gen atomic.Uint64
 
 	tables    atomic.Int64
 	deposited atomic.Int64
@@ -182,6 +185,13 @@ func NewMTM(o *Overlay, wp *search.WorkspacePool) *MTM {
 
 // Overlay returns the overlay the engine evaluates on.
 func (m *MTM) Overlay() *Overlay { return m.o }
+
+// BindGeneration records the accessor data generation the overlay's weights
+// were customized for (see Engine.BindGeneration).
+func (m *MTM) BindGeneration(gen uint64) { m.gen.Store(gen) }
+
+// Generation implements search.Generational.
+func (m *MTM) Generation() uint64 { return m.gen.Load() }
 
 // Stats returns a snapshot of the engine's lifetime counters.
 func (m *MTM) Stats() MTMStats {
@@ -253,7 +263,8 @@ func (m *MTM) evaluate(dist []float64, sources, targets []roadnet.NodeID, needPa
 	var stats search.Stats
 	var chains cellChains
 	if len(sources) == 0 || len(targets) == 0 {
-		return stats, chains, fmt.Errorf("ch: many-to-many table needs at least one source and one target (got |S|=%d, |T|=%d)", len(sources), len(targets))
+		return stats, chains, fmt.Errorf("ch: many-to-many table needs at least one source and one target (got |S|=%d, |T|=%d): %w",
+			len(sources), len(targets), search.ErrEmptyQuery)
 	}
 	for _, s := range sources {
 		if !validNode(o, s) {
@@ -517,7 +528,7 @@ func (m *MTM) verifyAccessor(acc storage.Accessor) error {
 	g := acc.Graph()
 	if m.verified.Load() != g {
 		if err := m.o.Matches(g); err != nil {
-			return fmt.Errorf("ch: accessor does not present the overlay's graph: %w", err)
+			return fmt.Errorf("ch: accessor does not present the overlay's graph (%v): %w", err, search.ErrStaleEngine)
 		}
 		m.verified.Store(g)
 	}

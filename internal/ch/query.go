@@ -29,6 +29,11 @@ type Engine struct {
 	// the one the overlay was built from, so the O(arcs) Matches check runs
 	// once per graph instead of once per query.
 	verified atomic.Pointer[roadnet.Graph]
+	// gen is the accessor data generation the overlay's weights are valid
+	// for (search.Generational): the installer binds it with BindGeneration
+	// so the processor refuses the engine once the accessor's generation
+	// moves past it, without waiting for the checksum check to fail.
+	gen atomic.Uint64
 }
 
 // NewEngine returns a query engine over o drawing workspaces from wp. A nil
@@ -43,6 +48,14 @@ func NewEngine(o *Overlay, wp *search.WorkspacePool) *Engine {
 
 // Overlay returns the overlay the engine queries.
 func (e *Engine) Overlay() *Overlay { return e.o }
+
+// BindGeneration records the accessor data generation the overlay's weights
+// were customized for. Servers call it when installing or swapping the
+// engine; see search.Generational.
+func (e *Engine) BindGeneration(gen uint64) { e.gen.Store(gen) }
+
+// Generation implements search.Generational.
+func (e *Engine) Generation() uint64 { return e.gen.Load() }
 
 // ShortestPath implements search.PointEngine: the full shortest path from
 // source to dest with shortcuts unpacked, or an empty path when dest is
@@ -61,7 +74,7 @@ func (e *Engine) ShortestPath(acc storage.Accessor, source, dest roadnet.NodeID)
 		g := acc.Graph()
 		if e.verified.Load() != g {
 			if err := e.o.Matches(g); err != nil {
-				return search.Path{}, search.Stats{}, fmt.Errorf("ch: accessor does not present the overlay's graph: %w", err)
+				return search.Path{}, search.Stats{}, fmt.Errorf("ch: accessor does not present the overlay's graph (%v): %w", err, search.ErrStaleEngine)
 			}
 			e.verified.Store(g)
 		}

@@ -142,6 +142,7 @@ func All() []Runner {
 		E13WorkspaceHotPath{},
 		E14ContractionHierarchy{},
 		E15ManyToMany{},
+		E16LiveUpdates{},
 	}
 }
 

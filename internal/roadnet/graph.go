@@ -86,6 +86,10 @@ type Graph struct {
 	minX, minY, maxX, maxY float64
 
 	grid *gridIndex
+
+	// cached topology/content checksums (checksum.go), populated lazily on
+	// frozen graphs and seeded incrementally by WithUpdatedWeights.
+	csum csumCache
 }
 
 // NewGraph returns an empty mutable graph with capacity hints for n nodes and

@@ -65,5 +65,5 @@ func errInvalidDest(id roadnet.NodeID) error {
 }
 
 func errNoDestinations() error {
-	return fmt.Errorf("search: SSMD needs at least one destination")
+	return fmt.Errorf("search: SSMD needs at least one destination: %w", ErrEmptyQuery)
 }

@@ -52,10 +52,12 @@ const (
 // same accessor: the shortest-path cost and one optimal path (an empty Path
 // when dest is unreachable). An engine backed by a preprocessed index must
 // verify the accessor presents exactly the data it was built from and return
-// an error otherwise, rather than answer from a stale or mismatched index
-// (internal/ch checksum-binds its overlay this way). Implementations must be
-// safe for concurrent use — the processor calls them from its per-source
-// worker fan-out.
+// an error wrapping ErrStaleEngine otherwise, rather than answer from a
+// stale or mismatched index (internal/ch checksum-binds its overlay this
+// way); engines additionally implementing Generational get that staleness
+// check performed by the processor up front, before any per-pair work.
+// Implementations must be safe for concurrent use — the processor calls
+// them from its per-source worker fan-out.
 type PointEngine interface {
 	ShortestPath(acc storage.Accessor, source, dest roadnet.NodeID) (Path, Stats, error)
 }
@@ -69,7 +71,10 @@ type PointEngine interface {
 // distance-only fast path — Dists filled, Paths nil — for callers that
 // never read routes. Like PointEngine, an implementation backed by a
 // preprocessed index must verify the accessor presents exactly the data it
-// was built from, and must be safe for concurrent use.
+// was built from (erroring with ErrStaleEngine when it does not; engines
+// implementing Generational get the generation half of that check performed
+// by the processor up front), must reject empty source or destination sets
+// with ErrEmptyQuery, and must be safe for concurrent use.
 type TableEngine interface {
 	EvaluateTable(acc storage.Accessor, sources, dests []roadnet.NodeID) (MSMDResult, error)
 	EvaluateDistances(acc storage.Accessor, sources, dests []roadnet.NodeID) (MSMDResult, error)
@@ -244,18 +249,26 @@ func (p *Processor) Strategy() Strategy { return p.strategy }
 // Accessor returns the graph accessor the processor evaluates against.
 func (p *Processor) Accessor() storage.Accessor { return p.acc }
 
-// validateQuery rejects empty or out-of-range endpoint sets.
-func (p *Processor) validateQuery(sources, dests []roadnet.NodeID) error {
+// pin resolves the accessor one whole evaluation runs against. For mutable
+// accessors (storage.Snapshotter) this is an immutable snapshot of the
+// current data, so a query admitted while weight updates land concurrently
+// still computes an internally consistent table: every cell reflects one
+// generation, all-old or all-new, never a mix.
+func (p *Processor) pin() storage.Accessor { return storage.SnapshotOf(p.acc) }
+
+// validateQuery rejects empty (ErrEmptyQuery) or out-of-range endpoint sets.
+func (p *Processor) validateQuery(acc storage.Accessor, sources, dests []roadnet.NodeID) error {
 	if len(sources) == 0 || len(dests) == 0 {
-		return fmt.Errorf("search: obfuscated query needs at least one source and one destination (got |S|=%d, |T|=%d)", len(sources), len(dests))
+		return fmt.Errorf("search: obfuscated query needs at least one source and one destination (got |S|=%d, |T|=%d): %w",
+			len(sources), len(dests), ErrEmptyQuery)
 	}
 	for _, s := range sources {
-		if !validNode(p.acc, s) {
+		if !validNode(acc, s) {
 			return fmt.Errorf("search: invalid source node %d", s)
 		}
 	}
 	for _, t := range dests {
-		if !validNode(p.acc, t) {
+		if !validNode(acc, t) {
 			return fmt.Errorf("search: invalid destination node %d", t)
 		}
 	}
@@ -264,16 +277,19 @@ func (p *Processor) validateQuery(sources, dests []roadnet.NodeID) error {
 
 // evaluateOnTableEngine hands the whole query to the installed TableEngine
 // under one gate slot, distance-only or with paths.
-func (p *Processor) evaluateOnTableEngine(sources, dests []roadnet.NodeID, distancesOnly bool) (MSMDResult, error) {
+func (p *Processor) evaluateOnTableEngine(acc storage.Accessor, sources, dests []roadnet.NodeID, distancesOnly bool) (MSMDResult, error) {
 	if p.tableEngine == nil {
 		return MSMDResult{}, fmt.Errorf("search: strategy %q requires WithTableEngine", StrategyTableEngine)
+	}
+	if !engineCurrent(p.tableEngine, acc) {
+		return MSMDResult{}, fmt.Errorf("search: table engine generation trails the accessor: %w", ErrStaleEngine)
 	}
 	p.gate.Acquire()
 	defer p.gate.Release()
 	if distancesOnly {
-		return p.tableEngine.EvaluateDistances(p.acc, sources, dests)
+		return p.tableEngine.EvaluateDistances(acc, sources, dests)
 	}
-	return p.tableEngine.EvaluateTable(p.acc, sources, dests)
+	return p.tableEngine.EvaluateTable(acc, sources, dests)
 }
 
 // fillDists derives the distance matrix from materialised paths: the path
@@ -294,13 +310,19 @@ func fillDists(res *MSMDResult) {
 }
 
 // Evaluate processes the obfuscated path query Q(sources, dests) and returns
-// every candidate result path (and the derived distance matrix).
+// every candidate result path (and the derived distance matrix). The whole
+// evaluation runs against one pinned snapshot of the accessor's data (see
+// pin), so concurrent weight updates never produce a mixed-generation table.
 func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error) {
-	if err := p.validateQuery(sources, dests); err != nil {
+	acc := p.pin()
+	if err := p.validateQuery(acc, sources, dests); err != nil {
 		return MSMDResult{}, err
 	}
 	if p.strategy == StrategyTableEngine {
-		return p.evaluateOnTableEngine(sources, dests, false)
+		return p.evaluateOnTableEngine(acc, sources, dests, false)
+	}
+	if p.strategy == StrategyPointEngine && p.engine != nil && !engineCurrent(p.engine, acc) {
+		return MSMDResult{}, fmt.Errorf("search: point engine generation trails the accessor: %w", ErrStaleEngine)
 	}
 	res := MSMDResult{
 		Sources: append([]roadnet.NodeID(nil), sources...),
@@ -326,10 +348,10 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			if p.cache != nil {
 				// Cached trees carry their own long-lived workspaces; no
 				// per-row checkout is needed.
-				r, err = p.cache.Evaluate(p.acc, s, dests)
+				r, err = p.cache.Evaluate(acc, s, dests)
 			} else {
-				w := p.wsPool.Get(p.acc.NumNodes())
-				r, err = w.SSMD(p.acc, s, dests)
+				w := p.wsPool.Get(acc.NumNodes())
+				r, err = w.SSMD(acc, s, dests)
 				w.Release()
 			}
 			if err != nil {
@@ -337,12 +359,12 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			}
 			return rowResult{idx: i, paths: r.Paths, stats: r.Stats}
 		case StrategyPairwise:
-			w := p.wsPool.Get(p.acc.NumNodes())
+			w := p.wsPool.Get(acc.NumNodes())
 			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := w.Dijkstra(p.acc, s, t)
+				path, st, err := w.Dijkstra(acc, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -351,12 +373,12 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			}
 			return rowResult{idx: i, paths: paths, stats: stats}
 		case StrategyPairwiseAStar:
-			w := p.wsPool.Get(p.acc.NumNodes())
+			w := p.wsPool.Get(acc.NumNodes())
 			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := w.AStarScaled(p.acc, s, t, 0.8)
+				path, st, err := w.AStarScaled(acc, s, t, 0.8)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -371,7 +393,7 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := p.engine.ShortestPath(p.acc, s, t)
+				path, st, err := p.engine.ShortestPath(acc, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -383,12 +405,12 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 			if p.landmarks == nil {
 				return rowResult{idx: i, err: fmt.Errorf("search: strategy %q requires WithLandmarks", StrategyPairwiseALT)}
 			}
-			w := p.wsPool.Get(p.acc.NumNodes())
+			w := p.wsPool.Get(acc.NumNodes())
 			defer w.Release()
 			paths := make([]Path, len(dests))
 			var stats Stats
 			for j, t := range dests {
-				path, st, err := w.AStarALT(p.acc, p.landmarks, s, t)
+				path, st, err := w.AStarALT(acc, p.landmarks, s, t)
 				if err != nil {
 					return rowResult{idx: i, err: err}
 				}
@@ -462,10 +484,11 @@ func (p *Processor) Evaluate(sources, dests []roadnet.NodeID) (MSMDResult, error
 // result already carries Dists alongside the paths.
 func (p *Processor) EvaluateDistances(sources, dests []roadnet.NodeID) (MSMDResult, error) {
 	if p.strategy == StrategyTableEngine {
-		if err := p.validateQuery(sources, dests); err != nil {
+		acc := p.pin()
+		if err := p.validateQuery(acc, sources, dests); err != nil {
 			return MSMDResult{}, err
 		}
-		return p.evaluateOnTableEngine(sources, dests, true)
+		return p.evaluateOnTableEngine(acc, sources, dests, true)
 	}
 	return p.Evaluate(sources, dests)
 }

@@ -8,7 +8,11 @@
 // Two evaluation entry points are provided. Evaluate answers one obfuscated
 // query; EvaluateBatch (engine.go) answers a whole batch on a worker pool,
 // sharing SSMD spanning trees across queries through the tree cache and
-// composing per-query parallelism under a server-wide concurrency gate. The
+// composing per-query parallelism under a server-wide concurrency gate.
+// In-memory deployments additionally accept live weight updates
+// (UpdateWeights, update.go): queries pin copy-on-write snapshots, caches
+// invalidate by generation, and the CH overlay is re-customized in the
+// background while stale-routed queries take the SSMD fallback. The
 // hot path is free of global mutexes — the query log and statistics are
 // striped across shards and metrics use atomic counters — and free of
 // per-query label allocation: every search runs on an epoch-stamped
@@ -17,8 +21,10 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -147,24 +153,43 @@ type LogEntry struct {
 	Dests   []roadnet.NodeID
 }
 
+// chState bundles everything derived from one contraction-hierarchy overlay:
+// the overlay itself, the two engines bound to it, and the processors that
+// route queries onto them. The server holds the current state behind one
+// atomic pointer so a background re-customization swaps a complete,
+// consistent replacement in one store — queries either see the old state
+// (and its staleness is caught by the routing check or the engines' own
+// verification) or the new one, never a half-installed mix.
+type chState struct {
+	overlay      *ch.Overlay
+	engine       *ch.Engine
+	mtm          *ch.MTM
+	chProcessor  *search.Processor
+	mtmProcessor *search.Processor
+}
+
 // Server is the directions search server.
 type Server struct {
 	graph     *roadnet.Graph
 	acc       storage.Accessor
 	pool      *storage.BufferPool
 	processor *search.Processor
-	// chProcessor evaluates queries pairwise on the contraction-hierarchy
-	// overlay and mtmProcessor evaluates them with the many-to-many bucket
-	// engine; both are non-nil exactly when an overlay is installed.
-	// Evaluate routes each query between processor, chProcessor and
-	// mtmProcessor (see chooseProcessor).
-	chProcessor  *search.Processor
-	mtmProcessor *search.Processor
-	mtm          *ch.MTM
-	overlay      *ch.Overlay
-	chMaxPairs   int
-	cache        *search.TreeCache
-	gate         search.Gate
+	// mutable is the live-update view of the accessor — non-nil exactly for
+	// in-memory deployments, where UpdateWeights is supported. Paged
+	// deployments serve the page layout they were built over and reject
+	// updates.
+	mutable *storage.MutableGraph
+	// chSt is the current overlay state (see chState), nil when the server
+	// runs without an overlay. Replaced wholesale by re-customization.
+	chSt       atomic.Pointer[chState]
+	chMaxPairs int
+	// recustomizeMu serialises re-customization runs; recustomizing
+	// additionally dedupes background kicks so at most one goroutine is ever
+	// spawned at a time.
+	recustomizeMu sync.Mutex
+	recustomizing atomic.Bool
+	cache         *search.TreeCache
+	gate          search.Gate
 	// wsPool owns the epoch-stamped search workspaces every query of this
 	// server runs on: batch workers and per-query source fan-out all check
 	// workspaces out of this one pool, so steady-state evaluation performs
@@ -188,6 +213,10 @@ type Server struct {
 	mCHQueries    *metrics.Counter
 	mMTMQueries   *metrics.Counter
 	mFallback     *metrics.Counter
+	mStaleQueries *metrics.Counter
+	mWeightUpd    *metrics.Counter
+	mRecustomize  *metrics.Counter
+	mRecustFail   *metrics.Counter
 	hLatency      *metrics.Histogram
 	hBatchLatency *metrics.Histogram
 }
@@ -210,6 +239,10 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	s.mCHQueries = s.metrics.CounterVar("ch_queries")
 	s.mMTMQueries = s.metrics.CounterVar("mtm_queries")
 	s.mFallback = s.metrics.CounterVar("fallback_queries")
+	s.mStaleQueries = s.metrics.CounterVar("overlay_stale_queries")
+	s.mWeightUpd = s.metrics.CounterVar("weight_updates")
+	s.mRecustomize = s.metrics.CounterVar("recustomize_runs")
+	s.mRecustFail = s.metrics.CounterVar("recustomize_failures")
 	s.hLatency = s.metrics.HistogramVar("query_latency")
 	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
@@ -228,7 +261,12 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 		s.pool = pool
 		s.acc = storage.NewPagedGraph(store, pool)
 	} else {
-		s.acc = storage.NewMemoryGraph(g)
+		// In-memory deployments serve through the mutable weight view, so
+		// UpdateWeights works out of the box: queries pin immutable snapshots
+		// (the processors do this per evaluation), updates swap the current
+		// one atomically.
+		s.mutable = storage.NewMutableGraph(g)
+		s.acc = s.mutable
 	}
 	s.wsPool = search.NewWorkspacePool()
 
@@ -271,7 +309,18 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	if useCH {
 		overlay := cfg.CHOverlay
 		if overlay == nil && cfg.BuildCH {
-			built, err := ch.Build(g)
+			var built *ch.Overlay
+			var err error
+			if s.mutable != nil {
+				// A mutable deployment contracts customizable, so live weight
+				// updates are absorbed by re-customization instead of leaving
+				// the overlay permanently stale. The overlay carries more
+				// shortcuts than a witness-pruned one; deployments that never
+				// update weights can load a witness-pruned file instead.
+				built, err = ch.BuildCustomizable(g)
+			} else {
+				built, err = ch.Build(g)
+			}
 			if err != nil {
 				return nil, fmt.Errorf("server: building CH overlay: %w", err)
 			}
@@ -288,37 +337,49 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 			if err := overlay.Matches(g); err != nil {
 				return nil, fmt.Errorf("server: installing CH overlay: %w", err)
 			}
-			s.overlay = overlay
 			s.chMaxPairs = cfg.CHMaxPairs
 			if s.chMaxPairs <= 0 {
 				s.chMaxPairs = DefaultCHMaxPairs
 			}
-			chOpts := []search.ProcessorOption{
-				search.WithStrategy(search.StrategyPointEngine),
-				search.WithPointEngine(ch.NewEngine(overlay, s.wsPool)),
-				search.WithWorkspacePool(s.wsPool),
-			}
-			if cfg.Workers > 1 {
-				chOpts = append(chOpts, search.WithWorkers(cfg.Workers))
-			}
-			if s.gate != nil {
-				chOpts = append(chOpts, search.WithGate(s.gate))
-			}
-			s.chProcessor = search.NewProcessor(s.acc, chOpts...)
-
-			s.mtm = ch.NewMTM(overlay, s.wsPool)
-			mtmOpts := []search.ProcessorOption{
-				search.WithStrategy(search.StrategyTableEngine),
-				search.WithTableEngine(s.mtm),
-				search.WithWorkspacePool(s.wsPool),
-			}
-			if s.gate != nil {
-				mtmOpts = append(mtmOpts, search.WithGate(s.gate))
-			}
-			s.mtmProcessor = search.NewProcessor(s.acc, mtmOpts...)
+			s.chSt.Store(s.newCHState(overlay, storage.GenerationOf(s.acc)))
 		}
 	}
 	return s, nil
+}
+
+// newCHState derives the engines and processors for one overlay, binding
+// both engines to the accessor generation the overlay's weights are valid
+// for. Called at startup and by every re-customization swap.
+func (s *Server) newCHState(overlay *ch.Overlay, gen uint64) *chState {
+	st := &chState{overlay: overlay}
+	st.engine = ch.NewEngine(overlay, s.wsPool)
+	st.engine.BindGeneration(gen)
+	st.mtm = ch.NewMTM(overlay, s.wsPool)
+	st.mtm.BindGeneration(gen)
+
+	chOpts := []search.ProcessorOption{
+		search.WithStrategy(search.StrategyPointEngine),
+		search.WithPointEngine(st.engine),
+		search.WithWorkspacePool(s.wsPool),
+	}
+	if s.cfg.Workers > 1 {
+		chOpts = append(chOpts, search.WithWorkers(s.cfg.Workers))
+	}
+	if s.gate != nil {
+		chOpts = append(chOpts, search.WithGate(s.gate))
+	}
+	st.chProcessor = search.NewProcessor(s.acc, chOpts...)
+
+	mtmOpts := []search.ProcessorOption{
+		search.WithStrategy(search.StrategyTableEngine),
+		search.WithTableEngine(st.mtm),
+		search.WithWorkspacePool(s.wsPool),
+	}
+	if s.gate != nil {
+		mtmOpts = append(mtmOpts, search.WithGate(s.gate))
+	}
+	st.mtmProcessor = search.NewProcessor(s.acc, mtmOpts...)
+	return st
 }
 
 // MustNew is New but panics on error.
@@ -330,8 +391,15 @@ func MustNew(g *roadnet.Graph, cfg Config) *Server {
 	return s
 }
 
-// Graph returns the server's road map.
-func (s *Server) Graph() *roadnet.Graph { return s.graph }
+// Graph returns the server's road map — the current weight snapshot when
+// the deployment is mutable (it changes identity on every UpdateWeights),
+// the startup graph otherwise.
+func (s *Server) Graph() *roadnet.Graph {
+	if s.mutable != nil {
+		return s.mutable.Graph()
+	}
+	return s.graph
+}
 
 // Accessor returns the accessor queries are evaluated against.
 func (s *Server) Accessor() storage.Accessor { return s.acc }
@@ -360,7 +428,24 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		faultsBefore = s.pool.Stats().Faults
 	}
 	start := time.Now()
-	res, err := s.chooseProcessor(q).Evaluate(q.Sources, q.Dests)
+	proc, routed := s.chooseProcessor(q)
+	res, err := proc.Evaluate(q.Sources, q.Dests)
+	if err != nil && errors.Is(err, search.ErrStaleEngine) {
+		// A weight update landed between routing and the engine's own
+		// verification. The overlay answer was refused, nothing stale was
+		// served; re-evaluate on the always-current SSMD processor and let
+		// the background re-customization catch the overlay up. The overlay
+		// route counter bumped at routing time is reversed so the
+		// ch/mtm/fallback counters keep summing to the queries actually
+		// served by each route.
+		if routed != nil {
+			routed.Add(-1)
+		}
+		s.mStaleQueries.Add(1)
+		s.mFallback.Add(1)
+		s.kickRecustomize()
+		res, err = s.processor.Evaluate(q.Sources, q.Dests)
+	}
 	if err != nil {
 		s.mFailed.Add(1)
 		return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
@@ -399,40 +484,87 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 // engine, and — when the server has no overlay at all — everything keeps
 // SSMD's per-source sharing. The ch_queries / mtm_queries / fallback_queries
 // counters record the routing decisions.
-func (s *Server) chooseProcessor(q protocol.ServerQuery) *search.Processor {
-	if s.chProcessor == nil {
+//
+// Before routing onto the overlay, its content checksum and the engines'
+// bound generation are compared against the current graph's (O(1): all
+// sides are cached or atomic). A stale overlay state — a live weight update
+// moved the graph past it — routes the query to the SSMD fallback instead
+// of serving distances from the dead metric, counts it in
+// overlay_stale_queries, and kicks the background refresh that swaps a
+// fresh overlay state in.
+//
+// The second return is the overlay route counter this call bumped (nil on
+// the fallback route); Evaluate reverses it if the engine still refuses the
+// query and the fallback ends up serving it.
+func (s *Server) chooseProcessor(q protocol.ServerQuery) (*search.Processor, *metrics.Counter) {
+	st := s.chSt.Load()
+	if st == nil {
 		s.mFallback.Add(1)
-		return s.processor
+		return s.processor, nil
+	}
+	if s.overlayStale(st) || s.engineStale(st) {
+		s.mStaleQueries.Add(1)
+		s.mFallback.Add(1)
+		s.kickRecustomize()
+		return s.processor, nil
 	}
 	switch s.cfg.Strategy {
 	case StrategyCH:
 		s.mCHQueries.Add(1)
-		return s.chProcessor
+		return st.chProcessor, s.mCHQueries
 	case StrategyCHMTM:
 		s.mMTMQueries.Add(1)
-		return s.mtmProcessor
+		return st.mtmProcessor, s.mMTMQueries
 	default: // StrategyHybrid
 		if len(q.Sources)*len(q.Dests) <= s.chMaxPairs {
 			s.mCHQueries.Add(1)
-			return s.chProcessor
+			return st.chProcessor, s.mCHQueries
 		}
 		s.mMTMQueries.Add(1)
-		return s.mtmProcessor
+		return st.mtmProcessor, s.mMTMQueries
 	}
 }
 
-// Overlay returns the installed contraction-hierarchy overlay, or nil when
-// the server runs without one.
-func (s *Server) Overlay() *ch.Overlay { return s.overlay }
+// overlayStale reports whether st's overlay content no longer matches the
+// current graph. Immutable deployments (paged storage) can never go stale.
+func (s *Server) overlayStale(st *chState) bool {
+	if s.mutable == nil {
+		return false
+	}
+	return st.overlay.Checksum() != ch.GraphChecksum(s.mutable.Graph())
+}
+
+// engineStale reports whether st's engines are bound to a generation behind
+// the accessor's current one. This can lag even when the content checksum
+// matches (an update that did not change any cost still bumps the
+// generation); the processors' search.Generational check would refuse such
+// engines, so routing treats it as staleness and the refresh rebinds them.
+func (s *Server) engineStale(st *chState) bool {
+	if s.mutable == nil {
+		return false
+	}
+	return st.engine.Generation() != storage.GenerationOf(s.mutable)
+}
+
+// Overlay returns the currently installed contraction-hierarchy overlay
+// (after a weight update and re-customization, the freshly customized one),
+// or nil when the server runs without an overlay.
+func (s *Server) Overlay() *ch.Overlay {
+	if st := s.chSt.Load(); st != nil {
+		return st.overlay
+	}
+	return nil
+}
 
 // MTMStats returns the many-to-many bucket engine's counters (tables
 // evaluated, bucket entries deposited/scanned, arena high-water mark), or
-// zeroes when the server has no overlay installed.
+// zeroes when the server has no overlay installed. The counters reset when a
+// re-customization swaps the engine.
 func (s *Server) MTMStats() ch.MTMStats {
-	if s.mtm == nil {
-		return ch.MTMStats{}
+	if st := s.chSt.Load(); st != nil {
+		return st.mtm.Stats()
 	}
-	return s.mtm.Stats()
+	return ch.MTMStats{}
 }
 
 // WorkspacePoolStats returns the checkout counters of the server's search
@@ -495,13 +627,15 @@ func (s *Server) publishDerivedMetrics() {
 		s.metrics.SetGauge("tree_cache_evictions", float64(st.Evictions))
 		s.metrics.SetGauge("tree_cache_invalidations", float64(st.Invalidations))
 	}
-	if s.mtm != nil {
-		mt := s.mtm.Stats()
+	if st := s.chSt.Load(); st != nil {
+		mt := st.mtm.Stats()
 		s.metrics.SetGauge("mtm_tables", float64(mt.Tables))
 		s.metrics.SetGauge("mtm_bucket_entries", float64(mt.BucketEntries))
 		s.metrics.SetGauge("mtm_bucket_entries_scanned", float64(mt.BucketEntriesScanned))
 		s.metrics.SetGauge("mtm_arena_high_water", float64(mt.ArenaHighWater))
+		s.metrics.SetGauge("overlay_generation", float64(st.engine.Generation()))
 	}
+	s.metrics.SetGauge("graph_generation", float64(storage.GenerationOf(s.acc)))
 	ws := s.wsPool.Stats()
 	s.metrics.SetGauge("workspace_gets", float64(ws.Gets))
 	s.metrics.SetGauge("workspace_in_flight", float64(ws.InFlight()))

@@ -1,0 +1,511 @@
+package server
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"opaque/internal/ch"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/search"
+	"opaque/internal/storage"
+)
+
+// updateTestGraph builds a small connected integer-cost graph.
+func updateTestGraph(t *testing.T, n int, seed int64) *roadnet.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := roadnet.NewGraph(n, 4*n)
+	for i := 0; i < n; i++ {
+		g.AddNode(rng.Float64()*100, rng.Float64()*100)
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		g.MustAddBidirectionalEdge(roadnet.NodeID(perm[i-1]), roadnet.NodeID(perm[i]), float64(1+rng.Intn(20)))
+	}
+	for i := 0; i < 2*n; i++ {
+		g.MustAddEdge(roadnet.NodeID(rng.Intn(n)), roadnet.NodeID(rng.Intn(n)), float64(1+rng.Intn(20)))
+	}
+	g.Freeze()
+	return g
+}
+
+// referenceDistance computes the current-graph distance with the reference
+// Dijkstra, +Inf when unreachable.
+func referenceDistance(t *testing.T, g *roadnet.Graph, s, d roadnet.NodeID) float64 {
+	t.Helper()
+	p, _, err := search.ReferenceDijkstra(storage.NewMemoryGraph(g), s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Nodes) == 0 && s != d {
+		return math.Inf(1)
+	}
+	return p.Cost
+}
+
+// doubleOneArc returns a weight change doubling the first arc of node 0.
+func doubleOneArc(t *testing.T, g *roadnet.Graph) roadnet.ArcWeightChange {
+	t.Helper()
+	arcs := g.Arcs(0)
+	if len(arcs) == 0 {
+		t.Fatal("node 0 has no arcs")
+	}
+	return roadnet.ArcWeightChange{From: 0, To: arcs[0].To, NewCost: arcs[0].Cost*2 + 1}
+}
+
+// checkReplyMatchesGraph asserts every candidate distance of the reply
+// equals the reference distance on g.
+func checkReplyMatchesGraph(t *testing.T, g *roadnet.Graph, reply protocol.ServerReply) {
+	t.Helper()
+	for _, cand := range reply.Paths {
+		want := referenceDistance(t, g, cand.Source, cand.Dest)
+		got := cand.Cost
+		if len(cand.Nodes) == 0 && cand.Source != cand.Dest {
+			got = math.Inf(1)
+		}
+		if got != want {
+			t.Fatalf("pair (%d,%d): served %v, current graph says %v", cand.Source, cand.Dest, got, want)
+		}
+	}
+}
+
+// TestHybridFallsBackOnStaleOverlay is the staleness regression test: a
+// hybrid server whose overlay no longer checksum-matches the graph (weight
+// mutated, overlay not yet refreshed) must serve current-graph distances via
+// the SSMD fallback — never stale overlay distances. Pinned with a
+// witness-pruned overlay, which can never be re-customized, so the overlay
+// stays permanently stale and every post-update query must take the
+// fallback.
+func TestHybridFallsBackOnStaleOverlay(t *testing.T) {
+	g := updateTestGraph(t, 60, 501)
+	witness, err := ch.Build(g) // deliberately not customizable
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyHybrid
+	cfg.CHOverlay = witness
+	s := MustNew(g, cfg)
+
+	q := protocol.ServerQuery{Sources: []roadnet.NodeID{1, 2}, Dests: []roadnet.NodeID{3}}
+	reply, err := s.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplyMatchesGraph(t, s.Graph(), reply)
+	if got := s.Metrics().Counter("ch_queries"); got != 1 {
+		t.Fatalf("pre-update hybrid query should route to CH, ch_queries = %d", got)
+	}
+
+	if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{doubleOneArc(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+	cur := s.Graph()
+	if cur == g {
+		t.Fatal("UpdateWeights did not swap the served graph")
+	}
+	// Re-query: every candidate must reflect the *current* graph.
+	reply, err = s.Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplyMatchesGraph(t, cur, reply)
+	wide := protocol.ServerQuery{Sources: []roadnet.NodeID{1, 2, 4}, Dests: []roadnet.NodeID{3, 5, 6}}
+	wreply, err := s.Evaluate(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReplyMatchesGraph(t, cur, wreply)
+
+	m := s.Metrics()
+	if got := m.Counter("overlay_stale_queries"); got < 2 {
+		t.Fatalf("overlay_stale_queries = %d, want >= 2", got)
+	}
+	if got := m.Counter("ch_queries"); got != 1 {
+		t.Fatalf("post-update queries still routed to the stale overlay (ch_queries = %d)", got)
+	}
+	// The witness overlay can never be refreshed; RecustomizeNow must say so.
+	if err := s.RecustomizeNow(); err == nil {
+		t.Fatal("RecustomizeNow on a witness-pruned overlay should report the permanent fallback")
+	}
+}
+
+// TestUpdateRecustomizeRestoresOverlay: with a customizable overlay, a
+// weight update diverts overlay traffic to the fallback only until
+// re-customization swaps the fresh overlay in; afterwards CH routing resumes
+// and all three overlay strategies serve current-graph distances.
+func TestUpdateRecustomizeRestoresOverlay(t *testing.T) {
+	for _, strat := range []search.Strategy{StrategyCH, StrategyCHMTM, StrategyHybrid} {
+		g := updateTestGraph(t, 70, 502)
+		cfg := DefaultConfig()
+		cfg.Strategy = strat
+		cfg.BuildCH = true
+		s := MustNew(g, cfg)
+		if !s.Overlay().Customizable() {
+			t.Fatalf("%s: BuildCH on a mutable deployment should contract customizable", strat)
+		}
+		oldOverlay := s.Overlay()
+
+		rng := rand.New(rand.NewSource(503))
+		for round := 0; round < 3; round++ {
+			cur := s.Graph()
+			var changes []roadnet.ArcWeightChange
+			for i := 0; i < 5; i++ {
+				v := roadnet.NodeID(rng.Intn(cur.NumNodes()))
+				arcs := cur.Arcs(v)
+				if len(arcs) == 0 {
+					continue
+				}
+				a := arcs[rng.Intn(len(arcs))]
+				changes = append(changes, roadnet.ArcWeightChange{From: v, To: a.To, NewCost: float64(1 + rng.Intn(40))})
+			}
+			if _, err := s.UpdateWeights(changes); err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+			if err := s.RecustomizeNow(); err != nil {
+				t.Fatalf("%s: RecustomizeNow: %v", strat, err)
+			}
+			if s.Overlay() == oldOverlay {
+				t.Fatalf("%s: re-customization did not swap the overlay", strat)
+			}
+			oldOverlay = s.Overlay()
+			if err := s.Overlay().Matches(s.Graph()); err != nil {
+				t.Fatalf("%s: refreshed overlay does not match current graph: %v", strat, err)
+			}
+			reply, err := s.Evaluate(protocol.ServerQuery{
+				Sources: []roadnet.NodeID{1, 2, 7},
+				Dests:   []roadnet.NodeID{3, 9},
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", strat, err)
+			}
+			checkReplyMatchesGraph(t, s.Graph(), reply)
+		}
+		m := s.Metrics()
+		if got := m.Counter("recustomize_runs"); got < 3 {
+			t.Fatalf("%s: recustomize_runs = %d, want >= 3", strat, got)
+		}
+		// After each explicit RecustomizeNow, queries must route onto the
+		// overlay again, not the fallback.
+		if got := m.Counter("ch_queries") + m.Counter("mtm_queries"); got < 3 {
+			t.Fatalf("%s: overlay routing did not resume after refresh (ch+mtm = %d)", strat, got)
+		}
+	}
+}
+
+// TestNoOpUpdateRebindsEngines: an update that bumps the generation without
+// changing any cost (a no-op change, or a revert restoring the exact old
+// weights) must not strand the overlay behind the generation check — the
+// refresh rebinds the engines instead of re-customizing, and CH routing
+// resumes.
+func TestNoOpUpdateRebindsEngines(t *testing.T) {
+	g := updateTestGraph(t, 50, 509)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyCH
+	cfg.BuildCH = true
+	s := MustNew(g, cfg)
+	q := protocol.ServerQuery{Sources: []roadnet.NodeID{1}, Dests: []roadnet.NodeID{2}}
+	if _, err := s.Evaluate(q); err != nil {
+		t.Fatal(err)
+	}
+	// First update normalises every parallel 0→to arc to one cost (a real
+	// content change, absorbed by a re-customization); the second repeats it
+	// verbatim — a pure generation bump with identical content.
+	noop := roadnet.ArcWeightChange{From: 0, To: g.Arcs(0)[0].To, NewCost: 7}
+	if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{noop}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecustomizeNow(); err != nil {
+		t.Fatal(err)
+	}
+	overlayBefore := s.Overlay()
+	if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{noop}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RecustomizeNow(); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics().Counter("ch_queries")
+	for i := 0; i < 3; i++ {
+		reply, err := s.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkReplyMatchesGraph(t, s.Graph(), reply)
+	}
+	if got := s.Metrics().Counter("ch_queries"); got != before+3 {
+		t.Fatalf("CH routing did not resume after a no-op update: ch_queries went %d → %d", before, got)
+	}
+	if s.Overlay() != overlayBefore {
+		t.Fatal("no-op update triggered a full re-customization instead of a rebind")
+	}
+}
+
+// TestUpdateWeightsRejected pins the refusal paths: paged deployments and
+// the heuristic pairwise strategies cannot absorb live updates, and invalid
+// changes do not move the generation.
+func TestUpdateWeightsRejected(t *testing.T) {
+	g := updateTestGraph(t, 40, 504)
+
+	pagedCfg := DefaultConfig()
+	pagedCfg.Paged = true
+	paged := MustNew(g, pagedCfg)
+	if _, err := paged.UpdateWeights([]roadnet.ArcWeightChange{doubleOneArc(t, g)}); err == nil {
+		t.Fatal("paged server accepted a live weight update")
+	}
+
+	altCfg := DefaultConfig()
+	altCfg.Strategy = search.StrategyPairwiseALT
+	altCfg.Landmarks = 2
+	alt := MustNew(g, altCfg)
+	if _, err := alt.UpdateWeights([]roadnet.ArcWeightChange{doubleOneArc(t, g)}); err == nil {
+		t.Fatal("pairwise-alt server accepted a live weight update over its frozen landmark bounds")
+	}
+
+	astarCfg := DefaultConfig()
+	astarCfg.Strategy = search.StrategyPairwiseAStar
+	astar := MustNew(g, astarCfg)
+	if _, err := astar.UpdateWeights([]roadnet.ArcWeightChange{doubleOneArc(t, g)}); err == nil {
+		t.Fatal("pairwise-astar server accepted a live weight update over its startup-metric heuristic")
+	}
+
+	s := MustNew(g, DefaultConfig())
+	if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{{From: 0, To: 0, NewCost: -1}}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if gen := storage.GenerationOf(s.Accessor()); gen != 0 {
+		t.Fatalf("failed update moved the generation to %d", gen)
+	}
+}
+
+// TestConcurrentUpdatesAndBatches is the -race consistency test: batches
+// evaluate while weight updates land concurrently, and every returned table
+// must be internally consistent — all cells from one generation's graph,
+// all-old or all-new, never mixed. With updates flipping a single arc
+// between two costs, every consistent table matches exactly one of the two
+// reference tables computed up front.
+func TestConcurrentUpdatesAndBatches(t *testing.T) {
+	g := updateTestGraph(t, 50, 505)
+	cfg := DefaultConfig()
+	cfg.Strategy = StrategyHybrid
+	cfg.BuildCH = true
+	cfg.TreeCache = 16
+	cfg.KeepLog = false
+	s := MustNew(g, cfg)
+
+	// The updater flips one arc between two fixed costs, so after the first
+	// (synchronous) update the served graph content is always exactly one of
+	// two states — a change overwrites every parallel arc of the pair with
+	// the same value, making the flip content-deterministic.
+	to := g.Arcs(0)[0].To
+	changeA := roadnet.ArcWeightChange{From: 0, To: to, NewCost: 3}
+	changeB := roadnet.ArcWeightChange{From: 0, To: to, NewCost: 29}
+	gOld, err := s.Graph().WithUpdatedWeights([]roadnet.ArcWeightChange{changeA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gNew, err := gOld.WithUpdatedWeights([]roadnet.ArcWeightChange{changeB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{changeA}); err != nil {
+		t.Fatal(err)
+	}
+
+	queries := make([]protocol.ServerQuery, 12)
+	rng := rand.New(rand.NewSource(506))
+	for i := range queries {
+		ns, nt := 1+rng.Intn(3), 1+rng.Intn(3)
+		q := protocol.ServerQuery{QueryID: uint64(i + 1)}
+		for j := 0; j < ns; j++ {
+			q.Sources = append(q.Sources, roadnet.NodeID(rng.Intn(g.NumNodes())))
+		}
+		for j := 0; j < nt; j++ {
+			q.Dests = append(q.Dests, roadnet.NodeID(rng.Intn(g.NumNodes())))
+		}
+		queries[i] = q
+	}
+	// Reference tables for both generations, computed before the race.
+	type key struct{ s, d roadnet.NodeID }
+	refOld := map[key]float64{}
+	refNew := map[key]float64{}
+	for _, q := range queries {
+		for _, src := range q.Sources {
+			for _, dst := range q.Dests {
+				refOld[key{src, dst}] = referenceDistance(t, gOld, src, dst)
+				refNew[key{src, dst}] = referenceDistance(t, gNew, src, dst)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		flip := false
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := changeA
+			if flip {
+				c = changeB
+			}
+			flip = !flip
+			if _, err := s.UpdateWeights([]roadnet.ArcWeightChange{c}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for round := 0; round < 8; round++ {
+		results := s.EvaluateBatch(queries)
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("round %d query %d: %v", round, i, r.Err)
+			}
+			// Classify each candidate against both references; the whole
+			// table must fit a single generation.
+			okOld, okNew := true, true
+			for _, cand := range r.Reply.Paths {
+				got := cand.Cost
+				if len(cand.Nodes) == 0 && cand.Source != cand.Dest {
+					got = math.Inf(1)
+				}
+				k := key{cand.Source, cand.Dest}
+				if got != refOld[k] {
+					okOld = false
+				}
+				if got != refNew[k] {
+					okNew = false
+				}
+			}
+			if !okOld && !okNew {
+				t.Fatalf("round %d query %d: table matches neither the old nor the new generation (mixed-generation evaluation)", round, i)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := s.RecustomizeNow(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Overlay().Matches(s.Graph()); err != nil {
+		t.Fatalf("overlay not fresh after quiescence: %v", err)
+	}
+}
+
+// TestEmptyQueryContract pins the unified empty-S/T contract across every
+// server strategy and both processor entry points: an error wrapping
+// search.ErrEmptyQuery, never a silent empty table.
+func TestEmptyQueryContract(t *testing.T) {
+	g := updateTestGraph(t, 30, 507)
+	for _, strat := range []search.Strategy{
+		search.StrategySSMD, search.StrategyPairwise, StrategyCH, StrategyCHMTM, StrategyHybrid,
+	} {
+		cfg := DefaultConfig()
+		cfg.Strategy = strat
+		cfg.BuildCH = strat == StrategyCH || strat == StrategyCHMTM || strat == StrategyHybrid
+		s := MustNew(g, cfg)
+		for _, q := range []protocol.ServerQuery{
+			{Sources: nil, Dests: []roadnet.NodeID{1}},
+			{Sources: []roadnet.NodeID{1}, Dests: nil},
+			{},
+		} {
+			if _, err := s.Evaluate(q); err == nil {
+				t.Fatalf("%s: empty query %v accepted", strat, q)
+			}
+		}
+	}
+
+	// Processor level: every strategy returns ErrEmptyQuery from both
+	// Evaluate and EvaluateDistances; direct engine surfaces agree.
+	acc := storage.NewMemoryGraph(g)
+	o, err := ch.Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtm := ch.NewMTM(o, nil)
+	procs := map[string]*search.Processor{
+		"ssmd":         search.NewProcessor(acc),
+		"pairwise":     search.NewProcessor(acc, search.WithStrategy(search.StrategyPairwise)),
+		"point-engine": search.NewProcessor(acc, search.WithStrategy(search.StrategyPointEngine), search.WithPointEngine(ch.NewEngine(o, nil))),
+		"table-engine": search.NewProcessor(acc, search.WithStrategy(search.StrategyTableEngine), search.WithTableEngine(mtm)),
+	}
+	for name, p := range procs {
+		if _, err := p.Evaluate(nil, []roadnet.NodeID{1}); !errors.Is(err, search.ErrEmptyQuery) {
+			t.Fatalf("%s Evaluate(∅, T): err = %v, want ErrEmptyQuery", name, err)
+		}
+		if _, err := p.EvaluateDistances([]roadnet.NodeID{1}, nil); !errors.Is(err, search.ErrEmptyQuery) {
+			t.Fatalf("%s EvaluateDistances(S, ∅): err = %v, want ErrEmptyQuery", name, err)
+		}
+	}
+	if _, _, err := mtm.Distances(nil, []roadnet.NodeID{1}); !errors.Is(err, search.ErrEmptyQuery) {
+		t.Fatalf("MTM.Distances(∅, T): err = %v, want ErrEmptyQuery", err)
+	}
+	if _, err := mtm.Table([]roadnet.NodeID{1}, nil); !errors.Is(err, search.ErrEmptyQuery) {
+		t.Fatalf("MTM.Table(S, ∅): err = %v, want ErrEmptyQuery", err)
+	}
+	if _, _, err := mtm.DistancesInto(nil, nil, nil); !errors.Is(err, search.ErrEmptyQuery) {
+		t.Fatalf("MTM.DistancesInto(∅, ∅): err = %v, want ErrEmptyQuery", err)
+	}
+}
+
+// TestStaleEngineGenerationContract exercises the search.Generational
+// contract directly: a processor whose point/table engine generation trails
+// a versioned accessor refuses with ErrStaleEngine instead of serving.
+func TestStaleEngineGenerationContract(t *testing.T) {
+	g := updateTestGraph(t, 30, 508)
+	mg := storage.NewMutableGraph(g)
+	o, err := ch.BuildCustomizable(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ch.NewEngine(o, nil)
+	mtm := ch.NewMTM(o, nil)
+	pePoint := search.NewProcessor(mg, search.WithStrategy(search.StrategyPointEngine), search.WithPointEngine(eng))
+	peTable := search.NewProcessor(mg, search.WithStrategy(search.StrategyTableEngine), search.WithTableEngine(mtm))
+
+	S, T := []roadnet.NodeID{1}, []roadnet.NodeID{2}
+	if _, err := pePoint.Evaluate(S, T); err != nil {
+		t.Fatalf("fresh point engine refused: %v", err)
+	}
+	if _, err := peTable.EvaluateDistances(S, T); err != nil {
+		t.Fatalf("fresh table engine refused: %v", err)
+	}
+
+	if _, err := mg.UpdateWeights([]roadnet.ArcWeightChange{doubleOneArc(t, g)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pePoint.Evaluate(S, T); !errors.Is(err, search.ErrStaleEngine) {
+		t.Fatalf("stale point engine: err = %v, want ErrStaleEngine", err)
+	}
+	if _, err := peTable.EvaluateDistances(S, T); !errors.Is(err, search.ErrStaleEngine) {
+		t.Fatalf("stale table engine: err = %v, want ErrStaleEngine", err)
+	}
+
+	// Re-customize and re-bind: serving resumes on the new generation.
+	fresh, err := o.Recustomize(mg.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := ch.NewEngine(fresh, nil)
+	eng2.BindGeneration(storage.GenerationOf(mg))
+	p2 := search.NewProcessor(mg, search.WithStrategy(search.StrategyPointEngine), search.WithPointEngine(eng2))
+	res, err := p2.Evaluate(S, T)
+	if err != nil {
+		t.Fatalf("re-bound engine refused: %v", err)
+	}
+	want := referenceDistance(t, mg.Graph(), S[0], T[0])
+	if got, _ := res.Distance(S[0], T[0]); got != want {
+		t.Fatalf("re-bound engine distance %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+
+	"opaque/internal/roadnet"
+)
+
+func mutableFixture(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	g := roadnet.NewGraph(3, 4)
+	g.AddNode(0, 0)
+	g.AddNode(1, 0)
+	g.AddNode(2, 0)
+	g.MustAddBidirectionalEdge(0, 1, 2)
+	g.MustAddBidirectionalEdge(1, 2, 3)
+	g.Freeze()
+	return g
+}
+
+func TestMutableGraphSnapshotPinning(t *testing.T) {
+	g := mutableFixture(t)
+	m := NewMutableGraph(g)
+	if GenerationOf(m) != 0 {
+		t.Fatalf("fresh mutable graph at generation %d", GenerationOf(m))
+	}
+	snap := SnapshotOf(m)
+	gen, err := m.UpdateWeights([]roadnet.ArcWeightChange{{From: 0, To: 1, NewCost: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 || GenerationOf(m) != 1 {
+		t.Fatalf("generation after update: returned %d, accessor %d, want 1", gen, GenerationOf(m))
+	}
+	// The pinned snapshot still serves the pre-update weights and keeps its
+	// generation; the mutable view serves the new ones.
+	if c := snap.Arcs(0)[0].Cost; c != 2 {
+		t.Fatalf("pinned snapshot sees updated cost %v", c)
+	}
+	if GenerationOf(snap) != 0 {
+		t.Fatalf("pinned snapshot generation moved to %d", GenerationOf(snap))
+	}
+	if c := m.Arcs(0)[0].Cost; c != 7 {
+		t.Fatalf("mutable view serves stale cost %v", c)
+	}
+	// SnapshotOf on an immutable accessor is the accessor itself.
+	mem := NewMemoryGraph(g)
+	if SnapshotOf(mem) != Accessor(mem) {
+		t.Fatal("SnapshotOf wrapped an immutable accessor")
+	}
+}
+
+func TestMutableGraphFailedUpdateKeepsState(t *testing.T) {
+	g := mutableFixture(t)
+	m := NewMutableGraph(g)
+	before := m.Graph()
+	if _, err := m.UpdateWeights([]roadnet.ArcWeightChange{{From: 0, To: 2, NewCost: 1}}); err == nil {
+		t.Fatal("nonexistent arc accepted")
+	}
+	if m.Graph() != before || GenerationOf(m) != 0 {
+		t.Fatal("failed update moved the snapshot or generation")
+	}
+}
+
+// TestMutableGraphConcurrentReadersAndWriters is a -race smoke test: readers
+// iterate arcs while writers update weights. Every read must observe one of
+// the two alternating costs, never anything else.
+func TestMutableGraphConcurrentReadersAndWriters(t *testing.T) {
+	g := mutableFixture(t)
+	m := NewMutableGraph(g)
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int) {
+			defer writers.Done()
+			cost := float64(seed + 10)
+			for i := 0; i < 200; i++ {
+				if _, err := m.UpdateWeights([]roadnet.ArcWeightChange{{From: 1, To: 2, NewCost: cost}}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := SnapshotOf(m)
+			var got float64
+			snap.ForEachArc(1, func(a roadnet.Arc) bool {
+				if a.To == 2 {
+					got = a.Cost
+					return false
+				}
+				return true
+			})
+			if got != 3 && got != 10 && got != 11 {
+				t.Errorf("observed impossible cost %v", got)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if gen := GenerationOf(m); gen != 400 {
+		t.Fatalf("generation %d after 400 updates", gen)
+	}
+}
