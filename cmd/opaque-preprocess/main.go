@@ -60,6 +60,7 @@ func run(args []string, out, errOut io.Writer) error {
 		outFile      = fs.String("out", "", "output overlay file (required)")
 		witnessLimit = fs.Int("witness-limit", 0, "witness search settle budget (0 = default; larger = slower build, fewer redundant shortcuts)")
 		customizable = fs.Bool("customizable", false, "contract metric-independently: the overlay absorbs live weight updates via re-customization (larger file, required for opaque-server deployments that call UpdateWeights)")
+		partition    = fs.Int("partition-cells", 0, "cut the map into this many spatial cells and contract cell by cell (boundary nodes last): weight updates then re-customize only the touched cells, and paged servers page overlay layers per cell (0 = flat contraction)")
 		check        = fs.Int("check", 0, "verify this many random queries against Dijkstra after building")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,6 +85,15 @@ func run(args []string, out, errOut io.Writer) error {
 		cfg.WitnessSettleLimit = *witnessLimit
 	}
 	cfg.Customizable = *customizable
+	if *partition > 1 {
+		part, err := roadnet.BuildPartition(g, roadnet.PartitionConfig{Cells: *partition, Seed: int64(*seed)})
+		if err != nil {
+			return err
+		}
+		cfg.Partition = part
+		fmt.Fprintf(out, "partitioned into %d cells (%d boundary nodes, %d cut arcs)\n",
+			part.NumCells(), part.NumBoundary(), part.CutArcCount())
+	}
 	start := time.Now()
 	overlay, err := ch.BuildWithConfig(g, cfg)
 	if err != nil {

@@ -23,6 +23,7 @@ import (
 
 	"opaque/internal/ch"
 	"opaque/internal/gen"
+	"opaque/internal/roadnet"
 	"opaque/internal/search"
 	"opaque/internal/server"
 	"opaque/internal/storage"
@@ -48,6 +49,7 @@ func main() {
 		landmarks     = flag.Int("landmarks", 0, "prepare this many ALT landmarks at startup (required for -strategy pairwise-alt)")
 		chOverlay     = flag.String("ch-overlay", "", "contraction-hierarchy overlay file built by opaque-preprocess (with -strategy ch|hybrid; empty = contract at startup)")
 		chMaxPairs    = flag.Int("ch-max-pairs", 0, "hybrid cutover: queries with at most this many |S|·|T| pairs go to the CH overlay (0 = default)")
+		partition     = flag.Int("partition-cells", 0, "contract the startup overlay partition-aware with this many spatial cells: weight updates re-customize only the touched cells (0 = flat; ignored with -ch-overlay, whose file carries its own partition)")
 		statsInterval = flag.Duration("stats-interval", 0, "periodically log query/cache/workspace-pool statistics (0 disables)")
 	)
 	flag.Parse()
@@ -81,6 +83,12 @@ func main() {
 	if *chMaxPairs < 0 {
 		log.Fatalf("-ch-max-pairs must be non-negative (got %d); server.New would silently fall back to the default cutover", *chMaxPairs)
 	}
+	if *partition > 0 && *chOverlay != "" {
+		log.Fatalf("-partition-cells shapes the startup contraction and cannot apply to a loaded overlay; build the partitioned file with opaque-preprocess -partition-cells instead")
+	}
+	if *partition > 0 && cfg.Strategy != server.StrategyCH && cfg.Strategy != server.StrategyCHMTM && cfg.Strategy != server.StrategyHybrid {
+		log.Fatalf("-partition-cells requires -strategy ch, ch-mtm or hybrid (got %q)", cfg.Strategy)
+	}
 	if cfg.Strategy == server.StrategyCH || cfg.Strategy == server.StrategyCHMTM || cfg.Strategy == server.StrategyHybrid {
 		if *chOverlay != "" {
 			overlay, err := ch.ReadFile(*chOverlay)
@@ -94,8 +102,22 @@ func main() {
 			// duration covers exactly the contraction pass, not the rest of
 			// server construction (page store, landmarks, …).
 			log.Printf("no -ch-overlay given; contracting the map at startup (persist one with opaque-preprocess to skip this)")
+			buildCfg := ch.DefaultBuildConfig()
+			// Customizable contraction lets the in-memory server absorb live
+			// weight updates (UpdateWeights); paged deployments serve a frozen
+			// store, so they keep the smaller witness-pruned overlay.
+			buildCfg.Customizable = !cfg.Paged
+			if *partition > 1 {
+				part, err := roadnet.BuildPartition(g, roadnet.PartitionConfig{Cells: *partition, Seed: int64(*seed)})
+				if err != nil {
+					log.Fatalf("partitioning the map: %v", err)
+				}
+				buildCfg.Partition = part
+				log.Printf("partitioned into %d cells (%d boundary nodes, %d cut arcs); weight updates re-customize touched cells only",
+					part.NumCells(), part.NumBoundary(), part.CutArcCount())
+			}
 			contractStart := time.Now()
-			overlay, err := ch.Build(g)
+			overlay, err := ch.BuildWithConfig(g, buildCfg)
 			if err != nil {
 				log.Fatalf("contracting the map: %v", err)
 			}
@@ -126,9 +148,9 @@ func main() {
 
 // logStats periodically prints the server's operational counters: query and
 // batch throughput, the strategy routing split, the many-to-many bucket
-// engine's arena gauges, the SSMD tree cache hit ratio and the workspace
-// pool's checkout/reuse numbers — the at-a-glance health line for a
-// long-running deployment.
+// engine's arena gauges, the partition's cell-local update counters, the
+// SSMD tree cache hit ratio and the workspace pool's checkout/reuse numbers
+// — the at-a-glance health line for a long-running deployment.
 func logStats(srv *server.Server, every time.Duration) {
 	for range time.Tick(every) {
 		m := srv.Metrics()
@@ -136,10 +158,11 @@ func logStats(srv *server.Server, every time.Duration) {
 		ws := srv.WorkspacePoolStats()
 		io := srv.IOStats()
 		mt := srv.MTMStats()
-		log.Printf("stats: queries=%d failed=%d batches=%d | route ch=%d mtm=%d fallback=%d | mtm tables=%d bucket-entries=%d scanned=%d arena-high-water=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
+		log.Printf("stats: queries=%d failed=%d batches=%d | route ch=%d mtm=%d fallback=%d | mtm tables=%d bucket-entries=%d scanned=%d arena-high-water=%d | partition cells=%d cells-recustomized=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
 			m.Counter("queries_processed"), m.Counter("queries_failed"), m.Counter("batches_processed"),
 			m.Counter("ch_queries"), m.Counter("mtm_queries"), m.Counter("fallback_queries"),
 			mt.Tables, mt.BucketEntries, mt.BucketEntriesScanned, mt.ArenaHighWater,
+			int64(m.Gauge("partition_cells")), m.Counter("cells_recustomized"),
 			cache.Hits, cache.Misses, cache.HitRatio(),
 			ws.Gets, ws.InFlight(), ws.Fresh, ws.ReuseRatio(),
 			io.Faults)

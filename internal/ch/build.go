@@ -29,6 +29,16 @@ type BuildConfig struct {
 	// absorbed by Overlay.Recustomize in milliseconds instead of a full
 	// re-contraction.
 	Customizable bool
+	// Partition makes the contraction partition-aware: nodes are contracted
+	// cell by cell (each cell's interior nodes form one lazy-ordered group)
+	// with every boundary node last, so each cell's interiors occupy a
+	// contiguous rank range below all boundary ranks. The overlay then
+	// classifies every arena arc into a per-cell weight layer or the
+	// boundary top layer (partition.go). Combined with Customizable this
+	// unlocks Overlay.RecustomizeIncremental: a weight update re-customizes
+	// only the cells it touches. The partition must have been built for the
+	// same graph being contracted.
+	Partition *roadnet.Partition
 }
 
 // DefaultBuildConfig returns the contraction parameters used when none are
@@ -55,6 +65,17 @@ func BuildCustomizable(g *roadnet.Graph) (*Overlay, error) {
 	return BuildWithConfig(g, cfg)
 }
 
+// BuildCustomizablePartitioned runs the metric-independent contraction pass
+// with partition-aware node ordering (see BuildConfig.Partition): the
+// returned overlay additionally supports cell-local re-customization via
+// RecustomizeIncremental. p must have been built for g.
+func BuildCustomizablePartitioned(g *roadnet.Graph, p *roadnet.Partition) (*Overlay, error) {
+	cfg := DefaultBuildConfig()
+	cfg.Customizable = true
+	cfg.Partition = p
+	return BuildWithConfig(g, cfg)
+}
+
 // BuildWithConfig is Build with explicit contraction parameters.
 func BuildWithConfig(g *roadnet.Graph, cfg BuildConfig) (*Overlay, error) {
 	if g == nil || g.NumNodes() == 0 {
@@ -65,6 +86,9 @@ func BuildWithConfig(g *roadnet.Graph, cfg BuildConfig) (*Overlay, error) {
 	}
 	if cfg.WitnessSettleLimit < 1 {
 		cfg.WitnessSettleLimit = DefaultBuildConfig().WitnessSettleLimit
+	}
+	if p := cfg.Partition; p != nil && len(p.Assignment()) != g.NumNodes() {
+		return nil, fmt.Errorf("ch: partition covers %d nodes, graph has %d", len(p.Assignment()), g.NumNodes())
 	}
 	b := newBuilder(g, cfg)
 	b.contractAll()
@@ -158,13 +182,52 @@ func newBuilder(g *roadnet.Graph, cfg BuildConfig) *builder {
 	return b
 }
 
-// contractAll orders and contracts every node. Ordering is lazy: the queue
-// holds possibly stale priorities; the top node's priority is recomputed on
-// pop and the node is re-queued if it no longer belongs at the front.
+// contractAll orders and contracts every node. Without a partition every
+// node competes in one lazy-ordered queue; with one, each cell's interior
+// nodes form their own group contracted to completion before the next cell
+// starts, and all boundary nodes come last — giving every cell a contiguous
+// rank range below every boundary rank, which is the layering cell-local
+// re-customization depends on.
 func (b *builder) contractAll() {
-	queue := pqueue.NewDenseHeap(b.n)
+	p := b.cfg.Partition
+	if p == nil {
+		group := make([]int32, b.n)
+		for v := range group {
+			group[v] = int32(v)
+		}
+		b.contractGroup(group)
+		return
+	}
+	var group []int32
+	for c := 0; c < p.NumCells(); c++ {
+		group = group[:0]
+		for _, v := range p.CellNodes(c) {
+			if !p.IsBoundary(v) {
+				group = append(group, int32(v))
+			}
+		}
+		b.contractGroup(group)
+	}
+	group = group[:0]
 	for v := 0; v < b.n; v++ {
-		queue.Push(int32(v), b.priority(int32(v)))
+		if p.IsBoundary(roadnet.NodeID(v)) {
+			group = append(group, int32(v))
+		}
+	}
+	b.contractGroup(group)
+}
+
+// contractGroup orders and contracts the given nodes. Ordering is lazy: the
+// queue holds possibly stale priorities; the top node's priority is
+// recomputed on pop and the node is re-queued if it no longer belongs at the
+// front.
+func (b *builder) contractGroup(nodes []int32) {
+	if len(nodes) == 0 {
+		return
+	}
+	queue := pqueue.NewDenseHeap(b.n)
+	for _, v := range nodes {
+		queue.Push(v, b.priority(v))
 	}
 	last := int32(-1)
 	for !queue.Empty() {
@@ -424,6 +487,16 @@ func (b *builder) finish() *Overlay {
 		checksum:     GraphChecksum(b.g),
 		topoSum:      b.g.TopologyChecksum(),
 		customizable: b.cfg.Customizable,
+	}
+	if p := b.cfg.Partition; p != nil {
+		cellOf := append([]int32(nil), p.Assignment()...)
+		cp, err := deriveChPartition(b.n, b.rank, b.arcs, b.nOriginal, cellOf, p.NumCells())
+		if err != nil {
+			// The contraction order above guarantees the layering invariants;
+			// a violation here is a builder bug, not bad input.
+			panic(err)
+		}
+		o.part = cp
 	}
 	o.buildCSR()
 	if o.customizable {

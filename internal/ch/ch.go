@@ -110,6 +110,22 @@ type Overlay struct {
 	// recompute the weight layer bottom-up instead of re-contracting.
 	// Witness-pruned overlays are smaller but bound to one metric forever.
 	customizable bool
+
+	// part is the frozen partition structure of a partition-aware overlay
+	// (nil when unpartitioned): node→cell assignment, boundary set and the
+	// arena's layer classification. It is shared across re-customized
+	// generations exactly like the ranks and CSR views; see partition.go.
+	part *chPartition
+	// The remaining fields are per-generation incremental-customization
+	// state of a partitioned overlay: the graph costs the weight layer was
+	// derived from (diffed by RecustomizeIncremental to find the touched
+	// cells), each cell's exported top-arc relaxations (folded into the top
+	// layer without re-running unchanged cells), and whether both are primed
+	// — false on overlays freshly loaded from disk, whose first incremental
+	// call therefore falls back to a full pass.
+	baseCost []float64
+	exports  [][]topExport
+	incReady bool
 }
 
 // NumNodes returns the number of nodes the overlay covers.

@@ -9,30 +9,42 @@ import (
 	"opaque/internal/storage"
 )
 
-// The persisted overlay format ("OCH1", version 2), documented with a worked
+// The persisted overlay format ("OCH1", version 3), documented with a worked
 // hex example in docs/FORMATS.md. The file stores exactly the preprocessing
-// products that cannot be recomputed cheaply — ranks, levels and the arc
-// arena — inside the storage layer's checksummed binary envelope
-// (storage.BinaryWriter); the two upward CSR views are derived
-// deterministically from the arena on load, so a loaded overlay is
-// bit-for-bit the structure the builder produced.
+// products that cannot be recomputed cheaply — ranks, levels, the arc arena
+// and (for partition-aware overlays) the node→cell assignment — inside the
+// storage layer's checksummed binary envelope (storage.BinaryWriter); the
+// two upward CSR views, the boundary set and the arena's layer
+// classification are derived deterministically from those on load, so a
+// loaded overlay is bit-for-bit the structure the builder produced.
 //
-// Version 2 added the topology checksum and the customizable flag (live
-// weight updates), and moved the graph-binding checksum to the incremental
-// roadnet content checksum. Version 1 files bind with the retired checksum
-// algorithm and cannot be verified against a graph any more; they are
-// rejected by version, and re-running cmd/opaque-preprocess regenerates
-// them.
+// Version 3 added the partition section (flagPartitioned + trailing cell
+// assignment); version 2 files — always unpartitioned — still load and
+// behave exactly as before (a v2 overlay simply has no cells to localise
+// re-customization to). Version 2 itself added the topology checksum and
+// the customizable flag (live weight updates), and moved the graph-binding
+// checksum to the incremental roadnet content checksum. Version 1 files
+// bind with the retired checksum algorithm and cannot be verified against a
+// graph any more; they are rejected by version, and re-running
+// cmd/opaque-preprocess regenerates them.
 const (
 	// OverlayMagic is the 4-byte magic of persisted CH overlays.
 	OverlayMagic = "OCH1"
 	// OverlayVersion is the newest overlay format version this build
-	// understands (and the one Write produces).
-	OverlayVersion = 2
+	// understands (and the one Write produces). Version 2 files are still
+	// accepted by Read.
+	OverlayVersion = 3
+	// overlayVersionCompat is the oldest version Read still accepts.
+	overlayVersionCompat = 2
 )
 
-// Flag bits of the v2 flags byte.
-const flagCustomizable = 1 << 0
+// Flag bits of the flags word.
+const (
+	flagCustomizable = 1 << 0
+	// flagPartitioned marks a version-3 file carrying the partition section:
+	// a cell count and the node→cell assignment after the arena records.
+	flagPartitioned = 1 << 1
+)
 
 // Write persists the overlay to w in the versioned OCH1 binary format.
 func Write(o *Overlay, w io.Writer) error {
@@ -47,6 +59,9 @@ func Write(o *Overlay, w io.Writer) error {
 	flags := uint32(0)
 	if o.customizable {
 		flags |= flagCustomizable
+	}
+	if o.part != nil {
+		flags |= flagPartitioned
 	}
 	bw.U32(flags)
 	bw.U32(uint32(o.nOriginal))
@@ -64,6 +79,12 @@ func Write(o *Overlay, w io.Writer) error {
 		bw.I32(a.childA)
 		bw.I32(a.childB)
 		bw.F64(a.cost)
+	}
+	if o.part != nil {
+		bw.U32(uint32(o.part.cells))
+		for _, c := range o.part.cellOf {
+			bw.U32(uint32(c))
+		}
 	}
 	if err := bw.Close(); err != nil {
 		return fmt.Errorf("ch: writing overlay: %w", err)
@@ -83,11 +104,11 @@ func Read(r io.Reader) (*Overlay, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ch: reading overlay header: %w", err)
 	}
-	// The envelope only rejects versions from the future; versions below the
-	// one this build writes do not exist (the format started at 1), so
+	// The envelope only rejects versions from the future; below the compat
+	// floor sits only the retired version 1 (dead checksum algorithm), so
 	// anything else is a crafted or corrupted header.
-	if br.Version() != OverlayVersion {
-		return nil, fmt.Errorf("ch: unsupported overlay version %d (this build reads version %d)", br.Version(), OverlayVersion)
+	if br.Version() < overlayVersionCompat || br.Version() > OverlayVersion {
+		return nil, fmt.Errorf("ch: unsupported overlay version %d (this build reads versions %d-%d)", br.Version(), overlayVersionCompat, OverlayVersion)
 	}
 	n := int(br.U32())
 	graphArcs := int(br.U32())
@@ -98,6 +119,9 @@ func Read(r io.Reader) (*Overlay, error) {
 	totalArcs := int(br.U32())
 	if err := br.Err(); err != nil {
 		return nil, fmt.Errorf("ch: reading overlay counts: %w", err)
+	}
+	if flags&flagPartitioned != 0 && br.Version() < 3 {
+		return nil, fmt.Errorf("ch: version %d overlay claims a partition section, which version 3 introduced", br.Version())
 	}
 	const maxReasonable = 1 << 30
 	if n <= 0 || n > maxReasonable || totalArcs < 0 || totalArcs > maxReasonable || nOriginal < 0 || nOriginal > totalArcs {
@@ -167,6 +191,27 @@ func Read(r io.Reader) (*Overlay, error) {
 		}
 		o.arcs = append(o.arcs, a)
 	}
+	var partCells int
+	var cellOf []int32
+	if flags&flagPartitioned != 0 {
+		partCells = int(br.U32())
+		if br.Err() == nil {
+			if partCells < 1 || partCells > n {
+				return nil, fmt.Errorf("ch: implausible partition cell count %d for %d nodes", partCells, n)
+			}
+			cellOf = make([]int32, 0, min(n, initialCap))
+			for v := 0; v < n; v++ {
+				c := br.U32()
+				if br.Err() != nil {
+					break
+				}
+				if c >= uint32(partCells) {
+					return nil, fmt.Errorf("ch: node %d assigned to cell %d, file declares %d cells", v, c, partCells)
+				}
+				cellOf = append(cellOf, int32(c))
+			}
+		}
+	}
 	if err := br.Close(); err != nil {
 		return nil, fmt.Errorf("ch: reading overlay: %w", err)
 	}
@@ -207,6 +252,19 @@ func Read(r io.Reader) (*Overlay, error) {
 		if via := ca.to; o.rank[via] >= o.rank[a.from] || o.rank[via] >= o.rank[a.to] {
 			return nil, fmt.Errorf("ch: arc %d (%d→%d) unpacks via node %d, which does not rank below both endpoints", i, a.from, a.to, ca.to)
 		}
+	}
+	if cellOf != nil {
+		// Re-derive the partition structure from the persisted assignment,
+		// which re-checks the layering invariants of partitioned contraction
+		// (boundary nodes ranked last, no arena arc between interiors of
+		// different cells) against this file's ranks and arena. The overlay's
+		// incremental state (base costs, per-cell exports) is not persisted;
+		// the first RecustomizeIncremental primes it with one full pass.
+		cp, err := deriveChPartition(n, o.rank, o.arcs, nOriginal, cellOf, partCells)
+		if err != nil {
+			return nil, fmt.Errorf("ch: overlay partition: %w", err)
+		}
+		o.part = cp
 	}
 	o.buildCSR()
 	return o, nil

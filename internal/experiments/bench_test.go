@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+// benchRunner wraps one experiment runner as a testing.B benchmark at small
+// scale, so `go test -bench` tracks the same code paths cmd/opaque-bench
+// times (the BENCH_<date>.json perf record carries the full-scale numbers).
+func benchRunner(b *testing.B, r Runner) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Run(Small); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE16 times the flat live-update pipeline: copy-on-write apply plus
+// full CH re-customization against the rebuild baselines.
+func BenchmarkE16(b *testing.B) { benchRunner(b, E16LiveUpdates{}) }
+
+// BenchmarkE17 times the partitioned live-update pipeline: cell-limited
+// re-customization against the full pass and the witness rebuild.
+func BenchmarkE17(b *testing.B) { benchRunner(b, E17CellUpdates{}) }

@@ -143,6 +143,7 @@ func All() []Runner {
 		E14ContractionHierarchy{},
 		E15ManyToMany{},
 		E16LiveUpdates{},
+		E17CellUpdates{},
 	}
 }
 

@@ -1,0 +1,279 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file is the graph-partitioning layer: it cuts a frozen road network
+// into k spatially coherent cells and records which nodes sit on the cut.
+// The partition is the substrate for partition-aware contraction hierarchies
+// (internal/ch): interiors of one cell can be re-customized independently of
+// every other cell, so a weight update that touches one neighbourhood
+// re-sweeps one cell instead of the whole overlay, and paged deployments can
+// treat per-cell overlay weight layers as paging units.
+//
+// The partitioner is a recursive inertial bisection ("flat cuts"): each
+// group of nodes is split at the median of its projection onto the group's
+// principal axis (the leading eigenvector of the 2x2 coordinate covariance),
+// which cuts perpendicular to the direction the group is most spread out in.
+// Node order is seeded from the spatial grid built at Freeze time
+// (spatial.go), so the initial scan order — and therefore tie-breaking — is
+// spatially coherent rather than insertion-ordered; exact coordinate ties on
+// the projection are broken by a seeded hash, making the whole construction
+// deterministic for a fixed (graph, PartitionConfig).
+
+// PartitionConfig controls BuildPartition.
+type PartitionConfig struct {
+	// Cells is the target number of cells. It is clamped to [1, NumNodes]:
+	// asking for more cells than nodes yields one cell per node.
+	Cells int
+	// Seed feeds the tie-breaking hash used when several nodes project to
+	// the same coordinate on a cut axis. Two calls with equal graph, Cells
+	// and Seed produce identical partitions.
+	Seed int64
+}
+
+// Partition assigns every node of a frozen graph to exactly one cell and
+// records the boundary: the set of nodes incident to an arc whose endpoints
+// lie in different cells. Cells are identified by dense integers 0..k-1.
+type Partition struct {
+	cells     int
+	cellOf    []int32
+	boundary  []bool
+	nBoundary int
+	// nodes grouped by cell in CSR form, ascending node ID within a cell.
+	cellOff   []int32
+	cellNodes []NodeID
+	// arcOff[c] counts the arcs whose tail lies in cell c (the cell's arc
+	// range in a tail-grouped layout); cut arcs are counted by cutArcs.
+	arcCount []int32
+	cutArcs  int
+}
+
+// BuildPartition cuts a frozen graph into cfg.Cells cells by recursive
+// inertial bisection and returns the resulting Partition.
+func BuildPartition(g *Graph, cfg PartitionConfig) (*Partition, error) {
+	if g == nil {
+		return nil, fmt.Errorf("roadnet: BuildPartition on nil graph")
+	}
+	if !g.frozen {
+		return nil, fmt.Errorf("roadnet: BuildPartition requires a frozen graph")
+	}
+	n := g.NumNodes()
+	k := cfg.Cells
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n // graceful clamp: at most one cell per node
+	}
+	if n == 0 {
+		return &Partition{cells: 1, cellOff: []int32{0, 0}, arcCount: []int32{0}}, nil
+	}
+
+	// Seed the work list from the spatial grid: nodes in grid-cell scan
+	// order, so neighbouring nodes are adjacent in the initial ordering.
+	order := make([]NodeID, 0, n)
+	for _, cell := range g.grid.cells {
+		order = append(order, cell...)
+	}
+	if len(order) != n { // defensive: the grid always covers every node
+		order = order[:0]
+		for i := 0; i < n; i++ {
+			order = append(order, NodeID(i))
+		}
+	}
+
+	cellOf := make([]int32, n)
+	proj := make([]float64, n) // scratch: projection onto the cut axis
+	next := int32(0)
+	var split func(nodes []NodeID, parts int)
+	split = func(nodes []NodeID, parts int) {
+		if parts <= 1 || len(nodes) <= 1 {
+			for _, v := range nodes {
+				cellOf[v] = next
+			}
+			next++
+			return
+		}
+		ax, ay := inertialAxis(g, nodes)
+		for _, v := range nodes {
+			nd := g.nodes[v]
+			proj[v] = nd.X*ax + nd.Y*ay + tieJitter(v, cfg.Seed)
+		}
+		sort.Slice(nodes, func(i, j int) bool {
+			if proj[nodes[i]] != proj[nodes[j]] {
+				return proj[nodes[i]] < proj[nodes[j]]
+			}
+			return nodes[i] < nodes[j]
+		})
+		// Weighted median cut: the left side carries parts/2 of the target
+		// cells and a proportional share of the nodes, so a non-power-of-two
+		// cell count still comes out balanced.
+		lp := parts / 2
+		cut := len(nodes) * lp / parts
+		split(nodes[:cut], lp)
+		split(nodes[cut:], parts-lp)
+	}
+	split(order, k)
+	if int(next) != k {
+		return nil, fmt.Errorf("roadnet: partitioner emitted %d cells, want %d", next, k)
+	}
+	return newPartition(g, cellOf, k)
+}
+
+// NewPartitionFromAssignment builds a Partition from an explicit node→cell
+// assignment with the given cell count. Cells may be empty; every entry must
+// lie in [0, cells). This is the constructor used by tests that need crafted
+// partitions and by loaders that persist the assignment.
+func NewPartitionFromAssignment(g *Graph, cellOf []int32, cells int) (*Partition, error) {
+	if g == nil || !g.frozen {
+		return nil, fmt.Errorf("roadnet: partition assignment requires a frozen graph")
+	}
+	if len(cellOf) != g.NumNodes() {
+		return nil, fmt.Errorf("roadnet: partition assignment covers %d nodes, graph has %d", len(cellOf), g.NumNodes())
+	}
+	if cells < 1 {
+		return nil, fmt.Errorf("roadnet: partition needs at least one cell, got %d", cells)
+	}
+	for v, c := range cellOf {
+		if c < 0 || int(c) >= cells {
+			return nil, fmt.Errorf("roadnet: node %d assigned to cell %d, valid range [0,%d)", v, c, cells)
+		}
+	}
+	own := make([]int32, len(cellOf))
+	copy(own, cellOf)
+	return newPartition(g, own, cells)
+}
+
+// newPartition derives the boundary set, per-cell node CSR and arc counts
+// from a complete assignment. It takes ownership of cellOf.
+func newPartition(g *Graph, cellOf []int32, cells int) (*Partition, error) {
+	n := g.NumNodes()
+	p := &Partition{
+		cells:    cells,
+		cellOf:   cellOf,
+		boundary: make([]bool, n),
+		arcCount: make([]int32, cells),
+	}
+	for u := 0; u < n; u++ {
+		cu := cellOf[u]
+		p.arcCount[cu] += int32(len(g.Arcs(NodeID(u))))
+		for _, a := range g.Arcs(NodeID(u)) {
+			if cellOf[a.To] != cu {
+				p.boundary[u] = true
+				p.boundary[a.To] = true
+				p.cutArcs++
+			}
+		}
+	}
+	for _, b := range p.boundary {
+		if b {
+			p.nBoundary++
+		}
+	}
+	// Counting sort of node IDs by cell keeps each cell's node list in
+	// ascending ID order.
+	p.cellOff = make([]int32, cells+1)
+	for _, c := range cellOf {
+		p.cellOff[c+1]++
+	}
+	for c := 0; c < cells; c++ {
+		p.cellOff[c+1] += p.cellOff[c]
+	}
+	p.cellNodes = make([]NodeID, n)
+	fill := make([]int32, cells)
+	copy(fill, p.cellOff[:cells])
+	for v := 0; v < n; v++ {
+		c := cellOf[v]
+		p.cellNodes[fill[c]] = NodeID(v)
+		fill[c]++
+	}
+	return p, nil
+}
+
+// NumCells returns the number of cells.
+func (p *Partition) NumCells() int { return p.cells }
+
+// CellOf returns the cell node v belongs to.
+func (p *Partition) CellOf(v NodeID) int { return int(p.cellOf[v]) }
+
+// IsBoundary reports whether v is incident to a cross-cell arc.
+func (p *Partition) IsBoundary(v NodeID) bool { return p.boundary[v] }
+
+// NumBoundary returns the number of boundary nodes.
+func (p *Partition) NumBoundary() int { return p.nBoundary }
+
+// CellNodes returns the nodes of cell c in ascending ID order. The returned
+// slice aliases the partition's storage and must not be modified.
+func (p *Partition) CellNodes(c int) []NodeID {
+	return p.cellNodes[p.cellOff[c]:p.cellOff[c+1]]
+}
+
+// CellArcCount returns the number of arcs whose tail lies in cell c
+// (including cut arcs leaving the cell).
+func (p *Partition) CellArcCount(c int) int { return int(p.arcCount[c]) }
+
+// CutArcCount returns the number of arcs whose endpoints lie in different
+// cells.
+func (p *Partition) CutArcCount() int { return p.cutArcs }
+
+// Assignment returns the node→cell assignment. The returned slice aliases
+// the partition's storage and must not be modified.
+func (p *Partition) Assignment() []int32 { return p.cellOf }
+
+// String summarises the partition.
+func (p *Partition) String() string {
+	return fmt.Sprintf("roadnet.Partition{cells: %d, boundary: %d, cut: %d}", p.cells, p.nBoundary, p.cutArcs)
+}
+
+// inertialAxis returns the unit principal axis of the node group: the
+// leading eigenvector of the 2x2 covariance of the coordinates. Degenerate
+// groups (all nodes coincident) fall back to the x axis.
+func inertialAxis(g *Graph, nodes []NodeID) (float64, float64) {
+	var cx, cy float64
+	for _, v := range nodes {
+		cx += g.nodes[v].X
+		cy += g.nodes[v].Y
+	}
+	inv := 1 / float64(len(nodes))
+	cx *= inv
+	cy *= inv
+	var sxx, sxy, syy float64
+	for _, v := range nodes {
+		dx := g.nodes[v].X - cx
+		dy := g.nodes[v].Y - cy
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxy == 0 {
+		if syy > sxx {
+			return 0, 1
+		}
+		return 1, 0
+	}
+	// Leading eigenvalue of [[sxx, sxy], [sxy, syy]].
+	lambda := (sxx + syy + math.Hypot(sxx-syy, 2*sxy)) / 2
+	ax, ay := sxy, lambda-sxx
+	norm := math.Hypot(ax, ay)
+	if norm == 0 || math.IsNaN(norm) {
+		return 1, 0
+	}
+	return ax / norm, ay / norm
+}
+
+// tieJitter is a tiny deterministic perturbation (splitmix64 of node ID and
+// seed, scaled to ~1e-9) that breaks exact projection ties without moving
+// any node measurably.
+func tieJitter(v NodeID, seed int64) float64 {
+	z := uint64(v)*0x9e3779b97f4a7c15 + uint64(seed)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z%(1<<20)) * 1e-15
+}

@@ -1,0 +1,221 @@
+package roadnet
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// partitionTestGraph builds a frozen random geometric-ish graph: n nodes on
+// a jittered grid, ring connectivity plus extra random bidirectional edges.
+func partitionTestGraph(tb testing.TB, n, extra int, seed int64) *Graph {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n, 2*(n+extra))
+	for i := 0; i < n; i++ {
+		g.AddNode(rng.Float64()*100, rng.Float64()*100)
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddBidirectionalEdge(NodeID(i), NodeID((i+1)%n), 1+rng.Float64()*9)
+	}
+	for i := 0; i < extra; i++ {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		g.MustAddBidirectionalEdge(a, b, 1+rng.Float64()*9)
+	}
+	g.Freeze()
+	return g
+}
+
+// checkPartitionInvariants asserts the structural contract every partition
+// must satisfy against its graph.
+func checkPartitionInvariants(tb testing.TB, g *Graph, p *Partition) {
+	tb.Helper()
+	n := g.NumNodes()
+	if p.NumCells() < 1 {
+		tb.Fatalf("partition has %d cells", p.NumCells())
+	}
+	// Every node in exactly one cell: the assignment is total and the
+	// per-cell node lists are a disjoint cover.
+	seen := make([]int, n)
+	for c := 0; c < p.NumCells(); c++ {
+		for _, v := range p.CellNodes(c) {
+			if p.CellOf(v) != c {
+				tb.Fatalf("node %d listed in cell %d but assigned to %d", v, c, p.CellOf(v))
+			}
+			seen[v]++
+		}
+	}
+	for v, cnt := range seen {
+		if cnt != 1 {
+			tb.Fatalf("node %d appears in %d cells, want exactly 1", v, cnt)
+		}
+	}
+	// Boundary set is exactly the cut: a node is boundary iff one of its
+	// arcs (either direction) crosses cells.
+	cut := 0
+	arcTotal := 0
+	onCut := make([]bool, n)
+	for u := 0; u < n; u++ {
+		arcTotal += len(g.Arcs(NodeID(u)))
+		for _, a := range g.Arcs(NodeID(u)) {
+			if p.CellOf(NodeID(u)) != p.CellOf(a.To) {
+				cut++
+				onCut[u] = true
+				onCut[a.To] = true
+			}
+		}
+	}
+	nb := 0
+	for v := 0; v < n; v++ {
+		if onCut[v] != p.IsBoundary(NodeID(v)) {
+			tb.Fatalf("node %d boundary=%v, cut incidence=%v", v, p.IsBoundary(NodeID(v)), onCut[v])
+		}
+		if onCut[v] {
+			nb++
+		}
+	}
+	if nb != p.NumBoundary() {
+		tb.Fatalf("NumBoundary=%d, recount=%d", p.NumBoundary(), nb)
+	}
+	if cut != p.CutArcCount() {
+		tb.Fatalf("CutArcCount=%d, recount=%d", p.CutArcCount(), cut)
+	}
+	perCell := 0
+	for c := 0; c < p.NumCells(); c++ {
+		perCell += p.CellArcCount(c)
+	}
+	if perCell != arcTotal {
+		tb.Fatalf("per-cell arc counts sum to %d, graph has %d arcs", perCell, arcTotal)
+	}
+}
+
+func TestBuildPartitionDeterministic(t *testing.T) {
+	g := partitionTestGraph(t, 300, 200, 7)
+	for _, cells := range []int{1, 2, 5, 16} {
+		a, err := BuildPartition(g, PartitionConfig{Cells: cells, Seed: 42})
+		if err != nil {
+			t.Fatalf("BuildPartition(%d): %v", cells, err)
+		}
+		b, err := BuildPartition(g, PartitionConfig{Cells: cells, Seed: 42})
+		if err != nil {
+			t.Fatalf("BuildPartition(%d) second run: %v", cells, err)
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			if a.CellOf(NodeID(v)) != b.CellOf(NodeID(v)) {
+				t.Fatalf("cells=%d: node %d assigned to %d then %d with the same seed",
+					cells, v, a.CellOf(NodeID(v)), b.CellOf(NodeID(v)))
+			}
+		}
+		checkPartitionInvariants(t, g, a)
+		if a.NumCells() != cells {
+			t.Fatalf("asked for %d cells, got %d", cells, a.NumCells())
+		}
+	}
+}
+
+func TestBuildPartitionCellBalance(t *testing.T) {
+	g := partitionTestGraph(t, 1000, 500, 11)
+	p, err := BuildPartition(g, PartitionConfig{Cells: 7, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionInvariants(t, g, p)
+	// The weighted median split keeps cells within a factor ~2 of ideal.
+	ideal := g.NumNodes() / p.NumCells()
+	for c := 0; c < p.NumCells(); c++ {
+		size := len(p.CellNodes(c))
+		if size < ideal/2 || size > ideal*2 {
+			t.Errorf("cell %d has %d nodes, ideal %d", c, size, ideal)
+		}
+	}
+}
+
+func TestBuildPartitionSingleCellHasNoBoundary(t *testing.T) {
+	g := partitionTestGraph(t, 64, 40, 3)
+	p, err := BuildPartition(g, PartitionConfig{Cells: 1, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionInvariants(t, g, p)
+	if p.NumBoundary() != 0 || p.CutArcCount() != 0 {
+		t.Fatalf("single-cell partition has boundary=%d cut=%d, want 0/0", p.NumBoundary(), p.CutArcCount())
+	}
+}
+
+func TestBuildPartitionMoreCellsThanNodes(t *testing.T) {
+	g := partitionTestGraph(t, 10, 5, 9)
+	p, err := BuildPartition(g, PartitionConfig{Cells: 1000, Seed: 0})
+	if err != nil {
+		t.Fatalf("cells > nodes must clamp, got error: %v", err)
+	}
+	if p.NumCells() != g.NumNodes() {
+		t.Fatalf("got %d cells for %d nodes, want clamp to node count", p.NumCells(), g.NumNodes())
+	}
+	checkPartitionInvariants(t, g, p)
+	for c := 0; c < p.NumCells(); c++ {
+		if len(p.CellNodes(c)) != 1 {
+			t.Fatalf("cell %d has %d nodes, want exactly 1 after clamp", c, len(p.CellNodes(c)))
+		}
+	}
+}
+
+func TestBuildPartitionRejectsMisuse(t *testing.T) {
+	if _, err := BuildPartition(nil, PartitionConfig{Cells: 2}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := NewGraph(4, 0)
+	g.AddNode(0, 0)
+	if _, err := BuildPartition(g, PartitionConfig{Cells: 2}); err == nil {
+		t.Fatal("unfrozen graph accepted")
+	}
+}
+
+func TestNewPartitionFromAssignment(t *testing.T) {
+	g := partitionTestGraph(t, 20, 10, 5)
+	asg := make([]int32, g.NumNodes())
+	for v := range asg {
+		asg[v] = int32(v % 3)
+	}
+	p, err := NewPartitionFromAssignment(g, asg, 5) // cells 3 and 4 empty
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPartitionInvariants(t, g, p)
+	if len(p.CellNodes(3)) != 0 || len(p.CellNodes(4)) != 0 {
+		t.Fatal("expected empty trailing cells")
+	}
+	// Out-of-range assignment rejected.
+	asg[0] = 5
+	if _, err := NewPartitionFromAssignment(g, asg, 5); err == nil {
+		t.Fatal("out-of-range cell accepted")
+	}
+	asg[0] = -1
+	if _, err := NewPartitionFromAssignment(g, asg, 5); err == nil {
+		t.Fatal("negative cell accepted")
+	}
+	if _, err := NewPartitionFromAssignment(g, asg[:5], 5); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+// FuzzBuildPartition drives the partitioner over random graph shapes and
+// cell counts and asserts the structural invariants hold: total assignment,
+// boundary = cut, per-cell arc counts summing to the arc total.
+func FuzzBuildPartition(f *testing.F) {
+	f.Add(int64(1), uint16(30), uint16(20), uint16(4))
+	f.Add(int64(2), uint16(1), uint16(0), uint16(9))
+	f.Add(int64(3), uint16(100), uint16(0), uint16(100))
+	f.Add(int64(4), uint16(17), uint16(40), uint16(1))
+	f.Fuzz(func(t *testing.T, seed int64, n, extra, cells uint16) {
+		nn := int(n%512) + 1
+		g := partitionTestGraph(t, nn, int(extra%1024), seed)
+		p, err := BuildPartition(g, PartitionConfig{Cells: int(cells), Seed: seed})
+		if err != nil {
+			t.Fatalf("BuildPartition(n=%d cells=%d): %v", nn, cells, err)
+		}
+		checkPartitionInvariants(t, g, p)
+	})
+}

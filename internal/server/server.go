@@ -110,6 +110,16 @@ type Config struct {
 	// the in-process equivalent of running cmd/opaque-preprocess. Expect
 	// seconds of startup work on large maps; persisted overlays skip it.
 	BuildCH bool
+	// PartitionCells makes the startup contraction partition-aware: the
+	// road map is cut into this many spatial cells
+	// (roadnet.BuildPartition) and contracted cell by cell with boundary
+	// nodes last, so live weight updates re-customize only the touched
+	// cells' weight layers (ch.RecustomizeIncremental) instead of the whole
+	// overlay, and paged deployments page overlay weight layers per cell.
+	// 0 or 1 keeps the flat single-layer contraction. Ignored unless the
+	// overlay is built at startup (BuildCH without CHOverlay) — a loaded
+	// CHOverlay carries its own partition, or none.
+	PartitionCells int
 	// CHMaxPairs is the StrategyHybrid cutover, with *inclusive* pairwise
 	// semantics: queries with |S|·|T| ≤ CHMaxPairs are evaluated pairwise
 	// on the CH overlay, queries with |S|·|T| > CHMaxPairs go to the
@@ -179,6 +189,11 @@ type Server struct {
 	// deployments serve the page layout they were built over and reject
 	// updates.
 	mutable *storage.MutableGraph
+	// layerPageBase is the first synthetic page ID of the per-cell overlay
+	// weight layers in paged deployments: the graph's own pages occupy
+	// [0, layerPageBase), cell c's weight layer is page layerPageBase+c and
+	// the boundary top layer is page layerPageBase+cells. 0 when not paged.
+	layerPageBase int
 	// chSt is the current overlay state (see chState), nil when the server
 	// runs without an overlay. Replaced wholesale by re-customization.
 	chSt       atomic.Pointer[chState]
@@ -217,6 +232,7 @@ type Server struct {
 	mWeightUpd    *metrics.Counter
 	mRecustomize  *metrics.Counter
 	mRecustFail   *metrics.Counter
+	mCellsRecust  *metrics.Counter
 	hLatency      *metrics.Histogram
 	hBatchLatency *metrics.Histogram
 }
@@ -243,6 +259,7 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	s.mWeightUpd = s.metrics.CounterVar("weight_updates")
 	s.mRecustomize = s.metrics.CounterVar("recustomize_runs")
 	s.mRecustFail = s.metrics.CounterVar("recustomize_failures")
+	s.mCellsRecust = s.metrics.CounterVar("cells_recustomized")
 	s.hLatency = s.metrics.HistogramVar("query_latency")
 	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
@@ -260,6 +277,9 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 		}
 		s.pool = pool
 		s.acc = storage.NewPagedGraph(store, pool)
+		// Overlay weight layers page through the same pool as the graph:
+		// they get synthetic page IDs right after the graph's own pages.
+		s.layerPageBase = store.NumPages()
 	} else {
 		// In-memory deployments serve through the mutable weight view, so
 		// UpdateWeights works out of the box: queries pin immutable snapshots
@@ -309,18 +329,21 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	if useCH {
 		overlay := cfg.CHOverlay
 		if overlay == nil && cfg.BuildCH {
-			var built *ch.Overlay
-			var err error
-			if s.mutable != nil {
-				// A mutable deployment contracts customizable, so live weight
-				// updates are absorbed by re-customization instead of leaving
-				// the overlay permanently stale. The overlay carries more
-				// shortcuts than a witness-pruned one; deployments that never
-				// update weights can load a witness-pruned file instead.
-				built, err = ch.BuildCustomizable(g)
-			} else {
-				built, err = ch.Build(g)
+			buildCfg := ch.DefaultBuildConfig()
+			// A mutable deployment contracts customizable, so live weight
+			// updates are absorbed by re-customization instead of leaving
+			// the overlay permanently stale. The overlay carries more
+			// shortcuts than a witness-pruned one; deployments that never
+			// update weights can load a witness-pruned file instead.
+			buildCfg.Customizable = s.mutable != nil
+			if cfg.PartitionCells > 1 {
+				part, err := roadnet.BuildPartition(g, roadnet.PartitionConfig{Cells: cfg.PartitionCells})
+				if err != nil {
+					return nil, fmt.Errorf("server: partitioning road map: %w", err)
+				}
+				buildCfg.Partition = part
 			}
+			built, err := ch.BuildWithConfig(g, buildCfg)
 			if err != nil {
 				return nil, fmt.Errorf("server: building CH overlay: %w", err)
 			}
@@ -508,6 +531,7 @@ func (s *Server) chooseProcessor(q protocol.ServerQuery) (*search.Processor, *me
 		s.kickRecustomize()
 		return s.processor, nil
 	}
+	s.chargeOverlayLayers(st, q)
 	switch s.cfg.Strategy {
 	case StrategyCH:
 		s.mCHQueries.Add(1)
@@ -523,6 +547,41 @@ func (s *Server) chooseProcessor(q protocol.ServerQuery) (*search.Processor, *me
 		s.mMTMQueries.Add(1)
 		return st.mtmProcessor, s.mMTMQueries
 	}
+}
+
+// chargeOverlayLayers charges the buffer pool for the overlay weight layers
+// one query routed onto a partitioned overlay touches. An upward CH search
+// from node v reads exactly two layers: v's cell layer (skipped when v is a
+// boundary node — it starts directly in the top layer) and the boundary top
+// layer, which every query needs. The layers occupy synthetic page IDs after
+// the graph's own pages (see layerPageBase), so cell layers compete for
+// buffer-pool residency with graph pages exactly like any other I/O the
+// simulation accounts: a deployment whose traffic concentrates in a few
+// cells keeps those layers resident, and the page_faults counter shows the
+// paging cost of scattering queries across many cells. No-op for in-memory
+// or unpartitioned deployments.
+func (s *Server) chargeOverlayLayers(st *chState, q protocol.ServerQuery) {
+	cells := st.overlay.PartitionCells()
+	if s.pool == nil || cells == 0 {
+		return
+	}
+	seen := make(map[int]struct{}, len(q.Sources)+len(q.Dests))
+	charge := func(nodes []roadnet.NodeID) {
+		for _, v := range nodes {
+			c, boundary := st.overlay.CellOfNode(v)
+			if boundary {
+				continue
+			}
+			if _, dup := seen[c]; dup {
+				continue
+			}
+			seen[c] = struct{}{}
+			s.pool.Access(storage.PageID(s.layerPageBase + c))
+		}
+	}
+	charge(q.Sources)
+	charge(q.Dests)
+	s.pool.Access(storage.PageID(s.layerPageBase + cells)) // boundary top layer
 }
 
 // overlayStale reports whether st's overlay content no longer matches the
@@ -634,6 +693,7 @@ func (s *Server) publishDerivedMetrics() {
 		s.metrics.SetGauge("mtm_bucket_entries_scanned", float64(mt.BucketEntriesScanned))
 		s.metrics.SetGauge("mtm_arena_high_water", float64(mt.ArenaHighWater))
 		s.metrics.SetGauge("overlay_generation", float64(st.engine.Generation()))
+		s.metrics.SetGauge("partition_cells", float64(st.overlay.PartitionCells()))
 	}
 	s.metrics.SetGauge("graph_generation", float64(storage.GenerationOf(s.acc)))
 	ws := s.wsPool.Stats()

@@ -129,14 +129,31 @@ func (s *Server) RecustomizeNow() error {
 			return fmt.Errorf("server: overlay is witness-pruned and cannot absorb weight updates; queries fall back to SSMD (rebuild with a customizable overlay to restore CH serving)")
 		}
 		start := time.Now()
-		fresh, err := st.overlay.Recustomize(g)
+		// Partitioned overlays diff the pinned snapshot against the weights
+		// they were customized for and re-run only the touched cells (plus
+		// the boundary top layer); unpartitioned ones — and the first
+		// refresh of an overlay loaded from disk, which carries no
+		// incremental state — take the full customization pass and report
+		// stats.Full.
+		fresh, stats, err := st.overlay.RecustomizeIncremental(g)
 		if err != nil {
 			s.mRecustFail.Add(1)
 			return fmt.Errorf("server: re-customizing overlay: %w", err)
 		}
 		s.chSt.Store(s.newCHState(fresh, storage.GenerationOf(snap)))
 		s.mRecustomize.Add(1)
+		s.mCellsRecust.Add(int64(len(stats.Recustomized)))
 		s.metrics.SetGauge("recustomize_last_ms", float64(time.Since(start).Microseconds())/1000)
+		var worstCell time.Duration
+		for _, d := range stats.CellDuration {
+			if d > worstCell {
+				worstCell = d
+			}
+		}
+		// The slowest touched cell of the last run: with one goroutine per
+		// cell this is the parallel pass's critical path, the number E17's
+		// cell-locality speedup shows up in.
+		s.metrics.SetGauge("recustomize_cell_last_ms", float64(worstCell.Microseconds())/1000)
 		// Loop: another update may have landed while this round customized.
 	}
 }
