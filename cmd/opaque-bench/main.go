@@ -14,9 +14,12 @@
 // |S|×|T| shapes, the crossover behind the server's hybrid cutover), and
 // the live weight update measurement (E16: copy-on-write apply cost and CH
 // re-customization versus the full-rebuild baselines, per update batch
-// size), and the partitioned update measurement (E17: cell-limited
+// size), the partitioned update measurement (E17: cell-limited
 // re-customization on a partitioned overlay versus the full pass and the
-// witness rebuild, per touched-cell count).
+// witness rebuild, per touched-cell count), and the streaming ingestion
+// measurement (E18: coalesced update batches and pipelined cell-local
+// re-customization under concurrent live and profile-layer query load,
+// events/sec versus p99 latency versus the stale-query window).
 //
 // Usage:
 //
@@ -70,7 +73,7 @@ func run(args []string, out, errOut io.Writer) error {
 	fs := flag.NewFlagSet("opaque-bench", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		expID   = fs.String("exp", "", "run experiments by id (E1..E17), comma-separated; empty runs all")
+		expID   = fs.String("exp", "", "run experiments by id (E1..E18), comma-separated; empty runs all")
 		scale   = fs.String("scale", "small", "experiment scale: small | full")
 		list    = fs.Bool("list", false, "list available experiments and exit")
 		csvDir  = fs.String("csv", "", "directory to also write per-table CSV files into")

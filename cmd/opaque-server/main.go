@@ -9,24 +9,35 @@
 //	opaque-server -network network.txt -strategy hybrid -ch-overlay network.och
 //	opaque-server -network network.txt -strategy ch-mtm -ch-overlay network.och
 //
+// With -profiles the server precustomizes time-of-day weight-profile layers
+// (e.g. am-peak) that queries select by name with zero customization work on
+// the query path. With -churn it synthesizes a streaming traffic feed through
+// the coalescing ingestion pipeline, exercising live weight updates and
+// pipelined overlay re-customization continuously.
+//
 // With -stats-interval the server periodically logs its throughput counters,
 // the strategy routing split (pairwise CH / many-to-many / flat fallback),
-// the many-to-many bucket engine gauges, the SSMD tree cache hit ratio and
-// the search workspace pool counters.
+// the many-to-many bucket engine gauges, the ingestion pipeline and profile
+// layer counters, the SSMD tree cache hit ratio and the search workspace
+// pool counters.
 package main
 
 import (
 	"flag"
 	"log"
+	"math/rand"
 	"net"
+	"strings"
 	"time"
 
 	"opaque/internal/ch"
+	"opaque/internal/costmodel"
 	"opaque/internal/gen"
 	"opaque/internal/roadnet"
 	"opaque/internal/search"
 	"opaque/internal/server"
 	"opaque/internal/storage"
+	"opaque/internal/traffic"
 )
 
 func main() {
@@ -50,6 +61,10 @@ func main() {
 		chOverlay     = flag.String("ch-overlay", "", "contraction-hierarchy overlay file built by opaque-preprocess (with -strategy ch|hybrid; empty = contract at startup)")
 		chMaxPairs    = flag.Int("ch-max-pairs", 0, "hybrid cutover: queries with at most this many |S|·|T| pairs go to the CH overlay (0 = default)")
 		partition     = flag.Int("partition-cells", 0, "contract the startup overlay partition-aware with this many spatial cells: weight updates re-customize only the touched cells (0 = flat; ignored with -ch-overlay, whose file carries its own partition)")
+		profiles      = flag.String("profiles", "", `precustomize weight-profile layers: "timeofday" for the built-in catalog, or a comma list of catalog names (am-peak,pm-peak,offpeak,night); queries select one by name`)
+		profileCap    = flag.Int("profile-capacity", 0, "max resident profile layers behind the LRU (0 = all configured; with -profiles)")
+		churn         = flag.Float64("churn", 0, "synthesize a streaming traffic feed at this many weight-change events/sec through the coalescing ingestion pipeline (0 disables)")
+		churnArcs     = flag.Int("churn-arcs", 64, "hot-arc pool size of the synthetic -churn stream")
 		statsInterval = flag.Duration("stats-interval", 0, "periodically log query/cache/workspace-pool statistics (0 disables)")
 	)
 	flag.Parse()
@@ -127,9 +142,52 @@ func main() {
 		}
 	}
 
+	if *profiles != "" {
+		var defs []costmodel.WeightProfile
+		if *profiles == "timeofday" {
+			defs = costmodel.TimeOfDayProfiles()
+		} else {
+			for _, name := range strings.Split(*profiles, ",") {
+				p, ok := costmodel.ProfileByName(strings.TrimSpace(name))
+				if !ok {
+					log.Fatalf("-profiles: unknown profile %q (catalog: %v)", strings.TrimSpace(name), costmodel.ProfileNames())
+				}
+				defs = append(defs, p)
+			}
+		}
+		cfg.Profiles = defs
+		cfg.ProfileCapacity = *profileCap
+		// Prewarm at startup so no query ever pays a customization pass.
+		cfg.PrewarmProfiles = true
+	} else if *profileCap != 0 {
+		log.Fatalf("-profile-capacity requires -profiles")
+	}
+	if *churnArcs <= 0 {
+		log.Fatalf("-churn-arcs must be positive (got %d)", *churnArcs)
+	}
+
+	prewarmStart := time.Now()
 	srv, err := server.New(g, cfg)
 	if err != nil {
 		log.Fatalf("building server: %v", err)
+	}
+	if len(cfg.Profiles) > 0 {
+		capacity := *profileCap
+		if capacity <= 0 {
+			capacity = len(cfg.Profiles)
+		}
+		log.Printf("prewarmed %d weight profile layers in %v (LRU capacity %d)",
+			srv.ProfileLayerStats().Layers, time.Since(prewarmStart).Round(time.Millisecond), capacity)
+	}
+
+	if *churn > 0 {
+		in, err := srv.NewIngestor(traffic.Config{})
+		if err != nil {
+			log.Fatalf("starting ingestion pipeline: %v", err)
+		}
+		log.Printf("synthetic traffic feed: %.0f events/sec over a %d-arc hot pool (coalesced, max delay %v)",
+			*churn, *churnArcs, traffic.DefaultMaxDelay)
+		go runChurn(in, g, *churn, *churnArcs, int64(*seed))
 	}
 
 	if *statsInterval > 0 {
@@ -146,11 +204,52 @@ func main() {
 	}
 }
 
+// runChurn drives a never-ending synthetic weight-change stream through the
+// ingestion pipeline: last-write-wins events over a fixed hot-arc pool, paced
+// on an absolute schedule (so coarse sleeps burst-catch-up instead of
+// undershooting the rate), with occasional reverts to the original weight.
+func runChurn(in *traffic.Ingestor, g *roadnet.Graph, rate float64, poolSize int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	type arc struct {
+		from, to roadnet.NodeID
+		orig     float64
+	}
+	pool := make([]arc, 0, poolSize)
+	stride := g.NumNodes()/poolSize + 1
+	for v := 0; v < g.NumNodes() && len(pool) < poolSize; v += stride {
+		if arcs := g.Arcs(roadnet.NodeID(v)); len(arcs) > 0 {
+			pool = append(pool, arc{roadnet.NodeID(v), arcs[0].To, arcs[0].Cost})
+		}
+	}
+	if len(pool) == 0 {
+		log.Printf("churn: no arcs to perturb; feed disabled")
+		return
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	for i := 0; ; i++ {
+		if wait := start.Add(time.Duration(i) * interval).Sub(time.Now()); wait > 0 {
+			time.Sleep(wait)
+		}
+		a := pool[rng.Intn(len(pool))]
+		cost := a.orig * (0.5 + rng.Float64())
+		if rng.Intn(6) == 0 {
+			cost = a.orig
+		}
+		if err := in.Ingest(roadnet.ArcWeightChange{From: a.from, To: a.to, NewCost: cost}); err != nil {
+			log.Printf("churn: ingest: %v; feed stopped", err)
+			return
+		}
+	}
+}
+
 // logStats periodically prints the server's operational counters: query and
 // batch throughput, the strategy routing split, the many-to-many bucket
-// engine's arena gauges, the partition's cell-local update counters, the
-// SSMD tree cache hit ratio and the workspace pool's checkout/reuse numbers
-// — the at-a-glance health line for a long-running deployment.
+// engine's arena gauges, the streaming ingestion pipeline and pending
+// re-customization work, the profile layer cache, the partition's cell-local
+// update counters, the SSMD tree cache hit ratio and the workspace pool's
+// checkout/reuse numbers — the at-a-glance health line for a long-running
+// deployment.
 func logStats(srv *server.Server, every time.Duration) {
 	for range time.Tick(every) {
 		m := srv.Metrics()
@@ -158,10 +257,14 @@ func logStats(srv *server.Server, every time.Duration) {
 		ws := srv.WorkspacePoolStats()
 		io := srv.IOStats()
 		mt := srv.MTMStats()
-		log.Printf("stats: queries=%d failed=%d batches=%d | route ch=%d mtm=%d fallback=%d | mtm tables=%d bucket-entries=%d scanned=%d arena-high-water=%d | partition cells=%d cells-recustomized=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
+		ing := srv.IngestStats()
+		prof := srv.ProfileLayerStats()
+		log.Printf("stats: queries=%d failed=%d batches=%d | route ch=%d mtm=%d fallback=%d | mtm tables=%d bucket-entries=%d scanned=%d arena-high-water=%d | ingest events=%d batches=%d ratio=%.2f queue=%d pending-cells=%d | profiles hits=%d misses=%d layers=%d | partition cells=%d cells-recustomized=%d | tree-cache hits=%d misses=%d ratio=%.3f | workspaces gets=%d in-flight=%d fresh=%d reuse=%.3f | page-faults=%d",
 			m.Counter("queries_processed"), m.Counter("queries_failed"), m.Counter("batches_processed"),
 			m.Counter("ch_queries"), m.Counter("mtm_queries"), m.Counter("fallback_queries"),
 			mt.Tables, mt.BucketEntries, mt.BucketEntriesScanned, mt.ArenaHighWater,
+			ing.Events, ing.Batches, ing.CoalesceRatio(), ing.QueueDepth, int64(m.Gauge("recustomize_pending_cells")),
+			prof.Hits, prof.Misses, prof.Layers,
 			int64(m.Gauge("partition_cells")), m.Counter("cells_recustomized"),
 			cache.Hits, cache.Misses, cache.HitRatio(),
 			ws.Gets, ws.InFlight(), ws.Fresh, ws.ReuseRatio(),

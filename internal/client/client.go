@@ -26,6 +26,7 @@ type Result struct {
 type Client struct {
 	user      obfuscate.UserID
 	fs, ft    int
+	profile   string
 	requestID atomic.Uint64
 
 	// exactly one of the following is set
@@ -40,6 +41,18 @@ type Option func(*Client)
 func WithProtection(fs, ft int) Option {
 	return func(c *Client) {
 		c.fs, c.ft = fs, ft
+	}
+}
+
+// WithProfile asks for the client's queries to be answered under a named
+// server-side weight profile — a precustomized time-of-day metric such as
+// "am-peak" — instead of the live metric. The profile names a traffic regime,
+// not a user: the obfuscator only groups the request with other requests of
+// the same profile, and the server resolves the name against its configured
+// catalog (unknown names fail the query). Empty restores the live metric.
+func WithProfile(name string) Option {
+	return func(c *Client) {
+		c.profile = name
 	}
 }
 
@@ -108,11 +121,12 @@ func (c *Client) QueryWithProtection(source, dest roadnet.NodeID, fs, ft int) (R
 	switch {
 	case c.local != nil:
 		res := <-c.local.Submit(obfuscate.Request{
-			User:   c.user,
-			Source: source,
-			Dest:   dest,
-			FS:     fs,
-			FT:     ft,
+			User:    c.user,
+			Source:  source,
+			Dest:    dest,
+			FS:      fs,
+			FT:      ft,
+			Profile: c.profile,
 		})
 		if res.Err != nil {
 			return Result{}, res.Err
@@ -126,6 +140,7 @@ func (c *Client) QueryWithProtection(source, dest roadnet.NodeID, fs, ft int) (R
 			Dest:      dest,
 			FS:        fs,
 			FT:        ft,
+			Profile:   c.profile,
 		})
 		if err != nil {
 			return Result{}, err

@@ -1,0 +1,173 @@
+package costmodel
+
+import (
+	"math"
+	"sort"
+
+	"opaque/internal/roadnet"
+)
+
+// This file defines weight profiles: named, deterministic reweightings of a
+// road network that model recurring traffic regimes (the morning peak, the
+// evening peak, free-flowing night roads). A profile is a pure function of
+// the map — applying it to the same graph always yields the same weights —
+// which is what lets the server precustomize one CH overlay weight layer per
+// profile at startup and serve "leave at 8am" queries from that layer with
+// zero customization work on the query path (see ch.ProfileSet and the
+// server's profile routing).
+//
+// Profiles reweight the reference free-flow metric, not the live traffic
+// snapshot: a time-of-day plan asks "what does this trip usually cost at
+// 8am", which is a property of the recurring regime, while the live metric
+// answers "what does it cost right now". The two serve different questions
+// and the server keeps them on separate layers.
+
+// WeightProfile is one named reweighting. Multiplier must be deterministic:
+// the same (g, from, to) always yields the same factor.
+type WeightProfile struct {
+	// Name identifies the profile on the wire (protocol.ServerQuery.Profile)
+	// and in the server's layer cache.
+	Name string
+	// Description is a one-line human-readable summary for listings.
+	Description string
+	// Multiplier returns the cost factor (> 0, finite) applied to every arc
+	// from→to. It receives the graph so spatial profiles can derive factors
+	// from node coordinates.
+	Multiplier func(g *roadnet.Graph, from, to roadnet.NodeID) float64
+}
+
+// Apply returns a new frozen graph carrying the profile's metric: every
+// arc's cost multiplied by the profile factor. The returned graph shares
+// g's topology (same topology checksum), so a customizable CH overlay built
+// over g can be re-customized for it directly. Parallel arcs between the
+// same node pair collapse to their minimum cost times the factor — weight
+// changes address road segments, not individual lanes (see
+// roadnet.ArcWeightChange), and shortest paths only ever use the cheapest
+// parallel.
+func (p WeightProfile) Apply(g *roadnet.Graph) (*roadnet.Graph, error) {
+	if p.Multiplier == nil {
+		return nil, errProfile(p.Name, "has no multiplier function")
+	}
+	if g == nil || !g.Frozen() {
+		return nil, errProfile(p.Name, "requires a frozen graph")
+	}
+	changes := make([]roadnet.ArcWeightChange, 0, g.NumArcs())
+	for v := 0; v < g.NumNodes(); v++ {
+		from := roadnet.NodeID(v)
+		arcs := g.Arcs(from)
+		for i, a := range arcs {
+			dup := false
+			for j := 0; j < i; j++ {
+				if arcs[j].To == a.To {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			cost := a.Cost
+			for j := i + 1; j < len(arcs); j++ {
+				if arcs[j].To == a.To && arcs[j].Cost < cost {
+					cost = arcs[j].Cost
+				}
+			}
+			m := p.Multiplier(g, from, a.To)
+			if m <= 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+				return nil, errProfile(p.Name, "produced invalid multiplier for arc")
+			}
+			changes = append(changes, roadnet.ArcWeightChange{From: from, To: a.To, NewCost: cost * m})
+		}
+	}
+	return g.WithUpdatedWeights(changes)
+}
+
+type profileError struct {
+	name, msg string
+}
+
+func (e *profileError) Error() string { return "costmodel: profile " + e.name + " " + e.msg }
+
+func errProfile(name, msg string) error { return &profileError{name: name, msg: msg} }
+
+// The built-in time-of-day catalog. The peak profiles are spatial: congestion
+// concentrates around the map centre (where generated and real networks put
+// their densest connectivity) and decays with distance, so peak-hour shortest
+// paths genuinely route around the core instead of just rescaling uniformly.
+const (
+	ProfileAMPeak  = "am-peak"
+	ProfilePMPeak  = "pm-peak"
+	ProfileOffPeak = "offpeak"
+	ProfileNight   = "night"
+)
+
+// TimeOfDayProfiles returns the built-in catalog: am-peak, pm-peak, offpeak,
+// night. The slice is freshly allocated; callers may reorder or subset it.
+func TimeOfDayProfiles() []WeightProfile {
+	return []WeightProfile{
+		{
+			Name:        ProfileAMPeak,
+			Description: "morning peak: up to 2.5x cost near the map core, decaying outward",
+			Multiplier:  coreCongestion(1.5, 0.35),
+		},
+		{
+			Name:        ProfilePMPeak,
+			Description: "evening peak: up to 2.1x cost, congestion spread wider than the morning",
+			Multiplier:  coreCongestion(1.1, 0.55),
+		},
+		{
+			Name:        ProfileOffPeak,
+			Description: "off-peak daytime: uniform 0.9x of free-flow cost",
+			Multiplier:  uniform(0.9),
+		},
+		{
+			Name:        ProfileNight,
+			Description: "night: uniform 0.75x of free-flow cost",
+			Multiplier:  uniform(0.75),
+		},
+	}
+}
+
+// ProfileByName looks a profile up in the built-in catalog.
+func ProfileByName(name string) (WeightProfile, bool) {
+	for _, p := range TimeOfDayProfiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return WeightProfile{}, false
+}
+
+// ProfileNames returns the built-in catalog's names, sorted.
+func ProfileNames() []string {
+	ps := TimeOfDayProfiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// uniform multiplies every arc by the same factor.
+func uniform(m float64) func(*roadnet.Graph, roadnet.NodeID, roadnet.NodeID) float64 {
+	return func(*roadnet.Graph, roadnet.NodeID, roadnet.NodeID) float64 { return m }
+}
+
+// coreCongestion builds a Gaussian congestion bump over the map centre:
+// factor 1+peak at the centre, decaying with the arc midpoint's distance r
+// as exp(-(r/(width·R))²) where R is half the map extent.
+func coreCongestion(peak, width float64) func(*roadnet.Graph, roadnet.NodeID, roadnet.NodeID) float64 {
+	return func(g *roadnet.Graph, from, to roadnet.NodeID) float64 {
+		minX, minY, maxX, maxY := g.Bounds()
+		cx, cy := (minX+maxX)/2, (minY+maxY)/2
+		r2 := math.Max(maxX-minX, maxY-minY) / 2
+		if r2 <= 0 {
+			return 1 + peak
+		}
+		a, b := g.Node(from), g.Node(to)
+		mx, my := (a.X+b.X)/2, (a.Y+b.Y)/2
+		d := math.Hypot(mx-cx, my-cy) / (width * r2)
+		return 1 + peak*math.Exp(-d*d)
+	}
+}

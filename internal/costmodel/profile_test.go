@@ -1,0 +1,135 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"opaque/internal/gen"
+	"opaque/internal/roadnet"
+)
+
+func profileTestGraph(t *testing.T) *roadnet.Graph {
+	t.Helper()
+	cfg := gen.DefaultNetworkConfig()
+	cfg.Kind = gen.TigerLike
+	cfg.Nodes = 500
+	cfg.Seed = 2024
+	g, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestTimeOfDayProfilesApply(t *testing.T) {
+	g := profileTestGraph(t)
+	for _, p := range TimeOfDayProfiles() {
+		pg, err := p.Apply(g)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if pg.TopologyChecksum() != g.TopologyChecksum() {
+			t.Errorf("%s: topology checksum changed; profile graphs must share the frozen topology", p.Name)
+		}
+		if pg.ContentChecksum() == g.ContentChecksum() {
+			t.Errorf("%s: content checksum unchanged; profile applied no reweighting", p.Name)
+		}
+		// Every arc cost must be the base cost times the profile factor.
+		checked := 0
+		for v := 0; v < g.NumNodes() && checked < 200; v++ {
+			from := roadnet.NodeID(v)
+			for _, a := range g.Arcs(from) {
+				m := p.Multiplier(g, from, a.To)
+				got, ok := pg.ArcCost(from, a.To)
+				if !ok {
+					t.Fatalf("%s: arc %d→%d vanished", p.Name, from, a.To)
+				}
+				base, _ := g.ArcCost(from, a.To)
+				want := base * m
+				if math.Abs(got-want) > 1e-9*(1+want) {
+					t.Fatalf("%s: arc %d→%d cost %v, want %v (factor %v)", p.Name, from, a.To, got, want, m)
+				}
+				checked++
+			}
+		}
+	}
+}
+
+func TestProfileApplyIsDeterministic(t *testing.T) {
+	g := profileTestGraph(t)
+	p, ok := ProfileByName(ProfileAMPeak)
+	if !ok {
+		t.Fatal("am-peak missing from catalog")
+	}
+	a, err := p.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentChecksum() != b.ContentChecksum() {
+		t.Error("applying the same profile twice produced different metrics; profiles must be deterministic")
+	}
+}
+
+func TestPeakProfilesAreSpatial(t *testing.T) {
+	g := profileTestGraph(t)
+	p, _ := ProfileByName(ProfileAMPeak)
+	minX, minY, maxX, maxY := g.Bounds()
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	// Find a node near the centre and one near a corner; the congestion
+	// factor must be strictly higher at the centre.
+	var central, corner roadnet.NodeID
+	bestC, bestE := math.Inf(1), math.Inf(-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(roadnet.NodeID(v))
+		d := math.Hypot(n.X-cx, n.Y-cy)
+		if d < bestC && len(g.Arcs(roadnet.NodeID(v))) > 0 {
+			bestC, central = d, roadnet.NodeID(v)
+		}
+		if d > bestE && len(g.Arcs(roadnet.NodeID(v))) > 0 {
+			bestE, corner = d, roadnet.NodeID(v)
+		}
+	}
+	mc := p.Multiplier(g, central, g.Arcs(central)[0].To)
+	me := p.Multiplier(g, corner, g.Arcs(corner)[0].To)
+	if mc <= me {
+		t.Errorf("am-peak factor at centre %v <= at edge %v; peak congestion must concentrate on the core", mc, me)
+	}
+	if mc <= 1 {
+		t.Errorf("am-peak factor at centre %v, want > 1", mc)
+	}
+}
+
+func TestProfileErrors(t *testing.T) {
+	g := profileTestGraph(t)
+	if _, err := (WeightProfile{Name: "x"}).Apply(g); err == nil {
+		t.Error("profile without multiplier must refuse to apply")
+	}
+	bad := WeightProfile{Name: "neg", Multiplier: func(*roadnet.Graph, roadnet.NodeID, roadnet.NodeID) float64 { return -1 }}
+	if _, err := bad.Apply(g); err == nil {
+		t.Error("negative multiplier must refuse to apply")
+	}
+	nan := WeightProfile{Name: "nan", Multiplier: func(*roadnet.Graph, roadnet.NodeID, roadnet.NodeID) float64 { return math.NaN() }}
+	if _, err := nan.Apply(g); err == nil {
+		t.Error("NaN multiplier must refuse to apply")
+	}
+}
+
+func TestProfileCatalogLookup(t *testing.T) {
+	names := ProfileNames()
+	if len(names) != 4 {
+		t.Fatalf("catalog has %d profiles, want 4", len(names))
+	}
+	for _, n := range names {
+		p, ok := ProfileByName(n)
+		if !ok || p.Name != n {
+			t.Errorf("ProfileByName(%q) = %+v, %v", n, p, ok)
+		}
+	}
+	if _, ok := ProfileByName("rush-hour-on-mars"); ok {
+		t.Error("unknown profile name must not resolve")
+	}
+}

@@ -21,3 +21,7 @@ func BenchmarkE16(b *testing.B) { benchRunner(b, E16LiveUpdates{}) }
 // BenchmarkE17 times the partitioned live-update pipeline: cell-limited
 // re-customization against the full pass and the witness rebuild.
 func BenchmarkE17(b *testing.B) { benchRunner(b, E17CellUpdates{}) }
+
+// BenchmarkE18 times the streaming ingestion pipeline: coalesced update
+// batches plus pipelined re-customization under concurrent query load.
+func BenchmarkE18(b *testing.B) { benchRunner(b, E18Streaming{}) }

@@ -144,6 +144,7 @@ func All() []Runner {
 		E15ManyToMany{},
 		E16LiveUpdates{},
 		E17CellUpdates{},
+		E18Streaming{},
 	}
 }
 

@@ -232,23 +232,106 @@ func (s *Service) Metrics() *metrics.Registry { return s.metrics }
 // batch order. This synchronous entry point is what experiments and the
 // in-process deployment use; Submit builds on it for the asynchronous,
 // batching-window flow.
+//
+// Requests carrying different weight profiles are obfuscated in separate
+// groups: one obfuscated query is answered under exactly one metric, so a
+// shared query mixing profiles would hand some of its members another
+// regime's distances. The grouping costs nothing in anonymity — the
+// k-anonymous padding pairs of each query are drawn per group exactly as they
+// would be per batch — but it does mean the shared-mode amortisation only
+// happens among same-profile requests. A group that fails to obfuscate fails
+// only its own requests; the other groups still complete.
 func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error) {
 	if len(batch) == 0 {
 		return nil, fmt.Errorf("obfsvc: empty batch")
 	}
-	start := time.Now()
-	s.obfMu.Lock()
-	plan, err := s.obf.Obfuscate(batch)
-	s.obfMu.Unlock()
-	obfDur := time.Since(start)
-	if err != nil {
-		return nil, fmt.Errorf("obfsvc: obfuscation failed: %w", err)
-	}
-
 	results := make([]ClientResult, len(batch))
 	for i := range results {
 		results[i] = ClientResult{Request: batch[i]}
 	}
+
+	// Group batch positions by profile, preserving first-seen order so
+	// single-profile batches (the common case) behave byte-for-byte like the
+	// ungrouped path.
+	order := make([]string, 0, 1)
+	groups := make(map[string][]int, 1)
+	for i, req := range batch {
+		if _, ok := groups[req.Profile]; !ok {
+			order = append(order, req.Profile)
+		}
+		groups[req.Profile] = append(groups[req.Profile], i)
+	}
+
+	var obfDur, filterDur time.Duration
+	var sent, candidates int64
+	for _, profile := range order {
+		idxs := groups[profile]
+		sub := make([]obfuscate.Request, len(idxs))
+		for j, i := range idxs {
+			sub[j] = batch[i]
+		}
+		g := s.processGroup(profile, sub)
+		for j, i := range idxs {
+			results[i] = g.results[j]
+		}
+		obfDur += g.obfDur
+		filterDur += g.filterDur
+		sent += g.sent
+		candidates += g.candidates
+	}
+
+	s.statsMu.Lock()
+	s.stats.Requests += int64(len(batch))
+	s.stats.Batches++
+	s.stats.ObfuscatedSent += sent
+	s.stats.CandidatesRecv += candidates
+	s.stats.ObfuscationNanos += obfDur.Nanoseconds()
+	s.stats.FilterNanos += filterDur.Nanoseconds()
+	s.statsMu.Unlock()
+
+	s.metrics.Add("requests", int64(len(batch)))
+	s.metrics.Add("batches", 1)
+	s.metrics.Add("obfuscated_queries_sent", sent)
+	s.metrics.Add("candidate_paths_received", candidates)
+	s.metrics.Observe("obfuscation_latency", obfDur)
+	s.metrics.Observe("filter_latency", filterDur)
+	s.metrics.SetGauge("last_batch_size", float64(len(batch)))
+
+	// "the satisfied requests are immediately discarded in the obfuscator"
+	// — nothing about the batch is retained beyond the counters above.
+	return results, nil
+}
+
+// groupOutcome is what processGroup hands back for one same-profile group.
+type groupOutcome struct {
+	results          []ClientResult
+	obfDur           time.Duration
+	filterDur        time.Duration
+	sent, candidates int64
+}
+
+// processGroup runs the obfuscate → evaluate → filter pipeline for one
+// same-profile group of requests, stamping the profile onto every outgoing
+// ServerQuery.
+func (s *Service) processGroup(profile string, batch []obfuscate.Request) groupOutcome {
+	out := groupOutcome{results: make([]ClientResult, len(batch))}
+	for i := range out.results {
+		out.results[i] = ClientResult{Request: batch[i]}
+	}
+
+	start := time.Now()
+	s.obfMu.Lock()
+	plan, err := s.obf.Obfuscate(batch)
+	s.obfMu.Unlock()
+	out.obfDur = time.Since(start)
+	if err != nil {
+		err = fmt.Errorf("obfsvc: obfuscation failed: %w", err)
+		for i := range out.results {
+			out.results[i].Err = err
+		}
+		return out
+	}
+	out.sent = int64(len(plan.Queries))
 
 	// Evaluate the whole obfuscation plan. Batch-capable executors receive
 	// every query at once — one round trip in the networked deployment, and
@@ -261,6 +344,7 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 			QueryID: s.queryID.Add(1),
 			Sources: q.Sources,
 			Dests:   q.Dests,
+			Profile: profile,
 		}
 	}
 	var replies []protocol.ServerReply
@@ -275,8 +359,6 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 		}
 	}
 
-	var filterDur time.Duration
-	candidates := int64(0)
 	for qi, q := range plan.Queries {
 		reply, err := replies[qi], errs[qi]
 		if err != nil {
@@ -284,20 +366,20 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 			// the other queries of the plan.
 			for i := range batch {
 				if qi, ok := plan.Assignment[i]; ok && qi == q.ID {
-					results[i].Err = err
+					out.results[i].Err = err
 				}
 			}
 			continue
 		}
-		candidates += int64(len(reply.Paths))
+		out.candidates += int64(len(reply.Paths))
 		fstart := time.Now()
 		set := newCandidateSet(reply)
 		extracted, ferr := s.filt.Extract(q, set)
-		filterDur += time.Since(fstart)
+		out.filterDur += time.Since(fstart)
 		if ferr != nil {
 			for i := range batch {
 				if qi, ok := plan.Assignment[i]; ok && qi == q.ID {
-					results[i].Err = ferr
+					out.results[i].Err = ferr
 				}
 			}
 			continue
@@ -309,33 +391,13 @@ func (s *Service) ProcessBatch(batch []obfuscate.Request) ([]ClientResult, error
 					continue
 				}
 				if batch[i].User == ext.Request.User && batch[i].Source == ext.Request.Source && batch[i].Dest == ext.Request.Dest {
-					results[i].Path = ext.Path
-					results[i].Found = ext.Found
+					out.results[i].Path = ext.Path
+					out.results[i].Found = ext.Found
 				}
 			}
 		}
 	}
-
-	s.statsMu.Lock()
-	s.stats.Requests += int64(len(batch))
-	s.stats.Batches++
-	s.stats.ObfuscatedSent += int64(len(plan.Queries))
-	s.stats.CandidatesRecv += candidates
-	s.stats.ObfuscationNanos += obfDur.Nanoseconds()
-	s.stats.FilterNanos += filterDur.Nanoseconds()
-	s.statsMu.Unlock()
-
-	s.metrics.Add("requests", int64(len(batch)))
-	s.metrics.Add("batches", 1)
-	s.metrics.Add("obfuscated_queries_sent", int64(len(plan.Queries)))
-	s.metrics.Add("candidate_paths_received", candidates)
-	s.metrics.Observe("obfuscation_latency", obfDur)
-	s.metrics.Observe("filter_latency", filterDur)
-	s.metrics.SetGauge("last_batch_size", float64(len(batch)))
-
-	// "the satisfied requests are immediately discarded in the obfuscator"
-	// — nothing about the batch is retained beyond the counters above.
-	return results, nil
+	return out
 }
 
 // Submit enqueues one request and returns a channel that will receive the
@@ -402,11 +464,12 @@ func (s *Service) Handler() protocol.Handler {
 			return nil, fmt.Errorf("obfsvc: unexpected message type %T", msg)
 		}
 		res := <-s.Submit(obfuscate.Request{
-			User:   obfuscate.UserID(req.User),
-			Source: req.Source,
-			Dest:   req.Dest,
-			FS:     req.FS,
-			FT:     req.FT,
+			User:    obfuscate.UserID(req.User),
+			Source:  req.Source,
+			Dest:    req.Dest,
+			FS:      req.FS,
+			FT:      req.FT,
+			Profile: req.Profile,
 		})
 		reply := protocol.ClientReply{RequestID: req.RequestID, Found: res.Found}
 		if res.Err != nil {

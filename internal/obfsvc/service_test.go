@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"opaque/internal/costmodel"
 	"opaque/internal/gen"
 	"opaque/internal/obfuscate"
 	"opaque/internal/protocol"
@@ -267,5 +268,76 @@ func TestRemoteExecutor(t *testing.T) {
 	}
 	if reply.QueryID != 2 || len(reply.Paths) != 1 {
 		t.Errorf("remote executor reply = %+v", reply)
+	}
+}
+
+// TestProcessBatchGroupsByProfile: a mixed batch — live requests plus two
+// different weight profiles — must reach the server as same-profile
+// obfuscated queries only (one obfuscated query is one metric), with every
+// request answered under its own profile's distances and the k-anonymous
+// padding intact per group.
+func TestProcessBatchGroupsByProfile(t *testing.T) {
+	g := testGraph(t)
+	srvCfg := server.DefaultConfig()
+	srvCfg.Profiles = costmodel.TimeOfDayProfiles()
+	srvCfg.PrewarmProfiles = true
+	srv := server.MustNew(g, srvCfg)
+
+	cfg := DefaultConfig()
+	cfg.Obfuscation.Mode = obfuscate.Shared
+	minX, minY, maxX, maxY := g.Bounds()
+	extent := math.Max(maxX-minX, maxY-minY)
+	cfg.Obfuscation.Selector = obfuscate.MustNewRingBandSelector(0.02*extent, 0.2*extent, 91)
+	svc := MustNew(g, ExecutorFunc(srv.Evaluate), cfg)
+
+	batch := testRequests(t, g, 9)
+	profiles := []string{"", costmodel.ProfileAMPeak, costmodel.ProfileNight}
+	for i := range batch {
+		batch[i].Profile = profiles[i%len(profiles)]
+	}
+
+	results, err := svc.ProcessBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d (profile %q): %v", i, batch[i].Profile, r.Err)
+		}
+		if !r.Found {
+			t.Fatalf("request %d (profile %q): path not found", i, batch[i].Profile)
+		}
+		metric := g
+		if batch[i].Profile != "" {
+			metric, err = srv.ProfileGraph(batch[i].Profile)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		truth, _, err := search.Dijkstra(storage.NewMemoryGraph(metric), batch[i].Source, batch[i].Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(truth.Cost-r.Path.Cost) > 1e-6 {
+			t.Errorf("request %d (profile %q): path cost %v, profile-metric shortest path costs %v", i, batch[i].Profile, r.Path.Cost, truth.Cost)
+		}
+	}
+
+	// Every obfuscated query the server saw carries exactly one profile, the
+	// protection level held per group, and all three groups reached it.
+	seen := map[string]bool{}
+	for _, entry := range srv.QueryLog() {
+		seen[entry.Profile] = true
+		if len(entry.Sources) < 2 || len(entry.Dests) < 3 {
+			t.Errorf("profile %q: server saw |S|=%d |T|=%d, below the requested protection", entry.Profile, len(entry.Sources), len(entry.Dests))
+		}
+	}
+	for _, p := range profiles {
+		if !seen[p] {
+			t.Errorf("no obfuscated query travelled under profile %q", p)
+		}
+	}
+	if st := svc.Stats(); st.Requests != int64(len(batch)) || st.Batches != 1 {
+		t.Errorf("stats = %+v", st)
 	}
 }

@@ -49,6 +49,10 @@ type ClientRequest struct {
 	Dest      roadnet.NodeID
 	FS        int
 	FT        int
+	// Profile optionally names a server-side weight profile (a precustomized
+	// time-of-day metric, e.g. "am-peak") the query should be answered under.
+	// Empty means the live metric.
+	Profile string
 }
 
 // ClientReply is the obfuscator-to-client answer: the requested path.
@@ -69,6 +73,12 @@ type ServerQuery struct {
 	QueryID uint64
 	Sources []roadnet.NodeID
 	Dests   []roadnet.NodeID
+	// Profile optionally routes the query to a named precustomized weight
+	// profile layer instead of the live metric. The profile name is regime
+	// information ("plan for the morning peak"), not user identity: every
+	// member of a shared query necessarily travels under the same profile,
+	// so it reveals nothing about who is inside the query.
+	Profile string
 }
 
 // CandidatePath is one (s, t, path) triple of a ServerReply.

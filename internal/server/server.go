@@ -29,11 +29,13 @@ import (
 	"time"
 
 	"opaque/internal/ch"
+	"opaque/internal/costmodel"
 	"opaque/internal/metrics"
 	"opaque/internal/protocol"
 	"opaque/internal/roadnet"
 	"opaque/internal/search"
 	"opaque/internal/storage"
+	"opaque/internal/traffic"
 )
 
 // Server-level evaluation strategies layered on top of the search package's.
@@ -120,6 +122,26 @@ type Config struct {
 	// overlay is built at startup (BuildCH without CHOverlay) — a loaded
 	// CHOverlay carries its own partition, or none.
 	PartitionCells int
+	// Profiles precustomizes one overlay weight layer (and one evaluation
+	// state) per named weight profile — deterministic reweightings of the
+	// startup metric, typically costmodel.TimeOfDayProfiles(). Queries
+	// select a profile with protocol.ServerQuery.Profile and are answered
+	// from its precustomized layer with zero customization work on the query
+	// path; live weight updates never touch profile layers (profiles answer
+	// "what does this trip usually cost at 8am" over the reference metric,
+	// not the live one). Requires the in-memory backend and, like live
+	// updates, refuses the heuristic pairwise strategies whose bounds are
+	// only admissible for the startup metric. With a CH strategy the overlay
+	// must be customizable.
+	Profiles []costmodel.WeightProfile
+	// ProfileCapacity bounds how many profile layers stay hot behind the
+	// LRU (0 = all configured profiles). Evicted layers rebuild on demand,
+	// paying one customization pass.
+	ProfileCapacity int
+	// PrewarmProfiles builds every configured profile layer during New, so
+	// the first query of each profile pays nothing. Off, layers build on
+	// first use.
+	PrewarmProfiles bool
 	// CHMaxPairs is the StrategyHybrid cutover, with *inclusive* pairwise
 	// semantics: queries with |S|·|T| ≤ CHMaxPairs are evaluated pairwise
 	// on the CH overlay, queries with |S|·|T| > CHMaxPairs go to the
@@ -161,6 +183,9 @@ type LogEntry struct {
 	QueryID uint64
 	Sources []roadnet.NodeID
 	Dests   []roadnet.NodeID
+	// Profile is the weight profile the query asked for ("" = live metric).
+	// It is part of what the operator legitimately observes.
+	Profile string
 }
 
 // chState bundles everything derived from one contraction-hierarchy overlay:
@@ -203,8 +228,21 @@ type Server struct {
 	// spawned at a time.
 	recustomizeMu sync.Mutex
 	recustomizing atomic.Bool
-	cache         *search.TreeCache
-	gate          search.Gate
+	// pendingCells is the union of overlay weight layers dirtied by applied
+	// weight changes that no completed re-customization has covered yet
+	// (cell index, or -1 for the boundary top layer / a flat overlay). It
+	// feeds the recustomize_pending_cells gauge and empties when the
+	// installed overlay catches up with the current graph.
+	pendingMu    sync.Mutex
+	pendingCells map[int]struct{}
+	// ingest is the most recently created streaming ingestion pipeline
+	// (NewIngestor), held for metrics publication only.
+	ingest atomic.Pointer[traffic.Ingestor]
+	// profiles holds the precustomized weight-profile states, nil when
+	// Config.Profiles is empty.
+	profiles *profileCache
+	cache    *search.TreeCache
+	gate     search.Gate
 	// wsPool owns the epoch-stamped search workspaces every query of this
 	// server runs on: batch workers and per-query source fan-out all check
 	// workspaces out of this one pool, so steady-state evaluation performs
@@ -233,6 +271,8 @@ type Server struct {
 	mRecustomize  *metrics.Counter
 	mRecustFail   *metrics.Counter
 	mCellsRecust  *metrics.Counter
+	mProfileHits  *metrics.Counter
+	mProfileMiss  *metrics.Counter
 	hLatency      *metrics.Histogram
 	hBatchLatency *metrics.Histogram
 }
@@ -260,6 +300,8 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 	s.mRecustomize = s.metrics.CounterVar("recustomize_runs")
 	s.mRecustFail = s.metrics.CounterVar("recustomize_failures")
 	s.mCellsRecust = s.metrics.CounterVar("cells_recustomized")
+	s.mProfileHits = s.metrics.CounterVar("profile_layer_hits")
+	s.mProfileMiss = s.metrics.CounterVar("profile_layer_misses")
 	s.hLatency = s.metrics.HistogramVar("query_latency")
 	s.hBatchLatency = s.metrics.HistogramVar("batch_latency")
 	if cfg.Paged {
@@ -367,6 +409,9 @@ func New(g *roadnet.Graph, cfg Config) (*Server, error) {
 			s.chSt.Store(s.newCHState(overlay, storage.GenerationOf(s.acc)))
 		}
 	}
+	if err := s.initProfiles(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -444,6 +489,7 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 			QueryID: id,
 			Sources: append([]roadnet.NodeID(nil), q.Sources...),
 			Dests:   append([]roadnet.NodeID(nil), q.Dests...),
+			Profile: q.Profile,
 		})
 	}
 	var faultsBefore int64
@@ -451,9 +497,24 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		faultsBefore = s.pool.Stats().Faults
 	}
 	start := time.Now()
-	proc, routed := s.chooseProcessor(q)
+	var proc *search.Processor
+	var routed *metrics.Counter
+	if q.Profile != "" {
+		// Profile queries bypass the live-metric routing entirely: they run
+		// on the named profile's precustomized state, whose immutable
+		// accessor and layer can never go stale — zero customization work on
+		// the query path, whatever the live update stream is doing.
+		p, err := s.profileProcessor(q)
+		if err != nil {
+			s.mFailed.Add(1)
+			return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
+		}
+		proc = p
+	} else {
+		proc, routed = s.chooseProcessor(q)
+	}
 	res, err := proc.Evaluate(q.Sources, q.Dests)
-	if err != nil && errors.Is(err, search.ErrStaleEngine) {
+	if err != nil && errors.Is(err, search.ErrStaleEngine) && q.Profile == "" {
 		// A weight update landed between routing and the engine's own
 		// verification. The overlay answer was refused, nothing stale was
 		// served; re-evaluate on the always-current SSMD processor and let
@@ -696,6 +757,17 @@ func (s *Server) publishDerivedMetrics() {
 		s.metrics.SetGauge("partition_cells", float64(st.overlay.PartitionCells()))
 	}
 	s.metrics.SetGauge("graph_generation", float64(storage.GenerationOf(s.acc)))
+	s.metrics.SetGauge("recustomize_pending_cells", float64(s.pendingCellCount()))
+	if in := s.ingest.Load(); in != nil {
+		ist := in.Stats()
+		s.metrics.SetGauge("ingest_events", float64(ist.Events))
+		s.metrics.SetGauge("ingest_batches", float64(ist.Batches))
+		s.metrics.SetGauge("ingest_coalesce_ratio", ist.CoalesceRatio())
+		s.metrics.SetGauge("ingest_queue_depth", float64(ist.QueueDepth))
+	}
+	if s.profiles != nil {
+		s.metrics.SetGauge("profile_layers", float64(s.profiles.layerCount()))
+	}
 	ws := s.wsPool.Stats()
 	s.metrics.SetGauge("workspace_gets", float64(ws.Gets))
 	s.metrics.SetGauge("workspace_in_flight", float64(ws.InFlight()))

@@ -42,6 +42,26 @@ import (
 // Euclidean heuristic are admissible for the startup metric only — a
 // lowered weight would silently turn both into non-shortest-path searches.
 func (s *Server) UpdateWeights(changes []roadnet.ArcWeightChange) (uint64, error) {
+	gen, err := s.applyWeights(changes)
+	if err != nil {
+		return gen, err
+	}
+	s.kickRecustomize()
+	return gen, nil
+}
+
+// ApplyWeights is UpdateWeights without the background re-customization
+// kick: the snapshot swaps, caches invalidate, stale overlay routing kicks
+// in — but catching the overlay up is the caller's job. The streaming
+// ingestion pipeline (Server.NewIngestor) uses it as its batch sink, because
+// its own pipelined refresh worker drives RecustomizeNow with folding: one
+// pending run however many batches land while a run is in flight.
+func (s *Server) ApplyWeights(changes []roadnet.ArcWeightChange) (uint64, error) {
+	return s.applyWeights(changes)
+}
+
+// applyWeights is the shared swap path of UpdateWeights and ApplyWeights.
+func (s *Server) applyWeights(changes []roadnet.ArcWeightChange) (uint64, error) {
 	if s.mutable == nil {
 		return 0, fmt.Errorf("server: live weight updates require the in-memory backend (paged deployments serve a frozen page layout)")
 	}
@@ -56,8 +76,55 @@ func (s *Server) UpdateWeights(changes []roadnet.ArcWeightChange) (uint64, error
 		return gen, fmt.Errorf("server: %w", err)
 	}
 	s.mWeightUpd.Add(1)
-	s.kickRecustomize()
+	s.notePendingCells(changes)
 	return gen, nil
+}
+
+// notePendingCells records which overlay weight layers the applied changes
+// dirtied, feeding the recustomize_pending_cells gauge: the union of touched
+// cells the next incremental re-customization will have to re-run. An arc
+// interior to one cell dirties that cell; a boundary or cell-crossing arc —
+// and any change on an unpartitioned overlay — dirties the top layer,
+// tracked as the pseudo-cell -1. RecustomizeNow clears the set once the
+// installed overlay has caught up with the current graph.
+func (s *Server) notePendingCells(changes []roadnet.ArcWeightChange) {
+	st := s.chSt.Load()
+	if st == nil {
+		return
+	}
+	cells := st.overlay.PartitionCells()
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	if s.pendingCells == nil {
+		s.pendingCells = make(map[int]struct{})
+	}
+	for _, c := range changes {
+		key := -1
+		if cells > 0 {
+			cf, bf := st.overlay.CellOfNode(c.From)
+			ct, bt := st.overlay.CellOfNode(c.To)
+			if !bf && !bt && cf == ct {
+				key = cf
+			}
+		}
+		s.pendingCells[key] = struct{}{}
+	}
+}
+
+// clearPendingCells empties the dirty-layer set; called when the installed
+// overlay matches the current graph again.
+func (s *Server) clearPendingCells() {
+	s.pendingMu.Lock()
+	s.pendingCells = nil
+	s.pendingMu.Unlock()
+}
+
+// pendingCellCount returns the number of distinct overlay layers dirtied by
+// applied-but-not-yet-recustomized weight changes.
+func (s *Server) pendingCellCount() int {
+	s.pendingMu.Lock()
+	defer s.pendingMu.Unlock()
+	return len(s.pendingCells)
 }
 
 // kickRecustomize starts one background re-customization when the installed
@@ -122,6 +189,7 @@ func (s *Server) RecustomizeNow() error {
 				st.engine.BindGeneration(gen)
 				st.mtm.BindGeneration(gen)
 			}
+			s.clearPendingCells()
 			return nil
 		}
 		if !st.overlay.Customizable() {
