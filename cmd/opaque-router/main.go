@@ -1,0 +1,132 @@
+// Command opaque-router runs the OPAQUE fleet router: it fronts N
+// opaque-server shards behind one multiplexed listener, splits every
+// obfuscated path query by shard ownership (partition mode) or spreads whole
+// queries round-robin (replicate mode), scatter/gathers the partial distance
+// tables and merges them into single replies. Weight updates are broadcast to
+// every shard and folded into a cumulative replay state, so a shard that
+// restarts is brought back to the fleet metric before it answers queries.
+//
+// The router refuses to merge partial tables computed under different weight
+// generations or profiles — skew is retried against the converging fleet and
+// surfaced on the fleet_generation_skew counter, never silently merged.
+//
+// Usage:
+//
+//	opaque-router -shards host1:7001,host2:7001 -listen :7000 -network network.txt
+//	opaque-router -shards :7001,:7011 -listen :7000 -generate tigerlike -nodes 20000 -mode replicate
+//
+// Partition mode needs the same road network the shards serve (via -network
+// or -generate/-nodes/-seed) to build the spatial partition that maps query
+// endpoints to owning shards; replicate mode needs no map.
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"strings"
+	"time"
+
+	"opaque/internal/fleet"
+	"opaque/internal/gen"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags)
+	log.SetPrefix("opaque-router: ")
+
+	var (
+		shardsFlag    = flag.String("shards", "", "comma-separated opaque-server shard addresses (required)")
+		listen        = flag.String("listen", ":7000", "TCP listen address for obfuscator connections")
+		mode          = flag.String("mode", "partition", "fleet shape: partition (split queries by cell ownership) | replicate (whole queries round-robin)")
+		networkFile   = flag.String("network", "", "road network file the shards serve (partition mode)")
+		generate      = flag.String("generate", "", "generate the network instead of loading one: grid | geometric | ringradial | tigerlike")
+		nodes         = flag.Int("nodes", 10000, "node count when generating")
+		seed          = flag.Uint64("seed", 42, "generation seed")
+		cells         = flag.Int("cells", 0, "partition cell count for ownership mapping (0 = 4 x shards)")
+		retries       = flag.Int("retries", 0, "per-shard reconnect attempts before a subquery fails (0 = default)")
+		maxInFlight   = flag.Int("max-inflight", 0, "per-connection in-flight request cap on the client-facing listener (0 = default)")
+		shedAt        = flag.Int("shed-at", 0, "admission-control watermark: at this many in-flight requests per connection, shed queries to distance-only answers (0 disables)")
+		statsInterval = flag.Duration("stats-interval", 0, "periodically log scatter/gather and skew counters (0 disables)")
+	)
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*shardsFlag, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		log.Fatal("-shards is required (comma-separated opaque-server addresses)")
+	}
+
+	cfg := fleet.Config{Retries: *retries}
+	switch *mode {
+	case "partition":
+		cfg.Mode = fleet.ModePartition
+		if len(addrs) > 1 {
+			g, err := gen.LoadOrGenerate(*networkFile, *generate, *nodes, *seed)
+			if err != nil {
+				log.Fatalf("partition mode needs the shard road network (-network or -generate): %v", err)
+			}
+			nCells := *cells
+			if nCells <= 0 {
+				nCells = 4 * len(addrs)
+			}
+			part, err := roadnet.BuildPartition(g, roadnet.PartitionConfig{Cells: nCells, Seed: int64(*seed)})
+			if err != nil {
+				log.Fatalf("partitioning the map: %v", err)
+			}
+			cfg.Partition = part
+			log.Printf("partitioned %d nodes into %d cells across %d shards", g.NumNodes(), part.NumCells(), len(addrs))
+		}
+	case "replicate":
+		cfg.Mode = fleet.ModeReplicate
+	default:
+		log.Fatalf("-mode must be partition or replicate (got %q)", *mode)
+	}
+
+	dialers := make([]fleet.Dialer, len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		dialers[i] = func() (*protocol.MuxClient, error) {
+			return protocol.DialMux(addr, protocol.Hello{Node: "router", Role: "router"})
+		}
+	}
+	router, err := fleet.New(cfg, dialers)
+	if err != nil {
+		log.Fatalf("building router: %v", err)
+	}
+	defer router.Close()
+
+	if *statsInterval > 0 {
+		go logStats(router, *statsInterval)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listening on %s: %v", *listen, err)
+	}
+	log.Printf("fleet router ready on %s (%d shards, mode=%s)", ln.Addr(), len(addrs), cfg.Mode)
+	if err := router.ServeMux(ln, protocol.MuxServerConfig{MaxInFlight: *maxInFlight, ShedAt: *shedAt}); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}
+
+// logStats periodically prints the router's scatter/gather counters: queries
+// and subqueries (the fan-out ratio), generation/profile skew refusals,
+// reconnect retries, exhausted-shard failures, degraded (shed) replies and
+// weight-update broadcast/replay activity.
+func logStats(r *fleet.Router, every time.Duration) {
+	for range time.Tick(every) {
+		m := r.Metrics()
+		log.Printf("stats: queries=%d subqueries=%d | skew gen=%d profile=%d | retries=%d failures=%d degraded=%d | weight-updates=%d replays=%d",
+			m.Counter("fleet_queries"), m.Counter("fleet_subqueries"),
+			m.Counter("fleet_generation_skew"), m.Counter("fleet_profile_skew"),
+			m.Counter("fleet_shard_retries"), m.Counter("fleet_shard_failures"), m.Counter("fleet_degraded_replies"),
+			m.Counter("fleet_weight_updates"), m.Counter("fleet_replays"))
+	}
+}

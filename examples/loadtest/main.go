@@ -52,18 +52,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen (server): %v", err)
 	}
-	go func() { _ = srv.Serve(srvLn) }()
+	go func() { _ = srv.ServeMux(srvLn, protocol.MuxServerConfig{}) }()
 
-	// Trusted obfuscator.
-	serverConn, err := protocol.Dial(srvLn.Addr().String())
+	// Trusted obfuscator, talking to the server over one multiplexed
+	// connection shared by all its batches.
+	exec, err := obfsvc.DialMuxExecutor(srvLn.Addr().String())
 	if err != nil {
 		log.Fatalf("dial server: %v", err)
 	}
-	defer serverConn.Close()
+	defer exec.Close()
 	obfCfg := opaque.DefaultObfuscatorConfig()
 	obfCfg.BatchWindow = *window
 	obfCfg.Obfuscation.Mode = obfuscate.Mode(*mode)
-	svc, err := opaque.NewObfuscatorService(graph, obfsvc.NewRemoteExecutor(serverConn), obfCfg)
+	svc, err := opaque.NewObfuscatorService(graph, exec, obfCfg)
 	if err != nil {
 		log.Fatalf("building obfuscator: %v", err)
 	}
@@ -71,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen (obfuscator): %v", err)
 	}
-	go func() { _ = svc.Serve(obfLn) }()
+	go func() { _ = svc.ServeMux(obfLn, protocol.MuxServerConfig{}) }()
 
 	// Workload: one pair list per client.
 	pairs, err := opaque.GenerateWorkload(graph, opaque.WorkloadConfig{

@@ -34,18 +34,19 @@ func main() {
 	if err != nil {
 		log.Fatalf("listening (server): %v", err)
 	}
-	go func() { _ = srv.Serve(srvLn) }()
+	go func() { _ = srv.ServeMux(srvLn, protocol.MuxServerConfig{}) }()
 	fmt.Printf("directions search server listening on %s\n", srvLn.Addr())
 
-	// Trusted obfuscator on another loopback port, connected to the server.
-	serverConn, err := protocol.Dial(srvLn.Addr().String())
+	// Trusted obfuscator on another loopback port, connected to the server
+	// over one persistent multiplexed connection.
+	exec, err := obfsvc.DialMuxExecutor(srvLn.Addr().String())
 	if err != nil {
 		log.Fatalf("obfuscator connecting to server: %v", err)
 	}
-	defer serverConn.Close()
+	defer exec.Close()
 	obfCfg := opaque.DefaultObfuscatorConfig()
 	obfCfg.BatchWindow = 0 // answer each request immediately in this demo
-	svc, err := opaque.NewObfuscatorService(graph, obfsvc.NewRemoteExecutor(serverConn), obfCfg)
+	svc, err := opaque.NewObfuscatorService(graph, exec, obfCfg)
 	if err != nil {
 		log.Fatalf("building obfuscator: %v", err)
 	}
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("listening (obfuscator): %v", err)
 	}
-	go func() { _ = svc.Serve(obfLn) }()
+	go func() { _ = svc.ServeMux(obfLn, protocol.MuxServerConfig{}) }()
 	fmt.Printf("trusted obfuscator listening on %s\n", obfLn.Addr())
 
 	// Two clients, each on its own TCP connection to the obfuscator.

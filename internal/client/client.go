@@ -27,15 +27,26 @@ type Client struct {
 	user      obfuscate.UserID
 	fs, ft    int
 	profile   string
+	legacy    bool
 	requestID atomic.Uint64
 
 	// exactly one of the following is set
-	local  *obfsvc.Service
-	remote *protocol.Conn
+	local   *obfsvc.Service
+	remote  *protocol.MuxClient
+	oneshot *protocol.Conn
 }
 
 // Option customises a Client.
 type Option func(*Client)
+
+// WithLegacyOneShot makes Dial use the legacy one-shot gob protocol instead
+// of the multiplexed framed transport — the compatibility path for talking
+// to an obfuscator started with -legacy-oneshot.
+func WithLegacyOneShot() Option {
+	return func(c *Client) {
+		c.legacy = true
+	}
+}
 
 // WithProtection sets the user's desired obfuscation power (fS, fT).
 func WithProtection(fs, ft int) Option {
@@ -81,19 +92,30 @@ func MustNewLocal(user string, svc *obfsvc.Service, opts ...Option) *Client {
 	return c
 }
 
-// Dial returns a client connected to a networked obfuscator at addr.
+// Dial returns a client connected to a networked obfuscator at addr over the
+// multiplexed framed transport (or the legacy one-shot protocol with
+// WithLegacyOneShot).
 func Dial(user, addr string, opts ...Option) (*Client, error) {
 	if user == "" {
 		return nil, fmt.Errorf("client: empty user id")
 	}
-	conn, err := protocol.Dial(addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{user: obfuscate.UserID(user), fs: 2, ft: 2, remote: conn}
+	c := &Client{user: obfuscate.UserID(user), fs: 2, ft: 2}
 	for _, o := range opts {
 		o(c)
 	}
+	if c.legacy {
+		conn, err := protocol.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		c.oneshot = conn
+		return c, nil
+	}
+	conn, err := protocol.DialMux(addr, protocol.Hello{Node: user, Role: "client"})
+	if err != nil {
+		return nil, err
+	}
+	c.remote = conn
 	return c, nil
 }
 
@@ -102,6 +124,9 @@ func Dial(user, addr string, opts ...Option) (*Client, error) {
 func (c *Client) Close() error {
 	if c.remote != nil {
 		return c.remote.Close()
+	}
+	if c.oneshot != nil {
+		return c.oneshot.Close()
 	}
 	return nil
 }
@@ -132,8 +157,8 @@ func (c *Client) QueryWithProtection(source, dest roadnet.NodeID, fs, ft int) (R
 			return Result{}, res.Err
 		}
 		return Result{Path: res.Path, Found: res.Found}, nil
-	case c.remote != nil:
-		reply, err := c.remote.Call(protocol.ClientRequest{
+	case c.remote != nil, c.oneshot != nil:
+		req := protocol.ClientRequest{
 			RequestID: c.requestID.Add(1),
 			User:      string(c.user),
 			Source:    source,
@@ -141,7 +166,14 @@ func (c *Client) QueryWithProtection(source, dest roadnet.NodeID, fs, ft int) (R
 			FS:        fs,
 			FT:        ft,
 			Profile:   c.profile,
-		})
+		}
+		var reply any
+		var err error
+		if c.remote != nil {
+			reply, err = c.remote.Do(req)
+		} else {
+			reply, err = c.oneshot.Call(req)
+		}
 		if err != nil {
 			return Result{}, err
 		}

@@ -8,6 +8,7 @@ import (
 	"opaque/internal/gen"
 	"opaque/internal/obfsvc"
 	"opaque/internal/obfuscate"
+	"opaque/internal/protocol"
 	"opaque/internal/roadnet"
 	"opaque/internal/search"
 	"opaque/internal/server"
@@ -82,7 +83,7 @@ func TestRemoteClientOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go func() { _ = svc.Serve(ln) }()
+	go func() { _ = svc.ServeMux(ln, protocol.MuxServerConfig{}) }()
 	defer ln.Close()
 
 	c, err := Dial("bob", ln.Addr().String(), WithProtection(2, 2))
@@ -105,6 +106,43 @@ func TestRemoteClientOverTCP(t *testing.T) {
 	}
 	if math.Abs(truth.Cost-res.Path.Cost) > 1e-6 {
 		t.Errorf("remote client cost %v, shortest %v", res.Path.Cost, truth.Cost)
+	}
+}
+
+// TestLegacyOneShotRoundTrip pins the -legacy-oneshot compatibility path: an
+// obfuscator serving the one-shot gob protocol, a client dialled with
+// WithLegacyOneShot, one full query round trip.
+func TestLegacyOneShotRoundTrip(t *testing.T) {
+	g, svc, _ := testSetup(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = svc.Serve(ln) }()
+	defer ln.Close()
+
+	c, err := Dial("carol", ln.Addr().String(), WithProtection(2, 2), WithLegacyOneShot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 2, Seed: 98})
+	acc := storage.NewMemoryGraph(g)
+	for _, pr := range wl {
+		res, err := c.Query(pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Found || res.Path.Empty() {
+			t.Fatalf("legacy query result = %+v", res)
+		}
+		truth, _, err := search.Dijkstra(acc, pr.Source, pr.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(truth.Cost-res.Path.Cost) > 1e-6 {
+			t.Errorf("legacy client cost %v, shortest %v", res.Path.Cost, truth.Cost)
+		}
 	}
 }
 

@@ -32,19 +32,19 @@ func TestNetworkedDeploymentEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srvLn.Close()
-	go func() { _ = srv.Serve(srvLn) }()
+	go func() { _ = srv.ServeMux(srvLn, protocol.MuxServerConfig{}) }()
 
-	// Obfuscator connected to the server over TCP.
-	serverConn, err := protocol.Dial(srvLn.Addr().String())
+	// Obfuscator connected to the server over the multiplexed transport.
+	exec, err := obfsvc.DialMuxExecutor(srvLn.Addr().String())
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer serverConn.Close()
+	defer exec.Close()
 	obfCfg := obfsvc.DefaultConfig()
 	obfCfg.BatchWindow = 0
 	obfCfg.Obfuscation.Mode = obfuscate.Independent
 	obfCfg.Obfuscation.Selector = testConfig(g, obfuscate.Independent).Obfuscator.Obfuscation.Selector
-	svc, err := obfsvc.New(g, obfsvc.NewRemoteExecutor(serverConn), obfCfg)
+	svc, err := obfsvc.New(g, exec, obfCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestNetworkedDeploymentEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer obfLn.Close()
-	go func() { _ = svc.Serve(obfLn) }()
+	go func() { _ = svc.ServeMux(obfLn, protocol.MuxServerConfig{}) }()
 
 	// Several concurrent clients, each with its own TCP connection.
 	wl := gen.MustGenerateWorkload(g, gen.WorkloadConfig{Kind: gen.Uniform, Queries: 6, Seed: 137})

@@ -25,3 +25,8 @@ func BenchmarkE17(b *testing.B) { benchRunner(b, E17CellUpdates{}) }
 // BenchmarkE18 times the streaming ingestion pipeline: coalesced update
 // batches plus pipelined re-customization under concurrent query load.
 func BenchmarkE18(b *testing.B) { benchRunner(b, E18Streaming{}) }
+
+// BenchmarkE19 times the fleet serving tier: scatter/gather over two
+// in-process shards against the single-server baseline, with every merged
+// table verified against the reference.
+func BenchmarkE19(b *testing.B) { benchRunner(b, E19Fleet{}) }

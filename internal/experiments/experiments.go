@@ -145,6 +145,7 @@ func All() []Runner {
 		E16LiveUpdates{},
 		E17CellUpdates{},
 		E18Streaming{},
+		E19Fleet{},
 	}
 }
 

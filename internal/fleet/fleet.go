@@ -1,0 +1,708 @@
+// Package fleet implements the OPAQUE sharded serving tier: a router that
+// fronts N directions search servers ("shards") over the multiplexed
+// transport and answers obfuscated path queries as if it were a single
+// server.
+//
+// Two fleet shapes are supported. In partition mode every shard holds the
+// full replicated road map, but each spatial partition cell (roadnet.
+// Partition) is *owned* by exactly one shard: a query Q(S, T) is split by
+// the cell ownership of its sources, each shard evaluates the partial
+// distance table for the sources it owns (against all destinations), and
+// the router stitches the partial tables back together in source-major
+// order. Because every shard searches the same complete graph, the merged
+// table is exactly the single-server answer — ownership controls work
+// placement and cache locality (a shard re-customizes and keeps hot the
+// cells its traffic concentrates in), not reachability. In replicate mode
+// whole queries round-robin across shards.
+//
+// The merge is refused unless every partial table was computed under the
+// same metric: replies carry the shard's weight-content checksum
+// (protocol.ServerReply.ContentSum) and echoed profile, and the router
+// requires all partials of one query to agree on a nonzero checksum and on
+// the profile. A disagreement — one shard applied a weight update the other
+// has not, or a shard could not pin a stable identity under churn — counts
+// as fleet_generation_skew (or fleet_profile_skew), and the query retries
+// after a short backoff rather than ever serving a mixed-metric table.
+//
+// Weight updates flow through the router (UpdateWeights): broadcast to every
+// reachable shard, and accumulated as last-write-wins per-arc state that is
+// replayed to a shard when it (re)connects — a shard restarting with base
+// weights mid-churn converges to the fleet metric before it serves again.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"opaque/internal/metrics"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+)
+
+// Mode selects how the router spreads queries across shards.
+type Mode int
+
+const (
+	// ModePartition splits each query's sources by partition-cell ownership;
+	// every shard answers the partial table for the sources it owns.
+	ModePartition Mode = iota
+	// ModeReplicate round-robins whole queries across shards.
+	ModeReplicate
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeReplicate {
+		return "replicate"
+	}
+	return "partition"
+}
+
+// Dialer establishes one multiplexed connection to a shard. The router
+// redials through it after a connection failure, so it must be safe to call
+// repeatedly.
+type Dialer func() (*protocol.MuxClient, error)
+
+// Config parameterises a Router.
+type Config struct {
+	// Mode is the fleet shape (default ModePartition).
+	Mode Mode
+	// Partition assigns road-map nodes to spatial cells; required in
+	// partition mode with more than one shard.
+	Partition *roadnet.Partition
+	// CellOwner maps partition cell → shard index. Nil assigns cells
+	// round-robin (cell c → shard c mod N).
+	CellOwner []int
+	// Retries is the per-shard transport retry budget: how many times a
+	// failed subquery is retried (redialling between attempts) before the
+	// shard is declared failed for that query. Default 3.
+	Retries int
+	// RetryBackoff is slept between retry attempts. Default 10ms.
+	RetryBackoff time.Duration
+	// SkewRetries is how many times a query whose partial tables disagreed
+	// on the metric identity is retried whole before failing. Default 5 —
+	// skew is transient by construction (shards converge via update
+	// broadcast and reconnect replay), so retrying is almost always enough.
+	SkewRetries int
+	// Hello is announced to shards when dialling; Node/Role default to a
+	// router identity.
+	Hello protocol.Hello
+}
+
+// ShardError reports the failure of one shard after the retry budget.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("fleet: shard %d failed: %v", e.Shard, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Skew errors: the partial tables of one query disagreed on the metric they
+// were computed under, and the retry budget did not outlast the skew.
+var (
+	// ErrGenerationSkew reports partial tables with differing (or unknown)
+	// weight-content checksums.
+	ErrGenerationSkew = errors.New("fleet: generation skew across partial tables")
+	// ErrProfileSkew reports a partial table echoing the wrong weight
+	// profile.
+	ErrProfileSkew = errors.New("fleet: profile skew across partial tables")
+)
+
+// shardLink is the router's connection slot for one shard: at most one live
+// multiplexed client, redialled (and replayed into) on demand.
+type shardLink struct {
+	idx  int
+	dial Dialer
+
+	mu     sync.Mutex
+	client *protocol.MuxClient
+}
+
+// arcKey identifies one directed arc in the cumulative weight state.
+type arcKey struct {
+	from, to roadnet.NodeID
+}
+
+// Router fronts a fleet of shards as one logical directions search server.
+// It implements obfsvc.QueryExecutor and obfsvc.BatchExecutor, and (via
+// HandleMux/ServeMux in serve.go) the serving side of the multiplexed
+// transport, so obfuscators target a router exactly like a single server.
+type Router struct {
+	cfg    Config
+	shards []*shardLink
+
+	// Cumulative last-write-wins weight state, replayed to (re)connecting
+	// shards so a restarted shard converges to the fleet metric before the
+	// router sends it queries. latest holds the current cost per touched
+	// arc; order preserves first-touch order for deterministic replay.
+	wmu    sync.Mutex
+	latest map[arcKey]float64
+	order  []arcKey
+
+	updateID atomic.Uint64
+	batchID  atomic.Uint64
+	rr       atomic.Uint64 // replicate-mode round-robin cursor
+
+	metrics *metrics.Registry
+	// Pre-resolved counters; fleet_generation_skew is the metric the
+	// acceptance criteria pin — every refused merge shows up there.
+	mQueries    *metrics.Counter
+	mSubqueries *metrics.Counter
+	mGenSkew    *metrics.Counter
+	mProfSkew   *metrics.Counter
+	mRetries    *metrics.Counter
+	mFailures   *metrics.Counter
+	mDegraded   *metrics.Counter
+	mWeightUpd  *metrics.Counter
+	mReplays    *metrics.Counter
+}
+
+// New builds a router over one Dialer per shard.
+func New(cfg Config, dialers []Dialer) (*Router, error) {
+	if len(dialers) == 0 {
+		return nil, fmt.Errorf("fleet: need at least one shard dialer")
+	}
+	if cfg.Mode == ModePartition && len(dialers) > 1 && cfg.Partition == nil {
+		return nil, fmt.Errorf("fleet: partition mode with %d shards needs a Partition", len(dialers))
+	}
+	if cfg.CellOwner != nil && cfg.Partition != nil && len(cfg.CellOwner) != cfg.Partition.NumCells() {
+		return nil, fmt.Errorf("fleet: CellOwner has %d entries for %d cells", len(cfg.CellOwner), cfg.Partition.NumCells())
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.SkewRetries <= 0 {
+		cfg.SkewRetries = 5
+	}
+	if cfg.Hello.Role == "" {
+		cfg.Hello.Role = "router"
+	}
+	r := &Router{
+		cfg:     cfg,
+		latest:  make(map[arcKey]float64),
+		metrics: metrics.NewRegistry(),
+	}
+	r.mQueries = r.metrics.CounterVar("fleet_queries")
+	r.mSubqueries = r.metrics.CounterVar("fleet_subqueries")
+	r.mGenSkew = r.metrics.CounterVar("fleet_generation_skew")
+	r.mProfSkew = r.metrics.CounterVar("fleet_profile_skew")
+	r.mRetries = r.metrics.CounterVar("fleet_shard_retries")
+	r.mFailures = r.metrics.CounterVar("fleet_shard_failures")
+	r.mDegraded = r.metrics.CounterVar("fleet_degraded_replies")
+	r.mWeightUpd = r.metrics.CounterVar("fleet_weight_updates")
+	r.mReplays = r.metrics.CounterVar("fleet_replays")
+	for i, d := range dialers {
+		if d == nil {
+			return nil, fmt.Errorf("fleet: nil dialer for shard %d", i)
+		}
+		r.shards = append(r.shards, &shardLink{idx: i, dial: d})
+	}
+	return r, nil
+}
+
+// NumShards returns the fleet size.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// Metrics returns the router's instrumentation registry.
+func (r *Router) Metrics() *metrics.Registry { return r.metrics }
+
+// Close tears down every shard connection. The router can still be used
+// afterwards — connections redial on demand — so Close is a quiesce, not a
+// shutdown.
+func (r *Router) Close() {
+	for _, l := range r.shards {
+		l.mu.Lock()
+		if l.client != nil {
+			l.client.Close()
+			l.client = nil
+		}
+		l.mu.Unlock()
+	}
+}
+
+// connect returns the shard's live client, dialling (and replaying the
+// cumulative weight state into the shard) if needed.
+func (r *Router) connect(l *shardLink) (*protocol.MuxClient, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.client != nil && l.client.Err() == nil {
+		return l.client, nil
+	}
+	l.client = nil
+	c, err := l.dial()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.replayTo(c); err != nil {
+		c.Close()
+		return nil, fmt.Errorf("replaying weight state: %w", err)
+	}
+	l.client = c
+	return c, nil
+}
+
+// dropClient forgets a failed client so the next attempt redials. Only the
+// exact client that failed is dropped — a concurrent redial's fresh client
+// stays.
+func (l *shardLink) dropClient(c *protocol.MuxClient) {
+	l.mu.Lock()
+	if l.client == c {
+		l.client = nil
+	}
+	l.mu.Unlock()
+	c.Close()
+}
+
+// replayTo brings a freshly connected shard up to the fleet's cumulative
+// weight state. A shard that restarted with base weights receives every arc
+// the fleet has touched (last-write-wins, one WeightUpdate) before the
+// router admits it; a shard that never died receives an update it has
+// already applied, which is idempotent.
+func (r *Router) replayTo(c *protocol.MuxClient) error {
+	r.wmu.Lock()
+	changes := make([]roadnet.ArcWeightChange, len(r.order))
+	for i, k := range r.order {
+		changes[i] = roadnet.ArcWeightChange{From: k.from, To: k.to, NewCost: r.latest[k]}
+	}
+	r.wmu.Unlock()
+	if len(changes) == 0 {
+		return nil
+	}
+	res, err := c.Do(protocol.WeightUpdate{UpdateID: r.updateID.Add(1), Changes: changes})
+	if err != nil {
+		return err
+	}
+	if _, ok := res.(protocol.WeightUpdateAck); !ok {
+		return fmt.Errorf("fleet: unexpected replay reply %T", res)
+	}
+	r.mReplays.Add(1)
+	return nil
+}
+
+// record folds changes into the cumulative last-write-wins replay state.
+func (r *Router) record(changes []roadnet.ArcWeightChange) {
+	r.wmu.Lock()
+	for _, c := range changes {
+		k := arcKey{from: c.From, to: c.To}
+		if _, seen := r.latest[k]; !seen {
+			r.order = append(r.order, k)
+		}
+		r.latest[k] = c.NewCost
+	}
+	r.wmu.Unlock()
+}
+
+// UpdateWeights applies live weight changes fleet-wide: the cumulative
+// replay state is folded first (so even a shard that is down right now
+// converges on reconnect), then the update is broadcast to every shard in
+// parallel. A shard that cannot be reached does not fail the update — it
+// has no live connection, and the replay on its next connect carries the
+// state — so the error return is non-nil only when *no* shard could be
+// updated or reached.
+func (r *Router) UpdateWeights(changes []roadnet.ArcWeightChange) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	r.record(changes)
+	r.mWeightUpd.Add(1)
+	upd := protocol.WeightUpdate{UpdateID: r.updateID.Add(1), Changes: changes}
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, l := range r.shards {
+		wg.Add(1)
+		go func(i int, l *shardLink) {
+			defer wg.Done()
+			c, err := r.connect(l)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := c.Do(upd)
+			if err != nil {
+				if !isRemoteError(err) {
+					l.dropClient(c)
+				}
+				errs[i] = err
+				return
+			}
+			if _, ok := res.(protocol.WeightUpdateAck); !ok {
+				errs[i] = fmt.Errorf("unexpected ack type %T", res)
+			}
+		}(i, l)
+	}
+	wg.Wait()
+	failed := 0
+	var last error
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			last = &ShardError{Shard: i, Err: err}
+			r.mFailures.Add(1)
+		}
+	}
+	if failed == len(r.shards) {
+		return fmt.Errorf("fleet: weight update reached no shard: %w", last)
+	}
+	return nil
+}
+
+// isRemoteError reports whether err is a handler-level failure (the
+// connection stays healthy) rather than a transport failure.
+func isRemoteError(err error) bool {
+	var re *protocol.RemoteError
+	return errors.As(err, &re)
+}
+
+// callShard performs one request on one shard under the retry budget:
+// transport failures drop the connection, redial and retry (counted in
+// fleet_shard_retries); handler-level failures return immediately — the
+// shard answered, retrying the same request cannot help.
+func (r *Router) callShard(idx int, msg any) (any, error) {
+	l := r.shards[idx]
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			r.mRetries.Add(1)
+			time.Sleep(r.cfg.RetryBackoff)
+		}
+		c, err := r.connect(l)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, err := c.Do(msg)
+		if err == nil {
+			return res, nil
+		}
+		if isRemoteError(err) {
+			return nil, &ShardError{Shard: idx, Err: err}
+		}
+		lastErr = err
+		l.dropClient(c)
+	}
+	r.mFailures.Add(1)
+	return nil, &ShardError{Shard: idx, Err: lastErr}
+}
+
+// subquery is one shard's share of a scattered query: the source rows it
+// owns (in their original relative order) and their global positions.
+type subquery struct {
+	shard   int
+	sources []roadnet.NodeID
+	global  []int
+}
+
+// scatter splits q by shard ownership. Partition mode groups sources by the
+// owner of their partition cell; replicate mode (and a one-shard fleet)
+// assigns the whole query to the next shard in round-robin order.
+func (r *Router) scatter(q protocol.ServerQuery) []subquery {
+	n := len(r.shards)
+	if n == 1 || r.cfg.Mode == ModeReplicate {
+		idx := int(r.rr.Add(1)-1) % n
+		all := make([]int, len(q.Sources))
+		for i := range all {
+			all[i] = i
+		}
+		return []subquery{{shard: idx, sources: q.Sources, global: all}}
+	}
+	bySh := make(map[int]*subquery, n)
+	order := make([]*subquery, 0, n)
+	for gi, src := range q.Sources {
+		shard := r.ownerOf(src)
+		sub, ok := bySh[shard]
+		if !ok {
+			sub = &subquery{shard: shard}
+			bySh[shard] = sub
+			order = append(order, sub)
+		}
+		sub.sources = append(sub.sources, src)
+		sub.global = append(sub.global, gi)
+	}
+	out := make([]subquery, len(order))
+	for i, sub := range order {
+		out[i] = *sub
+	}
+	return out
+}
+
+// ownerOf resolves the shard owning a node's partition cell.
+func (r *Router) ownerOf(v roadnet.NodeID) int {
+	cell := r.cfg.Partition.CellOf(v)
+	if r.cfg.CellOwner != nil {
+		return r.cfg.CellOwner[cell] % len(r.shards)
+	}
+	return cell % len(r.shards)
+}
+
+// checkIdentity verifies that every partial reply of one query was computed
+// under one metric: all ContentSums equal and nonzero (zero = the shard
+// could not pin a stable identity, which the router must treat as skew) and
+// every echoed profile matching the query's. Counted per refusal.
+func (r *Router) checkIdentity(q protocol.ServerQuery, replies []protocol.ServerReply) error {
+	for _, rep := range replies {
+		if rep.Profile != q.Profile {
+			r.mProfSkew.Add(1)
+			return fmt.Errorf("%w: reply under profile %q, query under %q", ErrProfileSkew, rep.Profile, q.Profile)
+		}
+	}
+	sum := replies[0].ContentSum
+	for _, rep := range replies[1:] {
+		if rep.ContentSum != sum {
+			r.mGenSkew.Add(1)
+			return fmt.Errorf("%w: content checksums %x != %x", ErrGenerationSkew, rep.ContentSum, sum)
+		}
+	}
+	if sum == 0 && len(replies) > 1 {
+		// With a single partial there is nothing to mix; with several, an
+		// unknown identity cannot be proven consistent with the others.
+		r.mGenSkew.Add(1)
+		return fmt.Errorf("%w: partial table with unknown identity", ErrGenerationSkew)
+	}
+	return nil
+}
+
+// merge stitches the partial tables back into the single-server reply:
+// source-major, destinations in query order, rows ordered by the sources'
+// global positions. Every shard searched the full graph, so concatenation
+// (not minimisation) is exact.
+func (r *Router) merge(q protocol.ServerQuery, subs []subquery, replies []protocol.ServerReply) (protocol.ServerReply, error) {
+	if err := r.checkIdentity(q, replies); err != nil {
+		return protocol.ServerReply{}, err
+	}
+	if len(subs) == 1 {
+		// Whole query on one shard: the reply already is the answer.
+		return replies[0], nil
+	}
+	nT := len(q.Dests)
+	merged := protocol.ServerReply{
+		QueryID:    q.QueryID,
+		ContentSum: replies[0].ContentSum,
+		Profile:    q.Profile,
+		Paths:      make([]protocol.CandidatePath, len(q.Sources)*nT),
+	}
+	for si, sub := range subs {
+		rep := replies[si]
+		if len(rep.Paths) != len(sub.sources)*nT {
+			return protocol.ServerReply{}, &ShardError{Shard: sub.shard, Err: fmt.Errorf("fleet: partial table has %d candidates for %d×%d", len(rep.Paths), len(sub.sources), nT)}
+		}
+		merged.SettledNodes += rep.SettledNodes
+		merged.PageFaults += rep.PageFaults
+		merged.Degraded = merged.Degraded || rep.Degraded
+		for j, gi := range sub.global {
+			copy(merged.Paths[gi*nT:(gi+1)*nT], rep.Paths[j*nT:(j+1)*nT])
+		}
+	}
+	// Generation numbers are per-shard and not comparable across a merged
+	// table; the content checksum is the fleet-wide identity.
+	merged.Generation = 0
+	return merged, nil
+}
+
+// executeOnce scatters q, gathers the partial tables and merges them. All
+// subqueries run in parallel; a shard failure after the retry budget fails
+// the query with its ShardError.
+func (r *Router) executeOnce(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	subs := r.scatter(q)
+	r.mSubqueries.Add(int64(len(subs)))
+	replies := make([]protocol.ServerReply, len(subs))
+	errs := make([]error, len(subs))
+	var wg sync.WaitGroup
+	for i, sub := range subs {
+		wg.Add(1)
+		go func(i int, sub subquery) {
+			defer wg.Done()
+			sq := protocol.ServerQuery{
+				QueryID:      q.QueryID,
+				Sources:      sub.sources,
+				Dests:        q.Dests,
+				Profile:      q.Profile,
+				DistanceOnly: q.DistanceOnly,
+			}
+			res, err := r.callShard(sub.shard, sq)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rep, ok := res.(protocol.ServerReply)
+			if !ok {
+				errs[i] = &ShardError{Shard: sub.shard, Err: fmt.Errorf("fleet: unexpected reply type %T", res)}
+				return
+			}
+			replies[i] = rep
+		}(i, sub)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return protocol.ServerReply{}, err
+		}
+	}
+	return r.merge(q, subs, replies)
+}
+
+// Execute answers one obfuscated query through the fleet; it implements
+// obfsvc.QueryExecutor. Queries refused for metric skew retry whole (the
+// scatter re-runs, picking up converged shards) up to Config.SkewRetries
+// times before the skew error surfaces to the caller.
+func (r *Router) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	r.mQueries.Add(1)
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.SkewRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(r.cfg.RetryBackoff)
+		}
+		reply, err := r.executeOnce(q)
+		if err == nil {
+			if reply.Degraded {
+				r.mDegraded.Add(1)
+			}
+			return reply, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrGenerationSkew) && !errors.Is(err, ErrProfileSkew) {
+			return protocol.ServerReply{}, err
+		}
+	}
+	return protocol.ServerReply{}, lastErr
+}
+
+// ExecuteBatch answers a whole batch through the fleet; it implements
+// obfsvc.BatchExecutor. Every query of the batch is scattered and the
+// per-shard shares travel as one streaming BatchQuery per shard — one
+// round of frames per shard for the whole batch, not one per subquery.
+// Queries whose gather failed (shard failure or metric skew) fall back to
+// the per-query Execute path with its own retry budgets, so one sick shard
+// degrades the queries it owns without poisoning the batch.
+func (r *Router) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error) {
+	replies := make([]protocol.ServerReply, len(qs))
+	errs := make([]error, len(qs))
+	if len(qs) == 0 {
+		return replies, errs
+	}
+	r.mQueries.Add(int64(len(qs)))
+
+	// Scatter every query and group the subqueries by shard.
+	type slot struct {
+		q    int // index into qs
+		part int // index into that query's subs
+	}
+	subsPerQ := make([][]subquery, len(qs))
+	gathered := make([][]protocol.ServerReply, len(qs))
+	partErr := make([]error, len(qs))
+	shardBatch := make(map[int][]protocol.ServerQuery)
+	shardSlots := make(map[int][]slot)
+	for qi, q := range qs {
+		subs := r.scatter(q)
+		subsPerQ[qi] = subs
+		gathered[qi] = make([]protocol.ServerReply, len(subs))
+		r.mSubqueries.Add(int64(len(subs)))
+		for pi, sub := range subs {
+			shardBatch[sub.shard] = append(shardBatch[sub.shard], protocol.ServerQuery{
+				QueryID:      q.QueryID,
+				Sources:      sub.sources,
+				Dests:        q.Dests,
+				Profile:      q.Profile,
+				DistanceOnly: q.DistanceOnly,
+			})
+			shardSlots[sub.shard] = append(shardSlots[sub.shard], slot{q: qi, part: pi})
+		}
+	}
+
+	// One streaming batch per shard, in parallel; per-item errors and
+	// whole-shard failures both land in the owning query's partErr.
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for shard, batch := range shardBatch {
+		wg.Add(1)
+		go func(shard int, batch []protocol.ServerQuery, slots []slot) {
+			defer wg.Done()
+			br, err := r.callShardBatch(shard, batch)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				for _, sl := range slots {
+					if partErr[sl.q] == nil {
+						partErr[sl.q] = err
+					}
+				}
+				return
+			}
+			for i, sl := range slots {
+				if msg := br.Errors[i]; msg != "" {
+					if partErr[sl.q] == nil {
+						partErr[sl.q] = &ShardError{Shard: shard, Err: errors.New(msg)}
+					}
+					continue
+				}
+				gathered[sl.q][sl.part] = br.Replies[i]
+			}
+		}(shard, batch, shardSlots[shard])
+	}
+	wg.Wait()
+
+	// Merge per query; anything that did not gather cleanly — or whose merge
+	// was refused for skew — retries through the per-query path.
+	for qi, q := range qs {
+		if partErr[qi] == nil {
+			merged, err := r.merge(q, subsPerQ[qi], gathered[qi])
+			if err == nil {
+				if merged.Degraded {
+					r.mDegraded.Add(1)
+				}
+				replies[qi] = merged
+				continue
+			}
+			partErr[qi] = err
+		}
+		// Execute bumps fleet_queries itself; this retry is a continuation of
+		// an already-counted query, so compensate.
+		r.mQueries.Add(-1)
+		replies[qi], errs[qi] = r.Execute(q)
+	}
+	return replies, errs
+}
+
+// callShardBatch sends one shard its whole share of a batch under the retry
+// budget, mirroring callShard.
+func (r *Router) callShardBatch(idx int, batch []protocol.ServerQuery) (protocol.BatchReply, error) {
+	l := r.shards[idx]
+	b := protocol.BatchQuery{BatchID: r.batchID.Add(1), Queries: batch}
+	var lastErr error
+	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			r.mRetries.Add(1)
+			time.Sleep(r.cfg.RetryBackoff)
+		}
+		c, err := r.connect(l)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		br, err := c.DoBatch(b)
+		if err == nil {
+			if len(br.Replies) != len(batch) || len(br.Errors) != len(batch) {
+				return protocol.BatchReply{}, &ShardError{Shard: idx, Err: fmt.Errorf("fleet: batch reply shape %d/%d for %d queries", len(br.Replies), len(br.Errors), len(batch))}
+			}
+			return br, nil
+		}
+		if isRemoteError(err) {
+			return protocol.BatchReply{}, &ShardError{Shard: idx, Err: err}
+		}
+		lastErr = err
+		l.dropClient(c)
+	}
+	r.mFailures.Add(1)
+	return protocol.BatchReply{}, &ShardError{Shard: idx, Err: lastErr}
+}

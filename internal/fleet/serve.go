@@ -1,0 +1,124 @@
+package fleet
+
+// The router's serving side: obfuscators connect to the router over the same
+// multiplexed transport the router uses toward its shards, so a fleet is a
+// drop-in replacement for a single opaque-server address. Shedding composes:
+// a request arriving above the router connection's ShedAt watermark is
+// rewritten to DistanceOnly before scattering, so every shard answers the
+// degraded distance-only table.
+
+import (
+	"fmt"
+	"net"
+
+	"opaque/internal/protocol"
+)
+
+// HelloInfo returns the Hello the router greets connecting obfuscators with.
+// The fleet has no single generation — shards converge through broadcast and
+// replay — so the identity fields stay zero and per-reply ContentSums carry
+// the metric identity instead.
+func (r *Router) HelloInfo() protocol.Hello {
+	h := protocol.Hello{Role: "router"}
+	if r.cfg.Partition != nil {
+		h.Cells = r.cfg.Partition.NumCells()
+	}
+	return h
+}
+
+// routerMuxHandler adapts the router to the serving side of the multiplexed
+// transport; it implements protocol.MuxHandler and protocol.MuxBatchStreamer.
+type routerMuxHandler struct {
+	r *Router
+}
+
+// HandleMux implements protocol.MuxHandler.
+func (h routerMuxHandler) HandleMux(msg any, shed bool) (any, error) {
+	switch m := msg.(type) {
+	case protocol.ServerQuery:
+		if shed {
+			m.DistanceOnly = true
+		}
+		return h.r.Execute(m)
+	case protocol.BatchQuery:
+		return h.r.batchReply(m, shed), nil
+	case protocol.WeightUpdate:
+		if err := h.r.UpdateWeights(m.Changes); err != nil {
+			return nil, err
+		}
+		// The fleet-wide identity is per-shard; the ack confirms receipt and
+		// fold into the replay state, not one global generation.
+		return protocol.WeightUpdateAck{UpdateID: m.UpdateID}, nil
+	default:
+		return nil, fmt.Errorf("fleet: unexpected message type %T", msg)
+	}
+}
+
+// HandleMuxBatch implements protocol.MuxBatchStreamer: the batch is answered
+// through the scatter/gather engine and its items stream back per query.
+func (h routerMuxHandler) HandleMuxBatch(b protocol.BatchQuery, shed bool, emit func(protocol.BatchItem)) error {
+	qs := b.Queries
+	if shed {
+		qs = make([]protocol.ServerQuery, len(b.Queries))
+		copy(qs, b.Queries)
+		for i := range qs {
+			qs[i].DistanceOnly = true
+		}
+	}
+	replies, errs := h.r.ExecuteBatch(qs)
+	for i := range replies {
+		item := protocol.BatchItem{BatchID: b.BatchID, Index: i, Reply: replies[i]}
+		if errs[i] != nil {
+			item.Error = errs[i].Error()
+		}
+		emit(item)
+	}
+	return nil
+}
+
+// batchReply is the unary (non-streaming) batch answer.
+func (r *Router) batchReply(b protocol.BatchQuery, shed bool) protocol.BatchReply {
+	qs := b.Queries
+	if shed {
+		qs = make([]protocol.ServerQuery, len(b.Queries))
+		copy(qs, b.Queries)
+		for i := range qs {
+			qs[i].DistanceOnly = true
+		}
+	}
+	replies, errs := r.ExecuteBatch(qs)
+	reply := protocol.BatchReply{
+		BatchID: b.BatchID,
+		Replies: replies,
+		Errors:  make([]string, len(errs)),
+	}
+	for i, err := range errs {
+		if err != nil {
+			reply.Errors[i] = err.Error()
+		}
+	}
+	return reply
+}
+
+// MuxHandler returns the router's multiplexed-transport handler; its dynamic
+// type implements protocol.MuxBatchStreamer, so batch replies stream.
+func (r *Router) MuxHandler() protocol.MuxHandler {
+	return routerMuxHandler{r: r}
+}
+
+// ServeMux accepts obfuscator connections on ln until the listener closes.
+func (r *Router) ServeMux(ln net.Listener, cfg protocol.MuxServerConfig) error {
+	if cfg.Hello == nil {
+		cfg.Hello = r.HelloInfo
+	}
+	return protocol.ServeMux(ln, r.MuxHandler(), cfg)
+}
+
+// ServeMuxConn serves one established connection (in-process harnesses drive
+// the router over net.Pipe through this).
+func (r *Router) ServeMuxConn(conn net.Conn, cfg protocol.MuxServerConfig) error {
+	if cfg.Hello == nil {
+		cfg.Hello = r.HelloInfo
+	}
+	return protocol.ServeMuxConn(conn, r.MuxHandler(), cfg)
+}

@@ -1,0 +1,231 @@
+package fleet_test
+
+// The fleet churn soak: router + 2 shards under a sustained weight-update
+// stream and concurrent query load, with a shard kill/restart in the middle.
+// It asserts the invariants that must hold under arbitrary interleaving —
+// every successful reply carries one consistent metric identity (the merge
+// refusal makes mixed-generation tables impossible by construction), failures
+// are only bounded-retry shard errors or skew, and after the churn stops the
+// fleet converges back to exact reference answers.
+//
+// The default run is short enough for the ordinary test suite; CI's soak step
+// stretches it with FLEET_SOAK_SECONDS=10 under -race.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opaque/internal/fleet"
+	"opaque/internal/fleet/fleettest"
+	"opaque/internal/protocol"
+	"opaque/internal/roadnet"
+	"opaque/internal/server"
+)
+
+func soakDuration(t *testing.T) time.Duration {
+	if s := os.Getenv("FLEET_SOAK_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("FLEET_SOAK_SECONDS=%q is not a positive integer", s)
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if testing.Short() {
+		return 500 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+func TestFleetChurnSoak(t *testing.T) {
+	duration := soakDuration(t)
+	g := testGraph(t, 400, 1901)
+	cl, err := fleettest.New(g, fleettest.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ref := server.MustNew(g, server.DefaultConfig())
+
+	// The churn stream applies to the fleet and the reference in lockstep
+	// under refMu, so the post-churn comparison has an exact oracle.
+	var refMu sync.Mutex
+	applyBoth := func(changes []roadnet.ArcWeightChange) error {
+		refMu.Lock()
+		defer refMu.Unlock()
+		if err := cl.Router.UpdateWeights(changes); err != nil {
+			return fmt.Errorf("fleet update: %w", err)
+		}
+		if _, err := ref.UpdateWeights(changes); err != nil {
+			return fmt.Errorf("reference update: %w", err)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	var updates, queries, degradedQueries atomic.Int64
+
+	// Churn: a sustained stream of weight updates over a hot arc pool.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(6001))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var changes []roadnet.ArcWeightChange
+			for i := 0; i < 4; i++ {
+				v := roadnet.NodeID(rng.Intn(g.NumNodes()))
+				if arcs := g.Arcs(v); len(arcs) > 0 {
+					changes = append(changes, roadnet.ArcWeightChange{From: v, To: arcs[0].To, NewCost: arcs[0].Cost * (0.5 + rng.Float64())})
+				}
+			}
+			if err := applyBoth(changes); err != nil {
+				errCh <- err
+				return
+			}
+			updates.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Query load: several workers hammering the router while the metric
+	// churns underneath. Failures must be typed — a shard error inside the
+	// kill window or residual skew — never a malformed or mixed reply.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := makeQueries(g, 10, int64(7000+w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[i%len(qs)]
+				rep, err := cl.Router.Execute(q)
+				queries.Add(1)
+				if err != nil {
+					var se *fleet.ShardError
+					if errors.As(err, &se) || errors.Is(err, fleet.ErrGenerationSkew) || errors.Is(err, fleet.ErrProfileSkew) {
+						degradedQueries.Add(1)
+						continue
+					}
+					errCh <- fmt.Errorf("worker %d query %d: untyped failure: %w", w, q.QueryID, err)
+					return
+				}
+				if len(rep.Paths) != len(q.Sources)*len(q.Dests) {
+					errCh <- fmt.Errorf("worker %d query %d: table shape %d for %d×%d", w, q.QueryID, len(rep.Paths), len(q.Sources), len(q.Dests))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Fault injection mid-churn: kill and restart each shard in turn while
+	// updates and queries keep flowing.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(duration / 4):
+			}
+			shard := i % cl.NumShards()
+			cl.Kill(shard)
+			time.Sleep(20 * time.Millisecond)
+			if err := cl.Restart(shard); err != nil {
+				errCh <- fmt.Errorf("restarting shard %d: %w", shard, err)
+				return
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced fleet: every answer is exact against the reference again.
+	for _, q := range makeQueries(g, 10, 7101) {
+		want, err := ref.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Router.Execute(q)
+		if err != nil {
+			t.Fatalf("post-soak query %d: %v", q.QueryID, err)
+		}
+		assertSameReply(t, fmt.Sprintf("post-soak q%d", q.QueryID), got, want, false)
+	}
+
+	m := cl.Router.Metrics()
+	t.Logf("soak %v: %d updates, %d queries (%d failed in the kill windows), replays=%d gen-skew=%d retries=%d failures=%d",
+		duration, updates.Load(), queries.Load(), degradedQueries.Load(),
+		m.Counter("fleet_replays"), m.Counter("fleet_generation_skew"),
+		m.Counter("fleet_shard_retries"), m.Counter("fleet_shard_failures"))
+	if updates.Load() == 0 || queries.Load() == 0 {
+		t.Errorf("soak exercised nothing: %d updates, %d queries", updates.Load(), queries.Load())
+	}
+	if m.Counter("fleet_replays") == 0 {
+		t.Error("no reconnect replay happened across the kill/restart cycles")
+	}
+}
+
+// TestFleetServedThroughObfuscator wires the router behind an obfuscator-side
+// MuxExecutor over the harness's DialRouter pipe — the full networked
+// deployment shape — and checks a batch round trip.
+func TestFleetServedThroughObfuscator(t *testing.T) {
+	g := testGraph(t, 300, 2001)
+	cl, err := fleettest.New(g, fleettest.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ref := server.MustNew(g, server.DefaultConfig())
+
+	mc, err := cl.DialRouter(protocol.MuxServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if role := mc.Peer().Role; role != "router" {
+		t.Errorf("router welcome role = %q", role)
+	}
+
+	qs := makeQueries(g, 6, 7201)
+	br, err := mc.DoBatch(protocol.BatchQuery{BatchID: 1, Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		if br.Errors[i] != "" {
+			t.Fatalf("batch slot %d: %s", i, br.Errors[i])
+		}
+		want, err := ref.Evaluate(qs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameReply(t, fmt.Sprintf("via-obfuscator q%d", qs[i].QueryID), br.Replies[i], want, false)
+	}
+}

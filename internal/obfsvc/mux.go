@@ -1,0 +1,108 @@
+package obfsvc
+
+// This file is the obfuscator's side of the multiplexed transport: the
+// MuxExecutor that sends obfuscated queries to a directions search server —
+// or to a fleet router, which serves the identical interface — over one
+// persistent framed connection, and the service's own multiplexed listener
+// for clients. The one-shot RemoteExecutor remains for the -legacy-oneshot
+// compatibility path.
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+
+	"opaque/internal/protocol"
+)
+
+// MuxExecutor sends queries over a multiplexed connection. It implements
+// BatchExecutor: whole obfuscation plans travel as one streaming BatchQuery,
+// with per-query replies arriving as they complete. Unlike the one-shot
+// RemoteExecutor, any number of goroutines may execute queries concurrently
+// on one connection.
+type MuxExecutor struct {
+	conn    *protocol.MuxClient
+	batchID atomic.Uint64
+}
+
+// NewMuxExecutor wraps an established multiplexed connection.
+func NewMuxExecutor(conn *protocol.MuxClient) *MuxExecutor { return &MuxExecutor{conn: conn} }
+
+// DialMuxExecutor connects to a server (or fleet router) at addr over the
+// multiplexed transport.
+func DialMuxExecutor(addr string) (*MuxExecutor, error) {
+	conn, err := protocol.DialMux(addr, protocol.Hello{Node: addr, Role: "obfuscator"})
+	if err != nil {
+		return nil, err
+	}
+	return NewMuxExecutor(conn), nil
+}
+
+// Conn exposes the underlying connection (peer identity, Close).
+func (e *MuxExecutor) Conn() *protocol.MuxClient { return e.conn }
+
+// Close tears down the connection.
+func (e *MuxExecutor) Close() error { return e.conn.Close() }
+
+// Execute implements QueryExecutor.
+func (e *MuxExecutor) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	res, err := e.conn.Do(q)
+	if err != nil {
+		return protocol.ServerReply{}, fmt.Errorf("obfsvc: %w", err)
+	}
+	switch m := res.(type) {
+	case protocol.ServerReply:
+		return m, nil
+	default:
+		return protocol.ServerReply{}, fmt.Errorf("obfsvc: unexpected server reply type %T", res)
+	}
+}
+
+// ExecuteBatch implements BatchExecutor over one streaming batch exchange. A
+// transport or whole-batch failure is reported in every error slot.
+func (e *MuxExecutor) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error) {
+	replies := make([]protocol.ServerReply, len(qs))
+	errs := make([]error, len(qs))
+	br, err := e.conn.DoBatch(protocol.BatchQuery{BatchID: e.batchID.Add(1), Queries: qs})
+	if err != nil {
+		for i := range errs {
+			errs[i] = fmt.Errorf("obfsvc: %w", err)
+		}
+		return replies, errs
+	}
+	if len(br.Replies) != len(qs) || len(br.Errors) != len(qs) {
+		err := fmt.Errorf("obfsvc: batch reply has %d replies / %d errors for %d queries", len(br.Replies), len(br.Errors), len(qs))
+		for i := range errs {
+			errs[i] = err
+		}
+		return replies, errs
+	}
+	copy(replies, br.Replies)
+	for i, msg := range br.Errors {
+		if msg != "" {
+			errs[i] = fmt.Errorf("obfsvc: server error: %s", msg)
+		}
+	}
+	return replies, errs
+}
+
+// MuxHandler returns the service's handler for the multiplexed transport:
+// client requests are answered through the batching path exactly like the
+// one-shot Handler, but many requests share one connection.
+func (s *Service) MuxHandler() protocol.MuxHandler {
+	h := s.Handler()
+	return protocol.MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+		// The obfuscator has no cheaper degraded answer to shed to — load
+		// shedding happens downstream at the server/router.
+		return h(msg)
+	})
+}
+
+// ServeMux accepts multiplexed client connections on ln until the listener
+// closes.
+func (s *Service) ServeMux(ln net.Listener, cfg protocol.MuxServerConfig) error {
+	if cfg.Hello == nil {
+		cfg.Hello = func() protocol.Hello { return protocol.Hello{Role: "obfuscator"} }
+	}
+	return protocol.ServeMux(ln, s.MuxHandler(), cfg)
+}

@@ -1,0 +1,181 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []Frame{
+		{Type: FrameHello, ID: 0, Payload: nil},
+		{Type: FrameMsg, ID: 1, Payload: []byte("hello")},
+		{Type: FrameStreamItem, ID: 1<<64 - 1, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+		{Type: FrameStreamEnd, ID: 7, Payload: nil},
+		{Type: FrameGoAway, ID: 0, Payload: []byte{0}},
+	}
+	for _, want := range cases {
+		buf, err := AppendFrame(nil, want)
+		if err != nil {
+			t.Fatalf("AppendFrame(%v): %v", want.Type, err)
+		}
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("DecodeFrame(%v): %v", want.Type, err)
+		}
+		if n != len(buf) {
+			t.Errorf("DecodeFrame consumed %d of %d bytes", n, len(buf))
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("round trip: got %+v, want %+v", got, want)
+		}
+
+		// The stream codec agrees with the in-memory codec.
+		var w bytes.Buffer
+		if err := WriteFrame(&w, want); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+		if !bytes.Equal(w.Bytes(), buf) {
+			t.Errorf("WriteFrame and AppendFrame disagree for %v", want.Type)
+		}
+		rf, err := ReadFrame(&w)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if rf.Type != want.Type || rf.ID != want.ID || !bytes.Equal(rf.Payload, want.Payload) {
+			t.Errorf("ReadFrame: got %+v, want %+v", rf, want)
+		}
+	}
+}
+
+func TestFrameDecodeConsecutive(t *testing.T) {
+	var buf []byte
+	var err error
+	frames := []Frame{
+		{Type: FrameMsg, ID: 1, Payload: []byte("one")},
+		{Type: FrameStreamItem, ID: 2, Payload: []byte("two")},
+		{Type: FrameStreamEnd, ID: 2},
+	}
+	for _, f := range frames {
+		if buf, err = AppendFrame(buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range frames {
+		got, n, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Type != want.Type || got.ID != want.ID || !bytes.Equal(got.Payload, want.Payload) {
+			t.Errorf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d trailing bytes after decoding every frame", len(buf))
+	}
+}
+
+func TestFrameDecodeErrors(t *testing.T) {
+	valid, err := AppendFrame(nil, Frame{Type: FrameMsg, ID: 9, Payload: []byte("payload")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	oversized := make([]byte, 13)
+	binary.BigEndian.PutUint32(oversized, uint32(9+MaxFramePayload+1))
+	oversized[4] = byte(FrameMsg)
+
+	badLength := make([]byte, 13)
+	binary.BigEndian.PutUint32(badLength, 3) // < frameOverhead: cannot be a frame
+
+	badType := append([]byte(nil), valid...)
+	badType[4] = 0xEE
+	zeroType := append([]byte(nil), valid...)
+	zeroType[4] = 0
+
+	cases := []struct {
+		name string
+		in   []byte
+		want error
+	}{
+		{"empty", nil, ErrFrameTruncated},
+		{"short header", valid[:7], ErrFrameTruncated},
+		{"truncated payload", valid[:len(valid)-3], ErrFrameTruncated},
+		{"oversized declared payload", oversized, ErrFrameTooLarge},
+		{"length below overhead", badLength, ErrFrameHeader},
+		{"unknown type", badType, ErrFrameType},
+		{"zero type", zeroType, ErrFrameType},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.in); !errors.Is(err, tc.want) {
+			t.Errorf("DecodeFrame(%s): err = %v, want %v", tc.name, err, tc.want)
+		}
+		if tc.in == nil {
+			continue
+		}
+		if _, err := ReadFrame(bytes.NewReader(tc.in)); err == nil {
+			t.Errorf("ReadFrame(%s): no error", tc.name)
+		}
+	}
+
+	// A stream that ends cleanly between frames reports bare io.EOF, which the
+	// read loop uses to distinguish shutdown from corruption.
+	if _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("ReadFrame(empty stream): err = %v, want io.EOF", err)
+	}
+
+	// AppendFrame refuses oversized payloads symmetrically.
+	if _, err := AppendFrame(nil, Frame{Type: FrameMsg, Payload: make([]byte, MaxFramePayload+1)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("AppendFrame(oversized): err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// FuzzDecodeFrame pins the defensive-decoding contract: arbitrary input never
+// panics, never allocates beyond the validated payload bound, returns only
+// typed errors, and every successful decode re-encodes to the bytes it
+// consumed.
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := AppendFrame(nil, Frame{Type: FrameMsg, ID: 42, Payload: []byte("seed payload")})
+	f.Add(seed)
+	hello, _ := AppendFrame(nil, Frame{Type: FrameHello, ID: 0, Payload: nil})
+	f.Add(hello)
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(seed[:5])
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if !errors.Is(err, ErrFrameTruncated) && !errors.Is(err, ErrFrameTooLarge) &&
+				!errors.Is(err, ErrFrameHeader) && !errors.Is(err, ErrFrameType) {
+				t.Fatalf("untyped error: %v", err)
+			}
+			return
+		}
+		if n < frameHeaderLen || n > len(b) {
+			t.Fatalf("consumed %d bytes of %d", n, len(b))
+		}
+		if len(fr.Payload) > MaxFramePayload {
+			t.Fatalf("payload %d beyond MaxFramePayload", len(fr.Payload))
+		}
+		re, err := AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded frame: %v", err)
+		}
+		if !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, b[:n])
+		}
+
+		// The stream decoder agrees with the in-memory decoder on valid input.
+		sf, err := ReadFrame(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("ReadFrame rejects what DecodeFrame accepted: %v", err)
+		}
+		if sf.Type != fr.Type || sf.ID != fr.ID || !bytes.Equal(sf.Payload, fr.Payload) {
+			t.Fatalf("ReadFrame disagrees with DecodeFrame: %+v vs %+v", sf, fr)
+		}
+	})
+}

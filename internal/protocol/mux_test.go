@@ -1,0 +1,270 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opaque/internal/roadnet"
+)
+
+// muxPair wires a client to a handler over net.Pipe and returns the client.
+func muxPair(t *testing.T, h MuxHandler, cfg MuxServerConfig) *MuxClient {
+	t.Helper()
+	clientEnd, serverEnd := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = ServeMuxConn(serverEnd, h, cfg)
+	}()
+	c, err := NewMuxClient(clientEnd, Hello{Node: "test", Role: "client"})
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		<-done
+	})
+	return c
+}
+
+// echoHandler answers every ServerQuery with a reply echoing the query ID.
+var echoHandler = MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	switch m := msg.(type) {
+	case ServerQuery:
+		return ServerReply{QueryID: m.QueryID, Degraded: shed}, nil
+	default:
+		return nil, fmt.Errorf("unexpected message %T", msg)
+	}
+})
+
+func TestMuxHandshakeCarriesIdentity(t *testing.T) {
+	cfg := MuxServerConfig{Hello: func() Hello {
+		return Hello{Node: "shard-0", Role: "server", Generation: 3, ContentSum: 0xfeed, Cells: 8, Profiles: []string{"am-peak"}}
+	}}
+	c := muxPair(t, echoHandler, cfg)
+	peer := c.Peer()
+	if peer.Node != "shard-0" || peer.Role != "server" || peer.Generation != 3 || peer.ContentSum != 0xfeed || peer.Cells != 8 {
+		t.Errorf("peer hello = %+v", peer)
+	}
+	if len(peer.Profiles) != 1 || peer.Profiles[0] != "am-peak" {
+		t.Errorf("peer profiles = %v", peer.Profiles)
+	}
+	if peer.MaxInFlight != DefaultMaxInFlight {
+		t.Errorf("advertised admission window %d, want default %d", peer.MaxInFlight, DefaultMaxInFlight)
+	}
+}
+
+func TestMuxConcurrentUnaryCalls(t *testing.T) {
+	c := muxPair(t, echoHandler, MuxServerConfig{})
+	const callers = 16
+	const perCaller = 25
+	var wg sync.WaitGroup
+	errCh := make(chan error, callers)
+	for w := 0; w < callers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perCaller; i++ {
+				qid := uint64(w*1000 + i)
+				res, err := c.Do(ServerQuery{QueryID: qid})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				rep, ok := res.(ServerReply)
+				if !ok || rep.QueryID != qid {
+					errCh <- fmt.Errorf("call %d got %+v", qid, res)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}
+
+// streamingEcho answers batches item by item, out of order, like the batch
+// engine emitting queries as they complete.
+type streamingEcho struct{}
+
+func (streamingEcho) HandleMux(msg any, shed bool) (any, error) {
+	return echoHandler(msg, shed)
+}
+
+func (streamingEcho) HandleMuxBatch(b BatchQuery, shed bool, emit func(BatchItem)) error {
+	for i := len(b.Queries) - 1; i >= 0; i-- { // deliberately reversed completion order
+		if b.Queries[i].QueryID == 666 {
+			emit(BatchItem{BatchID: b.BatchID, Index: i, Error: "poisoned query"})
+			continue
+		}
+		emit(BatchItem{BatchID: b.BatchID, Index: i, Reply: ServerReply{QueryID: b.Queries[i].QueryID, Degraded: shed}})
+	}
+	return nil
+}
+
+func TestMuxStreamingBatch(t *testing.T) {
+	c := muxPair(t, streamingEcho{}, MuxServerConfig{})
+	qs := make([]ServerQuery, 10)
+	for i := range qs {
+		qs[i] = ServerQuery{QueryID: uint64(100 + i)}
+	}
+	qs[4].QueryID = 666
+	br, err := c.DoBatch(BatchQuery{BatchID: 9, Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Replies) != len(qs) || len(br.Errors) != len(qs) {
+		t.Fatalf("reply shape %d/%d for %d queries", len(br.Replies), len(br.Errors), len(qs))
+	}
+	for i := range qs {
+		if i == 4 {
+			if br.Errors[4] != "poisoned query" {
+				t.Errorf("poisoned slot error = %q", br.Errors[4])
+			}
+			continue
+		}
+		if br.Errors[i] != "" || br.Replies[i].QueryID != qs[i].QueryID {
+			t.Errorf("slot %d: reply %+v err %q", i, br.Replies[i], br.Errors[i])
+		}
+	}
+}
+
+func TestMuxRemoteError(t *testing.T) {
+	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+		return nil, fmt.Errorf("handler exploded")
+	})
+	c := muxPair(t, h, MuxServerConfig{})
+	_, err := c.Do(ServerQuery{QueryID: 1})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want *RemoteError", err)
+	}
+	if re.Msg != "handler exploded" {
+		t.Errorf("remote message = %q", re.Msg)
+	}
+	// The connection survives a handler error.
+	if res, err := c.Do(ServerQuery{QueryID: 2}); err == nil {
+		t.Fatalf("handler always fails, got %+v", res)
+	} else if !errors.As(err, &re) {
+		t.Fatalf("second call: err = %v, want *RemoteError (connection should stay usable)", err)
+	}
+}
+
+func TestMuxShedWatermark(t *testing.T) {
+	// ShedAt 1: every request counts itself, so everything sheds.
+	c := muxPair(t, echoHandler, MuxServerConfig{ShedAt: 1})
+	res, err := c.Do(ServerQuery{QueryID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.(ServerReply).Degraded {
+		t.Error("ShedAt=1 did not shed a lone request")
+	}
+
+	// ShedAt 0 disables shedding even under concurrency.
+	c2 := muxPair(t, echoHandler, MuxServerConfig{})
+	var wg sync.WaitGroup
+	var degraded atomic.Int64
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := c2.Do(ServerQuery{QueryID: uint64(i)})
+			if err == nil && res.(ServerReply).Degraded {
+				degraded.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if degraded.Load() != 0 {
+		t.Errorf("%d replies degraded with shedding disabled", degraded.Load())
+	}
+}
+
+func TestMuxBackpressureBounds(t *testing.T) {
+	// MaxInFlight 2 with a gated handler: the third request must not start
+	// until a slot frees.
+	gate := make(chan struct{})
+	var running, peak atomic.Int64
+	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		<-gate
+		running.Add(-1)
+		return ServerReply{QueryID: msg.(ServerQuery).QueryID}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{MaxInFlight: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _ = c.Do(ServerQuery{QueryID: uint64(i)})
+		}(i)
+	}
+	// Let requests pile up against the admission window, then release them.
+	time.Sleep(50 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if p := peak.Load(); p > 2 {
+		t.Errorf("admission window of 2 admitted %d concurrent requests", p)
+	}
+}
+
+func TestMuxClosedConnectionFailsCalls(t *testing.T) {
+	block := make(chan struct{})
+	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+		<-block
+		return ServerReply{}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Do(ServerQuery{QueryID: 1})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	close(block)
+	if err := <-errCh; !errors.Is(err, ErrMuxClosed) {
+		t.Errorf("pending call after Close: err = %v, want ErrMuxClosed", err)
+	}
+	if _, err := c.Do(ServerQuery{QueryID: 2}); !errors.Is(err, ErrMuxClosed) {
+		t.Errorf("call on closed client: err = %v, want ErrMuxClosed", err)
+	}
+	if c.Err() == nil {
+		t.Error("Err() nil after Close")
+	}
+}
+
+func TestMuxWeightUpdateRoundTrip(t *testing.T) {
+	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+		wu, ok := msg.(WeightUpdate)
+		if !ok {
+			return nil, fmt.Errorf("unexpected %T", msg)
+		}
+		return WeightUpdateAck{UpdateID: wu.UpdateID, Generation: 2, ContentSum: 0xbeef}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{})
+	res, err := c.Do(WeightUpdate{UpdateID: 11, Changes: []roadnet.ArcWeightChange{{From: 1, To: 2, NewCost: 3.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := res.(WeightUpdateAck)
+	if !ok || ack.UpdateID != 11 || ack.Generation != 2 || ack.ContentSum != 0xbeef {
+		t.Errorf("ack = %+v", res)
+	}
+}

@@ -39,6 +39,9 @@ const (
 	TypeError
 	TypeBatchQuery
 	TypeBatchReply
+	TypeBatchItem
+	TypeWeightUpdate
+	TypeWeightUpdateAck
 )
 
 // ClientRequest is the client-to-obfuscator request over the secure channel.
@@ -79,6 +82,12 @@ type ServerQuery struct {
 	// member of a shared query necessarily travels under the same profile,
 	// so it reveals nothing about who is inside the query.
 	Profile string
+	// DistanceOnly asks for the |S|×|T| cost table without materialised node
+	// sequences — the degraded answer an overloaded server sheds to (the
+	// many-to-many engine computes it without unpacking a single path). The
+	// multiplexed transport sets it on admission-control shedding; replies
+	// to such queries carry Degraded.
+	DistanceOnly bool
 }
 
 // CandidatePath is one (s, t, path) triple of a ServerReply.
@@ -101,6 +110,24 @@ type ServerReply struct {
 	// counter is shared across in-flight queries).
 	SettledNodes int
 	PageFaults   int64
+	// Generation and ContentSum identify the metric this reply was computed
+	// under: the server's data generation and the weight-content checksum of
+	// the graph snapshot served. The fleet router refuses to merge partial
+	// tables whose ContentSums differ (or are 0 = unknown — the server could
+	// not pin a stable identity because an update raced the evaluation), so
+	// a distributed answer never mixes generations across shards. Generation
+	// numbers are per-server and not comparable across shards; ContentSum
+	// is content-derived and is. Both are 0 on legacy replies.
+	Generation uint64
+	ContentSum uint64
+	// Profile echoes the weight profile the query was answered under ("" =
+	// live metric); the router refuses to merge partials whose echoed
+	// profiles differ.
+	Profile string
+	// Degraded marks a distance-only reply: admission control shed the query
+	// to the many-to-many distance table and no node sequences were
+	// materialised (every CandidatePath has nil Nodes).
+	Degraded bool
 }
 
 // BatchQuery carries several obfuscated path queries to the server in one
@@ -118,6 +145,37 @@ type BatchReply struct {
 	BatchID uint64
 	Replies []ServerReply
 	Errors  []string
+}
+
+// BatchItem is one query's result of a streaming batch reply: the
+// multiplexed transport sends one BatchItem frame per query as it completes
+// instead of buffering the whole BatchReply. Index is the query's position in
+// the originating BatchQuery; Error carries the per-query failure ("" =
+// success), mirroring BatchReply.Errors.
+type BatchItem struct {
+	BatchID uint64
+	Index   int
+	Reply   ServerReply
+	Error   string
+}
+
+// WeightUpdate carries live arc weight changes to a server (or to the fleet
+// router, which broadcasts them to every shard and replays the cumulative
+// state to shards that reconnect). The changes flow into
+// Server.UpdateWeights: snapshot swap, cache invalidation, background
+// overlay re-customization.
+type WeightUpdate struct {
+	UpdateID uint64
+	Changes  []roadnet.ArcWeightChange
+}
+
+// WeightUpdateAck acknowledges a WeightUpdate with the server's post-apply
+// data generation and weight-content checksum — what the fleet router uses
+// to observe shards converging on one metric.
+type WeightUpdateAck struct {
+	UpdateID   uint64
+	Generation uint64
+	ContentSum uint64
 }
 
 // ErrorReply reports a failure processing a query or request.
@@ -148,14 +206,17 @@ func CandidateFromPath(s, t roadnet.NodeID, p search.Path) CandidatePath {
 
 // Envelope wraps any protocol message with its type tag for gob framing.
 type Envelope struct {
-	Type     MessageType
-	Request  *ClientRequest `json:",omitempty"`
-	Reply    *ClientReply   `json:",omitempty"`
-	Query    *ServerQuery   `json:",omitempty"`
-	Result   *ServerReply   `json:",omitempty"`
-	Batch    *BatchQuery    `json:",omitempty"`
-	BatchRes *BatchReply    `json:",omitempty"`
-	Err      *ErrorReply    `json:",omitempty"`
+	Type      MessageType
+	Request   *ClientRequest   `json:",omitempty"`
+	Reply     *ClientReply     `json:",omitempty"`
+	Query     *ServerQuery     `json:",omitempty"`
+	Result    *ServerReply     `json:",omitempty"`
+	Batch     *BatchQuery      `json:",omitempty"`
+	BatchRes  *BatchReply      `json:",omitempty"`
+	BatchItem *BatchItem       `json:",omitempty"`
+	Update    *WeightUpdate    `json:",omitempty"`
+	UpdateAck *WeightUpdateAck `json:",omitempty"`
+	Err       *ErrorReply      `json:",omitempty"`
 }
 
 // Wrap builds an Envelope from a concrete message. It returns an error for
@@ -186,6 +247,18 @@ func Wrap(msg any) (Envelope, error) {
 		return Envelope{Type: TypeBatchReply, BatchRes: &m}, nil
 	case *BatchReply:
 		return Envelope{Type: TypeBatchReply, BatchRes: m}, nil
+	case BatchItem:
+		return Envelope{Type: TypeBatchItem, BatchItem: &m}, nil
+	case *BatchItem:
+		return Envelope{Type: TypeBatchItem, BatchItem: m}, nil
+	case WeightUpdate:
+		return Envelope{Type: TypeWeightUpdate, Update: &m}, nil
+	case *WeightUpdate:
+		return Envelope{Type: TypeWeightUpdate, Update: m}, nil
+	case WeightUpdateAck:
+		return Envelope{Type: TypeWeightUpdateAck, UpdateAck: &m}, nil
+	case *WeightUpdateAck:
+		return Envelope{Type: TypeWeightUpdateAck, UpdateAck: m}, nil
 	case ErrorReply:
 		return Envelope{Type: TypeError, Err: &m}, nil
 	case *ErrorReply:
@@ -228,6 +301,21 @@ func (e Envelope) Unwrap() (any, error) {
 			return nil, fmt.Errorf("protocol: batch reply envelope without payload")
 		}
 		return *e.BatchRes, nil
+	case TypeBatchItem:
+		if e.BatchItem == nil {
+			return nil, fmt.Errorf("protocol: batch item envelope without payload")
+		}
+		return *e.BatchItem, nil
+	case TypeWeightUpdate:
+		if e.Update == nil {
+			return nil, fmt.Errorf("protocol: weight update envelope without payload")
+		}
+		return *e.Update, nil
+	case TypeWeightUpdateAck:
+		if e.UpdateAck == nil {
+			return nil, fmt.Errorf("protocol: weight update ack envelope without payload")
+		}
+		return *e.UpdateAck, nil
 	case TypeError:
 		if e.Err == nil {
 			return nil, fmt.Errorf("protocol: error envelope without payload")

@@ -1,10 +1,17 @@
 package protocol
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 )
+
+// ErrConnBroken reports a one-shot Conn whose gob stream desynchronised on an
+// earlier Send or Recv failure. The connection is closed and unusable; callers
+// must redial instead of retrying on it.
+var ErrConnBroken = errors.New("protocol: connection broken by earlier error")
 
 // Conn is a message-oriented wrapper around a stream connection. It is safe
 // for use by one reader and one writer goroutine concurrently; Call serialises
@@ -17,6 +24,7 @@ type Conn struct {
 	callMu  sync.Mutex
 	closeMu sync.Once
 	closed  chan struct{}
+	broken  atomic.Bool
 }
 
 // NewConn wraps a stream connection with the gob codec.
@@ -28,39 +36,70 @@ func NewConn(raw net.Conn) *Conn {
 	}
 }
 
-// Send encodes and writes one message.
+// Send encodes and writes one message. A write failure leaves the gob stream
+// in an unknown state, so the connection is marked broken and closed.
 func (c *Conn) Send(msg any) error {
+	if c.broken.Load() {
+		return ErrConnBroken
+	}
 	env, err := Wrap(msg)
 	if err != nil {
 		return err
 	}
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	return c.codec.Encode(env)
+	if err := c.codec.Encode(env); err != nil {
+		c.breakConn()
+		return err
+	}
+	return nil
 }
 
-// Recv reads and decodes one message.
+// Recv reads and decodes one message. A decode failure (other than a clean
+// close) desynchronises the stream, so the connection is marked broken and
+// closed.
 func (c *Conn) Recv() (any, error) {
+	if c.broken.Load() {
+		return nil, ErrConnBroken
+	}
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
 	var env Envelope
 	if err := c.codec.Decode(&env); err != nil {
+		c.breakConn()
 		return nil, err
 	}
 	return env.Unwrap()
 }
 
+// breakConn marks the connection unusable after a stream error and closes it,
+// so later callers fail fast with ErrConnBroken instead of reading replies
+// that belong to an earlier, half-finished exchange.
+func (c *Conn) breakConn() {
+	c.broken.Store(true)
+	c.Close()
+}
+
 // Call sends a request and waits for the next message as its response. Calls
 // are serialised, which is sufficient for the obfuscator-to-server and
-// client-to-obfuscator request/response flows.
+// client-to-obfuscator request/response flows. After any transport failure
+// the connection is broken and Call refuses further use — without this, a
+// failed exchange would leave the next Call reading the previous call's
+// late-arriving reply.
 func (c *Conn) Call(msg any) (any, error) {
 	c.callMu.Lock()
 	defer c.callMu.Unlock()
+	if c.broken.Load() {
+		return nil, ErrConnBroken
+	}
 	if err := c.Send(msg); err != nil {
 		return nil, err
 	}
 	return c.Recv()
 }
+
+// Broken reports whether the connection failed a Send or Recv and was closed.
+func (c *Conn) Broken() bool { return c.broken.Load() }
 
 // Close closes the underlying connection. It is safe to call multiple times.
 func (c *Conn) Close() error {

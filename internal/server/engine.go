@@ -38,8 +38,23 @@ type BatchResult struct {
 // implicitly through the search gate and the accessor.
 func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
 	results := make([]BatchResult, len(queries))
+	s.EvaluateBatchStream(queries, func(i int, r BatchResult) {
+		results[i] = r
+	})
+	return results
+}
+
+// EvaluateBatchStream evaluates every query of the batch on the engine's
+// worker pool, delivering each result through emit as the query completes —
+// the streaming face the multiplexed transport's per-query reply frames are
+// built on, so the first finished query of a batch reaches the obfuscator
+// while later ones are still searching. emit receives the query's index in
+// the batch and may be called concurrently from several workers (with
+// distinct indices); it must be safe for that. EvaluateBatchStream returns
+// when every query has been emitted.
+func (s *Server) EvaluateBatchStream(queries []protocol.ServerQuery, emit func(int, BatchResult)) {
 	if len(queries) == 0 {
-		return results
+		return
 	}
 	start := time.Now()
 
@@ -53,7 +68,8 @@ func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
 
 	if workers <= 1 {
 		for i, q := range queries {
-			results[i].Reply, results[i].Err = s.Evaluate(q)
+			reply, err := s.Evaluate(q)
+			emit(i, BatchResult{Reply: reply, Err: err})
 		}
 	} else {
 		jobs := make(chan int)
@@ -63,7 +79,8 @@ func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					results[i].Reply, results[i].Err = s.Evaluate(queries[i])
+					reply, err := s.Evaluate(queries[i])
+					emit(i, BatchResult{Reply: reply, Err: err})
 				}
 			}()
 		}
@@ -79,7 +96,6 @@ func (s *Server) EvaluateBatch(queries []protocol.ServerQuery) []BatchResult {
 	s.hBatchLatency.Observe(time.Since(start))
 	s.metrics.SetGauge("last_batch_size", float64(len(queries)))
 	s.publishDerivedMetrics()
-	return results
 }
 
 // evaluateBatchMessage answers a wire BatchQuery with a BatchReply, mapping

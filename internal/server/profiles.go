@@ -120,30 +120,34 @@ func (s *Server) initProfiles() error {
 // profileProcessor resolves the query's profile to a processor, building the
 // profile state on first use (or after an LRU eviction). The returned
 // processor never goes stale: its accessor is immutable and its engines are
-// bound to that accessor's constant generation.
-func (s *Server) profileProcessor(q protocol.ServerQuery) (*search.Processor, error) {
+// bound to that accessor's constant generation. The second return is the
+// profile graph's weight-content checksum — the ContentSum replies under this
+// profile are stamped with, so a fleet router can verify every shard answered
+// a profile query from the same precustomized metric.
+func (s *Server) profileProcessor(q protocol.ServerQuery) (*search.Processor, uint64, error) {
 	if s.profiles == nil {
-		return nil, fmt.Errorf("query requests weight profile %q but the server has no profiles configured", q.Profile)
+		return nil, 0, fmt.Errorf("query requests weight profile %q but the server has no profiles configured", q.Profile)
 	}
 	st, err := s.profiles.state(q.Profile)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
+	sum := st.graph.ContentChecksum()
 	if st.chProcessor == nil {
-		return st.flat, nil
+		return st.flat, sum, nil
 	}
 	switch s.cfg.Strategy {
 	case StrategyCH:
-		return st.chProcessor, nil
+		return st.chProcessor, sum, nil
 	case StrategyCHMTM:
-		return st.mtmProcessor, nil
+		return st.mtmProcessor, sum, nil
 	case StrategyHybrid:
 		if len(q.Sources)*len(q.Dests) <= s.chMaxPairs {
-			return st.chProcessor, nil
+			return st.chProcessor, sum, nil
 		}
-		return st.mtmProcessor, nil
+		return st.mtmProcessor, sum, nil
 	default:
-		return st.flat, nil
+		return st.flat, sum, nil
 	}
 }
 

@@ -23,6 +23,7 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -497,38 +498,13 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		faultsBefore = s.pool.Stats().Faults
 	}
 	start := time.Now()
-	var proc *search.Processor
-	var routed *metrics.Counter
+	var res search.MSMDResult
+	var ident replyIdentity
+	var err error
 	if q.Profile != "" {
-		// Profile queries bypass the live-metric routing entirely: they run
-		// on the named profile's precustomized state, whose immutable
-		// accessor and layer can never go stale — zero customization work on
-		// the query path, whatever the live update stream is doing.
-		p, err := s.profileProcessor(q)
-		if err != nil {
-			s.mFailed.Add(1)
-			return protocol.ServerReply{}, fmt.Errorf("server: evaluating query %d: %w", id, err)
-		}
-		proc = p
+		res, ident, err = s.evaluateProfile(q)
 	} else {
-		proc, routed = s.chooseProcessor(q)
-	}
-	res, err := proc.Evaluate(q.Sources, q.Dests)
-	if err != nil && errors.Is(err, search.ErrStaleEngine) && q.Profile == "" {
-		// A weight update landed between routing and the engine's own
-		// verification. The overlay answer was refused, nothing stale was
-		// served; re-evaluate on the always-current SSMD processor and let
-		// the background re-customization catch the overlay up. The overlay
-		// route counter bumped at routing time is reversed so the
-		// ch/mtm/fallback counters keep summing to the queries actually
-		// served by each route.
-		if routed != nil {
-			routed.Add(-1)
-		}
-		s.mStaleQueries.Add(1)
-		s.mFallback.Add(1)
-		s.kickRecustomize()
-		res, err = s.processor.Evaluate(q.Sources, q.Dests)
+		res, ident, err = s.evaluateLive(q)
 	}
 	if err != nil {
 		s.mFailed.Add(1)
@@ -538,7 +514,14 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 	s.mQueries.Add(1)
 	s.mPairs.Add(int64(len(q.Sources) * len(q.Dests)))
 	s.mSettled.Add(int64(res.Stats.SettledNodes))
-	reply := protocol.ServerReply{QueryID: id, SettledNodes: res.Stats.SettledNodes}
+	reply := protocol.ServerReply{
+		QueryID:      id,
+		SettledNodes: res.Stats.SettledNodes,
+		Generation:   ident.generation,
+		ContentSum:   ident.contentSum,
+		Profile:      q.Profile,
+		Degraded:     q.DistanceOnly,
+	}
 	if s.pool != nil {
 		poolStats := s.pool.Stats()
 		// Per-reply fault attribution is a window over the shared pool
@@ -550,13 +533,119 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 		s.metrics.SetGauge("page_faults", float64(poolStats.Faults))
 		s.metrics.SetGauge("buffer_hit_ratio", poolStats.HitRatio())
 	}
-	for i, src := range res.Sources {
-		for j, dst := range res.Dests {
-			reply.Paths = append(reply.Paths, protocol.CandidateFromPath(src, dst, res.Paths[i][j]))
+	if q.DistanceOnly {
+		// Degraded answer: the |S|×|T| cost table without node sequences.
+		for i, src := range res.Sources {
+			for j, dst := range res.Dests {
+				c := protocol.CandidatePath{Source: src, Dest: dst}
+				if d := res.Dists[i][j]; !math.IsInf(d, 1) {
+					c.Found = true
+					c.Cost = d
+				}
+				reply.Paths = append(reply.Paths, c)
+			}
+		}
+	} else {
+		for i, src := range res.Sources {
+			for j, dst := range res.Dests {
+				reply.Paths = append(reply.Paths, protocol.CandidateFromPath(src, dst, res.Paths[i][j]))
+			}
 		}
 	}
 	s.stats.add(id, res.Stats)
 	return reply, nil
+}
+
+// replyIdentity is the metric identity stamped on one reply: the data
+// generation the query was evaluated under and the weight-content checksum of
+// that snapshot. The zero value means unknown — the fleet router treats it as
+// generation skew and retries rather than merging it.
+type replyIdentity struct {
+	generation uint64
+	contentSum uint64
+}
+
+// liveIdentity returns the (generation, content checksum) pair of the metric
+// live queries are admitted under right now. Mutable deployments read one
+// pinned snapshot so the pair is consistent; immutable deployments report
+// their constant identity.
+func (s *Server) liveIdentity() (uint64, uint64) {
+	if s.mutable == nil {
+		return storage.GenerationOf(s.acc), ch.GraphChecksum(s.graph)
+	}
+	snap := s.mutable.Snapshot()
+	return storage.GenerationOf(snap), ch.GraphChecksum(snap.Graph())
+}
+
+// procEvaluate runs one query on proc, taking the distance-only face when the
+// query was shed to it.
+func (s *Server) procEvaluate(proc *search.Processor, q protocol.ServerQuery) (search.MSMDResult, error) {
+	if q.DistanceOnly {
+		return proc.EvaluateDistances(q.Sources, q.Dests)
+	}
+	return proc.Evaluate(q.Sources, q.Dests)
+}
+
+// evaluateProfile answers one profile query from its precustomized state. The
+// identity is trivially stable: profile accessors are immutable (generation
+// 0) and the content checksum is the profile graph's.
+func (s *Server) evaluateProfile(q protocol.ServerQuery) (search.MSMDResult, replyIdentity, error) {
+	proc, contentSum, err := s.profileProcessor(q)
+	if err != nil {
+		return search.MSMDResult{}, replyIdentity{}, err
+	}
+	res, err := s.procEvaluate(proc, q)
+	return res, replyIdentity{contentSum: contentSum}, err
+}
+
+// identityRetries bounds how many times evaluateLive discards an evaluation
+// whose metric identity moved underneath it before stamping the reply
+// unknown.
+const identityRetries = 3
+
+// evaluateLive answers one live-metric query and pins the identity of the
+// metric that actually answered it. The identity is read before routing and
+// re-read after evaluating: if the generation moved in between, a weight
+// update raced the evaluation and the reply cannot honestly claim either
+// identity — the evaluation is discarded (its route counter reversed) and
+// retried. Under sustained churn the retry budget can exhaust; the reply is
+// then stamped unknown (zero identity), which the fleet router refuses to
+// merge — a shard under churn degrades to retries, never to a mixed-metric
+// answer.
+func (s *Server) evaluateLive(q protocol.ServerQuery) (search.MSMDResult, replyIdentity, error) {
+	for attempt := 0; ; attempt++ {
+		gen1, sum1 := s.liveIdentity()
+		proc, routed := s.chooseProcessor(q)
+		res, err := s.procEvaluate(proc, q)
+		if err != nil && errors.Is(err, search.ErrStaleEngine) {
+			// A weight update landed between routing and the engine's own
+			// verification. The overlay answer was refused, nothing stale was
+			// served; re-evaluate on the always-current SSMD processor and let
+			// the background re-customization catch the overlay up. The
+			// overlay route counter bumped at routing time is reversed so the
+			// ch/mtm/fallback counters keep summing to the queries actually
+			// served by each route.
+			routed.Add(-1)
+			s.mStaleQueries.Add(1)
+			s.mFallback.Add(1)
+			routed = s.mFallback
+			s.kickRecustomize()
+			res, err = s.procEvaluate(s.processor, q)
+		}
+		if err != nil {
+			return res, replyIdentity{}, err
+		}
+		gen2, _ := s.liveIdentity()
+		if gen1 == gen2 {
+			// No update landed while evaluating: the evaluation pinned a
+			// snapshot from this very window, so (gen1, sum1) is its identity.
+			return res, replyIdentity{generation: gen1, contentSum: sum1}, nil
+		}
+		if attempt >= identityRetries {
+			return res, replyIdentity{}, nil // unknown — router-side skew
+		}
+		routed.Add(-1) // discard: keep route counters = queries served
+	}
 }
 
 // chooseProcessor routes one query between the regular processor and the two
@@ -577,20 +666,22 @@ func (s *Server) Evaluate(q protocol.ServerQuery) (protocol.ServerReply, error) 
 // overlay_stale_queries, and kicks the background refresh that swaps a
 // fresh overlay state in.
 //
-// The second return is the overlay route counter this call bumped (nil on
-// the fallback route); Evaluate reverses it if the engine still refuses the
-// query and the fallback ends up serving it.
+// The second return is the route counter this call bumped (mFallback on the
+// fallback routes, never nil); evaluateLive reverses it when the evaluation
+// is abandoned — the engine refused the query and the fallback re-served it,
+// or an identity race discarded the attempt — so every route counter keeps
+// summing to the queries its route actually served.
 func (s *Server) chooseProcessor(q protocol.ServerQuery) (*search.Processor, *metrics.Counter) {
 	st := s.chSt.Load()
 	if st == nil {
 		s.mFallback.Add(1)
-		return s.processor, nil
+		return s.processor, s.mFallback
 	}
 	if s.overlayStale(st) || s.engineStale(st) {
 		s.mStaleQueries.Add(1)
 		s.mFallback.Add(1)
 		s.kickRecustomize()
-		return s.processor, nil
+		return s.processor, s.mFallback
 	}
 	s.chargeOverlayLayers(st, q)
 	switch s.cfg.Strategy {
@@ -782,8 +873,8 @@ func (s *Server) Metrics() *metrics.Registry {
 	return s.metrics
 }
 
-// Handler returns a protocol.Handler that answers ServerQuery and BatchQuery
-// messages; anything else is rejected.
+// Handler returns a protocol.Handler that answers ServerQuery, BatchQuery and
+// WeightUpdate messages; anything else is rejected.
 func (s *Server) Handler() protocol.Handler {
 	return func(msg any) (any, error) {
 		switch m := msg.(type) {
@@ -791,10 +882,23 @@ func (s *Server) Handler() protocol.Handler {
 			return s.Evaluate(m)
 		case protocol.BatchQuery:
 			return s.evaluateBatchMessage(m), nil
+		case protocol.WeightUpdate:
+			return s.applyWeightUpdate(m)
 		default:
 			return nil, fmt.Errorf("server: unexpected message type %T", msg)
 		}
 	}
+}
+
+// applyWeightUpdate answers a wire WeightUpdate: apply the changes, kick the
+// background re-customization, and acknowledge with the server's post-apply
+// metric identity.
+func (s *Server) applyWeightUpdate(m protocol.WeightUpdate) (protocol.WeightUpdateAck, error) {
+	if _, err := s.UpdateWeights(m.Changes); err != nil {
+		return protocol.WeightUpdateAck{}, err
+	}
+	gen, sum := s.liveIdentity()
+	return protocol.WeightUpdateAck{UpdateID: m.UpdateID, Generation: gen, ContentSum: sum}, nil
 }
 
 // Serve accepts obfuscator connections on ln until the listener closes.
