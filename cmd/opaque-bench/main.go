@@ -19,7 +19,13 @@
 // witness rebuild, per touched-cell count), and the streaming ingestion
 // measurement (E18: coalesced update batches and pipelined cell-local
 // re-customization under concurrent live and profile-layer query load,
-// events/sec versus p99 latency versus the stale-query window).
+// events/sec versus p99 latency versus the stale-query window), the fleet
+// serving-tier measurement (E19: scatter/gather throughput over partition
+// and replicate shards versus a single server, every merged table verified
+// against the reference), and the availability-under-faults measurement
+// (E20: the same fleet workload with one shard crashed, restarted cold and
+// blackholed in turn — availability, failover/breaker/heartbeat activity
+// and replay convergence per phase).
 //
 // Usage:
 //

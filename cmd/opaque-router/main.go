@@ -47,6 +47,9 @@ func main() {
 		seed          = flag.Uint64("seed", 42, "generation seed")
 		cells         = flag.Int("cells", 0, "partition cell count for ownership mapping (0 = 4 x shards)")
 		retries       = flag.Int("retries", 0, "per-shard reconnect attempts before a subquery fails (0 = default)")
+		quorum        = flag.Int("quorum", 0, "weight-update ack quorum: UpdateWeights returns after this many shards ack, replay covers stragglers (0 = 1, any reachable shard; clamps to the fleet size)")
+		heartbeat     = flag.Duration("heartbeat", 0, "health-probe interval: ping every shard over the mux identity stream and redial down shards through the breaker's half-open gate (0 disables; health is then tracked from query traffic alone)")
+		deadline      = flag.Duration("deadline", 0, "default per-request deadline applied to requests that carry none: expired work is dropped at the router and shards instead of evaluated (0 = unbounded)")
 		maxInFlight   = flag.Int("max-inflight", 0, "per-connection in-flight request cap on the client-facing listener (0 = default)")
 		shedAt        = flag.Int("shed-at", 0, "admission-control watermark: at this many in-flight requests per connection, shed queries to distance-only answers (0 disables)")
 		statsInterval = flag.Duration("stats-interval", 0, "periodically log scatter/gather and skew counters (0 disables)")
@@ -63,7 +66,12 @@ func main() {
 		log.Fatal("-shards is required (comma-separated opaque-server addresses)")
 	}
 
-	cfg := fleet.Config{Retries: *retries}
+	cfg := fleet.Config{
+		Retries:         *retries,
+		UpdateQuorum:    *quorum,
+		Heartbeat:       *heartbeat,
+		DefaultDeadline: *deadline,
+	}
 	switch *mode {
 	case "partition":
 		cfg.Mode = fleet.ModePartition
@@ -116,17 +124,26 @@ func main() {
 	}
 }
 
-// logStats periodically prints the router's scatter/gather counters: queries
+// logStats periodically prints the router's scatter/gather counters — queries
 // and subqueries (the fan-out ratio), generation/profile skew refusals,
-// reconnect retries, exhausted-shard failures, degraded (shed) replies and
-// weight-update broadcast/replay activity.
+// reconnect retries, exhausted-shard failures, degraded (shed) replies,
+// weight-update broadcast/replay activity — plus the health model: per-shard
+// up/down states, breaker trips, heartbeat failures, failovers and
+// deadline-dropped requests.
 func logStats(r *fleet.Router, every time.Duration) {
 	for range time.Tick(every) {
 		m := r.Metrics()
-		log.Printf("stats: queries=%d subqueries=%d | skew gen=%d profile=%d | retries=%d failures=%d degraded=%d | weight-updates=%d replays=%d",
+		states := r.ShardStates()
+		shardCol := make([]string, len(states))
+		for i, s := range states {
+			shardCol[i] = s.String()
+		}
+		log.Printf("stats: queries=%d subqueries=%d | skew gen=%d profile=%d | retries=%d failures=%d degraded=%d | weight-updates=%d replays=%d | shards=%s failovers=%d trips=%d hb-fails=%d deadline-drops=%d",
 			m.Counter("fleet_queries"), m.Counter("fleet_subqueries"),
 			m.Counter("fleet_generation_skew"), m.Counter("fleet_profile_skew"),
 			m.Counter("fleet_shard_retries"), m.Counter("fleet_shard_failures"), m.Counter("fleet_degraded_replies"),
-			m.Counter("fleet_weight_updates"), m.Counter("fleet_replays"))
+			m.Counter("fleet_weight_updates"), m.Counter("fleet_replays"),
+			strings.Join(shardCol, ","), m.Counter("fleet_failovers"), m.Counter("fleet_breaker_trips"),
+			m.Counter("fleet_heartbeat_failures"), m.Counter("fleet_deadline_exceeded"))
 	}
 }

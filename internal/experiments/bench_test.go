@@ -30,3 +30,8 @@ func BenchmarkE18(b *testing.B) { benchRunner(b, E18Streaming{}) }
 // in-process shards against the single-server baseline, with every merged
 // table verified against the reference.
 func BenchmarkE19(b *testing.B) { benchRunner(b, E19Fleet{}) }
+
+// BenchmarkE20 times the availability-under-faults battery: the fleet
+// workload with one shard crashed, restarted and blackholed in turn, every
+// surviving reply verified against the reference.
+func BenchmarkE20(b *testing.B) { benchRunner(b, E20Faults{}) }

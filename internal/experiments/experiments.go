@@ -146,6 +146,7 @@ func All() []Runner {
 		E17CellUpdates{},
 		E18Streaming{},
 		E19Fleet{},
+		E20Faults{},
 	}
 }
 

@@ -25,8 +25,8 @@ func TestTableFormatting(t *testing.T) {
 
 func TestAllAndByID(t *testing.T) {
 	all := All()
-	if len(all) != 19 {
-		t.Fatalf("expected 19 experiments, got %d", len(all))
+	if len(all) != 20 {
+		t.Fatalf("expected 20 experiments, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, r := range all {

@@ -1,0 +1,41 @@
+package fleet
+
+// In-package unit tests for the retry-backoff schedule: the jitter and cap
+// bounds the satellite task pins, checked sample-by-sample because the jitter
+// is random.
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffBounds(t *testing.T) {
+	const base = 10 * time.Millisecond
+	const cap = 160 * time.Millisecond
+	for attempt := 1; attempt <= 10; attempt++ {
+		raw := base << (attempt - 1)
+		if raw > cap {
+			raw = cap
+		}
+		lo, hi := raw/2, raw/2+raw // [raw/2, 3·raw/2)
+		for sample := 0; sample < 200; sample++ {
+			d := backoffDelay(attempt, base, cap)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d sample %d: delay %v outside [%v, %v)", attempt, sample, d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestBackoffDegenerateInputs(t *testing.T) {
+	if d := backoffDelay(1, 0, time.Second); d != 0 {
+		t.Errorf("zero base: delay %v, want 0", d)
+	}
+	if d := backoffDelay(0, 10*time.Millisecond, 160*time.Millisecond); d < 5*time.Millisecond || d >= 15*time.Millisecond {
+		t.Errorf("attempt 0 clamps to 1: delay %v outside [5ms, 15ms)", d)
+	}
+	// A cap below the base still bounds the raw delay.
+	if d := backoffDelay(5, 100*time.Millisecond, 20*time.Millisecond); d >= 30*time.Millisecond {
+		t.Errorf("capped delay %v ≥ 30ms with a 20ms cap", d)
+	}
+}

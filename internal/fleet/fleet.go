@@ -55,10 +55,14 @@ const (
 
 // String implements fmt.Stringer.
 func (m Mode) String() string {
-	if m == ModeReplicate {
+	switch m {
+	case ModePartition:
+		return "partition"
+	case ModeReplicate:
 		return "replicate"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
 	}
-	return "partition"
 }
 
 // Dialer establishes one multiplexed connection to a shard. The router
@@ -80,13 +84,50 @@ type Config struct {
 	// failed subquery is retried (redialling between attempts) before the
 	// shard is declared failed for that query. Default 3.
 	Retries int
-	// RetryBackoff is slept between retry attempts. Default 10ms.
+	// RetryBackoff is the base delay between retry attempts; each attempt
+	// doubles it (capped at BackoffCap) and jitters the result uniformly in
+	// [d/2, 3d/2). Default 10ms.
 	RetryBackoff time.Duration
+	// BackoffCap bounds one exponential backoff delay before jitter.
+	// Default 16 × RetryBackoff.
+	BackoffCap time.Duration
+	// RetryTimeCap bounds the total wall-clock one shard call may spend in
+	// retry backoff: once exceeded, the call fails with its last error
+	// instead of starting another attempt. Default 2s.
+	RetryTimeCap time.Duration
 	// SkewRetries is how many times a query whose partial tables disagreed
 	// on the metric identity is retried whole before failing. Default 5 —
 	// skew is transient by construction (shards converge via update
 	// broadcast and reconnect replay), so retrying is almost always enough.
 	SkewRetries int
+	// FailoverRetries is how many times a query that lost a shard (a
+	// ShardError after the per-shard retry budget) is re-scattered whole.
+	// By then the dead shard's breaker has tripped, so the re-scatter
+	// routes its work to surviving shards — replicate mode picks another
+	// replica, partition mode temporarily re-owns the cells. Default 2.
+	FailoverRetries int
+	// FailThreshold is the consecutive-transport-failure count that trips a
+	// shard's circuit breaker open. Default 3.
+	FailThreshold int
+	// BreakerCooldown is how long an open breaker fast-fails connects
+	// before letting one half-open probe through. Default 250ms.
+	BreakerCooldown time.Duration
+	// Heartbeat enables background health probing: every interval each
+	// shard is pinged over the mux identity stream (live connections) or
+	// re-dialled (down shards, respecting the breaker's half-open gate).
+	// 0 disables the prober — health is then tracked from query traffic
+	// alone. Heartbeats stop permanently at the router's first Close.
+	Heartbeat time.Duration
+	// UpdateQuorum is K in "UpdateWeights returns after K of N shards
+	// ack": the call blocks until K acknowledgements, leaving stragglers
+	// to converge through broadcast completion or reconnect replay.
+	// Default 1 (any reachable shard); values above the fleet size clamp
+	// to N.
+	UpdateQuorum int
+	// DefaultDeadline is applied on the router's serving side to requests
+	// that carry no deadline of their own: the query must answer within
+	// this budget or be dropped. 0 leaves deadline-less requests unbounded.
+	DefaultDeadline time.Duration
 	// Hello is announced to shards when dialling; Node/Role default to a
 	// router identity.
 	Hello protocol.Hello
@@ -118,13 +159,26 @@ var (
 )
 
 // shardLink is the router's connection slot for one shard: at most one live
-// multiplexed client, redialled (and replayed into) on demand.
+// multiplexed client, redialled (and replayed into) on demand, plus the
+// shard's breaker state and the ordered-update bookkeeping.
 type shardLink struct {
 	idx  int
 	dial Dialer
 
 	mu     sync.Mutex
 	client *protocol.MuxClient
+
+	// hmu guards health; it is never held across dials or I/O.
+	hmu    sync.Mutex
+	health shardHealth
+
+	// updMu serialises weight-update sends to this shard; lastUpd is the
+	// highest update sequence delivered. An update arriving out of order
+	// (a quorum return let a newer broadcast overtake it) is upgraded to a
+	// full cumulative snapshot instead of regressing arcs the newer delta
+	// did not touch.
+	updMu   sync.Mutex
+	lastUpd uint64
 }
 
 // arcKey identifies one directed arc in the cumulative weight state.
@@ -143,27 +197,45 @@ type Router struct {
 	// Cumulative last-write-wins weight state, replayed to (re)connecting
 	// shards so a restarted shard converges to the fleet metric before the
 	// router sends it queries. latest holds the current cost per touched
-	// arc; order preserves first-touch order for deterministic replay.
+	// arc; order preserves first-touch order for deterministic replay. seq
+	// numbers every recorded update — assigned under wmu, so sequence order
+	// equals fold order and a per-shard send that observes a gap can be
+	// upgraded to a full snapshot.
 	wmu    sync.Mutex
 	latest map[arcKey]float64
 	order  []arcKey
+	seq    uint64
 
-	updateID atomic.Uint64
-	batchID  atomic.Uint64
-	rr       atomic.Uint64 // replicate-mode round-robin cursor
+	batchID atomic.Uint64
+	rr      atomic.Uint64 // replicate-mode round-robin cursor
+
+	// quiesce interrupts in-flight retry backoff sleeps; Close closes the
+	// current channel and installs a fresh one, so the router stays usable
+	// (connections redial on demand) while no sleeper outlives a quiesce.
+	qmu     sync.Mutex
+	quiesce chan struct{}
+
+	// hbStop ends the heartbeat probers (one goroutine per shard when
+	// Config.Heartbeat > 0) at the first Close.
+	hbStop chan struct{}
+	hbOnce sync.Once
 
 	metrics *metrics.Registry
 	// Pre-resolved counters; fleet_generation_skew is the metric the
 	// acceptance criteria pin — every refused merge shows up there.
-	mQueries    *metrics.Counter
-	mSubqueries *metrics.Counter
-	mGenSkew    *metrics.Counter
-	mProfSkew   *metrics.Counter
-	mRetries    *metrics.Counter
-	mFailures   *metrics.Counter
-	mDegraded   *metrics.Counter
-	mWeightUpd  *metrics.Counter
-	mReplays    *metrics.Counter
+	mQueries        *metrics.Counter
+	mSubqueries     *metrics.Counter
+	mGenSkew        *metrics.Counter
+	mProfSkew       *metrics.Counter
+	mRetries        *metrics.Counter
+	mFailures       *metrics.Counter
+	mDegraded       *metrics.Counter
+	mWeightUpd      *metrics.Counter
+	mReplays        *metrics.Counter
+	mFailovers      *metrics.Counter
+	mBreakerTrips   *metrics.Counter
+	mHeartbeatFails *metrics.Counter
+	mDeadlineDrops  *metrics.Counter
 }
 
 // New builds a router over one Dialer per shard.
@@ -183,8 +255,29 @@ func New(cfg Config, dialers []Dialer) (*Router, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 10 * time.Millisecond
 	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 16 * cfg.RetryBackoff
+	}
+	if cfg.RetryTimeCap <= 0 {
+		cfg.RetryTimeCap = 2 * time.Second
+	}
 	if cfg.SkewRetries <= 0 {
 		cfg.SkewRetries = 5
+	}
+	if cfg.FailoverRetries <= 0 {
+		cfg.FailoverRetries = 2
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 250 * time.Millisecond
+	}
+	if cfg.UpdateQuorum <= 0 {
+		cfg.UpdateQuorum = 1
+	}
+	if cfg.UpdateQuorum > len(dialers) {
+		cfg.UpdateQuorum = len(dialers)
 	}
 	if cfg.Hello.Role == "" {
 		cfg.Hello.Role = "router"
@@ -192,6 +285,8 @@ func New(cfg Config, dialers []Dialer) (*Router, error) {
 	r := &Router{
 		cfg:     cfg,
 		latest:  make(map[arcKey]float64),
+		quiesce: make(chan struct{}),
+		hbStop:  make(chan struct{}),
 		metrics: metrics.NewRegistry(),
 	}
 	r.mQueries = r.metrics.CounterVar("fleet_queries")
@@ -203,11 +298,21 @@ func New(cfg Config, dialers []Dialer) (*Router, error) {
 	r.mDegraded = r.metrics.CounterVar("fleet_degraded_replies")
 	r.mWeightUpd = r.metrics.CounterVar("fleet_weight_updates")
 	r.mReplays = r.metrics.CounterVar("fleet_replays")
+	r.mFailovers = r.metrics.CounterVar("fleet_failovers")
+	r.mBreakerTrips = r.metrics.CounterVar("fleet_breaker_trips")
+	r.mHeartbeatFails = r.metrics.CounterVar("fleet_heartbeat_failures")
+	r.mDeadlineDrops = r.metrics.CounterVar("fleet_deadline_exceeded")
 	for i, d := range dialers {
 		if d == nil {
 			return nil, fmt.Errorf("fleet: nil dialer for shard %d", i)
 		}
 		r.shards = append(r.shards, &shardLink{idx: i, dial: d})
+		r.setStateGauge(i, ShardUp)
+	}
+	if cfg.Heartbeat > 0 {
+		for _, l := range r.shards {
+			go r.heartbeatLoop(l)
+		}
 	}
 	return r, nil
 }
@@ -218,10 +323,17 @@ func (r *Router) NumShards() int { return len(r.shards) }
 // Metrics returns the router's instrumentation registry.
 func (r *Router) Metrics() *metrics.Registry { return r.metrics }
 
-// Close tears down every shard connection. The router can still be used
-// afterwards — connections redial on demand — so Close is a quiesce, not a
-// shutdown.
+// Close tears down every shard connection and interrupts every in-flight
+// retry backoff sleep. The router can still be used afterwards — connections
+// redial on demand and a fresh quiesce channel is installed — so Close is a
+// quiesce, not a shutdown; only the heartbeat probers (if any) stop
+// permanently at the first Close.
 func (r *Router) Close() {
+	r.hbOnce.Do(func() { close(r.hbStop) })
+	r.qmu.Lock()
+	close(r.quiesce)
+	r.quiesce = make(chan struct{})
+	r.qmu.Unlock()
 	for _, l := range r.shards {
 		l.mu.Lock()
 		if l.client != nil {
@@ -233,7 +345,10 @@ func (r *Router) Close() {
 }
 
 // connect returns the shard's live client, dialling (and replaying the
-// cumulative weight state into the shard) if needed.
+// cumulative weight state into the shard) if needed. While the shard's
+// breaker is open and cooling the call fails fast with errShardDown; once
+// the cooldown elapses the dial itself is the half-open probe, and success
+// (dial + replay) closes the breaker.
 func (r *Router) connect(l *shardLink) (*protocol.MuxClient, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -241,15 +356,21 @@ func (r *Router) connect(l *shardLink) (*protocol.MuxClient, error) {
 		return l.client, nil
 	}
 	l.client = nil
+	if !r.probeAllowed(l) {
+		return nil, errShardDown
+	}
 	c, err := l.dial()
 	if err != nil {
+		r.noteFailure(l)
 		return nil, err
 	}
-	if err := r.replayTo(c); err != nil {
+	if err := r.replayTo(l, c); err != nil {
 		c.Close()
+		r.noteFailure(l)
 		return nil, fmt.Errorf("replaying weight state: %w", err)
 	}
 	l.client = c
+	r.noteSuccess(l)
 	return c, nil
 }
 
@@ -265,34 +386,49 @@ func (l *shardLink) dropClient(c *protocol.MuxClient) {
 	c.Close()
 }
 
+// snapshotUpdate builds one WeightUpdate carrying the whole cumulative
+// last-write-wins state and the sequence it covers (every recorded update up
+// to and including seq).
+func (r *Router) snapshotUpdate() (protocol.WeightUpdate, uint64) {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	changes := make([]roadnet.ArcWeightChange, len(r.order))
+	for i, k := range r.order {
+		changes[i] = roadnet.ArcWeightChange{From: k.from, To: k.to, NewCost: r.latest[k]}
+	}
+	return protocol.WeightUpdate{UpdateID: r.seq, Changes: changes}, r.seq
+}
+
 // replayTo brings a freshly connected shard up to the fleet's cumulative
 // weight state. A shard that restarted with base weights receives every arc
 // the fleet has touched (last-write-wins, one WeightUpdate) before the
 // router admits it; a shard that never died receives an update it has
 // already applied, which is idempotent.
-func (r *Router) replayTo(c *protocol.MuxClient) error {
-	r.wmu.Lock()
-	changes := make([]roadnet.ArcWeightChange, len(r.order))
-	for i, k := range r.order {
-		changes[i] = roadnet.ArcWeightChange{From: k.from, To: k.to, NewCost: r.latest[k]}
-	}
-	r.wmu.Unlock()
-	if len(changes) == 0 {
+func (r *Router) replayTo(l *shardLink, c *protocol.MuxClient) error {
+	upd, seq := r.snapshotUpdate()
+	if len(upd.Changes) == 0 {
 		return nil
 	}
-	res, err := c.Do(protocol.WeightUpdate{UpdateID: r.updateID.Add(1), Changes: changes})
+	res, err := c.Do(upd)
 	if err != nil {
 		return err
 	}
 	if _, ok := res.(protocol.WeightUpdateAck); !ok {
 		return fmt.Errorf("fleet: unexpected replay reply %T", res)
 	}
+	l.updMu.Lock()
+	if seq > l.lastUpd {
+		l.lastUpd = seq
+	}
+	l.updMu.Unlock()
 	r.mReplays.Add(1)
 	return nil
 }
 
-// record folds changes into the cumulative last-write-wins replay state.
-func (r *Router) record(changes []roadnet.ArcWeightChange) {
+// record folds changes into the cumulative last-write-wins replay state and
+// assigns the update's sequence number; sequence order equals fold order
+// because both happen under wmu.
+func (r *Router) record(changes []roadnet.ArcWeightChange) uint64 {
 	r.wmu.Lock()
 	for _, c := range changes {
 		k := arcKey{from: c.From, to: c.To}
@@ -301,61 +437,101 @@ func (r *Router) record(changes []roadnet.ArcWeightChange) {
 		}
 		r.latest[k] = c.NewCost
 	}
+	r.seq++
+	seq := r.seq
 	r.wmu.Unlock()
+	return seq
+}
+
+// sendUpdate delivers one weight update to one shard, keeping per-shard
+// delivery ordered: sends are serialised on the link's updMu, and a delta
+// that a newer broadcast already overtook (possible once UpdateWeights
+// returns at quorum while stragglers run on) is upgraded to a full
+// cumulative snapshot — last-write-wins and idempotent — instead of
+// regressing arcs the newer delta did not touch.
+func (r *Router) sendUpdate(l *shardLink, seq uint64, changes []roadnet.ArcWeightChange) error {
+	c, err := r.connect(l)
+	if err != nil {
+		return err
+	}
+	// The send itself runs under updMu; failure handling (dropClient takes
+	// l.mu) happens outside, keeping the lock order l.mu → updMu acyclic
+	// with connect's replay path.
+	err = func() error {
+		l.updMu.Lock()
+		defer l.updMu.Unlock()
+		upd := protocol.WeightUpdate{UpdateID: seq, Changes: changes}
+		if seq < l.lastUpd {
+			upd, seq = r.snapshotUpdate()
+		}
+		res, err := c.Do(upd)
+		if err != nil {
+			return err
+		}
+		if _, ok := res.(protocol.WeightUpdateAck); !ok {
+			return fmt.Errorf("unexpected ack type %T", res)
+		}
+		if seq > l.lastUpd {
+			l.lastUpd = seq
+		}
+		return nil
+	}()
+	if err != nil {
+		if !isRemoteError(err) {
+			r.noteFailure(l)
+			l.dropClient(c)
+		}
+		return err
+	}
+	r.noteSuccess(l)
+	return nil
 }
 
 // UpdateWeights applies live weight changes fleet-wide: the cumulative
 // replay state is folded first (so even a shard that is down right now
 // converges on reconnect), then the update is broadcast to every shard in
-// parallel. A shard that cannot be reached does not fail the update — it
-// has no live connection, and the replay on its next connect carries the
-// state — so the error return is non-nil only when *no* shard could be
-// updated or reached.
+// parallel and the call returns once Config.UpdateQuorum shards have
+// acknowledged it. Broadcasts past the quorum finish in the background —
+// their per-shard sends stay ordered, and a shard none of them reached
+// converges through replay on its next connect. With the default quorum of
+// 1 the error return is non-nil only when *no* shard could be updated or
+// reached; a larger quorum that some but not all shards met reports
+// ErrQuorumNotReached.
 func (r *Router) UpdateWeights(changes []roadnet.ArcWeightChange) error {
 	if len(changes) == 0 {
 		return nil
 	}
-	r.record(changes)
+	seq := r.record(changes)
 	r.mWeightUpd.Add(1)
-	upd := protocol.WeightUpdate{UpdateID: r.updateID.Add(1), Changes: changes}
-	errs := make([]error, len(r.shards))
-	var wg sync.WaitGroup
-	for i, l := range r.shards {
-		wg.Add(1)
-		go func(i int, l *shardLink) {
-			defer wg.Done()
-			c, err := r.connect(l)
+	n := len(r.shards)
+	results := make(chan error, n)
+	for _, l := range r.shards {
+		go func(l *shardLink) {
+			err := r.sendUpdate(l, seq, changes)
 			if err != nil {
-				errs[i] = err
-				return
+				r.mFailures.Add(1)
 			}
-			res, err := c.Do(upd)
-			if err != nil {
-				if !isRemoteError(err) {
-					l.dropClient(c)
-				}
-				errs[i] = err
-				return
-			}
-			if _, ok := res.(protocol.WeightUpdateAck); !ok {
-				errs[i] = fmt.Errorf("unexpected ack type %T", res)
-			}
-		}(i, l)
+			results <- err
+		}(l)
 	}
-	wg.Wait()
-	failed := 0
+	quorum := r.cfg.UpdateQuorum
+	acks, failed := 0, 0
 	var last error
-	for i, err := range errs {
-		if err != nil {
+	for acks < quorum && acks+failed < n {
+		if err := <-results; err != nil {
 			failed++
-			last = &ShardError{Shard: i, Err: err}
-			r.mFailures.Add(1)
+			last = err
+		} else {
+			acks++
 		}
 	}
-	if failed == len(r.shards) {
+	if acks >= quorum {
+		return nil
+	}
+	if acks == 0 {
 		return fmt.Errorf("fleet: weight update reached no shard: %w", last)
 	}
-	return nil
+	return fmt.Errorf("%w: %d of %d acks (need %d), last failure: %v", ErrQuorumNotReached, acks, n, quorum, last)
 }
 
 // isRemoteError reports whether err is a handler-level failure (the
@@ -366,31 +542,50 @@ func isRemoteError(err error) bool {
 }
 
 // callShard performs one request on one shard under the retry budget:
-// transport failures drop the connection, redial and retry (counted in
-// fleet_shard_retries); handler-level failures return immediately — the
-// shard answered, retrying the same request cannot help.
-func (r *Router) callShard(idx int, msg any) (any, error) {
+// transport failures drop the connection, count against the shard's breaker,
+// redial and retry (counted in fleet_shard_retries) behind a jittered
+// exponential backoff that the router's Close and the request deadline both
+// interrupt; handler-level failures return immediately — the shard answered,
+// retrying the same request cannot help. An open breaker fails the call fast
+// so the caller can fail over instead of burning its retry budget on a
+// corpse. Total in-retry wall time is capped by Config.RetryTimeCap.
+func (r *Router) callShard(idx int, msg any, deadline time.Time) (any, error) {
 	l := r.shards[idx]
 	var lastErr error
+	start := time.Now()
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			if time.Since(start) > r.cfg.RetryTimeCap {
+				break
+			}
 			r.mRetries.Add(1)
-			time.Sleep(r.cfg.RetryBackoff)
+			if err := r.sleep(backoffDelay(attempt, r.cfg.RetryBackoff, r.cfg.BackoffCap), deadline); err != nil {
+				lastErr = err
+				break
+			}
 		}
 		c, err := r.connect(l)
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, errShardDown) {
+				break // circuit open: every retry would fast-fail the same way
+			}
 			continue
 		}
-		res, err := c.Do(msg)
+		res, err := c.DoDeadline(msg, deadline)
 		if err == nil {
+			r.noteSuccess(l)
 			return res, nil
 		}
 		if isRemoteError(err) {
 			return nil, &ShardError{Shard: idx, Err: err}
 		}
 		lastErr = err
+		r.noteFailure(l)
 		l.dropClient(c)
+		if protocol.IsDeadlineExceeded(err) {
+			break // no time left for another attempt
+		}
 	}
 	r.mFailures.Add(1)
 	return nil, &ShardError{Shard: idx, Err: lastErr}
@@ -404,13 +599,14 @@ type subquery struct {
 	global  []int
 }
 
-// scatter splits q by shard ownership. Partition mode groups sources by the
-// owner of their partition cell; replicate mode (and a one-shard fleet)
-// assigns the whole query to the next shard in round-robin order.
+// scatter splits q by shard ownership, consulting shard health. Partition
+// mode groups sources by the (healthy) owner of their partition cell;
+// replicate mode (and a one-shard fleet) assigns the whole query to the next
+// available shard in round-robin order.
 func (r *Router) scatter(q protocol.ServerQuery) []subquery {
 	n := len(r.shards)
 	if n == 1 || r.cfg.Mode == ModeReplicate {
-		idx := int(r.rr.Add(1)-1) % n
+		idx := r.routeShard(int(r.rr.Add(1)-1) % n)
 		all := make([]int, len(q.Sources))
 		for i := range all {
 			all[i] = i
@@ -420,7 +616,7 @@ func (r *Router) scatter(q protocol.ServerQuery) []subquery {
 	bySh := make(map[int]*subquery, n)
 	order := make([]*subquery, 0, n)
 	for gi, src := range q.Sources {
-		shard := r.ownerOf(src)
+		shard := r.routeShard(r.ownerOf(src))
 		sub, ok := bySh[shard]
 		if !ok {
 			sub = &subquery{shard: shard}
@@ -444,6 +640,29 @@ func (r *Router) ownerOf(v roadnet.NodeID) int {
 		return r.cfg.CellOwner[cell] % len(r.shards)
 	}
 	return cell % len(r.shards)
+}
+
+// routeShard returns the shard that should actually receive work addressed
+// to preferred: preferred itself while it is available, else the next
+// available shard — in partition mode this temporarily re-owns the down
+// shard's cells, which is answer-preserving because every shard holds the
+// full replicated road map (ownership is work placement, not reachability).
+// Ownership restores by construction when the preferred shard's breaker
+// closes again. With no shard available the preferred one is returned and
+// the call fails on it honestly.
+func (r *Router) routeShard(preferred int) int {
+	if r.available(r.shards[preferred]) {
+		return preferred
+	}
+	n := len(r.shards)
+	for k := 1; k < n; k++ {
+		idx := (preferred + k) % n
+		if r.available(r.shards[idx]) {
+			r.mFailovers.Add(1)
+			return idx
+		}
+	}
+	return preferred
 }
 
 // checkIdentity verifies that every partial reply of one query was computed
@@ -513,7 +732,7 @@ func (r *Router) merge(q protocol.ServerQuery, subs []subquery, replies []protoc
 // executeOnce scatters q, gathers the partial tables and merges them. All
 // subqueries run in parallel; a shard failure after the retry budget fails
 // the query with its ShardError.
-func (r *Router) executeOnce(q protocol.ServerQuery) (protocol.ServerReply, error) {
+func (r *Router) executeOnce(q protocol.ServerQuery, deadline time.Time) (protocol.ServerReply, error) {
 	subs := r.scatter(q)
 	r.mSubqueries.Add(int64(len(subs)))
 	replies := make([]protocol.ServerReply, len(subs))
@@ -530,7 +749,7 @@ func (r *Router) executeOnce(q protocol.ServerQuery) (protocol.ServerReply, erro
 				Profile:      q.Profile,
 				DistanceOnly: q.DistanceOnly,
 			}
-			res, err := r.callShard(sub.shard, sq)
+			res, err := r.callShard(sub.shard, sq, deadline)
 			if err != nil {
 				errs[i] = err
 				return
@@ -553,17 +772,33 @@ func (r *Router) executeOnce(q protocol.ServerQuery) (protocol.ServerReply, erro
 }
 
 // Execute answers one obfuscated query through the fleet; it implements
-// obfsvc.QueryExecutor. Queries refused for metric skew retry whole (the
-// scatter re-runs, picking up converged shards) up to Config.SkewRetries
-// times before the skew error surfaces to the caller.
+// obfsvc.QueryExecutor.
 func (r *Router) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
+	return r.ExecuteDeadline(q, time.Time{})
+}
+
+// ExecuteDeadline is Execute bounded by an absolute deadline (zero = none)
+// that rides in every shard sub-request and cuts retry backoff short.
+// Queries refused for metric skew retry whole (the scatter re-runs, picking
+// up converged shards) up to Config.SkewRetries times; queries that lost a
+// shard (a transport-level ShardError after the per-shard budget — by which
+// point the shard's breaker has tripped) re-scatter up to
+// Config.FailoverRetries times, routing the dead shard's work to survivors.
+func (r *Router) ExecuteDeadline(q protocol.ServerQuery, deadline time.Time) (protocol.ServerReply, error) {
 	r.mQueries.Add(1)
+	skewLeft := r.cfg.SkewRetries
+	failLeft := r.cfg.FailoverRetries
 	var lastErr error
-	for attempt := 0; attempt <= r.cfg.SkewRetries; attempt++ {
+	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			time.Sleep(r.cfg.RetryBackoff)
+			if err := r.sleep(backoffDelay(attempt, r.cfg.RetryBackoff, r.cfg.BackoffCap), deadline); err != nil {
+				if errors.Is(err, protocol.ErrDeadlineExceeded) {
+					r.mDeadlineDrops.Add(1)
+				}
+				return protocol.ServerReply{}, err
+			}
 		}
-		reply, err := r.executeOnce(q)
+		reply, err := r.executeOnce(q, deadline)
 		if err == nil {
 			if reply.Degraded {
 				r.mDegraded.Add(1)
@@ -571,11 +806,39 @@ func (r *Router) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
 			return reply, nil
 		}
 		lastErr = err
-		if !errors.Is(err, ErrGenerationSkew) && !errors.Is(err, ErrProfileSkew) {
+		switch {
+		case protocol.IsDeadlineExceeded(err):
+			// No budget left anywhere; retrying cannot beat the clock.
+			r.mDeadlineDrops.Add(1)
+			return protocol.ServerReply{}, err
+		case errors.Is(err, ErrRouterClosed):
+			// Close quiesced the router mid-query; a failover retry would
+			// sleep against the fresh quiesce channel instead of returning.
+			return protocol.ServerReply{}, err
+		case errors.Is(err, ErrGenerationSkew) || errors.Is(err, ErrProfileSkew):
+			if skewLeft == 0 {
+				return protocol.ServerReply{}, lastErr
+			}
+			skewLeft--
+		case isFailoverable(err):
+			if failLeft == 0 {
+				return protocol.ServerReply{}, lastErr
+			}
+			failLeft--
+		default:
 			return protocol.ServerReply{}, err
 		}
 	}
-	return protocol.ServerReply{}, lastErr
+}
+
+// isFailoverable reports whether a query error is worth a whole-query
+// re-scatter: a shard failed at the transport level (dial or connection
+// loss), so a re-scatter — consulting the now-tripped breaker — can route
+// its work to a surviving shard. Handler-level failures are not retried:
+// the shard answered, and every replica would answer the same.
+func isFailoverable(err error) bool {
+	var se *ShardError
+	return errors.As(err, &se) && !isRemoteError(se.Err)
 }
 
 // ExecuteBatch answers a whole batch through the fleet; it implements
@@ -583,9 +846,15 @@ func (r *Router) Execute(q protocol.ServerQuery) (protocol.ServerReply, error) {
 // per-shard shares travel as one streaming BatchQuery per shard — one
 // round of frames per shard for the whole batch, not one per subquery.
 // Queries whose gather failed (shard failure or metric skew) fall back to
-// the per-query Execute path with its own retry budgets, so one sick shard
-// degrades the queries it owns without poisoning the batch.
+// the per-query Execute path with its own retry and failover budgets, so one
+// sick shard degrades the queries it owns without poisoning the batch.
 func (r *Router) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply, []error) {
+	return r.ExecuteBatchDeadline(qs, time.Time{})
+}
+
+// ExecuteBatchDeadline is ExecuteBatch bounded by an absolute deadline
+// (zero = none) threaded through every per-shard batch and fallback query.
+func (r *Router) ExecuteBatchDeadline(qs []protocol.ServerQuery, deadline time.Time) ([]protocol.ServerReply, []error) {
 	replies := make([]protocol.ServerReply, len(qs))
 	errs := make([]error, len(qs))
 	if len(qs) == 0 {
@@ -628,7 +897,7 @@ func (r *Router) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply
 		wg.Add(1)
 		go func(shard int, batch []protocol.ServerQuery, slots []slot) {
 			defer wg.Done()
-			br, err := r.callShardBatch(shard, batch)
+			br, err := r.callShardBatch(shard, batch, deadline)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -669,39 +938,55 @@ func (r *Router) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.ServerReply
 		// Execute bumps fleet_queries itself; this retry is a continuation of
 		// an already-counted query, so compensate.
 		r.mQueries.Add(-1)
-		replies[qi], errs[qi] = r.Execute(q)
+		replies[qi], errs[qi] = r.ExecuteDeadline(q, deadline)
 	}
 	return replies, errs
 }
 
 // callShardBatch sends one shard its whole share of a batch under the retry
-// budget, mirroring callShard.
-func (r *Router) callShardBatch(idx int, batch []protocol.ServerQuery) (protocol.BatchReply, error) {
+// budget, mirroring callShard: jittered cancellable backoff, breaker
+// accounting, fast-fail on an open circuit and deadline propagation.
+func (r *Router) callShardBatch(idx int, batch []protocol.ServerQuery, deadline time.Time) (protocol.BatchReply, error) {
 	l := r.shards[idx]
 	b := protocol.BatchQuery{BatchID: r.batchID.Add(1), Queries: batch}
 	var lastErr error
+	start := time.Now()
 	for attempt := 0; attempt <= r.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			if time.Since(start) > r.cfg.RetryTimeCap {
+				break
+			}
 			r.mRetries.Add(1)
-			time.Sleep(r.cfg.RetryBackoff)
+			if err := r.sleep(backoffDelay(attempt, r.cfg.RetryBackoff, r.cfg.BackoffCap), deadline); err != nil {
+				lastErr = err
+				break
+			}
 		}
 		c, err := r.connect(l)
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, errShardDown) {
+				break // circuit open: every retry would fast-fail the same way
+			}
 			continue
 		}
-		br, err := c.DoBatch(b)
+		br, err := c.DoBatchDeadline(b, deadline)
 		if err == nil {
 			if len(br.Replies) != len(batch) || len(br.Errors) != len(batch) {
 				return protocol.BatchReply{}, &ShardError{Shard: idx, Err: fmt.Errorf("fleet: batch reply shape %d/%d for %d queries", len(br.Replies), len(br.Errors), len(batch))}
 			}
+			r.noteSuccess(l)
 			return br, nil
 		}
 		if isRemoteError(err) {
 			return protocol.BatchReply{}, &ShardError{Shard: idx, Err: err}
 		}
 		lastErr = err
+		r.noteFailure(l)
 		l.dropClient(c)
+		if protocol.IsDeadlineExceeded(err) {
+			break // no time left for another attempt
+		}
 	}
 	r.mFailures.Add(1)
 	return protocol.BatchReply{}, &ShardError{Shard: idx, Err: lastErr}

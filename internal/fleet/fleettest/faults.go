@@ -1,0 +1,146 @@
+package fleettest
+
+// Fault injection beyond kill/restart: per-shard write latency, connection
+// blackholes and flaky dials. Faults apply to the router-side end of every
+// live (and future) connection to the shard, so they model the network
+// between router and shard rather than a crashed process: a blackholed shard
+// is alive and healthy but unreachable — writes vanish, replies stall —
+// which is exactly the failure the mux-level heartbeat and per-request
+// deadlines exist to catch (a killed shard fails fast at dial time; a
+// blackholed one fails silently).
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// faultState is the shared fault configuration for one shard; every
+// connection the shard's dialer hands to the router consults it on each
+// read/write, so toggling a fault affects live connections immediately.
+type faultState struct {
+	mu        sync.Mutex
+	latency   time.Duration
+	blackhole bool
+	release   chan struct{} // closed when the blackhole lifts
+	dialFail  float64
+	rng       *rand.Rand
+}
+
+func newFaultState() *faultState {
+	return &faultState{
+		release: make(chan struct{}),
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// SetLatency delays every write on the shard's connections by d (0 restores
+// a fast link). The delay applies before the bytes enter the pipe, so it
+// models one-way network latency in both directions of the framed stream.
+func (sh *Shard) SetLatency(d time.Duration) {
+	sh.faults.mu.Lock()
+	sh.faults.latency = d
+	sh.faults.mu.Unlock()
+}
+
+// Blackhole makes the shard's connections silently swallow router-bound
+// writes and stall reads while on: the shard process stays healthy but the
+// route to it is dead — requests vanish without an error, the failure mode
+// only deadlines and heartbeats can detect. Turning the blackhole off
+// releases stalled readers.
+func (sh *Shard) Blackhole(on bool) {
+	sh.faults.mu.Lock()
+	if on && !sh.faults.blackhole {
+		sh.faults.blackhole = true
+		sh.faults.release = make(chan struct{})
+	} else if !on && sh.faults.blackhole {
+		sh.faults.blackhole = false
+		close(sh.faults.release)
+	}
+	sh.faults.mu.Unlock()
+}
+
+// Blackholed reports whether the shard's route is currently blackholed.
+func (sh *Shard) Blackholed() bool {
+	sh.faults.mu.Lock()
+	defer sh.faults.mu.Unlock()
+	return sh.faults.blackhole
+}
+
+// SetDialFailProb makes the shard's dialer fail with probability p ∈ [0, 1]
+// (before the handshake), modelling a flaky network path that the router's
+// retry backoff and circuit breaker must absorb.
+func (sh *Shard) SetDialFailProb(p float64) {
+	sh.faults.mu.Lock()
+	sh.faults.dialFail = p
+	sh.faults.mu.Unlock()
+}
+
+// dialShouldFail rolls the flaky-dial dice.
+func (fs *faultState) dialShouldFail() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.dialFail > 0 && fs.rng.Float64() < fs.dialFail
+}
+
+// wrap dresses the router-side end of a shard connection in the shard's
+// fault state.
+func (fs *faultState) wrap(c net.Conn) net.Conn {
+	return &faultConn{Conn: c, fs: fs, closed: make(chan struct{})}
+}
+
+// faultConn applies a shard's fault state to one connection end.
+type faultConn struct {
+	net.Conn
+	fs        *faultState
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func (fc *faultConn) Close() error {
+	fc.closeOnce.Do(func() { close(fc.closed) })
+	return fc.Conn.Close()
+}
+
+// Write sleeps the injected latency, then either delivers the bytes or — in
+// a blackhole — swallows them whole, reporting success like a route that
+// lost the packets after the local send buffer accepted them.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.fs.mu.Lock()
+	latency := fc.fs.latency
+	blackhole := fc.fs.blackhole
+	fc.fs.mu.Unlock()
+	if latency > 0 {
+		select {
+		case <-time.After(latency):
+		case <-fc.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	if blackhole {
+		return len(p), nil
+	}
+	return fc.Conn.Write(p)
+}
+
+// Read stalls while the route is blackholed (net.Pipe is synchronous, so the
+// peer's writes block too — nothing crosses a dead route in either
+// direction), resuming when the blackhole lifts or the connection closes.
+func (fc *faultConn) Read(p []byte) (int, error) {
+	for {
+		fc.fs.mu.Lock()
+		blackhole := fc.fs.blackhole
+		release := fc.fs.release
+		fc.fs.mu.Unlock()
+		if !blackhole {
+			break
+		}
+		select {
+		case <-release:
+		case <-fc.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	return fc.Conn.Read(p)
+}

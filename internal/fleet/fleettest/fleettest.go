@@ -44,10 +44,11 @@ type Options struct {
 // Shard is one in-process shard: a server plus the live server-side pipe
 // ends, with a kill switch.
 type Shard struct {
-	idx int
-	g   *roadnet.Graph
-	cfg server.Config
-	mux protocol.MuxServerConfig
+	idx    int
+	g      *roadnet.Graph
+	cfg    server.Config
+	mux    protocol.MuxServerConfig
+	faults *faultState
 
 	mu    sync.Mutex
 	srv   *server.Server
@@ -58,14 +59,23 @@ type Shard struct {
 // dial is the fleet.Dialer for this shard: one net.Pipe, the server side
 // served on its own goroutine, the client side handed to the router.
 func (sh *Shard) dial() (*protocol.MuxClient, error) {
+	if sh.faults.dialShouldFail() {
+		return nil, fmt.Errorf("fleettest: shard %d dial lost (injected)", sh.idx)
+	}
+	if sh.Blackholed() {
+		// A dial into a blackholed route times out; failing immediately keeps
+		// the breaker semantics without a wall-clock wait per attempt.
+		return nil, fmt.Errorf("fleettest: shard %d dial timed out (blackholed)", sh.idx)
+	}
 	sh.mu.Lock()
 	if sh.down {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("fleettest: shard %d is down", sh.idx)
 	}
 	srv := sh.srv
-	routerEnd, shardEnd := net.Pipe()
-	sh.conns = append(sh.conns, shardEnd)
+	rawRouterEnd, shardEnd := net.Pipe()
+	routerEnd := sh.faults.wrap(rawRouterEnd)
+	sh.conns = append(sh.conns, shardEnd, routerEnd)
 	mux := sh.mux
 	sh.mu.Unlock()
 	go func() { _ = srv.ServeMuxConn(shardEnd, mux) }()
@@ -120,7 +130,7 @@ func New(g *roadnet.Graph, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, fmt.Errorf("fleettest: building shard %d: %w", i, err)
 		}
-		sh := &Shard{idx: i, g: g, cfg: opts.Server, mux: opts.Mux, srv: srv}
+		sh := &Shard{idx: i, g: g, cfg: opts.Server, mux: opts.Mux, srv: srv, faults: newFaultState()}
 		c.shards = append(c.shards, sh)
 		dialers[i] = sh.dial
 	}

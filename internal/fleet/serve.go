@@ -10,9 +10,20 @@ package fleet
 import (
 	"fmt"
 	"net"
+	"time"
 
 	"opaque/internal/protocol"
 )
+
+// reqDeadline resolves the deadline one incoming request runs under: the
+// caller's own deadline when it sent one, otherwise Config.DefaultDeadline
+// from now (zero stays zero — unbounded).
+func (r *Router) reqDeadline(info protocol.ReqInfo) time.Time {
+	if !info.Deadline.IsZero() || r.cfg.DefaultDeadline <= 0 {
+		return info.Deadline
+	}
+	return time.Now().Add(r.cfg.DefaultDeadline)
+}
 
 // HelloInfo returns the Hello the router greets connecting obfuscators with.
 // The fleet has no single generation — shards converge through broadcast and
@@ -32,16 +43,18 @@ type routerMuxHandler struct {
 	r *Router
 }
 
-// HandleMux implements protocol.MuxHandler.
-func (h routerMuxHandler) HandleMux(msg any, shed bool) (any, error) {
+// HandleMux implements protocol.MuxHandler. The request deadline (if any)
+// propagates into the scatter/gather engine: shard sub-requests carry it and
+// retry backoff never sleeps past it.
+func (h routerMuxHandler) HandleMux(msg any, info protocol.ReqInfo) (any, error) {
 	switch m := msg.(type) {
 	case protocol.ServerQuery:
-		if shed {
+		if info.Shed {
 			m.DistanceOnly = true
 		}
-		return h.r.Execute(m)
+		return h.r.ExecuteDeadline(m, h.r.reqDeadline(info))
 	case protocol.BatchQuery:
-		return h.r.batchReply(m, shed), nil
+		return h.r.batchReply(m, info), nil
 	case protocol.WeightUpdate:
 		if err := h.r.UpdateWeights(m.Changes); err != nil {
 			return nil, err
@@ -56,16 +69,16 @@ func (h routerMuxHandler) HandleMux(msg any, shed bool) (any, error) {
 
 // HandleMuxBatch implements protocol.MuxBatchStreamer: the batch is answered
 // through the scatter/gather engine and its items stream back per query.
-func (h routerMuxHandler) HandleMuxBatch(b protocol.BatchQuery, shed bool, emit func(protocol.BatchItem)) error {
+func (h routerMuxHandler) HandleMuxBatch(b protocol.BatchQuery, info protocol.ReqInfo, emit func(protocol.BatchItem)) error {
 	qs := b.Queries
-	if shed {
+	if info.Shed {
 		qs = make([]protocol.ServerQuery, len(b.Queries))
 		copy(qs, b.Queries)
 		for i := range qs {
 			qs[i].DistanceOnly = true
 		}
 	}
-	replies, errs := h.r.ExecuteBatch(qs)
+	replies, errs := h.r.ExecuteBatchDeadline(qs, h.r.reqDeadline(info))
 	for i := range replies {
 		item := protocol.BatchItem{BatchID: b.BatchID, Index: i, Reply: replies[i]}
 		if errs[i] != nil {
@@ -77,16 +90,16 @@ func (h routerMuxHandler) HandleMuxBatch(b protocol.BatchQuery, shed bool, emit 
 }
 
 // batchReply is the unary (non-streaming) batch answer.
-func (r *Router) batchReply(b protocol.BatchQuery, shed bool) protocol.BatchReply {
+func (r *Router) batchReply(b protocol.BatchQuery, info protocol.ReqInfo) protocol.BatchReply {
 	qs := b.Queries
-	if shed {
+	if info.Shed {
 		qs = make([]protocol.ServerQuery, len(b.Queries))
 		copy(qs, b.Queries)
 		for i := range qs {
 			qs[i].DistanceOnly = true
 		}
 	}
-	replies, errs := r.ExecuteBatch(qs)
+	replies, errs := r.ExecuteBatchDeadline(qs, r.reqDeadline(info))
 	reply := protocol.BatchReply{
 		BatchID: b.BatchID,
 		Replies: replies,

@@ -192,6 +192,235 @@ func TestFleetChurnSoak(t *testing.T) {
 	}
 }
 
+func chaosDuration(t *testing.T) time.Duration {
+	if s := os.Getenv("FLEET_CHAOS_SECONDS"); s != "" {
+		secs, err := strconv.Atoi(s)
+		if err != nil || secs <= 0 {
+			t.Fatalf("FLEET_CHAOS_SECONDS=%q is not a positive integer", s)
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if testing.Short() {
+		return 500 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+// TestFleetChaosSoak is the full fault battery under churn: three shards with
+// heartbeat probing and per-query deadlines, while a fault cycler walks the
+// fleet injecting kills, connection blackholes, write latency and flaky
+// dials — one faulted shard at a time, always restored before the next
+// strike. The assertions are the fault-tolerance contract: availability
+// stays above a floor during the chaos (failover routes around every fault
+// the health model can see), every failure is typed (shard/skew/deadline —
+// never a malformed or mixed-generation reply), and once the faults stop the
+// fleet converges back to exact single-server answers via replay.
+//
+// Blackholes are the reason the heartbeat exists — a blackholed route
+// swallows writes silently, so only the prober's ping deadline can condemn
+// the connection — which is why this soak (unlike the churn soak) runs with
+// Heartbeat enabled and would hang without it.
+func TestFleetChaosSoak(t *testing.T) {
+	for _, mode := range []fleet.Mode{fleet.ModePartition, fleet.ModeReplicate} {
+		t.Run(mode.String(), func(t *testing.T) {
+			chaosSoak(t, mode)
+		})
+	}
+}
+
+func chaosSoak(t *testing.T, mode fleet.Mode) {
+	duration := chaosDuration(t)
+	g := testGraph(t, 400, 2101)
+	cl, err := fleettest.New(g, fleettest.Options{
+		Shards: 3,
+		Mode:   mode,
+		Fleet: fleet.Config{
+			Retries: 2, RetryBackoff: 2 * time.Millisecond,
+			FailThreshold: 2, BreakerCooldown: 40 * time.Millisecond,
+			FailoverRetries: 3,
+			Heartbeat:       15 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ref := server.MustNew(g, server.DefaultConfig())
+
+	var refMu sync.Mutex
+	applyBoth := func(changes []roadnet.ArcWeightChange) error {
+		refMu.Lock()
+		defer refMu.Unlock()
+		// Quorum 1: one reachable shard is enough mid-chaos; replay and the
+		// broadcast stragglers converge the rest.
+		if err := cl.Router.UpdateWeights(changes); err != nil {
+			return fmt.Errorf("fleet update: %w", err)
+		}
+		if _, err := ref.UpdateWeights(changes); err != nil {
+			return fmt.Errorf("reference update: %w", err)
+		}
+		return nil
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	var updates, attempts, failures atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(6101))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var changes []roadnet.ArcWeightChange
+			for i := 0; i < 4; i++ {
+				v := roadnet.NodeID(rng.Intn(g.NumNodes()))
+				if arcs := g.Arcs(v); len(arcs) > 0 {
+					changes = append(changes, roadnet.ArcWeightChange{From: v, To: arcs[0].To, NewCost: arcs[0].Cost * (0.5 + rng.Float64())})
+				}
+			}
+			if err := applyBoth(changes); err != nil {
+				errCh <- err
+				return
+			}
+			updates.Add(1)
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := makeQueries(g, 10, int64(8000+w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := qs[i%len(qs)]
+				rep, err := cl.Router.ExecuteDeadline(q, time.Now().Add(2*time.Second))
+				attempts.Add(1)
+				if err != nil {
+					var se *fleet.ShardError
+					switch {
+					case errors.As(err, &se),
+						errors.Is(err, fleet.ErrGenerationSkew),
+						errors.Is(err, fleet.ErrProfileSkew),
+						protocol.IsDeadlineExceeded(err):
+						failures.Add(1)
+						continue
+					default:
+						errCh <- fmt.Errorf("worker %d query %d: untyped failure: %w", w, q.QueryID, err)
+						return
+					}
+				}
+				if len(rep.Paths) != len(q.Sources)*len(q.Dests) {
+					errCh <- fmt.Errorf("worker %d query %d: table shape %d for %d×%d", w, q.QueryID, len(rep.Paths), len(q.Sources), len(q.Dests))
+					return
+				}
+			}
+		}(w)
+	}
+
+	// The fault cycler: strike one shard at a time, hold the fault, restore,
+	// move on. Every fault is restored before the cycler exits, so the
+	// post-quiesce phase starts from a whole (if unconverged) fleet.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		hold := 50 * time.Millisecond
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			sh := i % cl.NumShards()
+			switch i % 4 {
+			case 0: // crash + restart: exercises dial refusal and replay
+				cl.Kill(sh)
+				time.Sleep(hold)
+				if err := cl.Restart(sh); err != nil {
+					errCh <- fmt.Errorf("restarting shard %d: %w", sh, err)
+					return
+				}
+			case 1: // blackhole: silent route death only the heartbeat can see
+				cl.Shard(sh).Blackhole(true)
+				time.Sleep(hold)
+				cl.Shard(sh).Blackhole(false)
+			case 2: // latency: a slow link that must not trip anything
+				cl.Shard(sh).SetLatency(3 * time.Millisecond)
+				time.Sleep(hold)
+				cl.Shard(sh).SetLatency(0)
+			case 3: // flaky dials: reconnects fail half the time
+				cl.Shard(sh).SetDialFailProb(0.5)
+				time.Sleep(hold)
+				cl.Shard(sh).SetDialFailProb(0)
+			}
+		}
+	}()
+
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if t.Failed() {
+		return
+	}
+
+	att, fail := attempts.Load(), failures.Load()
+	if att == 0 || updates.Load() == 0 {
+		t.Fatalf("chaos exercised nothing: %d attempts, %d updates", att, updates.Load())
+	}
+	availability := 1 - float64(fail)/float64(att)
+	m := cl.Router.Metrics()
+	t.Logf("chaos %v (%s): %d updates, %d queries, availability %.4f; trips=%d heartbeat-fails=%d failovers=%d replays=%d deadline-drops=%d gen-skew=%d",
+		duration, mode, updates.Load(), att, availability,
+		m.Counter("fleet_breaker_trips"), m.Counter("fleet_heartbeat_failures"),
+		m.Counter("fleet_failovers"), m.Counter("fleet_replays"),
+		m.Counter("fleet_deadline_exceeded"), m.Counter("fleet_generation_skew"))
+	// The floor: with one faulted shard at a time and failover re-owning its
+	// work, the overwhelming majority of queries must keep answering.
+	if availability < 0.9 {
+		t.Errorf("availability %.4f under single-shard faults, want ≥ 0.90", availability)
+	}
+	if m.Counter("fleet_replays") == 0 {
+		t.Error("no reconnect replay happened across the kill/restart cycles")
+	}
+
+	// Post-quiesce: wait out the breaker cooldown so every shard is
+	// re-admitted, then demand exact reference answers — replay must have
+	// converged every shard back to the fleet metric.
+	time.Sleep(60 * time.Millisecond)
+	for _, q := range makeQueries(g, 10, 8101) {
+		want, err := ref.Evaluate(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.Router.Execute(q)
+		if err != nil {
+			t.Fatalf("post-chaos query %d: %v", q.QueryID, err)
+		}
+		assertSameReply(t, fmt.Sprintf("post-chaos q%d", q.QueryID), got, want, false)
+	}
+	states := cl.Router.ShardStates()
+	for i, s := range states {
+		if s != fleet.ShardUp {
+			t.Errorf("shard %d state = %v after quiesce, want up", i, s)
+		}
+	}
+}
+
 // TestFleetServedThroughObfuscator wires the router behind an obfuscator-side
 // MuxExecutor over the harness's DialRouter pipe — the full networked
 // deployment shape — and checks a batch round trip.

@@ -91,7 +91,7 @@ func (e *MuxExecutor) ExecuteBatch(qs []protocol.ServerQuery) ([]protocol.Server
 // one-shot Handler, but many requests share one connection.
 func (s *Service) MuxHandler() protocol.MuxHandler {
 	h := s.Handler()
-	return protocol.MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	return protocol.MuxHandlerFunc(func(msg any, _ protocol.ReqInfo) (any, error) {
 		// The obfuscator has no cheaper degraded answer to shed to — load
 		// shedding happens downstream at the server/router.
 		return h(msg)

@@ -54,8 +54,17 @@ const (
 	// FrameGoAway tells the peer the sender is shutting down and will answer
 	// no further requests on this connection.
 	FrameGoAway
+	// FramePing probes the peer's liveness on the identity stream: the serving
+	// side answers inline (before admission control, so a saturated shard
+	// still heartbeats) with a FramePong. The payload is empty.
+	FramePing
+	// FramePong answers a FramePing; the payload is the sender's current Hello
+	// (a self-contained gob, like the handshake frames), so every heartbeat
+	// refreshes the peer's identity — generation, content checksum, partition
+	// shape — without a reconnect.
+	FramePong
 
-	maxFrameType = FrameGoAway
+	maxFrameType = FramePong
 )
 
 // MaxFramePayload bounds a frame's payload. A declared length beyond it is

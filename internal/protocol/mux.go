@@ -28,8 +28,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Hello is the handshake message both ends of a multiplexed connection
@@ -62,7 +64,28 @@ var (
 	ErrMuxClosed = errors.New("protocol: mux connection closed")
 	// ErrHandshake reports a handshake that did not follow Hello/Welcome.
 	ErrHandshake = errors.New("protocol: mux handshake failed")
+	// ErrDeadlineExceeded reports a request whose deadline passed before a
+	// reply arrived. The connection itself may be healthy (a slow peer) or
+	// silently dead (a blackholed route) — the caller cannot tell, so fleet
+	// routers treat it as a shard health failure.
+	ErrDeadlineExceeded = errors.New("protocol: deadline exceeded")
 )
+
+// DeadlineExceededMsg is the RemoteError message the serving side answers
+// with when it drops a request whose envelope deadline expired before
+// evaluation started.
+const DeadlineExceededMsg = "deadline exceeded before evaluation"
+
+// IsDeadlineExceeded reports whether err is a deadline failure — either the
+// local ErrDeadlineExceeded (no reply in time) or the peer's remote drop of
+// expired work.
+func IsDeadlineExceeded(err error) bool {
+	if errors.Is(err, ErrDeadlineExceeded) {
+		return true
+	}
+	var re *RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, DeadlineExceededMsg)
+}
 
 // RemoteError is a failure reported by the peer's handler (a FrameErr
 // answer). It is distinct from transport errors: the connection remains
@@ -91,13 +114,15 @@ func newEnvelopeCodec() *envelopeCodec {
 	return c
 }
 
-// encode appends msg's envelope to the stream and returns its bytes, valid
-// until the next encode call.
-func (c *envelopeCodec) encode(msg any) ([]byte, error) {
+// encode appends msg's envelope (stamped with the request deadline, 0 =
+// none) to the stream and returns its bytes, valid until the next encode
+// call.
+func (c *envelopeCodec) encode(msg any, deadline int64) ([]byte, error) {
 	env, err := Wrap(msg)
 	if err != nil {
 		return nil, err
 	}
+	env.Deadline = deadline
 	c.buf.Reset()
 	if err := c.enc.Encode(env); err != nil {
 		return nil, fmt.Errorf("protocol: encoding envelope: %w", err)
@@ -106,14 +131,16 @@ func (c *envelopeCodec) encode(msg any) ([]byte, error) {
 }
 
 // decode feeds one frame payload into the stream and decodes the envelope it
-// carries.
-func (c *envelopeCodec) decode(payload []byte) (any, error) {
+// carries, returning the message and the envelope deadline (Unix nanos, 0 =
+// none).
+func (c *envelopeCodec) decode(payload []byte) (any, int64, error) {
 	c.buf.Write(payload)
 	var env Envelope
 	if err := c.dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("protocol: decoding envelope: %w", err)
+		return nil, 0, fmt.Errorf("protocol: decoding envelope: %w", err)
 	}
-	return env.Unwrap()
+	msg, err := env.Unwrap()
+	return msg, env.Deadline, err
 }
 
 // helloCodec carries the handshake Hellos on their own self-contained gob
@@ -214,8 +241,13 @@ func NewMuxClient(raw net.Conn, hello Hello) (*MuxClient, error) {
 }
 
 // Peer returns the accepting side's Hello: its identity, generation, content
-// checksum, partition shape and profile catalog at handshake time.
-func (c *MuxClient) Peer() Hello { return c.peer }
+// checksum, partition shape and profile catalog — as of the handshake, or of
+// the latest Ping pong, whichever is fresher.
+func (c *MuxClient) Peer() Hello {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peer
+}
 
 // Err returns the terminal transport error, or nil while the connection is
 // healthy.
@@ -263,8 +295,21 @@ func (c *MuxClient) readLoop() {
 			return
 		}
 		var msg any
-		if f.Type != FrameStreamEnd {
-			msg, err = dec.decode(f.Payload)
+		switch f.Type {
+		case FrameStreamEnd:
+			// No payload.
+		case FramePong:
+			// Pongs carry a self-contained Hello gob, outside the envelope
+			// stream; a bad pong only fails the probe, not the connection.
+			h, derr := decodeHello(f.Payload)
+			if derr == nil {
+				c.mu.Lock()
+				c.peer = h
+				c.mu.Unlock()
+			}
+			msg = h
+		default:
+			msg, _, err = dec.decode(f.Payload)
 			if err != nil {
 				// The per-direction gob stream is poisoned; nothing after
 				// this frame can decode.
@@ -272,9 +317,10 @@ func (c *MuxClient) readLoop() {
 				return
 			}
 		}
+		terminal := f.Type == FrameMsg || f.Type == FrameErr || f.Type == FrameStreamEnd || f.Type == FramePong
 		c.mu.Lock()
 		call := c.pending[f.ID]
-		if call != nil && (f.Type == FrameMsg || f.Type == FrameErr || f.Type == FrameStreamEnd) {
+		if call != nil && terminal {
 			// Terminal frame for this ID: no more events will follow.
 			delete(c.pending, f.ID)
 		}
@@ -283,7 +329,7 @@ func (c *MuxClient) readLoop() {
 			continue // reply for a caller that gave up; drop
 		}
 		call.events <- muxEvent{frameType: f.Type, msg: msg}
-		if f.Type == FrameMsg || f.Type == FrameErr || f.Type == FrameStreamEnd {
+		if terminal {
 			close(call.events)
 		}
 	}
@@ -307,15 +353,24 @@ func (c *MuxClient) register() (uint64, *muxCall, error) {
 	return id, call, nil
 }
 
-// send encodes and writes one request frame.
-func (c *MuxClient) send(id uint64, msg any) error {
+// send encodes and writes one request frame, stamping the envelope deadline
+// (Unix nanos, 0 = none). When a deadline is set it doubles as the raw
+// connection's write deadline, so a peer that stopped reading (a blackholed
+// route pushing back through the transport) cannot wedge the sender forever.
+func (c *MuxClient) send(id uint64, msg any, deadline int64) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	payload, err := c.enc.encode(msg)
+	payload, err := c.enc.encode(msg, deadline)
 	if err != nil {
 		return err
 	}
+	if deadline != 0 {
+		_ = c.raw.SetWriteDeadline(time.Unix(0, deadline))
+		defer func() { _ = c.raw.SetWriteDeadline(time.Time{}) }()
+	}
 	if err := WriteFrame(c.raw, Frame{Type: FrameMsg, ID: id, Payload: payload}); err != nil {
+		// A failed or timed-out write leaves a partial frame on the wire; the
+		// connection is unusable either way.
 		c.fail(fmt.Errorf("%w: %v", ErrMuxClosed, err))
 		return fmt.Errorf("%w: %v", ErrMuxClosed, err)
 	}
@@ -329,20 +384,71 @@ func (c *MuxClient) abandon(id uint64) {
 	c.mu.Unlock()
 }
 
+// deadlineNanos validates a deadline and converts it to envelope form. It
+// returns an error when the deadline has already passed — the request must
+// not be sent at all.
+func deadlineNanos(deadline time.Time) (int64, error) {
+	if deadline.IsZero() {
+		return 0, nil
+	}
+	if !time.Now().Before(deadline) {
+		return 0, fmt.Errorf("%w: before send", ErrDeadlineExceeded)
+	}
+	return deadline.UnixNano(), nil
+}
+
+// wait blocks for the next event of an in-flight call, bounded by deadline
+// (zero = wait forever). A timeout abandons the call — a late reply is
+// dropped by the read loop — and returns ErrDeadlineExceeded.
+func (c *MuxClient) wait(id uint64, call *muxCall, timeout <-chan time.Time) (muxEvent, error) {
+	select {
+	case ev, ok := <-call.events:
+		if !ok {
+			return muxEvent{}, fmt.Errorf("%w: %v", ErrMuxClosed, c.Err())
+		}
+		return ev, nil
+	case <-timeout:
+		c.abandon(id)
+		return muxEvent{}, fmt.Errorf("%w: no reply for request %d", ErrDeadlineExceeded, id)
+	}
+}
+
+// deadlineTimer returns a channel firing at deadline (nil = never) and its
+// stop function.
+func deadlineTimer(deadline time.Time) (<-chan time.Time, func()) {
+	if deadline.IsZero() {
+		return nil, func() {}
+	}
+	tm := time.NewTimer(time.Until(deadline))
+	return tm.C, func() { tm.Stop() }
+}
+
 // Do sends one unary request and waits for its reply. A FrameErr answer is
 // returned as *RemoteError; a transport failure as ErrMuxClosed.
-func (c *MuxClient) Do(msg any) (any, error) {
+func (c *MuxClient) Do(msg any) (any, error) { return c.DoDeadline(msg, time.Time{}) }
+
+// DoDeadline is Do with an absolute deadline (zero = none): the deadline
+// rides in the request envelope so the serving side drops the work if it
+// expires before evaluation, and the wait for the reply is bounded by the
+// same clock — ErrDeadlineExceeded either way.
+func (c *MuxClient) DoDeadline(msg any, deadline time.Time) (any, error) {
+	dl, err := deadlineNanos(deadline)
+	if err != nil {
+		return nil, err
+	}
 	id, call, err := c.register()
 	if err != nil {
 		return nil, err
 	}
-	if err := c.send(id, msg); err != nil {
+	if err := c.send(id, msg, dl); err != nil {
 		c.abandon(id)
 		return nil, err
 	}
-	ev, ok := <-call.events
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrMuxClosed, c.Err())
+	timeout, stop := deadlineTimer(deadline)
+	defer stop()
+	ev, err := c.wait(id, call, timeout)
+	if err != nil {
+		return nil, err
 	}
 	switch ev.frameType {
 	case FrameMsg:
@@ -357,26 +463,85 @@ func (c *MuxClient) Do(msg any) (any, error) {
 	}
 }
 
+// Ping probes the peer over the identity stream: a FramePing is answered
+// inline by the serving side — before admission control, so a saturated but
+// alive peer still pongs — with its current Hello, which also refreshes
+// Peer(). The deadline bounds the whole probe (zero = wait forever, which is
+// almost never what a health checker wants).
+func (c *MuxClient) Ping(deadline time.Time) (Hello, error) {
+	if _, err := deadlineNanos(deadline); err != nil {
+		return Hello{}, err
+	}
+	id, call, err := c.register()
+	if err != nil {
+		return Hello{}, err
+	}
+	c.sendMu.Lock()
+	if !deadline.IsZero() {
+		_ = c.raw.SetWriteDeadline(deadline)
+	}
+	err = WriteFrame(c.raw, Frame{Type: FramePing, ID: id})
+	if !deadline.IsZero() {
+		_ = c.raw.SetWriteDeadline(time.Time{})
+	}
+	c.sendMu.Unlock()
+	if err != nil {
+		c.abandon(id)
+		c.fail(fmt.Errorf("%w: %v", ErrMuxClosed, err))
+		return Hello{}, fmt.Errorf("%w: %v", ErrMuxClosed, err)
+	}
+	timeout, stop := deadlineTimer(deadline)
+	defer stop()
+	ev, err := c.wait(id, call, timeout)
+	if err != nil {
+		return Hello{}, err
+	}
+	if ev.frameType != FramePong {
+		return Hello{}, fmt.Errorf("protocol: unexpected %d frame answering ping", ev.frameType)
+	}
+	h, ok := ev.msg.(Hello)
+	if !ok {
+		return Hello{}, fmt.Errorf("protocol: malformed pong payload %T", ev.msg)
+	}
+	return h, nil
+}
+
 // DoBatch sends a batch query and reassembles its streamed reply: one
 // BatchItem per query in any completion order, closed by a stream end. A
 // server answering with a buffered BatchReply (one FrameMsg) is accepted
 // too. Per-query failures land in the returned BatchReply.Errors; the error
 // return is reserved for whole-batch and transport failures.
 func (c *MuxClient) DoBatch(b BatchQuery) (BatchReply, error) {
+	return c.DoBatchDeadline(b, time.Time{})
+}
+
+// DoBatchDeadline is DoBatch with an absolute deadline (zero = none)
+// stamped into the request envelope and bounding the streamed reply drain.
+func (c *MuxClient) DoBatchDeadline(b BatchQuery, deadline time.Time) (BatchReply, error) {
+	dl, err := deadlineNanos(deadline)
+	if err != nil {
+		return BatchReply{}, err
+	}
 	id, call, err := c.register()
 	if err != nil {
 		return BatchReply{}, err
 	}
-	if err := c.send(id, b); err != nil {
+	if err := c.send(id, b, dl); err != nil {
 		c.abandon(id)
 		return BatchReply{}, err
 	}
+	timeout, stop := deadlineTimer(deadline)
+	defer stop()
 	reply := BatchReply{
 		BatchID: b.BatchID,
 		Replies: make([]ServerReply, len(b.Queries)),
 		Errors:  make([]string, len(b.Queries)),
 	}
-	for ev := range call.events {
+	for {
+		ev, werr := c.wait(id, call, timeout)
+		if werr != nil {
+			return BatchReply{}, werr
+		}
 		switch ev.frameType {
 		case FrameStreamItem:
 			item, ok := ev.msg.(BatchItem)
@@ -403,22 +568,30 @@ func (c *MuxClient) DoBatch(b BatchQuery) (BatchReply, error) {
 			return BatchReply{}, &RemoteError{Msg: fmt.Sprintf("malformed error reply %T", ev.msg)}
 		}
 	}
-	return BatchReply{}, fmt.Errorf("%w: %v", ErrMuxClosed, c.Err())
+}
+
+// ReqInfo carries per-request serving context to a MuxHandler.
+type ReqInfo struct {
+	// Shed is true when the connection is above its ShedAt watermark: the
+	// handler should degrade the answer (distance-only evaluation) rather
+	// than refuse it.
+	Shed bool
+	// Deadline is the request's absolute deadline (zero = none). The serve
+	// loop already drops work whose deadline passed before evaluation began;
+	// handlers may use the remaining budget to bound their own work.
+	Deadline time.Time
 }
 
 // MuxHandler answers unary messages arriving on a multiplexed connection.
-// shed is true when the connection is above its ShedAt watermark: the
-// handler should degrade the answer (distance-only evaluation) rather than
-// refuse it.
 type MuxHandler interface {
-	HandleMux(msg any, shed bool) (any, error)
+	HandleMux(msg any, info ReqInfo) (any, error)
 }
 
 // MuxHandlerFunc adapts a function to MuxHandler.
-type MuxHandlerFunc func(msg any, shed bool) (any, error)
+type MuxHandlerFunc func(msg any, info ReqInfo) (any, error)
 
 // HandleMux implements MuxHandler.
-func (f MuxHandlerFunc) HandleMux(msg any, shed bool) (any, error) { return f(msg, shed) }
+func (f MuxHandlerFunc) HandleMux(msg any, info ReqInfo) (any, error) { return f(msg, info) }
 
 // MuxBatchStreamer is an optional MuxHandler extension for serving sides
 // that stream batch replies: emit is called once per query as it completes
@@ -426,7 +599,7 @@ func (f MuxHandlerFunc) HandleMux(msg any, shed bool) (any, error) { return f(ms
 // HandleMuxBatch returns. Returning an error fails the whole batch with one
 // FrameErr instead.
 type MuxBatchStreamer interface {
-	HandleMuxBatch(b BatchQuery, shed bool, emit func(BatchItem)) error
+	HandleMuxBatch(b BatchQuery, info ReqInfo, emit func(BatchItem)) error
 }
 
 // MuxServerConfig parameterises the serving side of the multiplexed
@@ -467,11 +640,19 @@ func (sc *muxServerConn) reply(f FrameType, id uint64, msg any) error {
 	var payload []byte
 	if msg != nil {
 		var err error
-		payload, err = sc.enc.encode(msg)
+		payload, err = sc.enc.encode(msg, 0)
 		if err != nil {
 			return err
 		}
 	}
+	return WriteFrame(sc.raw, Frame{Type: f, ID: id, Payload: payload})
+}
+
+// replyRaw writes one frame with a pre-encoded payload (a self-contained gob,
+// like the handshake frames), bypassing the per-connection envelope stream.
+func (sc *muxServerConn) replyRaw(f FrameType, id uint64, payload []byte) error {
+	sc.sendMu.Lock()
+	defer sc.sendMu.Unlock()
 	return WriteFrame(sc.raw, Frame{Type: f, ID: id, Payload: payload})
 }
 
@@ -527,28 +708,63 @@ func ServeMuxConn(raw net.Conn, h MuxHandler, cfg MuxServerConfig) error {
 		if f.Type == FrameGoAway {
 			return nil
 		}
+		if f.Type == FramePing {
+			// Answered inline, before the admission slot gate, so a shard
+			// saturated with work still heartbeats. The pong carries a fresh
+			// Hello — every probe refreshes the peer's view of our identity.
+			var hello Hello
+			if cfg.Hello != nil {
+				hello = cfg.Hello()
+			}
+			if hello.MaxInFlight == 0 {
+				hello.MaxInFlight = maxInFlight
+			}
+			payload, err := encodeHello(hello)
+			if err != nil {
+				return fmt.Errorf("protocol: encoding pong: %v", err)
+			}
+			if err := sc.replyRaw(FramePong, f.ID, payload); err != nil {
+				return err
+			}
+			continue
+		}
 		if f.Type != FrameMsg {
 			return fmt.Errorf("protocol: unexpected %d frame from mux peer", f.Type)
 		}
 		// Decode in read order — the per-direction gob stream demands it —
 		// then hand off to a bounded worker.
-		msg, err := dec.decode(f.Payload)
+		msg, dlNanos, err := dec.decode(f.Payload)
 		if err != nil {
 			return err
+		}
+		var deadline time.Time
+		if dlNanos != 0 {
+			deadline = time.Unix(0, dlNanos)
+			if !time.Now().Before(deadline) {
+				// Expired before admission: refuse without burning a slot.
+				_ = sc.reply(FrameErr, f.ID, ErrorReply{Message: DeadlineExceededMsg})
+				continue
+			}
 		}
 		slots <- struct{}{} // blocks at MaxInFlight: transport backpressure
 		n := inFlight.Add(1)
 		shed := cfg.ShedAt > 0 && n >= int64(cfg.ShedAt)
 		wg.Add(1)
-		go func(id uint64, msg any, shed bool) {
+		go func(id uint64, msg any, info ReqInfo) {
 			defer func() {
 				inFlight.Add(-1)
 				<-slots
 				wg.Done()
 			}()
+			if !info.Deadline.IsZero() && !time.Now().Before(info.Deadline) {
+				// Expired while queued behind the slot gate: drop the work
+				// instead of evaluating an answer nobody is waiting for.
+				_ = sc.reply(FrameErr, id, ErrorReply{Message: DeadlineExceededMsg})
+				return
+			}
 			if b, ok := msg.(BatchQuery); ok {
 				if streamer, ok := h.(MuxBatchStreamer); ok {
-					err := streamer.HandleMuxBatch(b, shed, func(item BatchItem) {
+					err := streamer.HandleMuxBatch(b, info, func(item BatchItem) {
 						_ = sc.reply(FrameStreamItem, id, item)
 					})
 					if err != nil {
@@ -559,13 +775,13 @@ func ServeMuxConn(raw net.Conn, h MuxHandler, cfg MuxServerConfig) error {
 					return
 				}
 			}
-			res, err := h.HandleMux(msg, shed)
+			res, err := h.HandleMux(msg, info)
 			if err != nil {
 				_ = sc.reply(FrameErr, id, ErrorReply{Message: err.Error()})
 				return
 			}
 			_ = sc.reply(FrameMsg, id, res)
-		}(f.ID, msg, shed)
+		}(f.ID, msg, ReqInfo{Shed: shed, Deadline: deadline})
 	}
 }
 

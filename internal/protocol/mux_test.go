@@ -33,10 +33,10 @@ func muxPair(t *testing.T, h MuxHandler, cfg MuxServerConfig) *MuxClient {
 }
 
 // echoHandler answers every ServerQuery with a reply echoing the query ID.
-var echoHandler = MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+var echoHandler = MuxHandlerFunc(func(msg any, info ReqInfo) (any, error) {
 	switch m := msg.(type) {
 	case ServerQuery:
-		return ServerReply{QueryID: m.QueryID, Degraded: shed}, nil
+		return ServerReply{QueryID: m.QueryID, Degraded: info.Shed}, nil
 	default:
 		return nil, fmt.Errorf("unexpected message %T", msg)
 	}
@@ -95,17 +95,17 @@ func TestMuxConcurrentUnaryCalls(t *testing.T) {
 // engine emitting queries as they complete.
 type streamingEcho struct{}
 
-func (streamingEcho) HandleMux(msg any, shed bool) (any, error) {
-	return echoHandler(msg, shed)
+func (streamingEcho) HandleMux(msg any, info ReqInfo) (any, error) {
+	return echoHandler(msg, info)
 }
 
-func (streamingEcho) HandleMuxBatch(b BatchQuery, shed bool, emit func(BatchItem)) error {
+func (streamingEcho) HandleMuxBatch(b BatchQuery, info ReqInfo, emit func(BatchItem)) error {
 	for i := len(b.Queries) - 1; i >= 0; i-- { // deliberately reversed completion order
 		if b.Queries[i].QueryID == 666 {
 			emit(BatchItem{BatchID: b.BatchID, Index: i, Error: "poisoned query"})
 			continue
 		}
-		emit(BatchItem{BatchID: b.BatchID, Index: i, Reply: ServerReply{QueryID: b.Queries[i].QueryID, Degraded: shed}})
+		emit(BatchItem{BatchID: b.BatchID, Index: i, Reply: ServerReply{QueryID: b.Queries[i].QueryID, Degraded: info.Shed}})
 	}
 	return nil
 }
@@ -138,7 +138,7 @@ func TestMuxStreamingBatch(t *testing.T) {
 }
 
 func TestMuxRemoteError(t *testing.T) {
-	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
 		return nil, fmt.Errorf("handler exploded")
 	})
 	c := muxPair(t, h, MuxServerConfig{})
@@ -194,7 +194,7 @@ func TestMuxBackpressureBounds(t *testing.T) {
 	// until a slot frees.
 	gate := make(chan struct{})
 	var running, peak atomic.Int64
-	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
 		n := running.Add(1)
 		for {
 			p := peak.Load()
@@ -226,7 +226,7 @@ func TestMuxBackpressureBounds(t *testing.T) {
 
 func TestMuxClosedConnectionFailsCalls(t *testing.T) {
 	block := make(chan struct{})
-	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
 		<-block
 		return ServerReply{}, nil
 	})
@@ -251,7 +251,7 @@ func TestMuxClosedConnectionFailsCalls(t *testing.T) {
 }
 
 func TestMuxWeightUpdateRoundTrip(t *testing.T) {
-	h := MuxHandlerFunc(func(msg any, shed bool) (any, error) {
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
 		wu, ok := msg.(WeightUpdate)
 		if !ok {
 			return nil, fmt.Errorf("unexpected %T", msg)
@@ -267,4 +267,152 @@ func TestMuxWeightUpdateRoundTrip(t *testing.T) {
 	if !ok || ack.UpdateID != 11 || ack.Generation != 2 || ack.ContentSum != 0xbeef {
 		t.Errorf("ack = %+v", res)
 	}
+}
+
+// TestMuxPing pins the heartbeat probe: a FramePing comes back as a pong
+// carrying the peer's *current* Hello — so a probe observes generation and
+// checksum changes without a reconnect — and refreshes Peer().
+func TestMuxPing(t *testing.T) {
+	var gen atomic.Uint64
+	gen.Store(1)
+	cfg := MuxServerConfig{Hello: func() Hello {
+		return Hello{Node: "shard-0", Role: "server", Generation: gen.Load(), ContentSum: gen.Load() * 0x1111}
+	}}
+	c := muxPair(t, echoHandler, cfg)
+	if g := c.Peer().Generation; g != 1 {
+		t.Fatalf("handshake generation = %d, want 1", g)
+	}
+	gen.Store(5)
+	h, err := c.Ping(time.Now().Add(2 * time.Second))
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if h.Generation != 5 || h.ContentSum != 5*0x1111 {
+		t.Errorf("pong hello = %+v, want the refreshed identity", h)
+	}
+	if g := c.Peer().Generation; g != 5 {
+		t.Errorf("Peer().Generation = %d after pong, want 5", g)
+	}
+}
+
+// TestMuxPingWhileSaturated pins the liveness property the health prober
+// depends on: pings are answered before the admission slot gate, so a peer
+// whose every slot is occupied by slow work still pongs — saturation is not
+// death.
+func TestMuxPingWhileSaturated(t *testing.T) {
+	gate := make(chan struct{})
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
+		<-gate
+		return ServerReply{QueryID: msg.(ServerQuery).QueryID}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{MaxInFlight: 1})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Do(ServerQuery{QueryID: 1})
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request occupy the only slot
+	if _, err := c.Ping(time.Now().Add(2 * time.Second)); err != nil {
+		t.Errorf("ping against a saturated peer: %v", err)
+	}
+	close(gate)
+	wg.Wait()
+}
+
+// TestMuxDeadlineClientTimeout pins the client half of deadline propagation:
+// a call whose deadline passes with no reply fails with a deadline error and
+// leaves the connection usable — an expired request is abandoned, not a
+// connection failure.
+func TestMuxDeadlineClientTimeout(t *testing.T) {
+	gate := make(chan struct{})
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
+		q := msg.(ServerQuery)
+		if q.QueryID == 1 {
+			<-gate
+		}
+		return ServerReply{QueryID: q.QueryID}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{})
+	_, err := c.DoDeadline(ServerQuery{QueryID: 1}, time.Now().Add(40*time.Millisecond))
+	if err == nil {
+		t.Fatal("stalled call beat its deadline")
+	}
+	if !IsDeadlineExceeded(err) {
+		t.Fatalf("stalled call error = %v, want a deadline error", err)
+	}
+	close(gate)
+	res, err := c.Do(ServerQuery{QueryID: 2})
+	if err != nil {
+		t.Fatalf("call after a deadline miss: %v", err)
+	}
+	if rep := res.(ServerReply); rep.QueryID != 2 {
+		t.Errorf("reply %+v after deadline miss", rep)
+	}
+}
+
+// TestMuxDeadlineServerDrop pins the server half: work whose deadline
+// expired while queued behind the admission gate is dropped without
+// invoking the handler — the serving side never evaluates an answer nobody
+// is waiting for.
+func TestMuxDeadlineServerDrop(t *testing.T) {
+	gate := make(chan struct{})
+	var calls atomic.Int64
+	h := MuxHandlerFunc(func(msg any, _ ReqInfo) (any, error) {
+		calls.Add(1)
+		<-gate
+		return ServerReply{QueryID: msg.(ServerQuery).QueryID}, nil
+	})
+	c := muxPair(t, h, MuxServerConfig{MaxInFlight: 1})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _ = c.Do(ServerQuery{QueryID: 1}) // occupies the only slot
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		// Queued behind the slot; expires before the slot frees.
+		_, err := c.DoDeadline(ServerQuery{QueryID: 2}, time.Now().Add(40*time.Millisecond))
+		if !IsDeadlineExceeded(err) {
+			t.Errorf("queued-past-deadline call error = %v, want a deadline error", err)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let query 2 expire while queued
+	close(gate)
+	wg.Wait()
+	// Give the dropped request's worker a beat, then demand the handler ran
+	// exactly once: query 2 must have been dropped at the re-check.
+	time.Sleep(50 * time.Millisecond)
+	if n := calls.Load(); n != 1 {
+		t.Errorf("handler ran %d times, want 1 (expired work must be dropped)", n)
+	}
+}
+
+// FuzzMuxHello hammers the handshake/pong decoder with arbitrary payloads:
+// decodeHello must never panic, and any hello it accepts must re-encode.
+func FuzzMuxHello(f *testing.F) {
+	for _, h := range []Hello{
+		{},
+		{Node: "shard-0", Role: "server", Generation: 3, ContentSum: 0xfeed, Cells: 8, MaxInFlight: 64, Profiles: []string{"am-peak", "pm-peak"}},
+		{Node: "router", Role: "router"},
+	} {
+		payload, err := encodeHello(h)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHello(data)
+		if err != nil {
+			return
+		}
+		if _, err := encodeHello(h); err != nil {
+			t.Errorf("accepted hello %+v does not re-encode: %v", h, err)
+		}
+	})
 }

@@ -206,7 +206,13 @@ func CandidateFromPath(s, t roadnet.NodeID, p search.Path) CandidatePath {
 
 // Envelope wraps any protocol message with its type tag for gob framing.
 type Envelope struct {
-	Type      MessageType
+	Type MessageType
+	// Deadline is the request's absolute deadline in Unix nanoseconds (0 =
+	// none). It rides in the envelope so every hop of a multiplexed chain
+	// (obfuscator → router → shard) sees the same wall-clock budget: the
+	// serving side drops work whose deadline expired before evaluation
+	// started instead of burning cycles on an answer nobody is waiting for.
+	Deadline int64 `json:",omitempty"`
 	Request   *ClientRequest   `json:",omitempty"`
 	Reply     *ClientReply     `json:",omitempty"`
 	Query     *ServerQuery     `json:",omitempty"`

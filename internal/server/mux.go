@@ -49,16 +49,16 @@ type serverMuxHandler struct {
 }
 
 // HandleMux implements protocol.MuxHandler.
-func (h serverMuxHandler) HandleMux(msg any, shed bool) (any, error) {
+func (h serverMuxHandler) HandleMux(msg any, info protocol.ReqInfo) (any, error) {
 	switch m := msg.(type) {
 	case protocol.ServerQuery:
-		if shed {
+		if info.Shed {
 			m.DistanceOnly = true
 		}
 		return h.s.Evaluate(m)
 	case protocol.BatchQuery:
 		// Unary fallback; the transport normally takes HandleMuxBatch.
-		return h.s.evaluateBatchMessage(shedBatch(m, shed)), nil
+		return h.s.evaluateBatchMessage(shedBatch(m, info.Shed)), nil
 	case protocol.WeightUpdate:
 		return h.s.applyWeightUpdate(m)
 	default:
@@ -68,8 +68,8 @@ func (h serverMuxHandler) HandleMux(msg any, shed bool) (any, error) {
 
 // HandleMuxBatch implements protocol.MuxBatchStreamer: every query of the
 // batch streams out as its own reply frame the moment it completes.
-func (h serverMuxHandler) HandleMuxBatch(b protocol.BatchQuery, shed bool, emit func(protocol.BatchItem)) error {
-	b = shedBatch(b, shed)
+func (h serverMuxHandler) HandleMuxBatch(b protocol.BatchQuery, info protocol.ReqInfo, emit func(protocol.BatchItem)) error {
+	b = shedBatch(b, info.Shed)
 	h.s.EvaluateBatchStream(b.Queries, func(i int, r BatchResult) {
 		item := protocol.BatchItem{BatchID: b.BatchID, Index: i, Reply: r.Reply}
 		if r.Err != nil {
