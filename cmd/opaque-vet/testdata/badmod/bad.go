@@ -1,0 +1,12 @@
+// Package badmod is a one-file module with a known sentinelis violation;
+// the opaque-vet command tests point the driver at it to exercise the
+// finding/exit-code path without typechecking the whole real module.
+package badmod
+
+import "errors"
+
+// ErrBoom is a module sentinel.
+var ErrBoom = errors.New("boom")
+
+// Check compares by identity — the violation the tests expect.
+func Check(err error) bool { return err == ErrBoom }

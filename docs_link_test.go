@@ -8,13 +8,13 @@ import (
 	"testing"
 )
 
-// TestDocIntraRepoLinks fails when README.md, docs/ARCHITECTURE.md or
-// docs/FORMATS.md reference a repository file that does not exist — both
-// markdown links/images and the backtick-quoted file paths the prose leans
-// on. CI runs it as the docs job step, so a renamed file cannot silently
-// orphan the documentation that points at it.
+// TestDocIntraRepoLinks fails when README.md, docs/ARCHITECTURE.md,
+// docs/FORMATS.md or docs/LINTS.md reference a repository file that does
+// not exist — both markdown links/images and the backtick-quoted file paths
+// the prose leans on. CI runs it as the docs job step, so a renamed file
+// cannot silently orphan the documentation that points at it.
 func TestDocIntraRepoLinks(t *testing.T) {
-	docs := []string{"README.md", "docs/ARCHITECTURE.md", "docs/FORMATS.md"}
+	docs := []string{"README.md", "docs/ARCHITECTURE.md", "docs/FORMATS.md", "docs/LINTS.md"}
 
 	// [text](target) and ![alt](target), excluding external schemes and
 	// pure intra-page anchors.

@@ -1,0 +1,24 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsClean runs the full suite over the repository itself — the same
+// invocation CI makes via `go run ./cmd/opaque-vet ./...` — and asserts zero
+// findings. Every invariant the suite enforces holds on the committed tree;
+// a new violation fails this test before it fails CI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short mode")
+	}
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings := Run(mod, All())
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("%d finding(s); fix them or waive with //opaque:allow(<name>) plus a justifying comment", len(findings))
+	}
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameCase flags switch statements over protocol.FrameType that neither
+// handle every declared Frame* constant nor carry a default clause. PR 9
+// added FramePing/FramePong and every switch in mux.go had to be found and
+// audited by hand; this analyzer makes the next frame type a compile-gate
+// instead of a hunt.
+var FrameCase = &Analyzer{
+	Name: "framecase",
+	Doc:  "switches over protocol.FrameType must handle every Frame* constant or have a default",
+	Run:  runFrameCase,
+}
+
+func runFrameCase(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tagType := pass.TypeOf(sw.Tag)
+			if tagType == nil || !pass.isNamed(tagType, "internal/protocol", "FrameType") {
+				return true
+			}
+			named := namedType(tagType)
+			declared := declaredFrameConsts(named)
+
+			handled := map[string]bool{} // by exact constant value
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if tv, ok := pass.Pkg.Info.Types[e]; ok && tv.Value != nil {
+						handled[tv.Value.ExactString()] = true
+					}
+				}
+			}
+			if hasDefault {
+				return true
+			}
+			var missing []string
+			for _, c := range declared {
+				if !handled[c.value] {
+					missing = append(missing, c.name)
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(),
+					"switch on protocol.FrameType does not handle %s and has no default",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// frameConst is one declared frame-type constant, keyed by its exact value
+// so aliases of the same value (none today) would count as one case.
+type frameConst struct {
+	name  string
+	value string
+}
+
+// declaredFrameConsts lists the exported constants of the FrameType type
+// from its declaring package, one per distinct value, in value order.
+func declaredFrameConsts(named *types.Named) []frameConst {
+	scope := named.Obj().Pkg().Scope()
+	seen := map[string]bool{}
+	var consts []frameConst
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !c.Exported() || !types.Identical(c.Type(), named) {
+			continue
+		}
+		v := c.Val().ExactString()
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		consts = append(consts, frameConst{name: name, value: v})
+	}
+	sort.Slice(consts, func(i, j int) bool {
+		a, _ := constant.Int64Val(constant.MakeFromLiteral(consts[i].value, token.INT, 0))
+		b, _ := constant.Int64Val(constant.MakeFromLiteral(consts[j].value, token.INT, 0))
+		return a < b
+	})
+	return consts
+}

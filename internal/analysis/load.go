@@ -1,0 +1,313 @@
+package analysis
+
+// This file is the suite's package loader: a stdlib-only substitute for
+// golang.org/x/tools/go/packages, good enough for one module with no
+// external dependencies. It walks the module tree, parses every non-test
+// .go file, topologically sorts the module-internal import graph and
+// typechecks each package with go/types. Standard-library imports are
+// resolved by the source importer (go/importer "source" mode), which
+// typechecks the stdlib from GOROOT sources — slower than export data but
+// requiring no toolchain cooperation and no third-party code.
+//
+// Test files (_test.go) and testdata/ trees are deliberately out of scope:
+// the invariants the suite enforces are about serving code, and external
+// test packages would complicate single-pass typechecking for no analyzer
+// coverage the runtime test suite does not already provide.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one typechecked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path (module path + relative directory).
+	Path string
+	// Dir is the directory the package's files live in.
+	Dir string
+	// Files are the parsed non-test files, sorted by file name.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the loaded analysis universe: every package of one module,
+// typechecked, in dependency order.
+type Module struct {
+	// Path is the module path from go.mod (or the pseudo-module path a test
+	// harness loads a file tree under).
+	Path string
+	// Dir is the module root directory.
+	Dir string
+	// Fset positions every parsed file (including stdlib sources pulled in
+	// by the source importer).
+	Fset *token.FileSet
+	// Packages holds every loaded package in topological (dependency-first)
+	// order.
+	Packages []*Package
+
+	byPath map[string]*Package
+}
+
+// Lookup returns the loaded package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package { return m.byPath[path] }
+
+// LoadModule locates go.mod in dir, reads the module path from it and loads
+// every package under dir.
+func LoadModule(dir string) (*Module, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading go.mod: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("analysis: no module directive in %s/go.mod", dir)
+	}
+	return LoadTree(dir, modPath)
+}
+
+// LoadTree loads every package in the file tree rooted at dir, treating dir
+// as the root of a module named modPath. The analyzer tests use it to load
+// testdata trees under a pseudo-module path.
+func LoadTree(dir, modPath string) (*Module, error) {
+	// The source importer typechecks stdlib packages from GOROOT source via
+	// go/build; with cgo enabled it would try to run the C preprocessor on
+	// packages like net. The pure-Go fallbacks typecheck identically for
+	// analysis purposes, so force them.
+	build.Default.CgoEnabled = false
+
+	dirs, err := packageDirs(dir)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{
+		Path:   modPath,
+		Dir:    dir,
+		Fset:   token.NewFileSet(),
+		byPath: make(map[string]*Package),
+	}
+
+	var all []*parsedPkg
+	for _, d := range dirs {
+		p, err := parsePackage(mod, d)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no buildable non-test files
+		}
+		deps := map[string]bool{}
+		for _, f := range p.pkg.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == modPath || strings.HasPrefix(path, modPath+"/") {
+					deps[path] = true
+				}
+			}
+		}
+		for d := range deps {
+			p.imports = append(p.imports, d)
+		}
+		sort.Strings(p.imports)
+		all = append(all, p)
+	}
+
+	order, err := topoSort(all, func(p *parsedPkg) (string, []string) { return p.pkg.Path, p.imports })
+	if err != nil {
+		return nil, err
+	}
+
+	imp := &chainImporter{
+		mod: mod,
+		std: importer.ForCompiler(mod.Fset, "source", nil),
+	}
+	for _, p := range order {
+		if err := typecheck(mod, p.pkg, imp); err != nil {
+			return nil, err
+		}
+		mod.Packages = append(mod.Packages, p.pkg)
+		mod.byPath[p.pkg.Path] = p.pkg
+	}
+	return mod, nil
+}
+
+// packageDirs returns every directory under root that may hold a package,
+// skipping VCS metadata, vendor trees, testdata trees and hidden entries.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("analysis: walking %s: %w", root, err)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// parsedPkg pairs a parsed-but-not-yet-typechecked package with its
+// module-internal imports, the edges the topological sort orders by.
+type parsedPkg struct {
+	pkg     *Package
+	imports []string
+}
+
+// parsePackage parses the non-test files of one directory. It returns nil
+// when the directory holds no buildable Go files.
+func parsePackage(mod *Module, dir string) (*parsedPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(mod.Dir, dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	importPath := mod.Path
+	if rel != "." {
+		importPath = mod.Path + "/" + filepath.ToSlash(rel)
+	}
+
+	p := &Package{Path: importPath, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(mod.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		p.Files = append(p.Files, f)
+	}
+	return &parsedPkg{pkg: p}, nil
+}
+
+// topoSort orders items dependency-first, failing on import cycles.
+func topoSort[T any](items []T, key func(T) (string, []string)) ([]T, error) {
+	byPath := make(map[string]T, len(items))
+	for _, it := range items {
+		p, _ := key(it)
+		byPath[p] = it
+	}
+	const (
+		unvisited = 0
+		visiting  = 1
+		done      = 2
+	)
+	state := make(map[string]int, len(items))
+	var order []T
+	var visit func(path string) error
+	visit = func(path string) error {
+		switch state[path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", path)
+		}
+		state[path] = visiting
+		it, ok := byPath[path]
+		if !ok {
+			// An internal import of a directory with no buildable files would
+			// already have failed typechecking; nothing to order here.
+			state[path] = done
+			return nil
+		}
+		_, deps := key(it)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = done
+		order = append(order, it)
+		return nil
+	}
+	var paths []string
+	for p := range byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// chainImporter resolves module-internal imports to already-typechecked
+// packages (the loader works in dependency order, so they are ready) and
+// hands everything else — the standard library — to the source importer.
+type chainImporter struct {
+	mod *Module
+	std types.Importer
+}
+
+// Import implements types.Importer.
+func (ci *chainImporter) Import(path string) (*types.Package, error) {
+	if path == ci.mod.Path || strings.HasPrefix(path, ci.mod.Path+"/") {
+		if p := ci.mod.Lookup(path); p != nil {
+			return p.Types, nil
+		}
+		return nil, fmt.Errorf("analysis: internal import %q not loaded", path)
+	}
+	return ci.std.Import(path)
+}
+
+// typecheck runs go/types over one parsed package.
+func typecheck(mod *Module, p *Package, imp types.Importer) error {
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tp, err := conf.Check(p.Path, mod.Fset, p.Files, info)
+	if err != nil {
+		return fmt.Errorf("analysis: typechecking %s: %w", p.Path, err)
+	}
+	p.Types = tp
+	p.Info = info
+	return nil
+}

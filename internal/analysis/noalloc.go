@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoAlloc flags allocating constructs inside functions annotated
+// //opaque:noalloc. The annotation marks the measured zero-allocation hot
+// paths — the workspace search kernels, the MTM sweep loops, the OPMX1
+// frame encode/decode — whose 0 allocs/op property the benchmarks pin; the
+// analyzer makes the property reviewable at the call site instead of only
+// falsifiable by running the benchmark.
+//
+// Flagged constructs, each of which allocates (or may allocate) on every
+// execution: make and new, &composite{} literals, slice and map composite
+// literals, append, closures (func literals), calls into package fmt,
+// string concatenation (+ and +=), map writes, and string<->[]byte/[]rune
+// conversions. Struct and array *value* literals are not flagged — they
+// live in registers or on the stack.
+//
+// The check is intraprocedural: a call to an allocating helper is not
+// followed. Error paths that allocate only when the invariant they report
+// is already broken are waived per line with //opaque:allow(noalloc) and a
+// justifying comment.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //opaque:noalloc must contain no allocating constructs",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !funcNoalloc(fd) {
+				continue
+			}
+			name := declName(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				return pass.checkAllocNode(n, name)
+			})
+		}
+	}
+}
+
+// checkAllocNode reports n if it is an allocating construct; the return
+// value steers ast.Inspect (false stops descent below a reported closure).
+func (p *Pass) checkAllocNode(n ast.Node, fn string) bool {
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		p.Reportf(n.Pos(), "closure allocates in //opaque:noalloc function %s", fn)
+		return false // one finding per closure, not one per construct inside
+	case *ast.CallExpr:
+		p.checkAllocCall(n, fn)
+	case *ast.UnaryExpr:
+		if lit, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+			p.Reportf(n.Pos(), "&%s{} literal allocates in //opaque:noalloc function %s", typeLabel(p, lit), fn)
+			return false
+		}
+	case *ast.CompositeLit:
+		t := p.TypeOf(n)
+		if t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in //opaque:noalloc function %s", fn)
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in //opaque:noalloc function %s", fn)
+			}
+		}
+	case *ast.BinaryExpr:
+		if n.Op.String() == "+" && p.isString(n.X) {
+			p.Reportf(n.Pos(), "string concatenation allocates in //opaque:noalloc function %s", fn)
+		}
+	case *ast.AssignStmt:
+		if n.Tok.String() == "+=" && len(n.Lhs) == 1 && p.isString(n.Lhs[0]) {
+			p.Reportf(n.Pos(), "string concatenation allocates in //opaque:noalloc function %s", fn)
+		}
+		for _, lhs := range n.Lhs {
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				if t := p.TypeOf(idx.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						p.Reportf(lhs.Pos(), "map write may allocate in //opaque:noalloc function %s", fn)
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkAllocCall reports allocating calls: the make/new/append builtins,
+// fmt.* and allocating string conversions.
+func (p *Pass) checkAllocCall(call *ast.CallExpr, fn string) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := p.ObjectOf(fun).(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new", "append":
+				p.Reportf(call.Pos(), "%s allocates in //opaque:noalloc function %s", b.Name(), fn)
+			}
+			return
+		}
+	case *ast.SelectorExpr:
+		if obj := p.ObjectOf(fun.Sel); obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+			p.Reportf(call.Pos(), "fmt.%s allocates in //opaque:noalloc function %s", fun.Sel.Name, fn)
+			return
+		}
+	}
+	// Conversions T(x) where T and x disagree across string/byte boundaries.
+	if tv, ok := p.Pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.TypeOf(call.Fun), p.TypeOf(call.Args[0])
+		if to != nil && from != nil && allocatingConversion(to, from) {
+			p.Reportf(call.Pos(), "%s conversion allocates in //opaque:noalloc function %s", types.TypeString(to, nil), fn)
+		}
+	}
+}
+
+// allocatingConversion reports string <-> []byte / []rune conversions, which
+// copy their operand.
+func allocatingConversion(to, from types.Type) bool {
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+		e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+// isString reports whether e has string type.
+func (p *Pass) isString(e ast.Expr) bool {
+	t := p.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+// typeLabel renders the type expression of a composite literal for findings.
+func typeLabel(p *Pass, lit *ast.CompositeLit) string {
+	if t := p.TypeOf(lit); t != nil {
+		if n := namedType(t); n != nil {
+			return n.Obj().Name()
+		}
+	}
+	return "composite"
+}

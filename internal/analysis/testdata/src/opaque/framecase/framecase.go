@@ -1,0 +1,55 @@
+// Package framecase exercises the framecase analyzer: switches over
+// protocol.FrameType must handle every declared Frame* constant or carry a
+// default clause.
+package framecase
+
+import "opaque/internal/protocol"
+
+func bad(t protocol.FrameType) int {
+	switch t { // want `\[framecase\] switch on protocol\.FrameType does not handle FrameErr, FramePing and has no default`
+	case protocol.FrameHello:
+		return 1
+	case protocol.FrameMsg:
+		return 2
+	}
+	return 0
+}
+
+func exhaustive(t protocol.FrameType) int {
+	switch t {
+	case protocol.FrameHello, protocol.FrameMsg:
+		return 1
+	case protocol.FrameErr:
+		return 2
+	case protocol.FramePing:
+		return 3
+	}
+	return 0
+}
+
+func defaulted(t protocol.FrameType) int {
+	switch t {
+	case protocol.FrameHello:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func otherSwitch(n int) int {
+	// Switches over other types are out of scope.
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func waived(t protocol.FrameType) int {
+	//opaque:allow(framecase) handshake dispatch: post-hello frames are handled by the stream loop
+	switch t {
+	case protocol.FrameHello:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,21 @@
+// Package protocol is a miniature stand-in for the real internal/protocol:
+// the FrameType enumeration the framecase analyzer checks switches against,
+// and one frame-level sentinel for the sentinelis tests.
+package protocol
+
+import "errors"
+
+// ErrFrameTooLarge mirrors the real module's frame errors.
+var ErrFrameTooLarge = errors.New("frame exceeds size limit")
+
+// FrameType tags each frame of the wire protocol.
+type FrameType uint8
+
+// The declared frame types. The framecase analyzer requires every switch
+// over FrameType to handle all four or carry a default clause.
+const (
+	FrameHello FrameType = iota + 1
+	FrameMsg
+	FrameErr
+	FramePing
+)

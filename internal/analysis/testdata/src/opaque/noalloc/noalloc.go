@@ -1,0 +1,66 @@
+// Package noalloc exercises the noalloc analyzer: functions annotated
+// //opaque:noalloc must contain no allocating constructs.
+package noalloc
+
+import "fmt"
+
+type rec struct{ a, b int }
+
+//opaque:noalloc
+func bad(xs []int, m map[int]int, s string) int {
+	ys := make([]int, 4) // want `\[noalloc\] make allocates in //opaque:noalloc function bad`
+	_ = ys
+	p := new(rec) // want `\[noalloc\] new allocates in //opaque:noalloc function bad`
+	_ = p
+	q := &rec{a: 1} // want `\[noalloc\] &rec\{\} literal allocates in //opaque:noalloc function bad`
+	_ = q
+	sl := []int{1, 2} // want `\[noalloc\] slice literal allocates in //opaque:noalloc function bad`
+	_ = sl
+	mp := map[int]int{} // want `\[noalloc\] map literal allocates in //opaque:noalloc function bad`
+	_ = mp
+	xs = append(xs, 1) // want `\[noalloc\] append allocates in //opaque:noalloc function bad`
+	fmt.Println(s)     // want `\[noalloc\] fmt\.Println allocates in //opaque:noalloc function bad`
+	t := s + "!"       // want `\[noalloc\] string concatenation allocates in //opaque:noalloc function bad`
+	_ = t
+	m[1] = 2       // want `\[noalloc\] map write may allocate in //opaque:noalloc function bad`
+	b := []byte(s) // want `\[noalloc\] \[\]byte conversion allocates in //opaque:noalloc function bad`
+	_ = b
+	f := func() {} // want `\[noalloc\] closure allocates in //opaque:noalloc function bad`
+	_ = f
+	return len(xs)
+}
+
+//opaque:noalloc
+func badConcatAssign(s, suffix string) string {
+	s += suffix // want `\[noalloc\] string concatenation allocates in //opaque:noalloc function badConcatAssign`
+	return s
+}
+
+//opaque:noalloc
+func good(xs []int, w rec) int {
+	// Struct and array value literals live on the stack: not flagged.
+	v := rec{a: 1, b: 2}
+	var arr [4]int
+	for i := range arr {
+		arr[i] = xs[0] + v.a + w.b
+	}
+	xs[0] = arr[1] // slice element write: no allocation
+	return arr[0]
+}
+
+//opaque:noalloc
+func (r *rec) goodMethod(xs []int) int {
+	r.a = xs[0]
+	return r.a + r.b
+}
+
+func unannotated() []int {
+	// No annotation, no check.
+	return make([]int, 8)
+}
+
+//opaque:noalloc
+func waived(s string) []byte {
+	//opaque:allow(noalloc) cold error path: runs only when the frame is already rejected
+	return []byte(s)
+}

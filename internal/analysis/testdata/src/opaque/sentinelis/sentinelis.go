@@ -1,0 +1,64 @@
+// Package sentinelis exercises the sentinelis analyzer: module error
+// sentinels must be matched with errors.Is and wrapped with %w.
+package sentinelis
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"opaque/internal/protocol"
+	"opaque/internal/search"
+)
+
+// ErrLocal is a package-local module sentinel.
+var ErrLocal = errors.New("local failure")
+
+func badCompare(err error) bool {
+	if err == search.ErrStaleEngine { // want `\[sentinelis\] comparison with sentinel ErrStaleEngine using == misses wrapped errors`
+		return true
+	}
+	if err != ErrLocal { // want `\[sentinelis\] comparison with sentinel ErrLocal using != misses wrapped errors`
+		return false
+	}
+	return false
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case search.ErrStaleEngine: // want `\[sentinelis\] switch case compares error against sentinel ErrStaleEngine by identity`
+		return 1
+	case protocol.ErrFrameTooLarge: // want `\[sentinelis\] switch case compares error against sentinel ErrFrameTooLarge by identity`
+		return 2
+	default:
+		return 0
+	}
+}
+
+func badWrap() error {
+	return fmt.Errorf("refresh failed: %v", search.ErrStaleEngine) // want `\[sentinelis\] sentinel ErrStaleEngine wrapped with %v loses the error chain`
+}
+
+func badWrapSecondArg(gen uint64) error {
+	return fmt.Errorf("generation %d: %s", gen, ErrLocal) // want `\[sentinelis\] sentinel ErrLocal wrapped with %s loses the error chain`
+}
+
+func good(err error, gen uint64) error {
+	if errors.Is(err, search.ErrStaleEngine) {
+		return fmt.Errorf("generation %d: %w", gen, search.ErrStaleEngine)
+	}
+	if err == io.EOF { // stdlib identity: out of scope by design
+		return nil
+	}
+	return err
+}
+
+func goodNonSentinel(err, other error) bool {
+	// Comparing two plain error values is not a sentinel check.
+	return err == other
+}
+
+func waived(err error) bool {
+	//opaque:allow(sentinelis) identity intended: this sentinel is never wrapped on this path
+	return err == ErrLocal
+}

@@ -1,0 +1,114 @@
+// Package wspool exercises the wspool analyzer: every workspace checked out
+// of the pool must be returned (Put/Release) on all paths, or its ownership
+// explicitly transferred.
+package wspool
+
+import "opaque/internal/search"
+
+var pool search.WorkspacePool
+
+func use(w *search.Workspace) {}
+
+// holder models the TreeCache pattern: a struct that keeps a workspace.
+type holder struct{ ws *search.Workspace }
+
+func earlyReturnLeak(n int) int {
+	w := pool.Get(n)
+	if n < 0 {
+		return 0 // want `\[wspool\] workspace acquired at line \d+ is still held when earlyReturnLeak exits here`
+	}
+	w.Release()
+	return n
+}
+
+func fallOffEndLeak(n int) {
+	w := pool.Get(n)
+	use(w)
+} // want `\[wspool\] workspace acquired at line \d+ is still held when fallOffEndLeak exits here`
+
+func droppedOnFloor(n int) {
+	pool.Get(n) // want `\[wspool\] workspace checked out of the pool is dropped on the floor`
+}
+
+func blankBound(n int) {
+	_ = pool.Get(n) // want `\[wspool\] workspace checked out of the pool is not bound to a variable`
+}
+
+func reassignedWhileHeld(n int) {
+	w := pool.Get(n)
+	w = pool.Get(n + 1) // want `\[wspool\] workspace variable reassigned while the workspace acquired at line \d+ is still held`
+	w.Release()
+}
+
+func acquireFuncLeak(n int) {
+	w := search.AcquireWorkspace(n)
+	use(w)
+} // want `\[wspool\] workspace acquired at line \d+ is still held when acquireFuncLeak exits here`
+
+func breakLeak(items []int) {
+	for _, it := range items {
+		w := pool.Get(it)
+		if it > 3 {
+			break
+		}
+		w.Release()
+	}
+} // want `\[wspool\] workspace acquired at line \d+ is still held when breakLeak exits here`
+
+func goodDeferredRelease(n int) int {
+	w := pool.Get(n)
+	defer w.Release()
+	use(w)
+	return n
+}
+
+func goodDeferredPut(n int) int {
+	w := pool.Get(n)
+	defer pool.Put(w)
+	return n
+}
+
+func goodDeferClosure(n int) {
+	w := pool.Get(n)
+	defer func() { w.Release() }()
+	use(w)
+}
+
+func goodBranches(n int) {
+	w := pool.Get(n)
+	if n > 0 {
+		pool.Put(w)
+	} else {
+		w.Release()
+	}
+}
+
+func goodHandoff(n int) *search.Workspace {
+	// Returning the workspace transfers ownership to the caller.
+	w := pool.Get(n)
+	return w
+}
+
+func goodTransferToStruct(n int) *holder {
+	// Storing into a composite transfers ownership to the holder.
+	w := pool.Get(n)
+	return &holder{ws: w}
+}
+
+func goodAliasMove(n int) {
+	w := pool.Get(n)
+	v := w
+	v.Release()
+}
+
+func goodChannelSend(n int, ch chan *search.Workspace) {
+	// Sending on a channel hands the workspace to the receiver.
+	w := pool.Get(n)
+	ch <- w
+}
+
+func waivedLeak(n int) {
+	w := pool.Get(n)
+	use(w)
+	//opaque:allow(wspool) deliberately leaked: the process exits right after this benchmark probe
+}

@@ -1,0 +1,552 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WSPool flags search.Workspace checkouts that can leave the pool without a
+// matching return. A leaked workspace is silent: the sync.Pool backing
+// WorkspacePool simply constructs a fresh one next time, the Fresh counter
+// creeps and the 0 allocs/op steady state PR 2 bought is gone — no test
+// fails, the benchmark just regresses. The analyzer walks every function
+// path-sensitively:
+//
+//   - an acquisition is a (*WorkspacePool).Get or AcquireWorkspace result
+//     assigned to a variable;
+//   - a release is (*WorkspacePool).Put(w) or w.Release(), directly,
+//     deferred, or inside a deferred closure;
+//   - ownership transfers stop tracking: returning the workspace, storing
+//     it into a struct/slice/map composite or field, or sending it on a
+//     channel hands responsibility to the new holder (the TreeCache pattern
+//     — cached trees deliberately keep their workspaces until eviction).
+//
+// Every return statement (and the fall-off-the-end exit) on which a tracked
+// workspace is still held is reported. The check is intraprocedural; a
+// workspace passed as a plain call argument is treated as borrowed, not
+// transferred.
+var WSPool = &Analyzer{
+	Name: "wspool",
+	Doc:  "every WorkspacePool.Get must be matched by Put/Release on all return paths",
+	Run:  runWSPool,
+}
+
+func runWSPool(pass *Pass) {
+	for _, file := range pass.Pkg.Files {
+		// Each function literal is its own flow universe: a closure's body
+		// runs at a different time than its enclosing function, so holds and
+		// releases do not mix across the boundary.
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					newWSFlow(pass, declName(n)).analyze(n.Body)
+				}
+				return true
+			case *ast.FuncLit:
+				newWSFlow(pass, "function literal").analyze(n.Body)
+				return true
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+}
+
+// wsState maps each held workspace variable to its acquisition position.
+type wsState map[types.Object]token.Pos
+
+func (s wsState) clone() wsState {
+	c := make(wsState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// merge unions two states, keeping the earlier acquisition position.
+func merge(a, b wsState) wsState {
+	out := a.clone()
+	for k, v := range b {
+		if old, ok := out[k]; !ok || v < old {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// wsBreakCtx collects the states of break/continue statements targeting one
+// enclosing loop or switch, to be unioned into its exit state.
+type wsBreakCtx struct {
+	isLoop bool
+	states []wsState
+}
+
+// wsFlow is the per-function analysis state.
+type wsFlow struct {
+	pass   *Pass
+	fn     string
+	ctxs   []*wsBreakCtx         // innermost breakable construct last
+	report map[[2]token.Pos]bool // dedupe: one finding per (site, acquisition)
+}
+
+func newWSFlow(pass *Pass, fn string) *wsFlow {
+	return &wsFlow{pass: pass, fn: fn, report: map[[2]token.Pos]bool{}}
+}
+
+// analyze flows the whole function body and checks the implicit exit.
+func (fl *wsFlow) analyze(body *ast.BlockStmt) {
+	out, falls := fl.stmts(body.List, wsState{})
+	if falls {
+		for _, pos := range sortedHeld(out) {
+			fl.leak(body.Rbrace, out, pos)
+		}
+	}
+}
+
+// leak reports one held workspace at a return site.
+func (fl *wsFlow) leak(site token.Pos, held wsState, acq token.Pos) {
+	key := [2]token.Pos{site, acq}
+	if fl.report[key] {
+		return
+	}
+	fl.report[key] = true
+	fl.pass.Reportf(site,
+		"workspace acquired at line %d is still held when %s exits here; release it with Put/Release (defer) or transfer ownership",
+		fl.pass.Mod.Fset.Position(acq).Line, fl.fn)
+}
+
+// sortedHeld returns the acquisition positions of a state in source order.
+func sortedHeld(s wsState) []token.Pos {
+	var out []token.Pos
+	for _, pos := range s {
+		out = append(out, pos)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// stmts flows a statement sequence. It returns the fall-through state and
+// whether control can reach past the sequence.
+func (fl *wsFlow) stmts(list []ast.Stmt, st wsState) (wsState, bool) {
+	for _, s := range list {
+		var falls bool
+		st, falls = fl.stmt(s, st)
+		if !falls {
+			return st, false
+		}
+	}
+	return st, true
+}
+
+// stmt flows one statement.
+func (fl *wsFlow) stmt(s ast.Stmt, st wsState) (wsState, bool) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		return fl.assign(s, st), true
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i, val := range vs.Values {
+					if call, ok := ast.Unparen(val).(*ast.CallExpr); ok && fl.isAcquire(call) {
+						if obj := fl.pass.Pkg.Info.Defs[vs.Names[i]]; obj != nil {
+							st[obj] = call.Pos()
+							continue
+						}
+					}
+					st = fl.transfers(val, st)
+				}
+			}
+		}
+		return st, true
+
+	case *ast.SendStmt:
+		// Sending a tracked workspace on a channel transfers ownership.
+		fl.claimIdents(s.Value, st)
+		return st, true
+
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if obj := fl.releasedObj(call); obj != nil {
+				delete(st, obj)
+				return st, true
+			}
+			if fl.isAcquire(call) {
+				fl.pass.Reportf(call.Pos(),
+					"workspace checked out of the pool is dropped on the floor; bind it and release it")
+				return st, true
+			}
+		}
+		return fl.transfers(s.X, st), true
+
+	case *ast.DeferStmt:
+		return fl.deferred(s.Call, st), true
+
+	case *ast.GoStmt:
+		// A goroutine that releases the workspace owns it from here on.
+		return fl.deferred(s.Call, st), true
+
+	case *ast.ReturnStmt:
+		held := st.clone()
+		for _, res := range s.Results {
+			held = fl.transfers(res, held)
+			// A workspace named in the results is handed to the caller.
+			fl.claimIdents(res, held)
+		}
+		for _, pos := range sortedHeld(held) {
+			fl.leak(s.Pos(), held, pos)
+		}
+		return st, false
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = fl.stmt(s.Init, st)
+		}
+		thenOut, thenFalls := fl.stmts(s.Body.List, st.clone())
+		elseOut, elseFalls := st.clone(), true
+		if s.Else != nil {
+			elseOut, elseFalls = fl.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenFalls && elseFalls:
+			return merge(thenOut, elseOut), true
+		case thenFalls:
+			return thenOut, true
+		case elseFalls:
+			return elseOut, true
+		default:
+			return st, false
+		}
+
+	case *ast.BlockStmt:
+		return fl.stmts(s.List, st)
+
+	case *ast.LabeledStmt:
+		return fl.stmt(s.Stmt, st)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = fl.stmt(s.Init, st)
+		}
+		ctx := &wsBreakCtx{isLoop: true}
+		fl.ctxs = append(fl.ctxs, ctx)
+		bodyOut, bodyFalls := fl.stmts(s.Body.List, st.clone())
+		fl.ctxs = fl.ctxs[:len(fl.ctxs)-1]
+		exit, reachable := loopExit(st, bodyOut, bodyFalls, ctx, s.Cond != nil)
+		return exit, reachable
+
+	case *ast.RangeStmt:
+		ctx := &wsBreakCtx{isLoop: true}
+		fl.ctxs = append(fl.ctxs, ctx)
+		bodyOut, bodyFalls := fl.stmts(s.Body.List, st.clone())
+		fl.ctxs = fl.ctxs[:len(fl.ctxs)-1]
+		exit, _ := loopExit(st, bodyOut, bodyFalls, ctx, true)
+		return exit, true
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if ctx := fl.innermost(false); ctx != nil {
+				ctx.states = append(ctx.states, st.clone())
+			}
+			return st, false
+		case token.CONTINUE:
+			if ctx := fl.innermost(true); ctx != nil {
+				ctx.states = append(ctx.states, st.clone())
+			}
+			return st, false
+		default: // goto, fallthrough: fall out conservatively
+			return st, true
+		}
+
+	case *ast.SwitchStmt:
+		return fl.switchLike(s.Init, clauseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.TypeSwitchStmt:
+		return fl.switchLike(s.Init, clauseBodies(s.Body), hasDefaultClause(s.Body), st)
+	case *ast.SelectStmt:
+		var bodies [][]ast.Stmt
+		hasDefault := false
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			bodies = append(bodies, cc.Body)
+		}
+		return fl.switchLike(nil, bodies, hasDefault, st)
+
+	default:
+		return st, true
+	}
+}
+
+// loopExit assembles the state after a loop: the pre-loop state when the
+// loop can run zero times, the body's looping-back state, and every break.
+func loopExit(pre, bodyOut wsState, bodyFalls bool, ctx *wsBreakCtx, mayskip bool) (wsState, bool) {
+	var exit wsState
+	reachable := false
+	add := func(s wsState) {
+		if exit == nil {
+			exit = s.clone()
+		} else {
+			exit = merge(exit, s)
+		}
+		reachable = true
+	}
+	if mayskip {
+		add(pre)
+		// The body's looping-back state reaches the exit through the next
+		// condition check.
+		if bodyFalls {
+			add(bodyOut)
+		}
+	}
+	for _, s := range ctx.states {
+		add(s)
+	}
+	if !reachable {
+		return pre, false
+	}
+	return exit, true
+}
+
+// switchLike flows switch/type-switch/select clause bodies.
+func (fl *wsFlow) switchLike(init ast.Stmt, bodies [][]ast.Stmt, hasDefault bool, st wsState) (wsState, bool) {
+	if init != nil {
+		st, _ = fl.stmt(init, st)
+	}
+	ctx := &wsBreakCtx{}
+	fl.ctxs = append(fl.ctxs, ctx)
+	var exit wsState
+	falls := false
+	for _, body := range bodies {
+		out, f := fl.stmts(body, st.clone())
+		if f {
+			if exit == nil {
+				exit = out
+			} else {
+				exit = merge(exit, out)
+			}
+			falls = true
+		}
+	}
+	fl.ctxs = fl.ctxs[:len(fl.ctxs)-1]
+	if !hasDefault {
+		// No default: the switch can select no clause and fall through as-is.
+		if exit == nil {
+			exit = st.clone()
+		} else {
+			exit = merge(exit, st)
+		}
+		falls = true
+	}
+	for _, s := range ctx.states {
+		if exit == nil {
+			exit = s.clone()
+		} else {
+			exit = merge(exit, s)
+		}
+		falls = true
+	}
+	if !falls {
+		return st, false
+	}
+	return exit, true
+}
+
+// clauseBodies returns the body of each case clause of a switch body.
+func clauseBodies(body *ast.BlockStmt) [][]ast.Stmt {
+	var bodies [][]ast.Stmt
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	return bodies
+}
+
+// hasDefaultClause reports whether a switch body has a default clause.
+func hasDefaultClause(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// innermost returns the nearest breakable context (loopOnly restricts to
+// loops, for continue).
+func (fl *wsFlow) innermost(loopOnly bool) *wsBreakCtx {
+	for i := len(fl.ctxs) - 1; i >= 0; i-- {
+		if !loopOnly || fl.ctxs[i].isLoop {
+			return fl.ctxs[i]
+		}
+	}
+	return nil
+}
+
+// assign processes acquisitions, alias moves, transfers and releases on one
+// assignment statement.
+func (fl *wsFlow) assign(s *ast.AssignStmt, st wsState) wsState {
+	// Pair lhs/rhs when the counts line up; `x, y := f()` has one rhs.
+	pairwise := len(s.Lhs) == len(s.Rhs)
+	for i, rhs := range s.Rhs {
+		rhs = ast.Unparen(rhs)
+		var lhs ast.Expr
+		if pairwise {
+			lhs = ast.Unparen(s.Lhs[i])
+		}
+
+		if call, ok := rhs.(*ast.CallExpr); ok && fl.isAcquire(call) {
+			id, _ := lhs.(*ast.Ident)
+			if id == nil || id.Name == "_" {
+				fl.pass.Reportf(call.Pos(),
+					"workspace checked out of the pool is not bound to a variable; release cannot be verified")
+				continue
+			}
+			obj := fl.pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if prev, ok := st[obj]; ok {
+				fl.pass.Reportf(call.Pos(),
+					"workspace variable reassigned while the workspace acquired at line %d is still held",
+					fl.pass.Mod.Fset.Position(prev).Line)
+			}
+			st[obj] = call.Pos()
+			continue
+		}
+
+		// Alias move / escape of a tracked workspace appearing as the rhs.
+		if id, ok := rhs.(*ast.Ident); ok {
+			if obj := fl.pass.ObjectOf(id); obj != nil {
+				if pos, held := st[obj]; held {
+					if lid, ok := lhs.(*ast.Ident); ok && lid.Name != "_" {
+						// Plain rename: ownership moves to the new variable.
+						if newObj := fl.pass.ObjectOf(lid); newObj != nil {
+							delete(st, obj)
+							st[newObj] = pos
+						}
+					} else {
+						// Stored into a field, element or blank: transferred.
+						delete(st, obj)
+					}
+					continue
+				}
+			}
+		}
+
+		st = fl.transfers(rhs, st)
+	}
+	return st
+}
+
+// deferred handles a defer/go call: a direct release, or releases inside a
+// deferred closure, settle the obligation for every path from here on.
+func (fl *wsFlow) deferred(call *ast.CallExpr, st wsState) wsState {
+	if obj := fl.releasedObj(call); obj != nil {
+		delete(st, obj)
+		return st
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if c, ok := n.(*ast.CallExpr); ok {
+				if obj := fl.releasedObj(c); obj != nil {
+					delete(st, obj)
+				}
+			}
+			return true
+		})
+	}
+	return st
+}
+
+// transfers removes from st every tracked workspace that escapes through e
+// into a composite literal (struct/slice/map element) — ownership follows
+// the containing value.
+func (fl *wsFlow) transfers(e ast.Expr, st wsState) wsState {
+	if e == nil {
+		return st
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.CompositeLit); ok {
+			fl.claimIdents(lit, st)
+		}
+		return true
+	})
+	return st
+}
+
+// claimIdents deletes every tracked workspace referenced by an identifier
+// anywhere under n.
+func (fl *wsFlow) claimIdents(n ast.Node, st wsState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := fl.pass.ObjectOf(id); obj != nil {
+				delete(st, obj)
+			}
+		}
+		return true
+	})
+}
+
+// isAcquire reports whether call checks a workspace out of a pool:
+// (*search.WorkspacePool).Get or search.AcquireWorkspace.
+func (fl *wsFlow) isAcquire(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel := fl.pass.Pkg.Info.Selections[fun]; sel != nil && sel.Kind() == types.MethodVal {
+			return fun.Sel.Name == "Get" &&
+				fl.pass.isNamed(sel.Recv(), "internal/search", "WorkspacePool")
+		}
+		// Package-qualified search.AcquireWorkspace.
+		return fl.isAcquireFunc(fl.pass.ObjectOf(fun.Sel))
+	case *ast.Ident:
+		return fl.isAcquireFunc(fl.pass.ObjectOf(fun))
+	}
+	return false
+}
+
+func (fl *wsFlow) isAcquireFunc(obj types.Object) bool {
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Name() == "AcquireWorkspace" && fn.Pkg() != nil &&
+		fn.Pkg().Path() == fl.pass.Mod.Path+"/internal/search"
+}
+
+// releasedObj returns the workspace variable a call releases, or nil:
+// pool.Put(w) returns w's object, w.Release() returns w's.
+func (fl *wsFlow) releasedObj(call *ast.CallExpr) types.Object {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	sel := fl.pass.Pkg.Info.Selections[fun]
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return nil
+	}
+	switch {
+	case fun.Sel.Name == "Put" && fl.pass.isNamed(sel.Recv(), "internal/search", "WorkspacePool"):
+		if len(call.Args) == 1 {
+			if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok {
+				return fl.pass.ObjectOf(id)
+			}
+		}
+	case fun.Sel.Name == "Release" && fl.pass.isNamed(sel.Recv(), "internal/search", "Workspace"):
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			return fl.pass.ObjectOf(id)
+		}
+	}
+	return nil
+}

@@ -209,10 +209,12 @@ func (m *MTM) Stats() MTMStats {
 // steady-state evaluation allocation-free — this is the hot path wide
 // obfuscated queries are routed through when candidate paths are not
 // needed.
+//
+//opaque:noalloc
 func (m *MTM) DistancesInto(dst []float64, sources, targets []roadnet.NodeID) ([]float64, search.Stats, error) {
 	cells := len(sources) * len(targets)
 	if cap(dst) < cells {
-		dst = make([]float64, cells)
+		dst = make([]float64, cells) //opaque:allow(noalloc) cold grow path: steady state reuses the previously returned dst
 	}
 	dst = dst[:cells]
 	stats, _, err := m.evaluate(dst, sources, targets, false)
@@ -329,6 +331,8 @@ func (m *MTM) evaluate(dist []float64, sources, targets []roadnet.NodeID, needPa
 // view, depositing a bucket entry at every settled node. In path mode each
 // deposit carries the arena arc the search stepped through, recovered from
 // the parent label the same way the bidirectional query's unpacking does.
+//
+//opaque:noalloc
 func (m *MTM) backwardSweep(st *mtmState, w *search.Workspace, t roadnet.NodeID, j int32, needPaths bool, stats *search.Stats) error {
 	o := m.o
 	w.Reset(o.n)
@@ -351,6 +355,7 @@ func (m *MTM) backwardSweep(st *mtmState, w *search.Workspace, t roadnet.NodeID,
 			if p := w.ParentOf(u); p != roadnet.InvalidNode {
 				via = o.findArc(o.bwdOff, o.bwdTo, o.bwdCost, o.bwdArc, p, u, w.DistOf(p), item.Priority)
 				if via < 0 {
+					//opaque:allow(noalloc) unreachable unless the overlay is corrupt; allocating here is already a failed sweep
 					return fmt.Errorf("ch: internal error: no upward arc %d→%d on backward sweep for target %d", u, p, t)
 				}
 			}
@@ -375,6 +380,8 @@ func (m *MTM) backwardSweep(st *mtmState, w *search.Workspace, t roadnet.NodeID,
 // It returns the number of bucket entries examined. In path mode the best
 // entry and meeting node of each improved cell are recorded in the row
 // scratch; the forward tree is left on w for recordChains.
+//
+//opaque:noalloc
 func (m *MTM) forwardSweep(st *mtmState, w *search.Workspace, s roadnet.NodeID, row []float64, needPaths bool, stats *search.Stats) int64 {
 	o := m.o
 	w.Reset(o.n)

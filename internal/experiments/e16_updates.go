@@ -83,9 +83,10 @@ func (E16LiveUpdates) Run(scale Scale) ([]*Table, error) {
 	rng := rand.New(rand.NewSource(1617))
 	for _, k := range batches {
 		changes := make([]roadnet.ArcWeightChange, 0, k)
+		base := storage.SnapshotOf(mg).Graph()
 		for len(changes) < k {
 			v := roadnet.NodeID(rng.Intn(g.NumNodes()))
-			arcs := mg.Graph().Arcs(v)
+			arcs := base.Arcs(v)
 			if len(arcs) == 0 {
 				continue
 			}
@@ -98,7 +99,7 @@ func (E16LiveUpdates) Run(scale Scale) ([]*Table, error) {
 		}
 		applyMS := float64(time.Since(applyStart).Microseconds()) / 1000
 
-		cur := mg.Graph()
+		cur := storage.SnapshotOf(mg).Graph()
 		recustStart := time.Now()
 		fresh, err := overlay.Recustomize(cur)
 		if err != nil {

@@ -102,15 +102,19 @@ type Frame struct {
 
 // AppendFrame appends f's wire encoding to dst and returns the extended
 // slice. It refuses oversized payloads.
+//
+//opaque:noalloc
 func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 	if len(f.Payload) > MaxFramePayload {
+		//opaque:allow(noalloc) refusal path: the frame is never sent, steady state never gets here
 		return dst, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLarge, len(f.Payload), MaxFramePayload)
 	}
 	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameOverhead+len(f.Payload)))
 	hdr[4] = byte(f.Type)
 	binary.BigEndian.PutUint64(hdr[5:13], f.ID)
-	dst = append(dst, hdr[:]...)
+	dst = append(dst, hdr[:]...) //opaque:allow(noalloc) appends into the caller's reused write buffer; no growth once warm
+	//opaque:allow(noalloc) same reused buffer as the header append above
 	return append(dst, f.Payload...), nil
 }
 
@@ -118,23 +122,30 @@ func AppendFrame(dst []byte, f Frame) ([]byte, error) {
 // the number of bytes it occupied. The returned payload aliases b. Truncated,
 // oversized and malformed inputs return typed errors; no input panics, and no
 // call allocates beyond b itself.
+//
+//opaque:noalloc
 func DecodeFrame(b []byte) (Frame, int, error) {
 	if len(b) < frameHeaderLen {
+		//opaque:allow(noalloc) rejection path for garbage input; a well-formed stream never takes it
 		return Frame{}, 0, fmt.Errorf("%w: %d bytes, need at least %d", ErrFrameTruncated, len(b), frameHeaderLen)
 	}
 	n := binary.BigEndian.Uint32(b[0:4])
 	if n < frameOverhead {
+		//opaque:allow(noalloc) rejection path for garbage input; a well-formed stream never takes it
 		return Frame{}, 0, fmt.Errorf("%w: declared length %d < %d", ErrFrameHeader, n, frameOverhead)
 	}
 	if n-frameOverhead > MaxFramePayload {
+		//opaque:allow(noalloc) rejection path for garbage input; a well-formed stream never takes it
 		return Frame{}, 0, fmt.Errorf("%w: declared payload %d > %d", ErrFrameTooLarge, n-frameOverhead, MaxFramePayload)
 	}
 	total := 4 + int(n)
 	if len(b) < total {
+		//opaque:allow(noalloc) rejection path for garbage input; a well-formed stream never takes it
 		return Frame{}, 0, fmt.Errorf("%w: have %d bytes of a %d-byte frame", ErrFrameTruncated, len(b), total)
 	}
 	ft := FrameType(b[4])
 	if ft == 0 || ft > maxFrameType {
+		//opaque:allow(noalloc) rejection path for garbage input; a well-formed stream never takes it
 		return Frame{}, 0, fmt.Errorf("%w: %d", ErrFrameType, b[4])
 	}
 	return Frame{

@@ -566,6 +566,10 @@ func (c *MuxClient) DoBatchDeadline(b BatchQuery, deadline time.Time) (BatchRepl
 				return BatchReply{}, &RemoteError{Msg: er.Message}
 			}
 			return BatchReply{}, &RemoteError{Msg: fmt.Sprintf("malformed error reply %T", ev.msg)}
+		default:
+			// Connection-level frames never reach a registered call; anything
+			// else here is a peer protocol bug, not something to spin on.
+			return BatchReply{}, fmt.Errorf("protocol: unexpected %d frame in batch reply stream", ev.frameType)
 		}
 	}
 }

@@ -212,7 +212,7 @@ type Envelope struct {
 	// (obfuscator → router → shard) sees the same wall-clock budget: the
 	// serving side drops work whose deadline expired before evaluation
 	// started instead of burning cycles on an answer nobody is waiting for.
-	Deadline int64 `json:",omitempty"`
+	Deadline  int64            `json:",omitempty"`
 	Request   *ClientRequest   `json:",omitempty"`
 	Reply     *ClientReply     `json:",omitempty"`
 	Query     *ServerQuery     `json:",omitempty"`

@@ -144,6 +144,8 @@ func (w *Workspace) begin(acc storage.Accessor) {
 }
 
 // distOf returns v's tentative distance, +Inf when unlabelled this epoch.
+//
+//opaque:noalloc
 func (w *Workspace) distOf(v roadnet.NodeID) float64 {
 	if w.stamp[v] != w.epoch {
 		return math.Inf(1)
@@ -152,6 +154,8 @@ func (w *Workspace) distOf(v roadnet.NodeID) float64 {
 }
 
 // label records a tentative distance and parent for v.
+//
+//opaque:noalloc
 func (w *Workspace) label(v roadnet.NodeID, d float64, parent roadnet.NodeID) {
 	w.dist[v] = d
 	w.parent[v] = parent
@@ -159,6 +163,8 @@ func (w *Workspace) label(v roadnet.NodeID, d float64, parent roadnet.NodeID) {
 }
 
 // parentOf returns v's parent pointer, InvalidNode when unlabelled.
+//
+//opaque:noalloc
 func (w *Workspace) parentOf(v roadnet.NodeID) roadnet.NodeID {
 	if w.stamp[v] != w.epoch {
 		return roadnet.InvalidNode
@@ -177,12 +183,16 @@ func (w *Workspace) Heap() *pqueue.DenseHeap { return w.heap }
 // DistOf returns v's tentative distance this epoch, +Inf when unlabelled.
 // Exported for externally composed algorithms; identical to the check the
 // internal searches perform before relaxing an arc.
+//
+//opaque:noalloc
 func (w *Workspace) DistOf(v roadnet.NodeID) float64 { return w.distOf(v) }
 
 // Label records a tentative distance and parent pointer for v in the current
 // epoch. Exported counterpart of the internal labelling step for externally
 // composed algorithms; it does not touch the heap — callers push v with its
 // priority themselves.
+//
+//opaque:noalloc
 func (w *Workspace) Label(v roadnet.NodeID, d float64, parent roadnet.NodeID) {
 	w.label(v, d, parent)
 }
@@ -190,15 +200,23 @@ func (w *Workspace) Label(v roadnet.NodeID, d float64, parent roadnet.NodeID) {
 // ParentOf returns v's parent pointer this epoch, roadnet.InvalidNode when v
 // is unlabelled. Exported so externally composed algorithms can walk the
 // shortest-path tree they built through Label.
+//
+//opaque:noalloc
 func (w *Workspace) ParentOf(v roadnet.NodeID) roadnet.NodeID { return w.parentOf(v) }
 
 // settled reports whether v has been marked settled this epoch.
+//
+//opaque:noalloc
 func (w *Workspace) settled(v roadnet.NodeID) bool { return w.done[v] == w.epoch }
 
 // settle marks v settled.
+//
+//opaque:noalloc
 func (w *Workspace) settle(v roadnet.NodeID) { w.done[v] = w.epoch }
 
 // bumpMark invalidates the scratch node set (SSMD pending destinations).
+//
+//opaque:noalloc
 func (w *Workspace) bumpMark() {
 	if w.markEpoch == ^uint32(0) {
 		for i := range w.mark {
@@ -210,6 +228,8 @@ func (w *Workspace) bumpMark() {
 }
 
 // expand relaxes every outgoing arc of u with the plain Dijkstra rule.
+//
+//opaque:noalloc
 func (w *Workspace) expand(u roadnet.NodeID) {
 	w.u, w.du = u, w.dist[u]
 	w.acc.ForEachArc(u, w.relaxPlain)
@@ -272,6 +292,8 @@ func (w *Workspace) Dijkstra(acc storage.Accessor, source, dest roadnet.NodeID) 
 // dest (+Inf when unreachable), terminating as soon as dest is settled and
 // skipping path reconstruction entirely. In steady state it performs no heap
 // allocation at all.
+//
+//opaque:noalloc
 func (w *Workspace) DijkstraDistance(acc storage.Accessor, source, dest roadnet.NodeID) (float64, Stats, error) {
 	if err := checkEndpoints(acc, source, dest); err != nil {
 		return 0, Stats{}, err

@@ -465,7 +465,7 @@ func MustNew(g *roadnet.Graph, cfg Config) *Server {
 // the startup graph otherwise.
 func (s *Server) Graph() *roadnet.Graph {
 	if s.mutable != nil {
-		return s.mutable.Graph()
+		return storage.SnapshotOf(s.mutable).Graph()
 	}
 	return s.graph
 }
@@ -742,7 +742,7 @@ func (s *Server) overlayStale(st *chState) bool {
 	if s.mutable == nil {
 		return false
 	}
-	return st.overlay.Checksum() != ch.GraphChecksum(s.mutable.Graph())
+	return st.overlay.Checksum() != ch.GraphChecksum(storage.SnapshotOf(s.mutable).Graph())
 }
 
 // engineStale reports whether st's engines are bound to a generation behind
